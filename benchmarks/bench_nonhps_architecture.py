@@ -1,0 +1,108 @@
+"""Paper Sec. VI-C: the coprocessor without the HPS optimisation.
+
+The slower design-space point: traditional-CRT lift/scale at 225 MHz
+with four cores each and a two-component relinearisation key. The paper
+reports 1.68 ms (Lift, one core), 4.3 ms (Scale, one core), and 8.3 ms
+per Mult — less than 2x slower than the HPS design despite Lift/Scale
+being an order of magnitude slower, because its relinearisation key is
+three times smaller.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from conftest import format_row, save_result
+
+from repro.fv.encoder import Plaintext
+from repro.fv.scheme import FvContext
+from repro.hw.config import slow_coprocessor_config
+from repro.hw.coprocessor import Coprocessor
+from repro.hw.lift_unit import TraditionalLiftUnit
+from repro.hw.scale_unit import TraditionalScaleUnit
+from repro.rns.basis import lift_context, scale_context
+
+PAPER_LIFT_MS = 1.68
+PAPER_SCALE_MS = 4.3
+PAPER_MULT_MS = 8.3
+PAPER_FAST_MULT_MS = 4.458
+
+
+@pytest.fixture(scope="module")
+def slow_setup(paper_params):
+    context = FvContext(paper_params, seed=66)
+    keys = context.keygen()
+    digit_key = context.relin_keygen_digit(
+        keys.secret, -(-paper_params.q.bit_length() // 2)
+    )
+    plain = Plaintext.from_list([1, 1], paper_params.n, paper_params.t)
+    ct = context.encrypt(plain, keys.public)
+    return context, keys, digit_key, ct
+
+
+def test_nonhps_lift_single_core(benchmark, paper_params):
+    config = replace(slow_coprocessor_config(), lift_cores=1)
+    unit = TraditionalLiftUnit(
+        lift_context(paper_params.q_primes, paper_params.p_primes), config
+    )
+    cycles = benchmark(unit.cycles, paper_params.n)
+    seconds = cycles / config.fpga_clock_hz
+    assert abs(seconds * 1e3 - PAPER_LIFT_MS) / PAPER_LIFT_MS < 0.02
+
+
+def test_nonhps_scale_single_core(benchmark, paper_params):
+    config = replace(slow_coprocessor_config(), scale_cores=1)
+    unit = TraditionalScaleUnit(
+        scale_context(paper_params.q_primes, paper_params.p_primes,
+                      paper_params.t), config
+    )
+    cycles = benchmark(unit.cycles, paper_params.n)
+    seconds = cycles / config.fpga_clock_hz
+    assert abs(seconds * 1e3 - PAPER_SCALE_MS) / PAPER_SCALE_MS < 0.02
+
+
+def test_nonhps_full_mult(benchmark, paper_params, slow_setup,
+                          paper_coprocessor, paper_ciphertexts, paper_keys):
+    context, keys, digit_key, ct = slow_setup
+    slow = Coprocessor(paper_params, slow_coprocessor_config())
+
+    def run_mult():
+        return slow.mult(ct, ct, digit_key)
+
+    result, report = benchmark.pedantic(run_mult, rounds=1, iterations=1)
+
+    # Functional check: the slow coprocessor's output decrypts correctly.
+    decrypted = context.decrypt(result, keys.secret)
+    assert decrypted.coeffs[0] == 1 and decrypted.coeffs[2] == 1
+
+    # Timing against the paper, and the fast coprocessor for the ratio.
+    ct1, ct2 = paper_ciphertexts
+    _, fast_report = paper_coprocessor.mult(ct1, ct2, paper_keys.relin)
+    lines = [
+        "SEC. VI-C — PERFORMANCE WITHOUT THE HPS OPTIMISATION",
+        f"{'metric':<34} {'measured':>14} {'paper':>14} {'delta':>8}",
+        format_row("Mult, slow coprocessor (ms)", report.seconds * 1e3,
+                   PAPER_MULT_MS, "ms"),
+        format_row("Mult, fast coprocessor (ms)",
+                   fast_report.seconds * 1e3, PAPER_FAST_MULT_MS, "ms"),
+        format_row("slow / fast ratio",
+                   report.seconds / fast_report.seconds,
+                   PAPER_MULT_MS / PAPER_FAST_MULT_MS, "x"),
+    ]
+    save_result("nonhps_architecture", "\n".join(lines))
+
+    assert abs(report.seconds * 1e3 - PAPER_MULT_MS) / PAPER_MULT_MS < 0.20
+    # The paper's observation: less than 2x slower overall.
+    assert report.seconds < 2 * fast_report.seconds
+    assert report.seconds > fast_report.seconds
+
+
+def test_nonhps_key_is_three_times_smaller(benchmark, paper_params,
+                                           slow_setup, paper_keys):
+    """Sec. VI-C: 'three times smaller relinearization key'."""
+    _, _, digit_key, _ = slow_setup
+    ratio = benchmark(
+        lambda: paper_keys.relin.key_bytes(paper_params.n)
+        / digit_key.key_bytes(paper_params.n)
+    )
+    assert ratio == pytest.approx(3.0)

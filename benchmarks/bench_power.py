@@ -1,0 +1,71 @@
+"""Paper Sec. VI-C (power) and the Sec. VI-E efficiency comparison.
+
+Static 5.3 W; +2.2 W dynamic for one busy coprocessor; +3.4 W for two;
+8.7 W peak against the i5's ~40 W under load.
+"""
+
+from conftest import format_row, save_result
+
+from repro.hw.config import HardwareConfig
+from repro.hw.power import PowerModel
+from repro.system.baseline import SoftwareBaseline
+from repro.system.server import CloudServer
+from repro.system.workloads import JobKind
+
+PAPER = {
+    "static": 5.3,
+    "dynamic_1": 2.2,
+    "dynamic_2": 3.4,
+    "peak": 8.7,
+    "i5_load": 40.0,
+}
+
+
+def test_power_rows(benchmark, paper_params):
+    power = PowerModel(HardwareConfig())
+
+    def rows():
+        return (power.static_watts(), power.dynamic_watts(1),
+                power.dynamic_watts(2), power.peak_watts())
+
+    static, dyn1, dyn2, peak = benchmark(rows)
+    lines = [
+        "SEC. VI-C — POWER CONSUMPTION",
+        f"{'metric':<34} {'measured':>14} {'paper':>14} {'delta':>8}",
+        format_row("static (W)", static, PAPER["static"], "W"),
+        format_row("dynamic, 1 coprocessor (W)", dyn1, PAPER["dynamic_1"],
+                   "W"),
+        format_row("dynamic, 2 coprocessors (W)", dyn2,
+                   PAPER["dynamic_2"], "W"),
+        format_row("peak (W)", peak, PAPER["peak"], "W"),
+    ]
+    save_result("power", "\n".join(lines))
+    assert static == PAPER["static"]
+    assert abs(dyn1 - PAPER["dynamic_1"]) < 1e-9
+    assert abs(dyn2 - PAPER["dynamic_2"]) < 1e-9
+    assert abs(peak - PAPER["peak"]) < 1e-9
+
+
+def test_energy_per_mult_beats_i5(benchmark, paper_params):
+    """Energy per Mult: FPGA at peak vs the i5 at 40 W load."""
+    config = HardwareConfig()
+    power = PowerModel(config)
+    server = CloudServer(paper_params, config)
+    baseline = SoftwareBaseline(paper_params)
+
+    def energies():
+        fpga_seconds = server.job_seconds(JobKind.MULT) \
+            / config.num_coprocessors
+        fpga = power.peak_watts() * fpga_seconds
+        i5 = PAPER["i5_load"] * baseline.mult_seconds()
+        return fpga, i5
+
+    fpga_joules, i5_joules = benchmark(energies)
+    lines = [
+        "ENERGY PER HOMOMORPHIC MULTIPLICATION",
+        f"this work: {fpga_joules * 1e3:.1f} mJ   "
+        f"i5 + NFLlib: {i5_joules * 1e3:.1f} mJ   "
+        f"advantage: {i5_joules / fpga_joules:.0f}x",
+    ]
+    save_result("power_energy_per_mult", "\n".join(lines))
+    assert i5_joules / fpga_joules > 20

@@ -1,0 +1,104 @@
+"""Paper Table I: performance of high-level operations (one coprocessor).
+
+Regenerates every row: Mult in HW, Add in HW, Add in SW, and the two
+ciphertext transfer costs, in the paper's own units (Arm cycles at
+1.2 GHz and milliseconds).
+"""
+
+import pytest
+
+from conftest import format_row, save_result
+
+from repro.hw.config import HardwareConfig
+from repro.hw.dma import DmaModel
+from repro.system.arm import ArmCoreModel
+
+PAPER = {
+    "mult_hw_cycles": 5_349_567,
+    "mult_hw_ms": 4.458,
+    "add_hw_cycles": 31_339,
+    "add_sw_cycles": 54_680_467,
+    "send_cycles": 434_013,
+    "recv_cycles": 215_697,
+}
+
+
+@pytest.fixture(scope="module")
+def mult_report(paper_coprocessor, paper_ciphertexts, paper_keys):
+    ct1, ct2 = paper_ciphertexts
+    _, report = paper_coprocessor.mult(ct1, ct2, paper_keys.relin)
+    return report
+
+
+def test_table1_mult_in_hw(benchmark, paper_coprocessor, paper_ciphertexts,
+                           paper_keys, mult_report):
+    ct1, ct2 = paper_ciphertexts
+
+    def run_mult():
+        return paper_coprocessor.mult(ct1, ct2, paper_keys.relin)[1]
+
+    report = benchmark.pedantic(run_mult, rounds=1, iterations=1)
+    assert abs(report.arm_cycles - PAPER["mult_hw_cycles"]) \
+        / PAPER["mult_hw_cycles"] < 0.10
+
+
+def test_table1_add_in_hw(benchmark, paper_coprocessor, paper_ciphertexts):
+    ct1, ct2 = paper_ciphertexts
+
+    def run_add():
+        return paper_coprocessor.add(ct1, ct2)[1]
+
+    report = benchmark.pedantic(run_add, rounds=1, iterations=1)
+    assert abs(report.arm_cycles - PAPER["add_hw_cycles"]) \
+        / PAPER["add_hw_cycles"] < 0.10
+
+
+def test_table1_full_table(benchmark, paper_coprocessor, paper_ciphertexts,
+                           paper_keys, paper_params, mult_report):
+    """Assemble and verify the complete Table I."""
+    ct1, ct2 = paper_ciphertexts
+    config = paper_coprocessor.config
+    _, add_report = paper_coprocessor.add(ct1, ct2)
+    arm = ArmCoreModel(config)
+    dma = DmaModel(config)
+
+    def model_rows():
+        add_sw = arm.add_in_sw_cycles(paper_params)
+        send = dma.send_ciphertexts_seconds(paper_params.poly_bytes, 2)
+        recv = dma.receive_ciphertext_seconds(paper_params.poly_bytes)
+        return add_sw, send, recv
+
+    add_sw_cycles, send_seconds, recv_seconds = benchmark(model_rows)
+    send_cycles = round(send_seconds * config.arm_clock_hz)
+    recv_cycles = round(recv_seconds * config.arm_clock_hz)
+
+    lines = [
+        "TABLE I — PERFORMANCE OF HIGH-LEVEL OPERATIONS (one coprocessor)",
+        f"{'operation':<34} {'measured':>14} {'paper':>14} {'delta':>8}",
+        format_row("Mult in HW (Arm cycles)", mult_report.arm_cycles,
+                   PAPER["mult_hw_cycles"]),
+        format_row("Mult in HW (msec)", mult_report.seconds * 1e3,
+                   PAPER["mult_hw_ms"], "ms"),
+        format_row("Add in HW (Arm cycles)", add_report.arm_cycles,
+                   PAPER["add_hw_cycles"]),
+        format_row("Add in SW (Arm cycles)", add_sw_cycles,
+                   PAPER["add_sw_cycles"]),
+        format_row("Send two ciphertexts (Arm cyc)", send_cycles,
+                   PAPER["send_cycles"]),
+        format_row("Receive result ct (Arm cyc)", recv_cycles,
+                   PAPER["recv_cycles"]),
+    ]
+    save_result("table1_highlevel", "\n".join(lines))
+
+    # Shape assertions: every row within 10%, orderings preserved.
+    assert abs(add_sw_cycles - PAPER["add_sw_cycles"]) \
+        / PAPER["add_sw_cycles"] < 0.05
+    assert abs(send_cycles - PAPER["send_cycles"]) \
+        / PAPER["send_cycles"] < 0.05
+    assert abs(recv_cycles - PAPER["recv_cycles"]) \
+        / PAPER["recv_cycles"] < 0.05
+    # HW add is ~80x cheaper than SW add even counting transfers.
+    hw_add_with_transfers = (add_report.seconds + send_seconds
+                             + recv_seconds)
+    assert add_sw_cycles / config.arm_clock_hz \
+        > 50 * hw_add_with_transfers

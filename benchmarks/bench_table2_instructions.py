@@ -1,0 +1,89 @@
+"""Paper Table II: per-instruction cycle counts and call counts per Mult.
+
+The instruction timings come out of an actually-executed Mult on the
+cycle-level coprocessor model; the call counts come from the compiled
+program. Both are printed next to the paper's measurements.
+"""
+
+import pytest
+
+from conftest import format_row, save_result
+
+from repro.hw.isa import Opcode
+
+PAPER_TABLE2 = {
+    Opcode.NTT: (14, 87_582),
+    Opcode.INTT: (8, 102_043),
+    Opcode.CMUL: (20, 15_662),
+    Opcode.CADD: (26, 16_292),
+    Opcode.REARRANGE: (22, 25_006),
+    Opcode.LIFT: (4, 99_137),
+    Opcode.SCALE: (3, 99_274),
+}
+
+#: Rows where our compiler's bookkeeping differs from the paper's
+#: (documented in EXPERIMENTS.md): our CADD count is 16 because the
+#: paper's 26 includes accumulator initialisations we fold into CMUL.
+CALL_COUNT_EXEMPT = {Opcode.CADD}
+
+
+@pytest.fixture(scope="module")
+def executed_report(paper_coprocessor, paper_ciphertexts, paper_keys):
+    ct1, ct2 = paper_ciphertexts
+    _, report = paper_coprocessor.mult(ct1, ct2, paper_keys.relin)
+    return report
+
+
+def test_table2_instruction_timings(benchmark, paper_coprocessor,
+                                    executed_report):
+    model = benchmark(paper_coprocessor.instruction_cycle_model)
+    config = paper_coprocessor.config
+    lines = [
+        "TABLE II — PERFORMANCE OF INDIVIDUAL INSTRUCTIONS",
+        f"{'instruction':<34} {'measured':>14} {'paper':>14} {'delta':>8}"
+        "   (Arm cycles per call)",
+    ]
+    for op, (_, paper_cycles) in PAPER_TABLE2.items():
+        arm = config.fpga_to_arm_cycles(model[op])
+        lines.append(format_row(op.value, arm, paper_cycles))
+        assert abs(arm - paper_cycles) / paper_cycles < 0.10, op
+    save_result("table2_instruction_timings", "\n".join(lines))
+
+
+def test_table2_call_counts(benchmark, paper_params, paper_coprocessor,
+                            executed_report):
+    from repro.hw.compiler import compile_mult
+
+    program = benchmark(compile_mult, paper_params,
+                        paper_coprocessor.config)
+    histogram = program.opcode_histogram()
+    lines = [
+        "TABLE II — INSTRUCTION CALLS PER MULT",
+        f"{'instruction':<34} {'ours':>8} {'paper':>8}",
+    ]
+    for op, (paper_calls, _) in PAPER_TABLE2.items():
+        ours = histogram.get(op, 0)
+        lines.append(f"{op.value:<34} {ours:>8} {paper_calls:>8}")
+        if op not in CALL_COUNT_EXEMPT:
+            assert ours == paper_calls, op
+    save_result("table2_call_counts", "\n".join(lines))
+
+
+def test_table2_executed_timings_match_model(benchmark, executed_report,
+                                             paper_coprocessor):
+    """The per-call costs measured from the executed Mult equal the
+    analytic instruction model (the simulator has no hidden state)."""
+    model = benchmark(paper_coprocessor.instruction_cycle_model)
+    for op, stat in executed_report.op_stats.items():
+        if op in model:
+            assert stat.cycles_per_call == pytest.approx(model[op]), op
+
+
+def test_table2_scale_equals_lift(benchmark, executed_report):
+    """The paper's observation: Scale ~ Lift despite doing more work,
+    thanks to the block-level pipeline."""
+    lift, scale = benchmark(
+        lambda: (executed_report.op_stats[Opcode.LIFT].cycles_per_call,
+                 executed_report.op_stats[Opcode.SCALE].cycles_per_call)
+    )
+    assert abs(scale - lift) / lift < 0.02

@@ -1,0 +1,55 @@
+"""Paper Table III: comparison of data transfer techniques.
+
+One R_q polynomial (98,304 bytes) moved as a single burst, in
+16,384-byte chunks, and in 1,024-byte chunks.
+"""
+
+from conftest import format_row, save_result
+
+from repro.hw.config import HardwareConfig
+from repro.hw.dma import DmaModel
+
+PAPER_ROWS = [
+    ("single transfer of 98,304 B", None, 90_708, 76),
+    ("16,384-byte chunks", 16_384, 130_686, 109),
+    ("1,024-byte chunks", 1_024, 242_771, 202),
+]
+PAYLOAD = 98_304
+
+
+def test_table3_transfer_techniques(benchmark):
+    dma = DmaModel(HardwareConfig())
+
+    def run_all():
+        return [
+            dma.transfer_arm_cycles(PAYLOAD, chunk_bytes=chunk)
+            for _, chunk, _, _ in PAPER_ROWS
+        ]
+
+    measured = benchmark(run_all)
+    lines = [
+        "TABLE III — COMPARISON OF DATA TRANSFER TECHNIQUES",
+        f"{'technique':<34} {'measured':>14} {'paper':>14} {'delta':>8}"
+        "   (Arm cycles)",
+    ]
+    for (label, _, paper_cycles, _), ours in zip(PAPER_ROWS, measured):
+        lines.append(format_row(label, ours, paper_cycles))
+    save_result("table3_dma", "\n".join(lines))
+
+    single, chunk16, chunk1 = measured
+    # Endpoint rows fitted within 5%; the middle row is the documented
+    # ~24%-low deviation (EXPERIMENTS.md) — the ordering is the result.
+    assert abs(single - 90_708) / 90_708 < 0.05
+    assert abs(chunk1 - 242_771) / 242_771 < 0.05
+    assert single < chunk16 < chunk1
+    # The paper's conclusion: chunking costs real time — the 1 KiB case
+    # is ~2.7x the single burst.
+    assert 2.0 < chunk1 / single < 3.5
+
+
+def test_table3_single_burst_bandwidth(benchmark):
+    """The single burst sustains ~1.3 GB/s of the 2 GB/s AXI peak."""
+    dma = DmaModel(HardwareConfig())
+    seconds = benchmark(dma.transfer_seconds, PAYLOAD)
+    bandwidth = PAYLOAD / seconds
+    assert 1.2e9 < bandwidth < 1.45e9

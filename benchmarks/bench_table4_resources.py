@@ -1,0 +1,72 @@
+"""Paper Table IV: FPGA resource utilisation on the ZCU102.
+
+The structural estimator rebuilds both rows (two coprocessors +
+interface, and a single coprocessor) from instance counts.
+"""
+
+from conftest import format_row, save_result
+
+from repro.hw.config import HardwareConfig
+from repro.hw.resources import ResourceEstimator
+
+PAPER_FULL = {"luts": 133_692, "regs": 60_312, "bram36": 815, "dsps": 416}
+PAPER_SINGLE = {"luts": 63_522, "regs": 25_622, "bram36": 388, "dsps": 208}
+PAPER_FULL_PCT = {"luts": 49, "regs": 11, "bram36": 89, "dsps": 16}
+
+
+def test_table4_resource_utilization(benchmark, paper_params):
+    estimator = ResourceEstimator(paper_params, HardwareConfig())
+    breakdown = benchmark(estimator.breakdown)
+    full = breakdown["full_design"]
+    single = breakdown["single_coprocessor"]
+
+    lines = [
+        "TABLE IV — RESOURCE UTILISATION (Zynq UltraScale+ ZCU102)",
+        f"{'':<34} {'measured':>14} {'paper':>14} {'delta':>8}",
+        "--- two coprocessors & interface ---",
+        format_row("LUTs", full.luts, PAPER_FULL["luts"]),
+        format_row("Registers", full.regs, PAPER_FULL["regs"]),
+        format_row("BRAM36", full.bram36, PAPER_FULL["bram36"]),
+        format_row("DSPs", full.dsps, PAPER_FULL["dsps"]),
+        "--- single coprocessor ---",
+        format_row("LUTs", single.luts, PAPER_SINGLE["luts"]),
+        format_row("Registers", single.regs, PAPER_SINGLE["regs"]),
+        format_row("BRAM36", single.bram36, PAPER_SINGLE["bram36"]),
+        format_row("DSPs", single.dsps, PAPER_SINGLE["dsps"]),
+        "--- utilisation of the device (two coprocessors) ---",
+    ]
+    pct = full.percentages()
+    for key, paper_value in PAPER_FULL_PCT.items():
+        lines.append(f"{key:<34} {pct[key]:>13.1f}% {paper_value:>13}%")
+    save_result("table4_resources", "\n".join(lines))
+
+    for key, paper_value in PAPER_FULL.items():
+        assert abs(getattr(full, key) - paper_value) / paper_value < 0.10
+    for key, paper_value in PAPER_SINGLE.items():
+        assert abs(getattr(single, key) - paper_value) / paper_value < 0.10
+
+
+def test_table4_memory_bound_design(benchmark, paper_params):
+    """The paper's point: 'the design is constrained on memory size'."""
+    estimator = ResourceEstimator(paper_params, HardwareConfig())
+    full = benchmark(estimator.full_design)
+    pct = full.percentages()
+    assert pct["bram36"] == max(pct.values())
+    assert pct["bram36"] > 80
+
+
+def test_table4_component_breakdown(benchmark, paper_params):
+    """Structural sanity: butterflies dominate DSPs, memory dominates BRAM."""
+    estimator = ResourceEstimator(paper_params, HardwareConfig())
+    breakdown = benchmark(estimator.breakdown)
+    lines = ["TABLE IV SUPPLEMENT — per-subsystem breakdown (one coprocessor)",
+             f"{'subsystem':<22}{'LUT':>10}{'FF':>10}{'BRAM36':>8}{'DSP':>6}"]
+    for name in ("rpaus", "lift_cores", "scale_cores", "memory_file",
+                 "control"):
+        u = breakdown[name]
+        lines.append(f"{name:<22}{u.luts:>10,}{u.regs:>10,}"
+                     f"{u.bram36:>8}{u.dsps:>6}")
+    save_result("table4_breakdown", "\n".join(lines))
+    assert breakdown["memory_file"].bram36 == \
+        breakdown["single_coprocessor"].bram36
+    assert breakdown["rpaus"].dsps >= 56  # 14 butterflies x 4 DSP

@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+The offline environment ships setuptools 65 without the ``wheel`` package,
+so PEP 660 editable installs fail; this shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``python setup.py develop``) work. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

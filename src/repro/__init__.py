@@ -1,0 +1,78 @@
+"""repro — reproduction of the HPCA 2019 FPGA FV accelerator.
+
+A functional + cycle-level Python reproduction of:
+
+    Sujoy Sinha Roy, Furkan Turan, Kimmo Järvinen, Frederik Vercauteren,
+    Ingrid Verbauwhede. "FPGA-Based High-Performance Parallel
+    Architecture for Homomorphic Computing on Encrypted Data."
+    HPCA 2019, pp. 387-398.
+
+Public API tour:
+
+>>> from repro import hpca19, FvContext, Evaluator, Plaintext
+>>> params = hpca19()
+>>> ctx = FvContext(params, seed=1)
+>>> keys = ctx.keygen()
+
+Encrypt, compute, decrypt:
+
+>>> import numpy as np
+>>> m = Plaintext(np.ones(params.n, dtype=np.int64), params.t)
+>>> ct = ctx.encrypt(m, keys.public)
+>>> prod = Evaluator(ctx).multiply(ct, ct, keys.relin)
+
+Run the same multiplication on the simulated coprocessor and read the
+paper's Table I/II numbers off the report:
+
+>>> from repro import Coprocessor
+>>> hw_result, report = Coprocessor(params).mult(ct, ct, keys.relin)
+>>> report.seconds           # ~4.3e-3, the paper measures 4.458 ms
+"""
+
+from .errors import (
+    CapacityError,
+    EncodingError,
+    HardwareModelError,
+    IsaError,
+    MemoryConflictError,
+    NoiseBudgetExhausted,
+    ParameterError,
+    ReproError,
+)
+from .fv import (
+    BatchEncoder,
+    Ciphertext,
+    DigitRelinKey,
+    Evaluator,
+    FvContext,
+    IntegerEncoder,
+    KeySet,
+    Plaintext,
+    PublicKey,
+    RelinKey,
+    SecretKey,
+    noise_budget_bits,
+)
+from .hw import Coprocessor, HardwareConfig, MultReport, Opcode
+from .hw.config import slow_coprocessor_config
+from .params import ParameterSet, hpca19, mini, toy
+from .system import CloudServer, SoftwareBaseline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # parameters
+    "ParameterSet", "hpca19", "mini", "toy",
+    # FV scheme
+    "FvContext", "Evaluator", "Plaintext", "IntegerEncoder", "BatchEncoder",
+    "Ciphertext", "KeySet", "SecretKey", "PublicKey", "RelinKey",
+    "DigitRelinKey", "noise_budget_bits",
+    # hardware simulator
+    "Coprocessor", "HardwareConfig", "slow_coprocessor_config",
+    "MultReport", "Opcode",
+    # system
+    "CloudServer", "SoftwareBaseline",
+    # errors
+    "ReproError", "ParameterError", "EncodingError", "NoiseBudgetExhausted",
+    "HardwareModelError", "MemoryConflictError", "CapacityError", "IsaError",
+]

@@ -1,0 +1,21 @@
+"""Cloud applications from the paper's introduction and Sec. III-A.
+
+The paper sizes its parameter set (depth 4) for "several statistical
+applications such as privacy-friendly forecasting for the smart grid [4],
+evaluation of low-complexity block ciphers such as Rasta [25] on
+ciphertext, private information retrieval or encrypted search". Each of
+those three application families is implemented here on top of the public
+FV API, with plaintext reference computations for verification.
+"""
+
+from .comparator import EncryptedComparator
+from .forecasting import SmartGridAggregator
+from .lookup import EncryptedLookupTable
+from .rasta_like import RastaLikeCipher
+
+__all__ = [
+    "SmartGridAggregator",
+    "EncryptedLookupTable",
+    "RastaLikeCipher",
+    "EncryptedComparator",
+]

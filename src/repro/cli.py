@@ -1,0 +1,254 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Usage (installed as ``python -m repro``):
+
+    python -m repro list                 # available experiments
+    python -m repro table1               # Table I rows
+    python -m repro table2               # Table II instruction timings
+    python -m repro table3               # Table III DMA comparison
+    python -m repro table4               # Table IV resources
+    python -m repro table5               # Table V scaling
+    python -m repro fig3                 # Fig. 3 access pattern
+    python -m repro headline             # 400 Mult/s + 13x speedup
+    python -m repro noise                # analytic depth budget
+    python -m repro all                  # everything above
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .fv.noise_model import NoiseModel
+from .hw.config import HardwareConfig
+from .hw.coprocessor import Coprocessor
+from .hw.dma import DmaModel
+from .hw.isa import Opcode
+from .hw.power import PowerModel
+from .hw.resources import ResourceEstimator
+from .hw.scaling import scaling_table
+from .hw.trace import render_fig3
+from .params import hpca19
+from .system.arm import ArmCoreModel
+from .system.baseline import SoftwareBaseline
+from .system.server import CloudServer
+
+PAPER_TABLE2 = {
+    Opcode.NTT: 87_582,
+    Opcode.INTT: 102_043,
+    Opcode.CMUL: 15_662,
+    Opcode.CADD: 16_292,
+    Opcode.REARRANGE: 25_006,
+    Opcode.LIFT: 99_137,
+    Opcode.SCALE: 99_274,
+}
+
+
+def _print_header(title: str) -> None:
+    print()
+    print(title)
+    print("=" * len(title))
+
+
+def cmd_table1() -> None:
+    _print_header("Table I — high-level operations (one coprocessor)")
+    params = hpca19()
+    config = HardwareConfig()
+    server = CloudServer(params, config)
+    arm = ArmCoreModel(config)
+    mult_s = server.mult_compute_seconds()
+    add_s = server.add_compute_seconds()
+    rows = [
+        ("Mult in HW", mult_s, 4.458e-3),
+        ("Add in HW", add_s, 0.026e-3),
+        ("Add in SW", arm.add_in_sw_seconds(params), 45.567e-3),
+        ("Send two ciphertexts", server.transfer_in_seconds(), 0.362e-3),
+        ("Receive result", server.transfer_out_seconds(), 0.180e-3),
+    ]
+    print(f"{'operation':<24}{'ours (ms)':>12}{'paper (ms)':>12}")
+    for label, ours, paper in rows:
+        print(f"{label:<24}{ours * 1e3:>12.3f}{paper * 1e3:>12.3f}")
+
+
+def cmd_table2() -> None:
+    _print_header("Table II — individual instructions (Arm cycles/call)")
+    params = hpca19()
+    coprocessor = Coprocessor(params)
+    model = coprocessor.instruction_cycle_model()
+    print(f"{'instruction':<22}{'ours':>10}{'paper':>10}{'delta':>8}")
+    for op, paper in PAPER_TABLE2.items():
+        ours = coprocessor.config.fpga_to_arm_cycles(model[op])
+        print(f"{op.value:<22}{ours:>10,}{paper:>10,}"
+              f"{(ours - paper) / paper * 100:>+7.1f}%")
+
+
+def cmd_table3() -> None:
+    _print_header("Table III — data transfer techniques (Arm cycles)")
+    dma = DmaModel(HardwareConfig())
+    rows = [("single 98,304-byte burst", None, 90_708),
+            ("16,384-byte chunks", 16_384, 130_686),
+            ("1,024-byte chunks", 1_024, 242_771)]
+    print(f"{'technique':<28}{'ours':>10}{'paper':>10}")
+    for label, chunk, paper in rows:
+        ours = dma.transfer_arm_cycles(98_304, chunk_bytes=chunk)
+        print(f"{label:<28}{ours:>10,}{paper:>10,}")
+
+
+def cmd_table4() -> None:
+    _print_header("Table IV — resource utilisation (ZCU102)")
+    estimator = ResourceEstimator(hpca19(), HardwareConfig())
+    full = estimator.full_design()
+    single = estimator.single_coprocessor()
+    print(f"{'':<22}{'LUT':>10}{'FF':>10}{'BRAM36':>8}{'DSP':>6}")
+    print(f"{'two coprocs (ours)':<22}{full.luts:>10,}{full.regs:>10,}"
+          f"{full.bram36:>8}{full.dsps:>6}")
+    print(f"{'two coprocs (paper)':<22}{133_692:>10,}{60_312:>10,}"
+          f"{815:>8}{416:>6}")
+    print(f"{'one coproc (ours)':<22}{single.luts:>10,}{single.regs:>10,}"
+          f"{single.bram36:>8}{single.dsps:>6}")
+    print(f"{'one coproc (paper)':<22}{63_522:>10,}{25_622:>10,}"
+          f"{388:>8}{208:>6}")
+
+
+def cmd_table5() -> None:
+    _print_header("Table V — scaling estimates (single coprocessor)")
+    params = hpca19()
+    config = HardwareConfig()
+    server = CloudServer(params, config)
+    base = ResourceEstimator(params, config).single_coprocessor()
+    comm = server.transfer_in_seconds() + server.transfer_out_seconds()
+    for point in scaling_table(base, server.mult_compute_seconds(), comm):
+        print(point.row())
+
+
+def cmd_fig3() -> None:
+    _print_header("Fig. 3 — two-core NTT memory access pattern")
+    print(render_fig3())
+
+
+def cmd_headline() -> None:
+    _print_header("Headline — throughput, speedup, power")
+    params = hpca19()
+    config = HardwareConfig()
+    server = CloudServer(params, config)
+    baseline = SoftwareBaseline(params)
+    power = PowerModel(config)
+    throughput = server.mult_throughput_per_second()
+    print(f"Mult/s with two coprocessors: {throughput:6.0f}  (paper: 400)")
+    print(f"software baseline:            {baseline.mult_seconds() * 1e3:6.1f} ms/Mult (paper: 33)")
+    print(f"speedup:                      {baseline.mult_seconds() * throughput:6.1f}x (paper: >13x)")
+    print(f"peak power:                   {power.peak_watts():6.1f} W  (paper: 8.7 W)")
+    print(f"add speedup over Arm SW:      {server.add_speedup_over_sw():6.0f}x (paper: 80x)")
+
+
+def cmd_noise() -> None:
+    _print_header("Analytic noise budget (paper Sec. II-A/III-A)")
+    print(NoiseModel(hpca19()).report())
+
+
+def cmd_security() -> None:
+    _print_header("Security placement (paper Sec. III-A, ref. [26])")
+    from .params import mini, table5_large
+    from .security import assess
+
+    for params in (hpca19(), table5_large(), mini()):
+        print(assess(params).report())
+        print()
+
+
+def cmd_report() -> None:
+    """Collate every regenerated table from benchmarks/results into one
+    report on stdout (run the benchmark suite first)."""
+    _print_header("Collated experiment report")
+    from pathlib import Path
+
+    results = Path.cwd() / "benchmarks" / "results"
+    if not results.is_dir():
+        # Editable installs: repository root relative to this file
+        # (src/repro/cli.py -> repo root).
+        results = Path(__file__).resolve().parents[2] / "benchmarks" \
+            / "results"
+    files = sorted(results.glob("*.txt")) if results.is_dir() else []
+    if not files:
+        print("no results found — run: pytest benchmarks/ --benchmark-only")
+        return
+    for path in files:
+        print(path.read_text().rstrip())
+        print("-" * 72)
+
+
+def cmd_verify() -> None:
+    _print_header("Hardware-vs-software equivalence campaign")
+    from .hw.verification import run_configuration_matrix
+
+    results = run_configuration_matrix(operations=4)
+    for result in results:
+        print(result.report())
+        print()
+    if not all(result.passed for result in results):
+        raise SystemExit(1)
+    print("all configurations bit-exact.")
+
+
+def cmd_sweep() -> None:
+    _print_header("Design-space sweeps (paper Sec. VII)")
+    from .hw.sweeps import (
+        sweep_butterfly_cores,
+        sweep_conversion_cores,
+        sweep_coprocessor_count,
+    )
+
+    params = hpca19()
+    for title, points in (
+        ("coprocessor instances", sweep_coprocessor_count(params)),
+        ("conversion cores", sweep_conversion_cores(params)),
+        ("butterfly cores", sweep_butterfly_cores(params)),
+    ):
+        print(f"-- {title} --")
+        for point in points:
+            print(point.row())
+        print()
+
+
+COMMANDS = {
+    "table1": cmd_table1,
+    "table2": cmd_table2,
+    "table3": cmd_table3,
+    "table4": cmd_table4,
+    "table5": cmd_table5,
+    "fig3": cmd_fig3,
+    "headline": cmd_headline,
+    "noise": cmd_noise,
+    "verify": cmd_verify,
+    "sweep": cmd_sweep,
+    "security": cmd_security,
+    "report": cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the HPCA'19 FV-accelerator experiments.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(COMMANDS) + ["all", "list"],
+        help="which experiment to regenerate",
+    )
+    args = parser.parse_args(argv)
+    if args.experiment == "list":
+        for name in sorted(COMMANDS):
+            print(name)
+        return 0
+    if args.experiment == "all":
+        for name in ("table1", "table2", "table3", "table4", "table5",
+                     "fig3", "headline", "noise"):
+            COMMANDS[name]()
+        return 0
+    COMMANDS[args.experiment]()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

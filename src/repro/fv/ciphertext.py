@@ -1,0 +1,86 @@
+"""Ciphertexts and their wire format.
+
+A fresh FV ciphertext is a pair of R_q polynomials; multiplication before
+relinearisation yields three parts. The serialised layout packs each
+30-bit residue into a little-endian 32-bit word, coefficients contiguous
+per residue row — the contiguous-DMA-friendly layout of paper Sec. V-D
+(one R_q polynomial = 4096 x 6 x 4 = 98,304 bytes, the Table III transfer
+size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..params import ParameterSet
+from ..poly.rns_poly import RnsPoly
+from ..rns.basis import RnsBasis
+
+
+@dataclass
+class Ciphertext:
+    """An FV ciphertext: two (or, pre-relinearisation, three) R_q parts."""
+
+    parts: tuple[RnsPoly, ...]
+    params: ParameterSet
+
+    def __post_init__(self) -> None:
+        if len(self.parts) not in (2, 3):
+            raise ParameterError("a ciphertext has two or three parts")
+        degrees = {part.n for part in self.parts}
+        if degrees != {self.params.n}:
+            raise ParameterError("ciphertext parts must have degree n")
+
+    @property
+    def size(self) -> int:
+        return len(self.parts)
+
+    @property
+    def c0(self) -> RnsPoly:
+        return self.parts[0]
+
+    @property
+    def c1(self) -> RnsPoly:
+        return self.parts[1]
+
+    @property
+    def c2(self) -> RnsPoly:
+        if self.size < 3:
+            raise ParameterError("ciphertext has no third part")
+        return self.parts[2]
+
+    def byte_size(self) -> int:
+        """Serialised size in bytes (what the DMA actually moves)."""
+        return self.size * self.params.poly_bytes
+
+    # -- wire format -------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Pack every part as uint32 residues, row-major."""
+        blobs = []
+        for part in self.parts:
+            if part.ntt_domain:
+                raise ParameterError("serialise coefficient-domain parts only")
+            blobs.append(part.residues.astype(np.uint32).tobytes())
+        return b"".join(blobs)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes, params: ParameterSet,
+                   basis: RnsBasis) -> "Ciphertext":
+        """Inverse of :meth:`to_bytes` (two- or three-part blobs)."""
+        part_bytes = params.poly_bytes
+        if len(blob) % part_bytes:
+            raise ParameterError("ciphertext blob has a partial polynomial")
+        count = len(blob) // part_bytes
+        if count not in (2, 3):
+            raise ParameterError(f"blob holds {count} parts; expected 2 or 3")
+        parts = []
+        for index in range(count):
+            chunk = blob[index * part_bytes: (index + 1) * part_bytes]
+            matrix = np.frombuffer(chunk, dtype=np.uint32).astype(np.int64)
+            matrix = matrix.reshape(basis.size, params.n)
+            parts.append(RnsPoly(basis, matrix))
+        return cls(tuple(parts), params)

@@ -1,0 +1,218 @@
+"""Homomorphic multiplication — the operation the paper's hardware targets.
+
+The steps mirror paper Fig. 2 exactly; each private helper corresponds to
+one box of that figure, and the hardware compiler
+(:mod:`repro.hw.compiler`) emits the instruction sequence for the same
+decomposition, so software and simulated hardware can be cross-checked
+step by step:
+
+1. ``Lift q->Q`` of the four input polynomials (HPS, Fig. 6);
+2. tensor product over R_Q via per-residue NTTs;
+3. ``Scale Q->q`` of the three results (HPS, Fig. 9);
+4. ``WordDecomp`` + ``ReLin`` with the six-component RNS key.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..poly.ring import ring_context
+from ..poly.rns_poly import RnsPoly
+from ..rns.lift import lift_hps, lift_traditional
+from ..rns.scale import scale_hps, scale_traditional
+from .ciphertext import Ciphertext
+from .keys import RelinKey
+from .scheme import FvContext
+
+
+class Evaluator:
+    """Multiplication and relinearisation over one :class:`FvContext`.
+
+    ``use_hps=True`` (default) follows the paper's fast coprocessor;
+    ``use_hps=False`` switches both conversions to the traditional
+    multi-precision CRT route of the slower coprocessor (Sec. VI-C), which
+    is functionally identical but reproduces a different cost profile.
+    """
+
+    def __init__(self, context: FvContext, use_hps: bool = True) -> None:
+        self.context = context
+        self.use_hps = use_hps
+        params = context.params
+        self._full_primes = params.q_primes + params.p_primes
+        self._full_rings = [
+            ring_context(params.n, prime) for prime in self._full_primes
+        ]
+
+    # -- Fig. 2 boxes ------------------------------------------------------------
+
+    def _lift(self, poly: RnsPoly) -> np.ndarray:
+        """Lift q->Q: returns (k_total x n) residues over the full basis."""
+        if self.use_hps:
+            return lift_hps(self.context.lift_ctx, poly.residues)
+        return lift_traditional(self.context.lift_ctx, poly.residues)
+
+    def _scale(self, residues: np.ndarray) -> RnsPoly:
+        """Scale Q->q: returns an R_q polynomial."""
+        if self.use_hps:
+            rows = scale_hps(self.context.scale_ctx, residues)
+        else:
+            rows = scale_traditional(self.context.scale_ctx, residues)
+        return RnsPoly(self.context.q_basis, rows)
+
+    def _full_ntt(self, residues: np.ndarray) -> np.ndarray:
+        return np.stack([
+            ring.ntt(residues[i]) for i, ring in enumerate(self._full_rings)
+        ])
+
+    def _full_intt(self, values: np.ndarray) -> np.ndarray:
+        return np.stack([
+            ring.intt(values[i]) for i, ring in enumerate(self._full_rings)
+        ])
+
+    def tensor(self, a: Ciphertext, b: Ciphertext) -> tuple[np.ndarray, ...]:
+        """Lift both ciphertexts and form (c~0, c~1, c~2) over the full basis."""
+        if a.size != 2 or b.size != 2:
+            raise ParameterError("tensor expects two-part ciphertexts")
+        full_col = np.array(self._full_primes, dtype=np.int64)[:, None]
+        a0 = self._full_ntt(self._lift(a.c0))
+        a1 = self._full_ntt(self._lift(a.c1))
+        b0 = self._full_ntt(self._lift(b.c0))
+        b1 = self._full_ntt(self._lift(b.c1))
+        t0 = self._full_intt((a0 * b0) % full_col)
+        cross = ((a0 * b1) % full_col + (a1 * b0) % full_col) % full_col
+        t1 = self._full_intt(cross)
+        t2 = self._full_intt((a1 * b1) % full_col)
+        return t0, t1, t2
+
+    def multiply_raw(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """FV.Mult without relinearisation: a three-part ciphertext."""
+        t0, t1, t2 = self.tensor(a, b)
+        parts = (self._scale(t0), self._scale(t1), self._scale(t2))
+        return Ciphertext(parts, self.context.params)
+
+    def rns_digits(self, residues: np.ndarray) -> np.ndarray:
+        """Raw-residue digits: row i broadcast to every q-basis channel.
+
+        Each digit value is already < 2^30, so "decomposition" is pure
+        data movement (the paper's cheap WordDecomp); the CRT weights
+        q~_i q*_i live inside the relinearisation key.
+        """
+        primes_col = self.context.q_basis.primes_col
+        k = residues.shape[0]
+        return np.stack([
+            residues[i][None, :] % primes_col for i in range(k)
+        ])
+
+    def relinearize(self, ct: Ciphertext, relin: RelinKey) -> Ciphertext:
+        """ReLin: fold c2 back into (c0, c1) using the RNS key.
+
+        The sum of products runs in the NTT domain; its two accumulator
+        polynomials are inverse-transformed once and added to c~0/c~1 in
+        the coefficient domain — the ordering that yields the paper's
+        14 NTT + 8 INTT instruction counts.
+        """
+        if ct.size != 3:
+            raise ParameterError("relinearize expects a three-part ciphertext")
+        context = self.context
+        primes_col = context.q_basis.primes_col
+        digits = self.rns_digits(ct.c2.residues)
+        if len(relin.pairs) != digits.shape[0]:
+            raise ParameterError(
+                "relinearisation key does not match the RNS decomposition"
+            )
+        acc0 = np.zeros_like(ct.c0.residues)
+        acc1 = np.zeros_like(ct.c1.residues)
+        for i, (b_ntt, a_ntt) in enumerate(relin.pairs):
+            d_ntt = context._ntt_rows(digits[i])
+            acc0 = (acc0 + d_ntt * b_ntt) % primes_col
+            acc1 = (acc1 + d_ntt * a_ntt) % primes_col
+        c0 = RnsPoly(
+            context.q_basis,
+            (ct.c0.residues + context._intt_rows(acc0)) % primes_col,
+        )
+        c1 = RnsPoly(
+            context.q_basis,
+            (ct.c1.residues + context._intt_rows(acc1)) % primes_col,
+        )
+        return Ciphertext((c0, c1), context.params)
+
+    def relinearize_grouped(self, ct: Ciphertext, relin) -> Ciphertext:
+        """ReLin with grouped RNS digits (60-bit group residues).
+
+        Same NTT-domain sum of products as :meth:`relinearize`, but with
+        ``k_q / group_size`` components instead of ``k_q`` — the scaling
+        mode that keeps Table V's growth model honest.
+        """
+        from ..rns.decompose import grouped_rns_digits
+
+        if ct.size != 3:
+            raise ParameterError("relinearize expects a three-part ciphertext")
+        context = self.context
+        primes_col = context.q_basis.primes_col
+        digits = grouped_rns_digits(context.q_basis, ct.c2.residues,
+                                    relin.group_size)
+        if len(relin.pairs) != digits.shape[0]:
+            raise ParameterError(
+                "grouped key does not match the digit count"
+            )
+        acc0 = np.zeros_like(ct.c0.residues)
+        acc1 = np.zeros_like(ct.c1.residues)
+        for j, (b_ntt, a_ntt) in enumerate(relin.pairs):
+            d_ntt = context._ntt_rows(digits[j])
+            acc0 = (acc0 + d_ntt * b_ntt) % primes_col
+            acc1 = (acc1 + d_ntt * a_ntt) % primes_col
+        c0 = RnsPoly(
+            context.q_basis,
+            (ct.c0.residues + context._intt_rows(acc0)) % primes_col,
+        )
+        c1 = RnsPoly(
+            context.q_basis,
+            (ct.c1.residues + context._intt_rows(acc1)) % primes_col,
+        )
+        return Ciphertext((c0, c1), context.params)
+
+    def relinearize_digit(self, ct: Ciphertext, relin) -> Ciphertext:
+        """ReLin with the signed base-w digit key (slow coprocessor).
+
+        Decomposes c2's centered big-integer coefficients into
+        ``relin.num_components`` signed digits; needs the CRT
+        reconstruction the traditional architecture performs anyway.
+        """
+        from ..rns.decompose import decompose_poly_signed
+
+        if ct.size != 3:
+            raise ParameterError("relinearize expects a three-part ciphertext")
+        context = self.context
+        params = context.params
+        primes_col = context.q_basis.primes_col
+        coeffs = ct.c2.to_int_coeffs()
+        digit_polys = decompose_poly_signed(
+            coeffs, params.q, 1 << relin.base_bits, relin.num_components
+        )
+        acc0 = np.zeros_like(ct.c0.residues)
+        acc1 = np.zeros_like(ct.c1.residues)
+        for digits, (b_ntt, a_ntt) in zip(digit_polys, relin.pairs):
+            # Digits may exceed 64 bits (e.g. 90-bit digits); reduce each
+            # channel with exact integer arithmetic before vectorising.
+            rows = np.array(
+                [[d % p for d in digits] for p in params.q_primes],
+                dtype=np.int64,
+            )
+            d_ntt = context._ntt_rows(rows)
+            acc0 = (acc0 + d_ntt * b_ntt) % primes_col
+            acc1 = (acc1 + d_ntt * a_ntt) % primes_col
+        c0 = RnsPoly(
+            context.q_basis,
+            (ct.c0.residues + context._intt_rows(acc0)) % primes_col,
+        )
+        c1 = RnsPoly(
+            context.q_basis,
+            (ct.c1.residues + context._intt_rows(acc1)) % primes_col,
+        )
+        return Ciphertext((c0, c1), context.params)
+
+    def multiply(self, a: Ciphertext, b: Ciphertext,
+                 relin: RelinKey) -> Ciphertext:
+        """Full FV.Mult as in paper Fig. 2 (tensor, scale, relinearise)."""
+        return self.relinearize(self.multiply_raw(a, b), relin)

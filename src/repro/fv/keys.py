@@ -1,0 +1,113 @@
+"""Key material for the FV scheme.
+
+The relinearisation key follows the RNS form used by the paper's HPS
+coprocessor: one key pair per q-basis prime, each encrypting
+``q*_i * s^2`` (the CRT reconstruction weights), stored in the NTT domain
+exactly as the hardware keeps them so that the SoP of Fig. 2 needs no
+forward transform of the key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..poly.rns_poly import RnsPoly
+from ..rns.basis import RnsBasis
+
+
+@dataclass
+class SecretKey:
+    """Ternary secret polynomial s, kept in both raw and RNS forms."""
+
+    coeffs: np.ndarray                    # ternary, int64, length n
+    rns: RnsPoly                          # residues over the q basis
+    ntt_rows: np.ndarray = field(repr=False, default=None)
+    """Per-prime NTT of s, cached for fast decryption."""
+
+
+@dataclass
+class PublicKey:
+    """Public key pair (p0, p1) with p0 = [-(a*s + e)]_q and p1 = a."""
+
+    p0: RnsPoly
+    p1: RnsPoly
+    p0_ntt: np.ndarray = field(repr=False, default=None)
+    p1_ntt: np.ndarray = field(repr=False, default=None)
+
+
+@dataclass
+class RelinKey:
+    """RNS relinearisation key (the fast coprocessor's six components).
+
+    ``pairs[i] = (b_i, a_i)`` are (k_q x n) NTT-domain residue matrices
+    with ``b_i = [-(a_i s + e_i) + q~_i q*_i s^2]_q``. Relinearisation
+    computes ``c0 += sum_i D_i * b_i`` and ``c1 += sum_i D_i * a_i`` where
+    digit ``D_i`` is simply residue row i of c2 broadcast across the basis
+    (the CRT weights live in the key) — six summands for the paper's six
+    q-primes, matching its six-polynomial key.
+    """
+
+    pairs: list[tuple[np.ndarray, np.ndarray]]
+
+    @property
+    def num_components(self) -> int:
+        return len(self.pairs)
+
+    def key_bytes(self, n: int) -> int:
+        """Serialised size (drives the rlk DMA-streaming overhead model)."""
+        total_rows = sum(b.shape[0] + a.shape[0] for b, a in self.pairs)
+        return total_rows * n * 4
+
+
+@dataclass
+class GroupedRelinKey:
+    """Grouped-RNS relinearisation key (HPS digit grouping).
+
+    ``pairs[j]`` encrypts ``q~_j q*_j s^2`` for prime group Q_j; digits
+    are the 60-bit group residues [c2]_{Q_j}, so twelve primes need only
+    six components — the scaling behaviour the paper's Table V model
+    implicitly assumes.
+    """
+
+    pairs: list[tuple[np.ndarray, np.ndarray]]
+    group_size: int
+
+    @property
+    def num_components(self) -> int:
+        return len(self.pairs)
+
+    def key_bytes(self, n: int) -> int:
+        total_rows = sum(b.shape[0] + a.shape[0] for b, a in self.pairs)
+        return total_rows * n * 4
+
+
+@dataclass
+class DigitRelinKey:
+    """Signed base-w relinearisation key (the slow coprocessor's variant).
+
+    ``pairs[j]`` encrypts ``w^j * s^2`` for ``w = 2^base_bits``; the paper
+    uses two 90-bit digits, one third the size of the RNS key.
+    """
+
+    pairs: list[tuple[np.ndarray, np.ndarray]]
+    base_bits: int
+
+    @property
+    def num_components(self) -> int:
+        return len(self.pairs)
+
+    def key_bytes(self, n: int) -> int:
+        total_rows = sum(b.shape[0] + a.shape[0] for b, a in self.pairs)
+        return total_rows * n * 4
+
+
+@dataclass
+class KeySet:
+    """Everything a client generates once per session."""
+
+    secret: SecretKey
+    public: PublicKey
+    relin: RelinKey
+    basis: RnsBasis

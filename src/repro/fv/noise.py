@@ -1,0 +1,50 @@
+"""Noise budget measurement and depth estimation (paper Sec. II-A).
+
+The paper frames the multiplicative depth as the analogue of a circuit's
+critical path: each FV.Mult multiplies the noise by roughly a fixed
+factor, and decryption fails once the noise passes q/(2t). The functions
+here measure the actual noise of a ciphertext (given the secret key) and
+estimate how many further multiplications it can absorb — the executable
+form of the paper's "depth 4 with 180-bit q" claim.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .ciphertext import Ciphertext
+from .keys import SecretKey
+from .scheme import FvContext
+
+
+def noise_of(context: FvContext, ct: Ciphertext, secret: SecretKey) -> int:
+    """Infinity norm of the ciphertext's noise term."""
+    return context.decrypt_with_noise(ct, secret)[1]
+
+
+def noise_budget_bits(context: FvContext, ct: Ciphertext,
+                      secret: SecretKey) -> float:
+    """Remaining noise budget in bits.
+
+    Defined as log2(q / (2 t * noise)); decryption is guaranteed correct
+    while this stays positive (the same invariant-noise convention SEAL
+    reports).
+    """
+    noise = noise_of(context, ct, secret)
+    q, t = context.params.q, context.params.t
+    if noise == 0:
+        return math.log2(q / (2 * t))
+    return math.log2(q / (2 * t)) - math.log2(noise)
+
+
+def per_mult_cost_bits(context: FvContext, fresh_budget: float,
+                       after_one_mult: float) -> float:
+    """Observed budget consumption of one multiplication level."""
+    return fresh_budget - after_one_mult
+
+
+def estimated_depth(fresh_budget: float, mult_cost: float) -> int:
+    """How many sequential multiplications the budget supports."""
+    if mult_cost <= 0:
+        return 0
+    return max(0, int(fresh_budget // mult_cost))

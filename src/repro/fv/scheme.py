@@ -1,0 +1,303 @@
+"""FV context: key generation, encryption, decryption, additive ops.
+
+Everything here computes in the RNS representation (Sec. III-B of the
+paper); the exact big-integer route lives in :mod:`repro.fv.reference` and
+is used by the tests to validate this module bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..params import ParameterSet
+from ..poly.ring import ring_context
+from ..poly.rns_poly import RnsPoly
+from ..rns.basis import basis_for, lift_context, scale_context
+from ..utils import round_half_away
+from .ciphertext import Ciphertext
+from .encoder import Plaintext
+from .keys import KeySet, PublicKey, RelinKey, SecretKey
+from .sampler import discrete_gaussian, uniform_rns_rows, uniform_ternary
+
+
+class FvContext:
+    """Instantiated FV scheme over one parameter set.
+
+    Holds the RNS bases, ring contexts, and the lift/scale contexts shared
+    by every operation. A context is deterministic given its seed, which
+    keeps every test and benchmark reproducible.
+    """
+
+    def __init__(self, params: ParameterSet, seed: int = 2019) -> None:
+        self.params = params
+        self.rng = np.random.default_rng(seed)
+        self.q_basis = basis_for(params.q_primes)
+        self.p_basis = basis_for(params.p_primes)
+        self.full_basis = basis_for(params.q_primes + params.p_primes)
+        self.lift_ctx = lift_context(params.q_primes,
+                                     params.q_primes + params.p_primes)
+        self.scale_ctx = scale_context(params.q_primes, params.p_primes,
+                                       params.t)
+        self.delta_rows = np.array(
+            [params.delta % qi for qi in params.q_primes], dtype=np.int64
+        )[:, None]
+        self._rings = [ring_context(params.n, qi) for qi in params.q_primes]
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _ntt_rows(self, residues: np.ndarray) -> np.ndarray:
+        return np.stack([
+            ring.ntt(residues[i]) for i, ring in enumerate(self._rings)
+        ])
+
+    def _intt_rows(self, values: np.ndarray) -> np.ndarray:
+        return np.stack([
+            ring.intt(values[i]) for i, ring in enumerate(self._rings)
+        ])
+
+    def _small_poly_rows(self, coeffs: np.ndarray) -> np.ndarray:
+        """Residues of a polynomial with small signed coefficients."""
+        return coeffs[None, :] % self.q_basis.primes_col
+
+    # -- key generation --------------------------------------------------------------
+
+    def keygen(self) -> KeySet:
+        """Generate secret, public, and RNS relinearisation keys."""
+        params = self.params
+        n = params.n
+        s_coeffs = uniform_ternary(self.rng, n)
+        s_rows = self._small_poly_rows(s_coeffs)
+        s_ntt = self._ntt_rows(s_rows)
+        secret = SecretKey(
+            coeffs=s_coeffs,
+            rns=RnsPoly(self.q_basis, s_rows),
+            ntt_rows=s_ntt,
+        )
+
+        a_rows = uniform_rns_rows(self.rng, n, params.q_primes)
+        e_rows = self._small_poly_rows(
+            discrete_gaussian(self.rng, n, params.sigma)
+        )
+        a_ntt = self._ntt_rows(a_rows)
+        a_s = self._intt_rows(
+            (a_ntt * s_ntt) % self.q_basis.primes_col
+        )
+        p0_rows = (-(a_s + e_rows)) % self.q_basis.primes_col
+        public = PublicKey(
+            p0=RnsPoly(self.q_basis, p0_rows),
+            p1=RnsPoly(self.q_basis, a_rows),
+            p0_ntt=self._ntt_rows(p0_rows),
+            p1_ntt=a_ntt,
+        )
+
+        relin = self._relin_keygen(s_ntt)
+        return KeySet(secret=secret, public=public, relin=relin,
+                      basis=self.q_basis)
+
+    def _relin_keygen(self, s_ntt: np.ndarray) -> RelinKey:
+        """One key pair per q prime, encrypting (q~_i q*_i) * s^2.
+
+        The RNS digits used at relinearisation time are the *raw residue
+        rows* of c2 (each already < 2^30), so the CRT weights q~_i q*_i
+        are folded into the key. This matches the paper's coprocessor,
+        whose Table II shows no extra multiplications for WordDecomp —
+        the decomposition is pure data movement.
+        """
+        params = self.params
+        primes_col = self.q_basis.primes_col
+        s_sq_ntt = (s_ntt * s_ntt) % primes_col
+        pairs = []
+        for i in range(params.k_q):
+            a_rows = uniform_rns_rows(self.rng, params.n, params.q_primes)
+            a_ntt = self._ntt_rows(a_rows)
+            e_rows = self._small_poly_rows(
+                discrete_gaussian(self.rng, params.n, params.sigma)
+            )
+            e_ntt = self._ntt_rows(e_rows)
+            weight = self.q_basis.q_tilde[i] * self.q_basis.q_star[i]
+            weight_col = np.array(
+                [weight % qj for qj in params.q_primes], dtype=np.int64,
+            )[:, None]
+            b_ntt = (weight_col * s_sq_ntt - a_ntt * s_ntt
+                     - e_ntt) % primes_col
+            pairs.append((b_ntt, a_ntt))
+        return RelinKey(pairs=pairs)
+
+    def relin_keygen_grouped(self, secret: SecretKey,
+                             group_size: int) -> "GroupedRelinKey":
+        """Grouped RNS relinearisation key (HPS digit grouping).
+
+        Component j encrypts ``w_j * s^2`` with ``w_j = q~_j q*_j`` for
+        the prime group Q_j; the digits at relinearisation time are the
+        group residues ``[c2]_{Q_j}``. Groups of two 30-bit primes give
+        60-bit digits and halve the component count — this is what keeps
+        the Table V scaling at ~2.17x per doubling instead of the ~3.6x
+        that per-prime digits would cost (see EXPERIMENTS.md).
+        """
+        from ..rns.decompose import grouped_reconstruction_weights
+        from .keys import GroupedRelinKey
+
+        params = self.params
+        primes_col = self.q_basis.primes_col
+        weights = grouped_reconstruction_weights(self.q_basis, group_size)
+        s_ntt = secret.ntt_rows
+        s_sq_ntt = (s_ntt * s_ntt) % primes_col
+        pairs = []
+        for weight in weights:
+            a_rows = uniform_rns_rows(self.rng, params.n, params.q_primes)
+            a_ntt = self._ntt_rows(a_rows)
+            e_rows = self._small_poly_rows(
+                discrete_gaussian(self.rng, params.n, params.sigma)
+            )
+            e_ntt = self._ntt_rows(e_rows)
+            weight_col = np.array(
+                [weight % qj for qj in params.q_primes], dtype=np.int64,
+            )[:, None]
+            b_ntt = (weight_col * s_sq_ntt - a_ntt * s_ntt
+                     - e_ntt) % primes_col
+            pairs.append((b_ntt, a_ntt))
+        return GroupedRelinKey(pairs=pairs, group_size=group_size)
+
+    def relin_keygen_digit(self, secret: SecretKey,
+                           base_bits: int) -> "DigitRelinKey":
+        """Signed base-2^base_bits relinearisation key (Sec. II-B form).
+
+        This is the variant the paper's slower, traditional-CRT
+        coprocessor uses; it can pick the digit count freely (the paper
+        uses two 90-bit digits — a "three times smaller" key than the
+        HPS design's six components).
+        """
+        from .keys import DigitRelinKey
+
+        params = self.params
+        primes_col = self.q_basis.primes_col
+        count = -(-params.q.bit_length() // base_bits)
+        s_ntt = secret.ntt_rows
+        s_sq_ntt = (s_ntt * s_ntt) % primes_col
+        pairs = []
+        w_power = 1
+        for _ in range(count):
+            a_rows = uniform_rns_rows(self.rng, params.n, params.q_primes)
+            a_ntt = self._ntt_rows(a_rows)
+            e_rows = self._small_poly_rows(
+                discrete_gaussian(self.rng, params.n, params.sigma)
+            )
+            e_ntt = self._ntt_rows(e_rows)
+            w_col = np.array(
+                [w_power % qj for qj in params.q_primes], dtype=np.int64,
+            )[:, None]
+            b_ntt = (w_col * s_sq_ntt - a_ntt * s_ntt - e_ntt) % primes_col
+            pairs.append((b_ntt, a_ntt))
+            w_power = (w_power << base_bits) % params.q
+        return DigitRelinKey(pairs=pairs, base_bits=base_bits)
+
+    # -- encryption / decryption --------------------------------------------------------
+
+    def encrypt(self, plain: Plaintext, public: PublicKey) -> Ciphertext:
+        """FV.Encrypt with fresh randomness from the context RNG."""
+        params = self.params
+        u = uniform_ternary(self.rng, params.n)
+        e1 = discrete_gaussian(self.rng, params.n, params.sigma)
+        e2 = discrete_gaussian(self.rng, params.n, params.sigma)
+        return self.encrypt_with(plain, public, u, e1, e2)
+
+    def encrypt_with(self, plain: Plaintext, public: PublicKey,
+                     u: np.ndarray, e1: np.ndarray,
+                     e2: np.ndarray) -> Ciphertext:
+        """Deterministic encryption from caller-supplied randomness.
+
+        Exposed so tests can feed identical randomness to this RNS path
+        and to the textbook big-integer path and compare ciphertexts
+        bit-for-bit.
+        """
+        params = self.params
+        if plain.t != params.t or plain.n != params.n:
+            raise ParameterError("plaintext does not match the parameter set")
+        primes_col = self.q_basis.primes_col
+        u_ntt = self._ntt_rows(self._small_poly_rows(np.asarray(u)))
+        p0_u = self._intt_rows((public.p0_ntt * u_ntt) % primes_col)
+        p1_u = self._intt_rows((public.p1_ntt * u_ntt) % primes_col)
+        e1_rows = self._small_poly_rows(np.asarray(e1))
+        e2_rows = self._small_poly_rows(np.asarray(e2))
+        m_rows = plain.coeffs[None, :] % primes_col
+        delta_m = (self.delta_rows * m_rows) % primes_col
+        c0 = (p0_u + e1_rows + delta_m) % primes_col
+        c1 = (p1_u + e2_rows) % primes_col
+        return Ciphertext(
+            (RnsPoly(self.q_basis, c0), RnsPoly(self.q_basis, c1)),
+            params,
+        )
+
+    def decrypt(self, ct: Ciphertext, secret: SecretKey) -> Plaintext:
+        return self.decrypt_with_noise(ct, secret)[0]
+
+    def decrypt_with_noise(self, ct: Ciphertext,
+                           secret: SecretKey) -> tuple[Plaintext, int]:
+        """Decrypt and also report the infinity norm of the noise term.
+
+        The noise norm drives :func:`repro.fv.noise.noise_budget_bits` and
+        the depth experiments.
+        """
+        params = self.params
+        primes_col = self.q_basis.primes_col
+        # w = c0 + c1*s (+ c2*s^2 for three-part ciphertexts), computed in
+        # the NTT domain per residue.
+        acc = self._ntt_rows(ct.c0.residues)
+        s_power = secret.ntt_rows
+        for part in ct.parts[1:]:
+            acc = (acc + self._ntt_rows(part.residues) * s_power) % primes_col
+            s_power = (s_power * secret.ntt_rows) % primes_col
+        w_rows = self._intt_rows(acc)
+        w_coeffs = self.q_basis.reconstruct_coeffs_centered(w_rows)
+        q, t = params.q, params.t
+        m_coeffs = [round_half_away(t * w, q) % t for w in w_coeffs]
+        plain = Plaintext(np.array(m_coeffs, dtype=np.int64), t)
+        delta = params.delta
+        noise = 0
+        for w, m in zip(w_coeffs, m_coeffs):
+            diff = (w - delta * m) % q
+            if diff > q // 2:
+                diff = q - diff
+            noise = max(noise, diff)
+        return plain, noise
+
+    # -- additive homomorphic operations ---------------------------------------------------
+
+    def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """FV.Add: coefficient-wise addition of ciphertext parts."""
+        if a.size != b.size:
+            raise ParameterError("cannot add ciphertexts of different sizes")
+        parts = tuple(pa + pb for pa, pb in zip(a.parts, b.parts))
+        return Ciphertext(parts, self.params)
+
+    def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        if a.size != b.size:
+            raise ParameterError("cannot subtract ciphertexts of different sizes")
+        parts = tuple(pa - pb for pa, pb in zip(a.parts, b.parts))
+        return Ciphertext(parts, self.params)
+
+    def negate(self, a: Ciphertext) -> Ciphertext:
+        return Ciphertext(tuple(-p for p in a.parts), self.params)
+
+    def add_plain(self, a: Ciphertext, plain: Plaintext) -> Ciphertext:
+        """Add an unencrypted plaintext into a ciphertext (free operation)."""
+        primes_col = self.q_basis.primes_col
+        m_rows = plain.coeffs[None, :] % primes_col
+        delta_m = (self.delta_rows * m_rows) % primes_col
+        c0 = RnsPoly(self.q_basis,
+                     (a.c0.residues + delta_m) % primes_col)
+        return Ciphertext((c0,) + a.parts[1:], self.params)
+
+    def mul_plain(self, a: Ciphertext, plain: Plaintext) -> Ciphertext:
+        """Multiply a ciphertext by a plaintext polynomial (no relin needed)."""
+        primes_col = self.q_basis.primes_col
+        m_rows = plain.coeffs[None, :] % primes_col
+        m_ntt = self._ntt_rows(m_rows)
+        parts = []
+        for part in a.parts:
+            prod = self._intt_rows(
+                (self._ntt_rows(part.residues) * m_ntt) % primes_col
+            )
+            parts.append(RnsPoly(self.q_basis, prod))
+        return Ciphertext(tuple(parts), self.params)

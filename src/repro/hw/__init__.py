@@ -1,0 +1,32 @@
+"""Cycle-level simulator of the paper's FPGA coprocessor.
+
+Every component of the paper's Figs. 3–11 is modelled here with two
+obligations: compute *bit-exact* results through the same datapath the
+RTL implements (reduction tables, fixed-point reciprocals, paired-word
+memories), and derive *cycle counts* from the schedules the component
+actually executes (port limits, pipeline fill/drain, stage barriers).
+
+Component map (paper figure -> module):
+
+=============  ===========================================
+Fig. 3         :mod:`~repro.hw.ntt_unit` (access schedule)
+Fig. 4         :mod:`~repro.hw.butterfly`, :mod:`~repro.hw.modred`
+Fig. 5, 6      :mod:`~repro.hw.lift_unit`
+Fig. 7         :mod:`~repro.hw.datapath`
+Fig. 8, 9      :mod:`~repro.hw.scale_unit`
+Fig. 10        :mod:`~repro.hw.coprocessor`, :mod:`~repro.hw.memory_file`
+Fig. 11        :mod:`~repro.hw.dma`, :mod:`repro.system.server`
+=============  ===========================================
+"""
+
+from .config import HardwareConfig, slow_coprocessor_config
+from .coprocessor import Coprocessor, MultReport
+from .isa import Opcode
+
+__all__ = [
+    "HardwareConfig",
+    "slow_coprocessor_config",
+    "Coprocessor",
+    "MultReport",
+    "Opcode",
+]

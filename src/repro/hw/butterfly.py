@@ -1,0 +1,49 @@
+"""Butterfly core (paper Fig. 4): the arithmetic engine of the NTT.
+
+One butterfly computes ``(u, t) -> (u + w*t, u - w*t) mod q`` through the
+pipelined 30x30 multiplier, the sliding-window reduction, and the modular
+add/sub. The scalar :meth:`compute` path routes through the exact circuit
+models; the vectorised :meth:`compute_many` is mathematically identical
+and is used by the fast executor (tests prove both equal).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import HardwareConfig
+from .datapath import ModAddSub, PipelinedMultiplier
+from .modred import SlidingWindowReducer
+
+
+class ButterflyCore:
+    """One of the two butterfly cores inside an RPAU."""
+
+    def __init__(self, modulus: int, config: HardwareConfig) -> None:
+        self.modulus = modulus
+        self.config = config
+        self.multiplier = PipelinedMultiplier(stages=config.multiplier_stages)
+        self.reducer = SlidingWindowReducer(
+            modulus, window_bits=config.sliding_window_bits
+        )
+        self.addsub = ModAddSub(stages=config.addsub_stages)
+
+    @property
+    def pipeline_depth(self) -> int:
+        """Cycles from operand read to result availability."""
+        return (self.multiplier.latency + self.reducer.pipeline_stages
+                + self.addsub.latency)
+
+    def compute(self, u: int, t: int, twiddle: int) -> tuple[int, int]:
+        """Bit-exact single butterfly through the circuit models."""
+        product = self.multiplier.multiply(int(t), int(twiddle))
+        reduced = self.reducer.reduce(product)
+        hi = self.addsub.add(int(u), reduced, self.modulus)
+        lo = self.addsub.sub(int(u), reduced, self.modulus)
+        return hi, lo
+
+    def compute_many(self, u: np.ndarray, t: np.ndarray,
+                     twiddles: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised butterflies (same function, used for large rings)."""
+        reduced = (t * twiddles) % self.modulus
+        return (u + reduced) % self.modulus, (u - reduced) % self.modulus

@@ -1,0 +1,313 @@
+"""Compiler: FV high-level operations -> coprocessor instruction streams.
+
+``compile_mult`` emits the Fig. 2 dataflow in exactly the decomposition
+that reproduces the paper's Table II call counts for the fast coprocessor
+(14 NTT, 8 INTT, 20 coefficient-wise multiplications, 4 Lift, 3 Scale,
+one Memory Rearrange per transform). The relinearisation sum-of-products
+stays in the NTT domain and only its two accumulators are inverse-
+transformed, which is what caps the INTT count at 8.
+
+Register convention (slots in the memory file):
+
+========  =====================================================
+a0,a1     first operand ciphertext (q rows; p rows after LIFT)
+b0,b1     second operand ciphertext
+t0,t1,t2  tensor results over the full basis
+tx        scratch for the cross product
+s0,s1,s2  scaled results (q basis)
+d{i}      digit polynomial i (broadcast residue row)
+p{i}      relin product scratch
+r0,r1     relin accumulators (NTT domain)
+out0,out1 result ciphertext
+========  =====================================================
+"""
+
+from __future__ import annotations
+
+from ..params import ParameterSet
+from .config import HardwareConfig
+from .isa import Opcode, Program
+
+
+def _q_rows(params: ParameterSet) -> tuple[int, ...]:
+    return tuple(range(params.k_q))
+
+
+def _p_rows(params: ParameterSet) -> tuple[int, ...]:
+    return tuple(range(params.k_q, params.k_total))
+
+
+def _full_batches(params: ParameterSet) -> tuple[tuple[int, ...], ...]:
+    """The two RPAU batches covering the full basis (paper Sec. V-A1)."""
+    return (_q_rows(params), _p_rows(params))
+
+
+def compile_add(params: ParameterSet) -> Program:
+    """FV.Add: two coefficient-wise additions (one per ciphertext part)."""
+    program = Program(name="fv_add")
+    rows = _q_rows(params)
+    program.emit(Opcode.CADD, dst="out0", srcs=("a0", "b0"), rows=rows)
+    program.emit(Opcode.CADD, dst="out1", srcs=("a1", "b1"), rows=rows)
+    return program
+
+
+def compile_mult(params: ParameterSet, config: HardwareConfig,
+                 relin_components: int | None = None,
+                 relin_style: str | None = None) -> Program:
+    """FV.Mult for the fast (HPS) or slow (traditional-CRT) coprocessor.
+
+    ``relin_components`` defaults to k_q for the HPS design (RNS digits)
+    and 2 for the traditional design (90-bit signed digits), matching the
+    paper's two configurations. ``relin_style`` selects the digit flavour
+    explicitly: ``"rns"`` (raw residue rows), ``"grouped"`` (60-bit group
+    residues — the scaling mode), or ``"digit"`` (signed base-w digits of
+    the slow coprocessor).
+    """
+    if relin_style is None:
+        relin_style = "rns" if config.use_hps else "digit"
+    if relin_components is None:
+        if relin_style == "rns":
+            relin_components = params.k_q
+        elif relin_style == "grouped":
+            relin_components = -(-params.k_q // 2)
+        else:
+            relin_components = 2
+    program = Program(
+        name="fv_mult_hps" if config.use_hps else "fv_mult_traditional"
+    )
+    q_rows = _q_rows(params)
+
+    # --- Lift q->Q: four input polynomials (paper: 4 Lift calls) -------------
+    for reg in ("a0", "a1", "b0", "b1"):
+        program.emit(Opcode.LIFT, dst=reg, srcs=(reg,), rows=q_rows)
+
+    # --- Forward NTT over the full basis: two batches per polynomial ---------
+    # (8 NTT calls; one Memory Rearrange per call loads the bit-reversed
+    # paired layout.)
+    for reg in ("a0", "a1", "b0", "b1"):
+        for batch in _full_batches(params):
+            program.emit(Opcode.REARRANGE, dst=reg, srcs=(reg,), rows=batch)
+            program.emit(Opcode.NTT, dst=reg, srcs=(reg,), rows=batch)
+
+    # --- Tensor product (8 CMUL + 2 CADD over the two batches) ----------------
+    for batch in _full_batches(params):
+        program.emit(Opcode.CMUL, dst="t0", srcs=("a0", "b0"), rows=batch)
+    for batch in _full_batches(params):
+        program.emit(Opcode.CMUL, dst="t1", srcs=("a0", "b1"), rows=batch)
+    for batch in _full_batches(params):
+        program.emit(Opcode.CMUL, dst="tx", srcs=("a1", "b0"), rows=batch)
+    for batch in _full_batches(params):
+        program.emit(Opcode.CADD, dst="t1", srcs=("t1", "tx"), rows=batch)
+    for batch in _full_batches(params):
+        program.emit(Opcode.CMUL, dst="t2", srcs=("a1", "b1"), rows=batch)
+
+    # --- Inverse NTT of the three tensor polynomials (6 INTT calls) -----------
+    for reg in ("t0", "t1", "t2"):
+        for batch in _full_batches(params):
+            program.emit(Opcode.INTT, dst=reg, srcs=(reg,), rows=batch)
+            program.emit(Opcode.REARRANGE, dst=reg, srcs=(reg,), rows=batch)
+
+    # --- Scale Q->q (3 Scale calls) -------------------------------------------
+    for src, dst in (("t0", "s0"), ("t1", "s1"), ("t2", "s2")):
+        program.emit(Opcode.SCALE, dst=dst, srcs=(src,),
+                     rows=tuple(range(params.k_total)))
+
+    # --- Relinearisation -------------------------------------------------------
+    if relin_style == "rns":
+        _emit_relin_rns(program, params, relin_components, config)
+    elif relin_style == "grouped":
+        _emit_relin_grouped(program, params, relin_components, config)
+    else:
+        _emit_relin_digit(program, params, relin_components, config)
+
+    # --- Final accumulation into the output ciphertext -------------------------
+    program.emit(Opcode.CADD, dst="out0", srcs=("s0", "r0"), rows=q_rows)
+    program.emit(Opcode.CADD, dst="out1", srcs=("s1", "r1"), rows=q_rows)
+    return program
+
+
+def _emit_relin_rns(program: Program, params: ParameterSet,
+                    components: int, config: HardwareConfig) -> None:
+    """RNS relinearisation: digits are raw residue rows of s2.
+
+    Per component: one digit broadcast, one rearrange + forward NTT, two
+    products against the streamed key pair, two accumulations. Totals for
+    k_q = 6: 6 NTT, 12 CMUL, 10 CADD (the first product initialises each
+    accumulator), 6 key loads.
+    """
+    q_rows = _q_rows(params)
+    for i in range(components):
+        digit = f"d{i}"
+        program.emit(Opcode.DIGIT, dst=digit, srcs=("s2",), rows=q_rows,
+                     source_row=i)
+        program.emit(Opcode.REARRANGE, dst=digit, srcs=(digit,), rows=q_rows)
+        program.emit(Opcode.NTT, dst=digit, srcs=(digit,), rows=q_rows)
+        if not config.relin_key_on_chip:
+            program.emit(Opcode.LOAD_RLK, rows=q_rows, component=i)
+        if i == 0:
+            program.emit(Opcode.CMUL, dst="r0", srcs=(digit, f"rlk0_{i}"),
+                         rows=q_rows)
+            program.emit(Opcode.CMUL, dst="r1", srcs=(digit, f"rlk1_{i}"),
+                         rows=q_rows)
+        else:
+            program.emit(Opcode.CMUL, dst="p0", srcs=(digit, f"rlk0_{i}"),
+                         rows=q_rows)
+            program.emit(Opcode.CADD, dst="r0", srcs=("r0", "p0"),
+                         rows=q_rows)
+            program.emit(Opcode.CMUL, dst="p1", srcs=(digit, f"rlk1_{i}"),
+                         rows=q_rows)
+            program.emit(Opcode.CADD, dst="r1", srcs=("r1", "p1"),
+                         rows=q_rows)
+    # The two accumulators come back to the coefficient domain (2 INTT,
+    # completing the paper's count of 8).
+    for reg in ("r0", "r1"):
+        program.emit(Opcode.INTT, dst=reg, srcs=(reg,), rows=q_rows)
+        program.emit(Opcode.REARRANGE, dst=reg, srcs=(reg,), rows=q_rows)
+
+
+def _emit_relin_grouped(program: Program, params: ParameterSet,
+                        components: int, config: HardwareConfig) -> None:
+    """Grouped-RNS relinearisation: digits are 60-bit group residues.
+
+    The group reconstruction is two 30x30 multiplications and one 60-bit
+    reduction per coefficient — the lift unit's Block-1 datapath handles
+    it, so no new hardware is implied.
+    """
+    q_rows = _q_rows(params)
+    group_size = -(-params.k_q // components)
+    for j in range(components):
+        digit = f"d{j}"
+        program.emit(Opcode.DIGIT, dst=digit, srcs=("s2",), rows=q_rows,
+                     group=j, group_size=group_size)
+        program.emit(Opcode.REARRANGE, dst=digit, srcs=(digit,), rows=q_rows)
+        program.emit(Opcode.NTT, dst=digit, srcs=(digit,), rows=q_rows)
+        if not config.relin_key_on_chip:
+            program.emit(Opcode.LOAD_RLK, rows=q_rows, component=j)
+        if j == 0:
+            program.emit(Opcode.CMUL, dst="r0", srcs=(digit, f"rlk0_{j}"),
+                         rows=q_rows)
+            program.emit(Opcode.CMUL, dst="r1", srcs=(digit, f"rlk1_{j}"),
+                         rows=q_rows)
+        else:
+            program.emit(Opcode.CMUL, dst="p0", srcs=(digit, f"rlk0_{j}"),
+                         rows=q_rows)
+            program.emit(Opcode.CADD, dst="r0", srcs=("r0", "p0"),
+                         rows=q_rows)
+            program.emit(Opcode.CMUL, dst="p1", srcs=(digit, f"rlk1_{j}"),
+                         rows=q_rows)
+            program.emit(Opcode.CADD, dst="r1", srcs=("r1", "p1"),
+                         rows=q_rows)
+    for reg in ("r0", "r1"):
+        program.emit(Opcode.INTT, dst=reg, srcs=(reg,), rows=q_rows)
+        program.emit(Opcode.REARRANGE, dst=reg, srcs=(reg,), rows=q_rows)
+
+
+def _emit_relin_digit(program: Program, params: ParameterSet,
+                      components: int, config: HardwareConfig) -> None:
+    """Signed base-w relinearisation for the traditional coprocessor.
+
+    The digit extraction happens on big-integer coefficients, which the
+    traditional Scale datapath has just reconstructed; each DIGIT here
+    models the extraction pass of one digit polynomial.
+    """
+    q_rows = _q_rows(params)
+    base_bits = -(-params.q.bit_length() // components)
+    for j in range(components):
+        digit = f"d{j}"
+        program.emit(Opcode.DIGIT, dst=digit, srcs=("s2",), rows=q_rows,
+                     digit_index=j, base_bits=base_bits)
+        program.emit(Opcode.REARRANGE, dst=digit, srcs=(digit,), rows=q_rows)
+        program.emit(Opcode.NTT, dst=digit, srcs=(digit,), rows=q_rows)
+        if not config.relin_key_on_chip:
+            program.emit(Opcode.LOAD_RLK, rows=q_rows, component=j)
+        if j == 0:
+            program.emit(Opcode.CMUL, dst="r0", srcs=(digit, f"rlk0_{j}"),
+                         rows=q_rows)
+            program.emit(Opcode.CMUL, dst="r1", srcs=(digit, f"rlk1_{j}"),
+                         rows=q_rows)
+        else:
+            program.emit(Opcode.CMUL, dst="p0", srcs=(digit, f"rlk0_{j}"),
+                         rows=q_rows)
+            program.emit(Opcode.CADD, dst="r0", srcs=("r0", "p0"),
+                         rows=q_rows)
+            program.emit(Opcode.CMUL, dst="p1", srcs=(digit, f"rlk1_{j}"),
+                         rows=q_rows)
+            program.emit(Opcode.CADD, dst="r1", srcs=("r1", "p1"),
+                         rows=q_rows)
+    for reg in ("r0", "r1"):
+        program.emit(Opcode.INTT, dst=reg, srcs=(reg,), rows=q_rows)
+        program.emit(Opcode.REARRANGE, dst=reg, srcs=(reg,), rows=q_rows)
+
+
+def compile_rotation(params: ParameterSet, config: HardwareConfig,
+                     galois_element: int) -> Program:
+    """Homomorphic slot rotation on the paper's coprocessor (extension).
+
+    A rotation is tau_g on both parts (a coefficient permutation with
+    sign flips — the memory-rearrange datapath with a different address
+    generator, zero new arithmetic) followed by a key switch, which is
+    exactly the relinearisation sum of products. Instruction census per
+    rotation: 2 GALOIS + k_q digit broadcasts + k_q NTT + 2 k_q CMUL +
+    2(k_q - 1) CADD + 2 INTT + key streaming — so the accelerator covers
+    modern rotation-based workloads with its existing instruction set.
+
+    Register convention: inputs ``a0``/``a1``; outputs ``out0``/``out1``.
+    """
+    program = Program(name=f"fv_rotate_g{galois_element}")
+    q_rows = _q_rows(params)
+    # tau_g on both ciphertext parts.
+    program.emit(Opcode.GALOIS, dst="g0", srcs=("a0",), rows=q_rows,
+                 element=galois_element)
+    program.emit(Opcode.GALOIS, dst="g1", srcs=("a1",), rows=q_rows,
+                 element=galois_element)
+    # Key switch tau(c1) back under s (raw-residue digits, as in relin).
+    for i in range(params.k_q):
+        digit = f"d{i}"
+        program.emit(Opcode.DIGIT, dst=digit, srcs=("g1",), rows=q_rows,
+                     source_row=i)
+        program.emit(Opcode.REARRANGE, dst=digit, srcs=(digit,),
+                     rows=q_rows)
+        program.emit(Opcode.NTT, dst=digit, srcs=(digit,), rows=q_rows)
+        if not config.relin_key_on_chip:
+            program.emit(Opcode.LOAD_RLK, rows=q_rows, component=i)
+        if i == 0:
+            program.emit(Opcode.CMUL, dst="r0", srcs=(digit, f"rlk0_{i}"),
+                         rows=q_rows)
+            program.emit(Opcode.CMUL, dst="r1", srcs=(digit, f"rlk1_{i}"),
+                         rows=q_rows)
+        else:
+            program.emit(Opcode.CMUL, dst="p0", srcs=(digit, f"rlk0_{i}"),
+                         rows=q_rows)
+            program.emit(Opcode.CADD, dst="r0", srcs=("r0", "p0"),
+                         rows=q_rows)
+            program.emit(Opcode.CMUL, dst="p1", srcs=(digit, f"rlk1_{i}"),
+                         rows=q_rows)
+            program.emit(Opcode.CADD, dst="r1", srcs=("r1", "p1"),
+                         rows=q_rows)
+    for reg in ("r0", "r1"):
+        program.emit(Opcode.INTT, dst=reg, srcs=(reg,), rows=q_rows)
+        program.emit(Opcode.REARRANGE, dst=reg, srcs=(reg,), rows=q_rows)
+    program.emit(Opcode.CADD, dst="out0", srcs=("g0", "r0"), rows=q_rows)
+    # out1 is the key-switch accumulator alone; model the copy as a
+    # zero-add against the zeroed register file.
+    program.emit(Opcode.CADD, dst="out1", srcs=("r1", "zero"), rows=q_rows)
+    return program
+
+
+def expected_table2_calls(params: ParameterSet,
+                          config: HardwareConfig) -> dict[Opcode, int]:
+    """Call counts our compiler produces for one Mult (cf. paper Table II)."""
+    components = params.k_q if config.use_hps else 2
+    ntt = 8 + components
+    intt = 6 + 2
+    return {
+        Opcode.NTT: ntt,
+        Opcode.INTT: intt,
+        Opcode.CMUL: 8 + 2 * components,
+        Opcode.CADD: 2 + 2 * (components - 1) + 2,
+        Opcode.REARRANGE: ntt + intt,
+        Opcode.LIFT: 4,
+        Opcode.SCALE: 3,
+        Opcode.DIGIT: components,
+        Opcode.LOAD_RLK: 0 if config.relin_key_on_chip else components,
+    }

@@ -1,0 +1,433 @@
+"""The instruction-set coprocessor (paper Fig. 10).
+
+Executes :class:`~repro.hw.isa.Program` streams over the RPAU array, the
+lift/scale core clusters, and the memory file. Every instruction does two
+things: compute the bit-exact result (the same numbers the Verilog
+produces) and charge its cycle cost (schedule-derived unit cycles plus the
+calibrated software dispatch gap).
+
+A full ``mult()`` on this class is the executable form of the paper's
+Table I "Mult in HW" row; ``report.table()`` prints the per-instruction
+breakdown next to the paper's Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import HardwareModelError, IsaError
+from ..fv.ciphertext import Ciphertext
+from ..fv.keys import DigitRelinKey, RelinKey
+from ..params import ParameterSet
+from ..poly.rns_poly import RnsPoly
+from ..rns.basis import basis_for, lift_context, scale_context
+from ..rns.decompose import decompose_poly_signed
+from .compiler import compile_add, compile_mult
+from .config import HardwareConfig
+from .dma import DmaModel
+from .isa import Instruction, Opcode, Program
+from .lift_unit import HpsLiftUnit, TraditionalLiftUnit
+from .memory_file import MemoryFile
+from .rpau import Rpau, rpau_prime_assignment
+from .scale_unit import HpsScaleUnit, TraditionalScaleUnit
+
+
+@dataclass
+class InstructionStat:
+    """Aggregated cost of one opcode within a program run."""
+
+    calls: int = 0
+    cycles: int = 0
+
+    @property
+    def cycles_per_call(self) -> float:
+        return self.cycles / self.calls if self.calls else 0.0
+
+
+@dataclass
+class MultReport:
+    """Cycle breakdown of one high-level operation (Tables I and II)."""
+
+    config: HardwareConfig
+    op_stats: dict[Opcode, InstructionStat] = field(default_factory=dict)
+    transfer_cycles: int = 0
+
+    @property
+    def compute_cycles(self) -> int:
+        return sum(
+            stat.cycles for op, stat in self.op_stats.items()
+            if op is not Opcode.LOAD_RLK
+        )
+
+    @property
+    def total_cycles(self) -> int:
+        return self.compute_cycles + self.transfer_cycles
+
+    @property
+    def seconds(self) -> float:
+        return self.total_cycles / self.config.fpga_clock_hz
+
+    @property
+    def arm_cycles(self) -> int:
+        """The measurement convention of the paper's Table I."""
+        return self.config.fpga_to_arm_cycles(self.total_cycles)
+
+    def charge(self, op: Opcode, cycles: int, is_transfer: bool = False) -> None:
+        stat = self.op_stats.setdefault(op, InstructionStat())
+        stat.calls += 1
+        stat.cycles += cycles
+        if is_transfer:
+            self.transfer_cycles += cycles
+
+    def table(self) -> str:
+        lines = [f"{'instruction':<18}{'calls':>6}{'FPGA cyc/call':>15}"
+                 f"{'Arm cyc/call':>14}"]
+        for op, stat in self.op_stats.items():
+            per_call = stat.cycles_per_call
+            lines.append(
+                f"{op.value:<18}{stat.calls:>6}{per_call:>15.0f}"
+                f"{self.config.fpga_to_arm_cycles(round(per_call)):>14}"
+            )
+        lines.append(
+            f"total: {self.total_cycles} FPGA cycles = "
+            f"{self.arm_cycles} Arm cycles = {self.seconds * 1e3:.3f} ms"
+        )
+        return "\n".join(lines)
+
+
+class Coprocessor:
+    """One coprocessor instance (the FPGA holds two, paper Fig. 11)."""
+
+    def __init__(self, params: ParameterSet,
+                 config: HardwareConfig | None = None,
+                 strict: bool = False) -> None:
+        self.params = params
+        self.config = config or HardwareConfig()
+        self.strict = strict
+        self.q_basis = basis_for(params.q_primes)
+        self.full_primes = params.q_primes + params.p_primes
+        self.full_col = np.array(self.full_primes, dtype=np.int64)[:, None]
+        self.q_col = self.q_basis.primes_col
+        # Lift extends q -> p (the unit computes only the new residues).
+        self._lift_ctx = lift_context(params.q_primes, params.p_primes)
+        self._scale_ctx = scale_context(params.q_primes, params.p_primes,
+                                        params.t)
+        if self.config.use_hps:
+            self.lift_unit = HpsLiftUnit(self._lift_ctx, self.config)
+            self.scale_unit = HpsScaleUnit(self._scale_ctx, self.config)
+        else:
+            self.lift_unit = TraditionalLiftUnit(self._lift_ctx, self.config)
+            self.scale_unit = TraditionalScaleUnit(self._scale_ctx,
+                                                   self.config)
+        self.num_rpaus = min(self.config.num_rpaus,
+                             max(params.k_q, params.k_p))
+        assignment = rpau_prime_assignment(params.k_q, params.k_total,
+                                           self.num_rpaus)
+        self.rpaus = [
+            Rpau(r, params.n,
+                 tuple(self.full_primes[i] for i in indices), self.config,
+                 strict=strict)
+            for r, indices in enumerate(assignment)
+        ]
+        self._row_to_rpau = {}
+        for r, indices in enumerate(assignment):
+            for idx in indices:
+                self._row_to_rpau[idx] = r
+        self.memory = MemoryFile(params, self.config)
+        self.dma = DmaModel(self.config)
+        self.registers: dict[str, np.ndarray] = {}
+        self._relin_key: RelinKey | DigitRelinKey | None = None
+
+    # -- register file ------------------------------------------------------------
+
+    def _new_reg(self) -> np.ndarray:
+        return np.zeros((self.params.k_total, self.params.n), dtype=np.int64)
+
+    def _reg(self, name: str) -> np.ndarray:
+        if name not in self.registers:
+            raise IsaError(f"register {name!r} not initialised")
+        return self.registers[name]
+
+    def load_polynomial(self, name: str, q_rows: np.ndarray) -> None:
+        reg = self._new_reg()
+        reg[: self.params.k_q] = q_rows
+        self.registers[name] = reg
+
+    # -- program execution -----------------------------------------------------------
+
+    def execute(self, program: Program,
+                relin_key: RelinKey | DigitRelinKey | None = None
+                ) -> MultReport:
+        self._relin_key = relin_key
+        report = MultReport(config=self.config)
+        for instruction in program.instructions:
+            handler = self._handlers()[instruction.op]
+            handler(instruction, report)
+        return report
+
+    def _handlers(self):
+        return {
+            Opcode.NTT: self._exec_ntt,
+            Opcode.INTT: self._exec_intt,
+            Opcode.CMUL: self._exec_cmul,
+            Opcode.CADD: self._exec_cadd,
+            Opcode.CSUB: self._exec_csub,
+            Opcode.REARRANGE: self._exec_rearrange,
+            Opcode.LIFT: self._exec_lift,
+            Opcode.SCALE: self._exec_scale,
+            Opcode.DIGIT: self._exec_digit,
+            Opcode.LOAD_RLK: self._exec_load_rlk,
+            Opcode.GALOIS: self._exec_galois,
+        }
+
+    def _rpau_for_row(self, row: int) -> Rpau:
+        return self.rpaus[self._row_to_rpau[row]]
+
+    def _exec_ntt(self, ins: Instruction, report: MultReport) -> None:
+        reg = self._reg(ins.srcs[0])
+        dst = self.registers.setdefault(ins.dst, self._new_reg())
+        cycles = 0
+        for row in ins.rows:
+            prime = self.full_primes[row]
+            out, row_cycles = self._rpau_for_row(row).ntt(prime, reg[row])
+            dst[row] = out
+            cycles = max(cycles, row_cycles)
+        report.charge(Opcode.NTT, cycles + self.config.dispatch_overhead)
+
+    def _exec_intt(self, ins: Instruction, report: MultReport) -> None:
+        reg = self._reg(ins.srcs[0])
+        dst = self.registers.setdefault(ins.dst, self._new_reg())
+        cycles = 0
+        for row in ins.rows:
+            prime = self.full_primes[row]
+            out, row_cycles = self._rpau_for_row(row).intt(prime, reg[row])
+            dst[row] = out
+            cycles = max(cycles, row_cycles)
+        report.charge(Opcode.INTT, cycles + self.config.dispatch_overhead)
+
+    def _coeffwise(self, ins: Instruction, op: str) -> int:
+        a = self._reg(ins.srcs[0])
+        b = self._reg(ins.srcs[1])
+        dst = self.registers.setdefault(ins.dst, self._new_reg())
+        cycles = 0
+        for row in ins.rows:
+            prime = self.full_primes[row]
+            rpau = self._rpau_for_row(row)
+            out, row_cycles = getattr(rpau, op)(prime, a[row], b[row])
+            dst[row] = out
+            cycles = max(cycles, row_cycles)
+        return cycles
+
+    def _exec_cmul(self, ins: Instruction, report: MultReport) -> None:
+        cycles = self._coeffwise(ins, "cmul")
+        report.charge(Opcode.CMUL, cycles + self.config.dispatch_overhead)
+
+    def _exec_cadd(self, ins: Instruction, report: MultReport) -> None:
+        cycles = self._coeffwise(ins, "cadd")
+        report.charge(Opcode.CADD, cycles + self.config.dispatch_overhead)
+
+    def _exec_csub(self, ins: Instruction, report: MultReport) -> None:
+        cycles = self._coeffwise(ins, "csub")
+        report.charge(Opcode.CSUB, cycles + self.config.dispatch_overhead)
+
+    def _exec_rearrange(self, ins: Instruction, report: MultReport) -> None:
+        # Functional no-op: the NTT unit model folds the layout
+        # permutation into its load/unload steps; the instruction carries
+        # the cycle cost of that data movement. Rearranges stream
+        # back-to-back with their transform, so no dispatch gap (the
+        # paper's 25,006-Arm-cycle row shows the same: it is n + epsilon).
+        cycles = self.rpaus[0].rearrange_cycles()
+        report.charge(Opcode.REARRANGE, cycles)
+
+    def _exec_lift(self, ins: Instruction, report: MultReport) -> None:
+        reg = self._reg(ins.srcs[0])
+        q_rows = reg[: self.params.k_q]
+        p_rows, cycles = self.lift_unit.run(q_rows)
+        dst = self.registers.setdefault(ins.dst, self._new_reg())
+        dst[: self.params.k_q] = q_rows
+        dst[self.params.k_q:] = p_rows
+        report.charge(Opcode.LIFT, cycles + self.config.dispatch_overhead)
+
+    def _exec_scale(self, ins: Instruction, report: MultReport) -> None:
+        reg = self._reg(ins.srcs[0])
+        scaled, cycles = self.scale_unit.run(reg[: self.params.k_total])
+        dst = self.registers.setdefault(ins.dst, self._new_reg())
+        dst[: self.params.k_q] = scaled
+        report.charge(Opcode.SCALE, cycles + self.config.dispatch_overhead)
+
+    def _exec_digit(self, ins: Instruction, report: MultReport) -> None:
+        src = self._reg(ins.srcs[0])
+        dst = self.registers.setdefault(ins.dst, self._new_reg())
+        if "source_row" in ins.meta:
+            # HPS: broadcast one residue row across the q basis (pure data
+            # movement, one pass over the polynomial).
+            row = ins.meta["source_row"]
+            dst[: self.params.k_q] = src[row][None, :] % self.q_col
+            cycles = self.params.n // 2 + self.config.stage_sync_overhead
+        elif "group" in ins.meta:
+            # Grouped-RNS digit: exact CRT over one prime group (the
+            # lift unit's small-CRT datapath: one coefficient per cycle).
+            from ..rns.decompose import grouped_rns_digits
+
+            group = ins.meta["group"]
+            group_size = ins.meta["group_size"]
+            digits = grouped_rns_digits(
+                self.q_basis, src[: self.params.k_q], group_size
+            )
+            dst[: self.params.k_q] = digits[group]
+            cycles = self.params.n + self.config.stage_sync_overhead
+        else:
+            # Traditional: extract one signed base-w digit from the CRT
+            # coefficients (the Fig. 8 datapath has them reconstructed).
+            index = ins.meta["digit_index"]
+            base_bits = ins.meta["base_bits"]
+            count = index + 1
+            poly = RnsPoly(self.q_basis, src[: self.params.k_q])
+            coeffs = poly.to_int_coeffs()
+            digits = decompose_poly_signed(
+                coeffs, self.params.q, 1 << base_bits,
+                max(count, -(-self.params.q.bit_length() // base_bits)),
+            )
+            # Digits can exceed 64 bits (e.g. the 90-bit digits of the
+            # paper's slow design); reduce with exact integer arithmetic.
+            dst[: self.params.k_q] = np.array(
+                [[d % p for d in digits[index]]
+                 for p in self.params.q_primes],
+                dtype=np.int64,
+            )
+            cycles = self.params.n + self.config.stage_sync_overhead
+        report.charge(Opcode.DIGIT, cycles)
+
+    def _exec_galois(self, ins: Instruction, report: MultReport) -> None:
+        """tau_g permutation: the rearrange datapath with a Galois
+        address generator (one coefficient per cycle, one sign fix-up)."""
+        from ..fv.galois import apply_galois_rows
+
+        src = self._reg(ins.srcs[0])
+        dst = self.registers.setdefault(ins.dst, self._new_reg())
+        k_q = self.params.k_q
+        dst[:k_q] = apply_galois_rows(
+            src[:k_q], self.q_col, self.params.n, ins.meta["element"]
+        )
+        cycles = self.rpaus[0].rearrange_cycles()
+        report.charge(Opcode.GALOIS, cycles)
+
+    def rotate(self, ct: Ciphertext, galois_key) -> tuple[Ciphertext,
+                                                          MultReport]:
+        """Homomorphic rotation on the coprocessor (extension feature).
+
+        Bit-identical to :meth:`repro.fv.galois.GaloisEngine.apply`; the
+        report shows what a rotation costs on the paper's datapath.
+        """
+        from .compiler import compile_rotation
+
+        program = compile_rotation(self.params, self.config,
+                                   galois_key.element)
+        self.registers.clear()
+        self.load_polynomial("a0", ct.c0.residues)
+        self.load_polynomial("a1", ct.c1.residues)
+        self.registers["zero"] = self._new_reg()
+        relin_like = RelinKey(pairs=galois_key.pairs)
+        if self.config.relin_key_on_chip:
+            for i, (b_ntt, a_ntt) in enumerate(galois_key.pairs):
+                reg_b = self.registers.setdefault(f"rlk0_{i}",
+                                                  self._new_reg())
+                reg_a = self.registers.setdefault(f"rlk1_{i}",
+                                                  self._new_reg())
+                reg_b[: self.params.k_q] = b_ntt
+                reg_a[: self.params.k_q] = a_ntt
+        report = self.execute(program, relin_key=relin_like)
+        return self._ciphertext_from("out0", "out1"), report
+
+    def _exec_load_rlk(self, ins: Instruction, report: MultReport) -> None:
+        if self._relin_key is None:
+            raise HardwareModelError(
+                "program streams a relinearisation key but none was supplied"
+            )
+        component = ins.meta["component"]
+        b_ntt, a_ntt = self._relin_key.pairs[component]
+        reg_b = self.registers.setdefault(f"rlk0_{component}",
+                                          self._new_reg())
+        reg_a = self.registers.setdefault(f"rlk1_{component}",
+                                          self._new_reg())
+        reg_b[: self.params.k_q] = b_ntt
+        reg_a[: self.params.k_q] = a_ntt
+        seconds = 2 * (self.dma.transfer_seconds(self.params.poly_bytes)
+                       + self.dma.arm_setup_seconds)
+        cycles = round(seconds * self.config.fpga_clock_hz)
+        report.charge(Opcode.LOAD_RLK, cycles, is_transfer=True)
+
+    # -- high-level operations ----------------------------------------------------------
+
+    def mult(self, ct_a: Ciphertext, ct_b: Ciphertext,
+             relin_key) -> tuple[Ciphertext, MultReport]:
+        """Full FV.Mult on the coprocessor (Table I row 1).
+
+        Accepts any of the three relinearisation key flavours; the
+        compiled program follows the key's digit style.
+        """
+        from ..fv.keys import GroupedRelinKey
+
+        if isinstance(relin_key, GroupedRelinKey):
+            style = "grouped"
+        elif isinstance(relin_key, DigitRelinKey):
+            style = "digit"
+        else:
+            style = "rns"
+        program = compile_mult(self.params, self.config,
+                               relin_components=relin_key.num_components,
+                               relin_style=style)
+        self.registers.clear()
+        self.load_polynomial("a0", ct_a.c0.residues)
+        self.load_polynomial("a1", ct_a.c1.residues)
+        self.load_polynomial("b0", ct_b.c0.residues)
+        self.load_polynomial("b1", ct_b.c1.residues)
+        if self.config.relin_key_on_chip:
+            for i, (b_ntt, a_ntt) in enumerate(relin_key.pairs):
+                reg_b = self.registers.setdefault(f"rlk0_{i}", self._new_reg())
+                reg_a = self.registers.setdefault(f"rlk1_{i}", self._new_reg())
+                reg_b[: self.params.k_q] = b_ntt
+                reg_a[: self.params.k_q] = a_ntt
+        report = self.execute(program, relin_key=relin_key)
+        result = self._ciphertext_from("out0", "out1")
+        return result, report
+
+    def add(self, ct_a: Ciphertext,
+            ct_b: Ciphertext) -> tuple[Ciphertext, MultReport]:
+        """FV.Add on the coprocessor (Table I row 2)."""
+        program = compile_add(self.params)
+        self.registers.clear()
+        self.load_polynomial("a0", ct_a.c0.residues)
+        self.load_polynomial("a1", ct_a.c1.residues)
+        self.load_polynomial("b0", ct_b.c0.residues)
+        self.load_polynomial("b1", ct_b.c1.residues)
+        report = self.execute(program)
+        result = self._ciphertext_from("out0", "out1")
+        return result, report
+
+    def _ciphertext_from(self, name0: str, name1: str) -> Ciphertext:
+        k_q = self.params.k_q
+        c0 = RnsPoly(self.q_basis, self._reg(name0)[:k_q].copy())
+        c1 = RnsPoly(self.q_basis, self._reg(name1)[:k_q].copy())
+        return Ciphertext((c0, c1), self.params)
+
+    # -- Table II model (per-instruction costs without running a program) ---------------
+
+    def instruction_cycle_model(self) -> dict[Opcode, int]:
+        """FPGA cycles per instruction call for this configuration."""
+        rpau = self.rpaus[0]
+        unit = rpau.ntt_unit(rpau.primes[0])
+        dispatch = self.config.dispatch_overhead
+        ntt = unit.transform_cycles() + dispatch
+        return {
+            Opcode.NTT: ntt,
+            Opcode.INTT: (unit.transform_cycles() + unit.scale_pass_cycles()
+                          + dispatch),
+            Opcode.CMUL: rpau.cmul_cycles() + dispatch,
+            Opcode.CADD: rpau.cadd_cycles() + dispatch,
+            Opcode.REARRANGE: rpau.rearrange_cycles(),
+            Opcode.LIFT: self.lift_unit.cycles(self.params.n) + dispatch,
+            Opcode.SCALE: self.scale_unit.cycles(self.params.n) + dispatch,
+        }

@@ -1,0 +1,86 @@
+"""Low-level pipelined arithmetic circuits (paper Figs. 4 and 7).
+
+These models carry both the functional operation and the structural
+figures (latency, DSP/LUT cost) consumed by the cycle and resource models.
+All datapaths are fully pipelined: latency is ``stages`` cycles, the
+initiation interval is one operation per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import HardwareModelError
+
+#: DSP48E2 slices for a pipelined 30x30 multiplier (2x2 tiling of the
+#: 27x18 hardened multiplier).
+DSP_PER_30X30 = 4
+
+#: DSP slices for the 30x60 fixed-point reciprocal multiplier of the HPS
+#: lift (Fig. 6 Block 3): twice the 30x30 tile count.
+DSP_PER_30X60 = 8
+
+
+@dataclass(frozen=True)
+class PipelinedMultiplier:
+    """30x30 (or 30x60) integer multiplier built from DSP slices."""
+
+    stages: int
+    a_bits: int = 30
+    b_bits: int = 30
+
+    def multiply(self, a: int, b: int) -> int:
+        if a.bit_length() > self.a_bits or b.bit_length() > self.b_bits:
+            raise HardwareModelError(
+                f"operands exceed the {self.a_bits}x{self.b_bits} multiplier"
+            )
+        return a * b
+
+    @property
+    def dsp_cost(self) -> int:
+        """One DSP48 per 27x18 partial-product tile (2x2 = 4 for 30x30)."""
+        tiles_a = -(-self.a_bits // 27)
+        tiles_b = -(-self.b_bits // 18)
+        return tiles_a * tiles_b
+
+    @property
+    def latency(self) -> int:
+        return self.stages
+
+
+@dataclass(frozen=True)
+class ModAddSub:
+    """Modular adder/subtractor (add then conditional correction)."""
+
+    stages: int
+
+    def add(self, a: int, b: int, modulus: int) -> int:
+        total = a + b
+        return total - modulus if total >= modulus else total
+
+    def sub(self, a: int, b: int, modulus: int) -> int:
+        diff = a - b
+        return diff + modulus if diff < 0 else diff
+
+    @property
+    def latency(self) -> int:
+        return self.stages
+
+
+@dataclass(frozen=True)
+class MacUnit:
+    """Multiply-and-accumulate circuit of Fig. 7 (blue accumulate path).
+
+    Used by the lift/scale blocks: multiply a coefficient with a ROM
+    constant, reduce, optionally accumulate. Initiation interval one.
+    """
+
+    multiplier_stages: int
+    modred_stages: int
+
+    @property
+    def latency(self) -> int:
+        return self.multiplier_stages + self.modred_stages + 1
+
+    def mac(self, acc: int, a: int, constant: int, modulus: int) -> int:
+        return (acc + a * constant) % modulus

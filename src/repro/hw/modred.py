@@ -1,0 +1,174 @@
+"""Sliding-window modular reduction circuit (paper Sec. V-A4, Fig. 4).
+
+The paper avoids Barrett reduction (several extra multiplications) with a
+table-driven method: to reduce a 60-bit product modulo a 30-bit prime, a
+"reduction table" stores ``w * 2^30 mod q_i`` for every value ``w`` of the
+most-significant window (6 bits in the paper). Each step replaces the top
+window of the operand by its tabulated 30-bit equivalent, shrinking the
+operand by ``window`` bits; the steps are fully unrolled and pipelined in
+the RTL. A final conditional subtraction of q or 2q produces the result.
+
+Both a bit-exact functional model (scalar and vectorised) and the
+structural properties (table size, step count = pipeline stages) live
+here. :class:`BarrettReducer` is included for the design-space comparison
+the paper alludes to.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import HardwareModelError, ParameterError
+
+RESIDUE_BITS = 30
+"""Width of the reduced result (the paper's 30-bit primes)."""
+
+
+class SlidingWindowReducer:
+    """Reduction of up to ``input_bits``-wide values modulo one 30-bit prime."""
+
+    def __init__(self, modulus: int, window_bits: int = 6,
+                 input_bits: int = 60) -> None:
+        if modulus.bit_length() > RESIDUE_BITS:
+            raise ParameterError(
+                f"modulus {modulus} wider than the {RESIDUE_BITS}-bit datapath"
+            )
+        if modulus < 2:
+            raise ParameterError("modulus must be at least 2")
+        self.modulus = modulus
+        self.window_bits = window_bits
+        self.input_bits = input_bits
+        # Table of w * 2^RESIDUE_BITS mod q for each window value w. The
+        # RTL keeps one such ROM per supported prime of the RPAU.
+        self.table = np.array(
+            [(w << RESIDUE_BITS) % modulus for w in range(1 << window_bits)],
+            dtype=np.int64,
+        )
+        # Number of unrolled steps: each step removes `window_bits` bits
+        # above bit RESIDUE_BITS until at most 31 bits remain.
+        excess = max(0, input_bits - (RESIDUE_BITS + 1))
+        self.steps = -(-excess // window_bits)
+
+    # -- structural properties (consumed by the resource model) -------------------
+
+    @property
+    def table_entries(self) -> int:
+        return 1 << self.window_bits
+
+    @property
+    def pipeline_stages(self) -> int:
+        """One pipeline stage per unrolled step plus the final correction."""
+        return self.steps + 1
+
+    # -- functional model -----------------------------------------------------------
+
+    def reduce(self, value: int) -> int:
+        """Scalar bit-exact reduction (mirrors the RTL step by step)."""
+        if value < 0 or value.bit_length() > self.input_bits:
+            raise HardwareModelError(
+                f"operand {value} outside the {self.input_bits}-bit datapath"
+            )
+        work = value
+        for _ in range(self.steps):
+            if work.bit_length() <= RESIDUE_BITS + 1:
+                # The RTL still burns the stage; the value passes through.
+                continue
+            shift = work.bit_length() - self.window_bits
+            # Keep the window anchored above bit RESIDUE_BITS.
+            shift = max(shift, RESIDUE_BITS)
+            window = work >> shift
+            low = work - (window << shift)
+            # window * 2^shift mod q = table[window] * 2^(shift-30) folded in.
+            folded = int(self.table[window]) << (shift - RESIDUE_BITS)
+            work = low + folded
+        # Final correction: the value is now at most ~32 bits; subtract q
+        # or 2q (paper: "might require a subtraction of qi or 2qi").
+        while work >= self.modulus:
+            work -= self.modulus
+        return work
+
+    def reduce_many(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised reduction used by the fast executors.
+
+        numpy's ``%`` computes the same mathematical function the unrolled
+        circuit computes; :meth:`reduce` is kept scalar and structural so
+        tests can prove the equivalence exhaustively.
+        """
+        return np.asarray(values, dtype=np.int64) % self.modulus
+
+
+class BarrettReducer:
+    """Barrett reduction [31], the alternative the paper decided against.
+
+    Needs two extra wide multiplications per reduction; the resource model
+    uses its multiplier count to quantify the paper's design choice.
+    """
+
+    def __init__(self, modulus: int, input_bits: int = 60) -> None:
+        if modulus < 2:
+            raise ParameterError("modulus must be at least 2")
+        self.modulus = modulus
+        self.shift = input_bits
+        self.mu = (1 << self.shift) // modulus
+
+    @property
+    def extra_multipliers(self) -> int:
+        return 2
+
+    def reduce(self, value: int) -> int:
+        if value < 0 or value >= (1 << self.shift):
+            raise HardwareModelError("operand outside the Barrett range")
+        estimate = (value * self.mu) >> self.shift
+        remainder = value - estimate * self.modulus
+        while remainder >= self.modulus:
+            remainder -= self.modulus
+        return remainder
+
+
+class MontgomeryReducer:
+    """Montgomery reduction — the third classic option in the design space.
+
+    Works in the Montgomery domain (values scaled by R = 2^30 mod q), so
+    it suits long chains of multiplications (NTT butterflies qualify) but
+    needs domain entry/exit conversions the sliding-window design avoids.
+    One extra multiplier per reduction; no ROM.
+    """
+
+    def __init__(self, modulus: int) -> None:
+        if modulus < 3 or modulus % 2 == 0:
+            raise ParameterError("Montgomery needs an odd modulus >= 3")
+        if modulus.bit_length() > RESIDUE_BITS:
+            raise ParameterError(
+                f"modulus wider than the {RESIDUE_BITS}-bit datapath"
+            )
+        self.modulus = modulus
+        self.r_bits = RESIDUE_BITS
+        self.r = 1 << self.r_bits
+        self.r_mask = self.r - 1
+        # -q^-1 mod R.
+        self.q_inv_neg = (-pow(modulus, -1, self.r)) % self.r
+        self.r_squared = (self.r * self.r) % modulus
+
+    @property
+    def extra_multipliers(self) -> int:
+        return 1
+
+    def to_montgomery(self, value: int) -> int:
+        """Enter the Montgomery domain: value * R mod q."""
+        return self.reduce(value * self.r_squared)
+
+    def from_montgomery(self, value: int) -> int:
+        """Leave the Montgomery domain: value * R^-1 mod q."""
+        return self.reduce(value)
+
+    def reduce(self, value: int) -> int:
+        """REDC: value * R^-1 mod q for value < q * R."""
+        if value < 0 or value >= self.modulus * self.r:
+            raise HardwareModelError("operand outside the REDC range")
+        m = (value & self.r_mask) * self.q_inv_neg & self.r_mask
+        t = (value + m * self.modulus) >> self.r_bits
+        return t - self.modulus if t >= self.modulus else t
+
+    def modmul(self, a_mont: int, b_mont: int) -> int:
+        """Product of two Montgomery-domain residues, still in-domain."""
+        return self.reduce(a_mont * b_mont)

@@ -1,0 +1,99 @@
+"""Design-space sweeps (paper Sec. VII: cost/performance trade-offs).
+
+The paper closes by noting the architecture "offers trade-offs between
+hardware cost and performance ... design decisions can be tweaked to
+meet different requirements" and sketches an Amazon F1 port with ten
+coprocessors. The sweep functions here produce the data series behind
+those claims: latency/throughput/resources as functions of each design
+knob, consumed by the design-space example and the ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..params import ParameterSet
+from .config import HardwareConfig
+from .resources import ResourceEstimator, Utilization
+from ..system.server import CloudServer
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration."""
+
+    label: str
+    config: HardwareConfig
+    mult_seconds: float
+    throughput_per_second: float
+    resources: Utilization
+
+    def row(self) -> str:
+        return (f"{self.label:<34}{self.mult_seconds * 1e3:>9.2f} ms"
+                f"{self.throughput_per_second:>9.0f}/s"
+                f"{self.resources.luts:>10,}{self.resources.bram36:>7}"
+                f"{self.resources.dsps:>6}")
+
+
+def evaluate_point(params: ParameterSet, label: str,
+                   config: HardwareConfig) -> DesignPoint:
+    server = CloudServer(params, config)
+    resources = ResourceEstimator(params, config).single_coprocessor()
+    return DesignPoint(
+        label=label,
+        config=config,
+        mult_seconds=server.mult_compute_seconds(),
+        throughput_per_second=server.mult_throughput_per_second(),
+        resources=resources,
+    )
+
+
+def sweep_coprocessor_count(params: ParameterSet,
+                            counts=(1, 2, 4, 10)) -> list[DesignPoint]:
+    """Throughput vs coprocessor instances (the paper's F1 projection).
+
+    Ten coprocessors is the paper's estimate for one Amazon F1 FPGA
+    ("five times more resources than our Zynq").
+    """
+    base = HardwareConfig()
+    return [
+        evaluate_point(params, f"{count} coprocessor(s)",
+                       replace(base, num_coprocessors=count))
+        for count in counts
+    ]
+
+
+def sweep_conversion_cores(params: ParameterSet,
+                           counts=(1, 2, 4)) -> list[DesignPoint]:
+    """Mult latency vs lift/scale core count."""
+    base = HardwareConfig()
+    return [
+        evaluate_point(params, f"{count} lift + {count} scale cores",
+                       replace(base, lift_cores=count, scale_cores=count))
+        for count in counts
+    ]
+
+
+def sweep_butterfly_cores(params: ParameterSet) -> list[DesignPoint]:
+    base = HardwareConfig()
+    return [
+        evaluate_point(params, f"{count} butterfly core(s)/RPAU",
+                       replace(base, butterfly_cores_per_rpau=count))
+        for count in (1, 2)
+    ]
+
+
+def pareto_front(points: list[DesignPoint]) -> list[DesignPoint]:
+    """Points not dominated in (latency, LUT cost)."""
+    front = []
+    for point in points:
+        dominated = any(
+            other.mult_seconds <= point.mult_seconds
+            and other.resources.luts < point.resources.luts
+            or other.mult_seconds < point.mult_seconds
+            and other.resources.luts <= point.resources.luts
+            for other in points if other is not point
+        )
+        if not dominated:
+            front.append(point)
+    return front

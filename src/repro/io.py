@@ -1,0 +1,169 @@
+"""Persistence: save and load keys and ciphertexts.
+
+A cloud deployment (paper Fig. 11) needs durable key material on the
+client and durable ciphertexts in flight. The wire formats here are
+deliberately simple and self-describing: a small JSON header (magic,
+version, parameter fingerprint, payload shapes) followed by raw
+little-endian arrays — the ciphertext payload is byte-identical to the
+DMA layout of :meth:`repro.fv.ciphertext.Ciphertext.to_bytes`.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from .errors import EncodingError, ParameterError
+from .fv.ciphertext import Ciphertext
+from .fv.keys import KeySet, PublicKey, RelinKey, SecretKey
+from .params import ParameterSet
+from .poly.rns_poly import RnsPoly
+from .rns.basis import basis_for
+
+MAGIC = b"REPROFV1"
+
+
+def _params_fingerprint(params: ParameterSet) -> dict:
+    return {
+        "name": params.name,
+        "n": params.n,
+        "q_primes": list(params.q_primes),
+        "p_primes": list(params.p_primes),
+        "t": params.t,
+    }
+
+
+def _check_fingerprint(header: dict, params: ParameterSet) -> None:
+    expected = _params_fingerprint(params)
+    found = header.get("params", {})
+    if found != expected:
+        raise ParameterError(
+            "file was produced under different FV parameters "
+            f"({found.get('name')!r} vs {expected['name']!r})"
+        )
+
+
+def _write(path: Path, header: dict, payload: bytes) -> None:
+    header_bytes = json.dumps(header, sort_keys=True).encode()
+    with open(path, "wb") as handle:
+        handle.write(MAGIC)
+        handle.write(struct.pack("<I", len(header_bytes)))
+        handle.write(header_bytes)
+        handle.write(payload)
+
+
+def _read(path: Path) -> tuple[dict, bytes]:
+    with open(path, "rb") as handle:
+        magic = handle.read(len(MAGIC))
+        if magic != MAGIC:
+            raise EncodingError(f"{path} is not a repro FV file")
+        (header_len,) = struct.unpack("<I", handle.read(4))
+        header = json.loads(handle.read(header_len))
+        payload = handle.read()
+    return header, payload
+
+
+# -- ciphertexts ---------------------------------------------------------------------
+
+
+def save_ciphertext(path, ct: Ciphertext) -> None:
+    header = {
+        "kind": "ciphertext",
+        "parts": ct.size,
+        "params": _params_fingerprint(ct.params),
+    }
+    _write(Path(path), header, ct.to_bytes())
+
+
+def load_ciphertext(path, params: ParameterSet) -> Ciphertext:
+    header, payload = _read(Path(path))
+    if header.get("kind") != "ciphertext":
+        raise EncodingError("file does not hold a ciphertext")
+    _check_fingerprint(header, params)
+    basis = basis_for(params.q_primes)
+    return Ciphertext.from_bytes(payload, params, basis)
+
+
+# -- keys -----------------------------------------------------------------------------
+
+
+def _matrix_bytes(matrix: np.ndarray) -> bytes:
+    return matrix.astype("<i8").tobytes()
+
+
+def _matrix_from(payload: bytes, offset: int, rows: int,
+                 cols: int) -> tuple[np.ndarray, int]:
+    count = rows * cols
+    end = offset + 8 * count
+    if end > len(payload):
+        raise EncodingError("key file truncated: matrix payload missing")
+    matrix = np.frombuffer(payload[offset:end], dtype="<i8").reshape(
+        rows, cols
+    ).astype(np.int64)
+    return matrix, end
+
+
+def save_keyset(path, keys: KeySet, params: ParameterSet) -> None:
+    """Persist secret, public, and relinearisation keys in one file.
+
+    The secret key is included — this is a client-side credential file;
+    treat it like one.
+    """
+    k_q, n = params.k_q, params.n
+    blobs = [
+        keys.secret.coeffs.astype("<i8").tobytes(),
+        _matrix_bytes(keys.public.p0.residues),
+        _matrix_bytes(keys.public.p1.residues),
+    ]
+    for b_ntt, a_ntt in keys.relin.pairs:
+        blobs.append(_matrix_bytes(b_ntt))
+        blobs.append(_matrix_bytes(a_ntt))
+    header = {
+        "kind": "keyset",
+        "relin_components": keys.relin.num_components,
+        "params": _params_fingerprint(params),
+    }
+    _write(Path(path), header, b"".join(blobs))
+
+
+def load_keyset(path, params: ParameterSet) -> KeySet:
+    header, payload = _read(Path(path))
+    if header.get("kind") != "keyset":
+        raise EncodingError("file does not hold a key set")
+    _check_fingerprint(header, params)
+    k_q, n = params.k_q, params.n
+    basis = basis_for(params.q_primes)
+
+    offset = 0
+    s_coeffs = np.frombuffer(payload[: 8 * n], dtype="<i8").astype(np.int64)
+    offset = 8 * n
+    p0, offset = _matrix_from(payload, offset, k_q, n)
+    p1, offset = _matrix_from(payload, offset, k_q, n)
+    pairs = []
+    for _ in range(header["relin_components"]):
+        b_ntt, offset = _matrix_from(payload, offset, k_q, n)
+        a_ntt, offset = _matrix_from(payload, offset, k_q, n)
+        pairs.append((b_ntt, a_ntt))
+    if offset != len(payload):
+        raise EncodingError("key file has trailing or missing bytes")
+
+    from .fv.scheme import FvContext
+
+    context = FvContext(params, seed=0)
+    s_rows = s_coeffs[None, :] % basis.primes_col
+    secret = SecretKey(
+        coeffs=s_coeffs,
+        rns=RnsPoly(basis, s_rows),
+        ntt_rows=context._ntt_rows(s_rows),
+    )
+    public = PublicKey(
+        p0=RnsPoly(basis, p0),
+        p1=RnsPoly(basis, p1),
+        p0_ntt=context._ntt_rows(p0),
+        p1_ntt=context._ntt_rows(p1),
+    )
+    return KeySet(secret=secret, public=public,
+                  relin=RelinKey(pairs=pairs), basis=basis)

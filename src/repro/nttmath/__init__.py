@@ -1,0 +1,38 @@
+"""Number-theoretic substrate: modular arithmetic, primes, NTT.
+
+This subpackage is the mathematical foundation underneath both the FV
+scheme (``repro.fv``) and the hardware simulator (``repro.hw``). It
+contains no hardware modelling; everything here is plain number theory.
+"""
+
+from .modmath import modinv, modpow, mod_centered
+from .primes import (
+    find_ntt_primes,
+    is_prime,
+    primitive_root,
+    root_of_unity,
+)
+from .bitrev import bit_reverse_indices, bit_reverse_int, bit_reverse_permute
+from .ntt import (
+    NegacyclicTransformer,
+    intt_iterative,
+    negacyclic_convolution,
+    ntt_iterative,
+)
+
+__all__ = [
+    "modinv",
+    "modpow",
+    "mod_centered",
+    "find_ntt_primes",
+    "is_prime",
+    "primitive_root",
+    "root_of_unity",
+    "bit_reverse_indices",
+    "bit_reverse_int",
+    "bit_reverse_permute",
+    "NegacyclicTransformer",
+    "ntt_iterative",
+    "intt_iterative",
+    "negacyclic_convolution",
+]

@@ -1,0 +1,46 @@
+"""Bit-reversal permutation used by the iterative NTT (paper Alg. 1, line 1)."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..utils import log2_exact
+
+
+def bit_reverse_int(value: int, bits: int) -> int:
+    """Reverse the low ``bits`` bits of ``value``."""
+    result = 0
+    for _ in range(bits):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+@lru_cache(maxsize=None)
+def _bit_reverse_indices_cached(length: int) -> tuple[int, ...]:
+    bits = log2_exact(length)
+    return tuple(bit_reverse_int(i, bits) for i in range(length))
+
+
+def bit_reverse_indices(length: int) -> np.ndarray:
+    """Index vector ``r`` with ``r[i] = bitreverse(i)`` for a power-of-two length."""
+    return np.array(_bit_reverse_indices_cached(length), dtype=np.int64)
+
+
+def bit_reverse_permute(values):
+    """Return ``values`` permuted into bit-reversed order.
+
+    Accepts a numpy array or a sequence; returns the same kind (array in,
+    array out; list in, list out) so both the vectorised and the pure-int
+    NTT paths can share it.
+    """
+    length = len(values)
+    if length == 0 or length & (length - 1):
+        raise ParameterError("bit reversal needs a power-of-two length")
+    indices = _bit_reverse_indices_cached(length)
+    if isinstance(values, np.ndarray):
+        return values[np.asarray(indices, dtype=np.int64)]
+    return [values[i] for i in indices]

@@ -1,0 +1,136 @@
+"""Prime generation for NTT-friendly RNS bases.
+
+The paper builds its RNS from 30-bit primes. For the negacyclic NTT over
+``Z[x]/(x^n + 1)`` each prime must satisfy ``p ≡ 1 (mod 2n)`` so that a
+primitive ``2n``-th root of unity exists. This module finds such primes
+deterministically (largest first, descending from ``2^bits``), so a given
+``(bits, n, count)`` request always yields the same basis — important for
+reproducible benchmarks.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..errors import ParameterError
+from .modmath import modpow
+
+# Deterministic Miller-Rabin witness set: correct for all n < 3.3 * 10^24
+# (Sorenson & Webster), which covers every modulus this library generates.
+_MILLER_RABIN_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113,
+)
+
+
+def is_prime(candidate: int) -> bool:
+    """Deterministic Miller-Rabin primality test for 64-bit-scale integers."""
+    if candidate < 2:
+        return False
+    for small in _SMALL_PRIMES:
+        if candidate == small:
+            return True
+        if candidate % small == 0:
+            return False
+    # Write candidate - 1 as d * 2^r with d odd.
+    d = candidate - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for witness in _MILLER_RABIN_WITNESSES:
+        x = modpow(witness, d, candidate)
+        if x in (1, candidate - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % candidate
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+@lru_cache(maxsize=None)
+def _prime_factors(value: int) -> tuple[int, ...]:
+    """Prime factorisation by trial division (used on p-1, ~30-bit values)."""
+    factors = []
+    remaining = value
+    divisor = 2
+    while divisor * divisor <= remaining:
+        if remaining % divisor == 0:
+            factors.append(divisor)
+            while remaining % divisor == 0:
+                remaining //= divisor
+        divisor += 1 if divisor == 2 else 2
+    if remaining > 1:
+        factors.append(remaining)
+    return tuple(factors)
+
+
+def primitive_root(prime: int) -> int:
+    """Smallest primitive root modulo ``prime``."""
+    if prime == 2:
+        return 1
+    order = prime - 1
+    factors = _prime_factors(order)
+    for candidate in range(2, prime):
+        if all(modpow(candidate, order // f, prime) != 1 for f in factors):
+            return candidate
+    raise ParameterError(f"no primitive root found modulo {prime}")
+
+
+def root_of_unity(order: int, prime: int) -> int:
+    """A primitive ``order``-th root of unity modulo ``prime``.
+
+    ``order`` must divide ``prime - 1``. The returned root ``w`` satisfies
+    ``w^order == 1`` and ``w^(order/f) != 1`` for every prime factor ``f``
+    of ``order``.
+    """
+    if (prime - 1) % order != 0:
+        raise ParameterError(
+            f"{order} does not divide {prime} - 1; no such root of unity"
+        )
+    generator = primitive_root(prime)
+    root = modpow(generator, (prime - 1) // order, prime)
+    # The construction above is already primitive of the requested order;
+    # verify because the guarantee underpins all NTT correctness.
+    for factor in _prime_factors(order):
+        if modpow(root, order // factor, prime) == 1:  # pragma: no cover
+            raise ParameterError(f"derived root is not primitive of order {order}")
+    return root
+
+
+def find_ntt_primes(bits: int, ring_degree: int, count: int) -> list[int]:
+    """Find ``count`` distinct primes ``p < 2^bits`` with ``p ≡ 1 (mod 2n)``.
+
+    Primes are returned in descending order starting from the largest
+    qualifying prime below ``2^bits``, which keeps the basis deterministic.
+
+    The paper uses ``bits=30``, ``ring_degree=4096``, and 13 primes in
+    total (six for ``q``, seven more for ``Q``).
+    """
+    if not (ring_degree > 0 and (ring_degree & (ring_degree - 1)) == 0):
+        raise ParameterError("ring_degree must be a power of two")
+    if bits < 4:
+        raise ParameterError("prime size must be at least 4 bits")
+    step = 2 * ring_degree
+    if step >= (1 << bits):
+        raise ParameterError(
+            f"2*ring_degree = {step} leaves no room below 2^{bits} for primes"
+        )
+    primes: list[int] = []
+    # Largest value < 2^bits congruent to 1 mod 2n.
+    candidate = ((1 << bits) - 2) // step * step + 1
+    while len(primes) < count and candidate > step:
+        if candidate.bit_length() == bits and is_prime(candidate):
+            primes.append(candidate)
+        candidate -= step
+    if len(primes) < count:
+        raise ParameterError(
+            f"only found {len(primes)} of {count} NTT primes of {bits} bits "
+            f"for ring degree {ring_degree}"
+        )
+    return primes

@@ -1,0 +1,86 @@
+"""Single-prime ring R_{q_i} = Z_{q_i}[x]/(x^n + 1) with vectorised arithmetic.
+
+One :class:`RingContext` models one RNS channel: a 30-bit prime with its
+negacyclic NTT tables. This is the unit of work one RPAU (Residue
+Polynomial Arithmetic Unit) of the paper processes.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..nttmath.ntt import NegacyclicTransformer
+
+
+class RingContext:
+    """Arithmetic context for one residue ring.
+
+    All methods take and return int64 numpy arrays of length ``n`` with
+    entries already reduced modulo ``modulus``.
+    """
+
+    def __init__(self, n: int, modulus: int) -> None:
+        self.n = n
+        self.modulus = modulus
+        self.transformer = NegacyclicTransformer(n, modulus)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RingContext(n={self.n}, modulus={self.modulus})"
+
+    # -- element helpers -----------------------------------------------------
+
+    def zero(self) -> np.ndarray:
+        return np.zeros(self.n, dtype=np.int64)
+
+    def reduce(self, coeffs) -> np.ndarray:
+        """Reduce arbitrary integer coefficients into the ring."""
+        arr = np.asarray(coeffs)
+        if arr.shape != (self.n,):
+            raise ParameterError(f"expected {self.n} coefficients")
+        if arr.dtype == object:
+            return np.array([int(c) % self.modulus for c in arr],
+                            dtype=np.int64)
+        return arr.astype(np.int64) % self.modulus
+
+    def centered(self, coeffs: np.ndarray) -> np.ndarray:
+        """Signed representatives in (-modulus/2, modulus/2]."""
+        half = self.modulus // 2
+        return np.where(coeffs > half, coeffs - self.modulus, coeffs)
+
+    # -- coefficient-wise operations (the RPAU instruction set) ---------------
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return (a + b) % self.modulus
+
+    def sub(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return (a - b) % self.modulus
+
+    def neg(self, a: np.ndarray) -> np.ndarray:
+        return (self.modulus - a) % self.modulus
+
+    def pointwise_mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return (a * b) % self.modulus
+
+    def scalar_mul(self, a: np.ndarray, scalar: int) -> np.ndarray:
+        return (a * (scalar % self.modulus)) % self.modulus
+
+    # -- transforms ------------------------------------------------------------
+
+    def ntt(self, coeffs: np.ndarray) -> np.ndarray:
+        return self.transformer.forward(coeffs)
+
+    def intt(self, values: np.ndarray) -> np.ndarray:
+        return self.transformer.inverse(values)
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Full negacyclic product (NTT, pointwise, INTT)."""
+        return self.transformer.multiply(a, b)
+
+
+@lru_cache(maxsize=None)
+def ring_context(n: int, modulus: int) -> RingContext:
+    """Shared, cached ring context (NTT tables are expensive to rebuild)."""
+    return RingContext(n, modulus)

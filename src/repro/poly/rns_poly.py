@@ -1,0 +1,177 @@
+"""RNS-resident polynomials: the working format of evaluator and hardware.
+
+An :class:`RnsPoly` is a (k x n) residue matrix plus its basis and a
+domain flag (coefficient domain or NTT domain). It deliberately stays a
+thin wrapper — the FV evaluator and the hardware simulator orchestrate the
+underlying numpy arrays directly when they need to, and use this class at
+API boundaries where the bookkeeping (basis identity, domain mixing)
+prevents real bugs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..rns.basis import RnsBasis
+from .ring import RingContext, ring_context
+
+
+@dataclass
+class RnsPoly:
+    """A polynomial resident in an RNS basis.
+
+    Attributes:
+        basis: the RNS basis the residues live in.
+        n: ring degree.
+        residues: int64 matrix of shape (basis.size, n).
+        ntt_domain: True when rows hold NTT evaluations, False for
+            coefficients.
+    """
+
+    basis: RnsBasis
+    residues: np.ndarray
+    ntt_domain: bool = False
+
+    def __post_init__(self) -> None:
+        self.residues = np.asarray(self.residues, dtype=np.int64)
+        if self.residues.ndim != 2:
+            raise ParameterError("residues must be a 2-D matrix")
+        if self.residues.shape[0] != self.basis.size:
+            raise ParameterError(
+                f"residue matrix rows ({self.residues.shape[0]}) do not "
+                f"match basis size ({self.basis.size})"
+            )
+        self.residues %= self.basis.primes_col
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def zero(cls, basis: RnsBasis, n: int) -> "RnsPoly":
+        return cls(basis, np.zeros((basis.size, n), dtype=np.int64))
+
+    @classmethod
+    def from_int_coeffs(cls, basis: RnsBasis, coeffs) -> "RnsPoly":
+        """Build from big-integer coefficients (exact residue reduction)."""
+        return cls(basis, basis.residues_of_coeffs(list(coeffs)))
+
+    @classmethod
+    def from_small_coeffs(cls, basis: RnsBasis, coeffs) -> "RnsPoly":
+        """Build from machine-int coefficients (fast path, e.g. samples)."""
+        arr = np.asarray(coeffs, dtype=np.int64)[None, :]
+        return cls(basis, arr % basis.primes_col)
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.residues.shape[1]
+
+    def ring(self, row: int) -> RingContext:
+        return ring_context(self.n, self.basis.primes[row])
+
+    def copy(self) -> "RnsPoly":
+        return RnsPoly(self.basis, self.residues.copy(), self.ntt_domain)
+
+    # -- conversions ------------------------------------------------------------
+
+    def to_int_coeffs(self) -> list[int]:
+        """Exact CRT reconstruction to [0, modulus) coefficients."""
+        self._require_coeff_domain("to_int_coeffs")
+        return self.basis.reconstruct_coeffs(self.residues)
+
+    def to_centered_coeffs(self) -> list[int]:
+        """Exact CRT reconstruction to centered coefficients."""
+        self._require_coeff_domain("to_centered_coeffs")
+        return self.basis.reconstruct_coeffs_centered(self.residues)
+
+    def to_ntt(self) -> "RnsPoly":
+        """Forward NTT on every residue row."""
+        self._require_coeff_domain("to_ntt")
+        rows = [
+            self.ring(i).ntt(self.residues[i])
+            for i in range(self.basis.size)
+        ]
+        return RnsPoly(self.basis, np.stack(rows), ntt_domain=True)
+
+    def to_coeff(self) -> "RnsPoly":
+        """Inverse NTT on every residue row."""
+        if not self.ntt_domain:
+            return self.copy()
+        rows = [
+            self.ring(i).intt(self.residues[i])
+            for i in range(self.basis.size)
+        ]
+        return RnsPoly(self.basis, np.stack(rows), ntt_domain=False)
+
+    # -- arithmetic --------------------------------------------------------------
+
+    def _assert_compatible(self, other: "RnsPoly") -> None:
+        if self.basis is not other.basis and (
+            self.basis.primes != other.basis.primes
+        ):
+            raise ParameterError("operands live in different RNS bases")
+        if self.ntt_domain != other.ntt_domain:
+            raise ParameterError("operands live in different domains")
+        if self.n != other.n:
+            raise ParameterError("operands have different degrees")
+
+    def _require_coeff_domain(self, op: str) -> None:
+        if self.ntt_domain:
+            raise ParameterError(f"{op} requires the coefficient domain")
+
+    def __add__(self, other: "RnsPoly") -> "RnsPoly":
+        self._assert_compatible(other)
+        return RnsPoly(
+            self.basis,
+            (self.residues + other.residues) % self.basis.primes_col,
+            self.ntt_domain,
+        )
+
+    def __sub__(self, other: "RnsPoly") -> "RnsPoly":
+        self._assert_compatible(other)
+        return RnsPoly(
+            self.basis,
+            (self.residues - other.residues) % self.basis.primes_col,
+            self.ntt_domain,
+        )
+
+    def __neg__(self) -> "RnsPoly":
+        return RnsPoly(
+            self.basis,
+            (-self.residues) % self.basis.primes_col,
+            self.ntt_domain,
+        )
+
+    def pointwise_mul(self, other: "RnsPoly") -> "RnsPoly":
+        """Coefficient-wise product (requires both operands in NTT domain)."""
+        self._assert_compatible(other)
+        if not self.ntt_domain:
+            raise ParameterError("pointwise_mul requires the NTT domain")
+        return RnsPoly(
+            self.basis,
+            (self.residues * other.residues) % self.basis.primes_col,
+            ntt_domain=True,
+        )
+
+    def multiply(self, other: "RnsPoly") -> "RnsPoly":
+        """Negacyclic product via per-row NTT (both in coefficient domain)."""
+        self._assert_compatible(other)
+        self._require_coeff_domain("multiply")
+        rows = [
+            self.ring(i).multiply(self.residues[i], other.residues[i])
+            for i in range(self.basis.size)
+        ]
+        return RnsPoly(self.basis, np.stack(rows), ntt_domain=False)
+
+    def scalar_mul(self, scalar: int) -> "RnsPoly":
+        cols = np.array(
+            [scalar % p for p in self.basis.primes], dtype=np.int64
+        )[:, None]
+        return RnsPoly(
+            self.basis,
+            (self.residues * cols) % self.basis.primes_col,
+            self.ntt_domain,
+        )

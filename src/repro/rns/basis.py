@@ -1,0 +1,263 @@
+"""RNS bases and the precomputed constant tables of the paper's ROMs.
+
+An :class:`RnsBasis` is an ordered tuple of pairwise-coprime primes. The
+class precomputes every constant the hardware keeps in read-only memory:
+
+* ``q_star[i] = q / q_i`` and ``q_tilde[i] = (q/q_i)^-1 mod q_i``
+  (Theorem 1 of the paper);
+* fixed-point reciprocals ``round(2^89 / q_i)`` used by the HPS quotient
+  estimate — the paper stores 89 fractional bits of ``1/q_i`` of which the
+  first 29 are zero, i.e. a 60-bit mantissa (Sec. V-B2);
+* cross-basis reduction tables ``q_star[i] mod t_j`` for base extension.
+
+:class:`LiftContext` and :class:`ScaleContext` bundle the cross-basis
+tables for the two conversions of Figs. 6 and 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from math import prod
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..nttmath.modmath import modinv
+
+RECIP_FRACTION_BITS = 89
+"""Fixed-point precision of the stored reciprocals 1/q_i (paper Sec. V-B2)."""
+
+SCALE_FRACTION_BITS = 60
+"""Fixed-point precision of the fractional scale constants R_i (Sec. V-C)."""
+
+_MASK30 = (1 << 30) - 1
+
+
+class RnsBasis:
+    """An ordered RNS basis with precomputed CRT constants."""
+
+    def __init__(self, primes) -> None:
+        self.primes = tuple(int(p) for p in primes)
+        if len(set(self.primes)) != len(self.primes):
+            raise ParameterError("RNS basis primes must be distinct")
+        if any(p < 3 for p in self.primes):
+            raise ParameterError("RNS basis primes must be odd primes")
+        self.modulus = prod(self.primes)
+        self.size = len(self.primes)
+        self.q_star = tuple(self.modulus // p for p in self.primes)
+        self.q_tilde = tuple(
+            modinv(star % p, p) for star, p in zip(self.q_star, self.primes)
+        )
+        # The garbled-free constants as numpy columns for vectorised use.
+        self.primes_col = np.array(self.primes, dtype=np.int64)[:, None]
+        self.q_tilde_col = np.array(self.q_tilde, dtype=np.int64)[:, None]
+        # 89-fractional-bit reciprocals; for ~30-bit primes the value fits
+        # in 60 bits (first 29 fractional bits of 1/q_i are zero).
+        self.recip = tuple(
+            ((1 << RECIP_FRACTION_BITS) + p // 2) // p for p in self.primes
+        )
+        recips = np.array(self.recip, dtype=np.int64)
+        if any(r >= (1 << 62) for r in self.recip):
+            raise ParameterError("reciprocal table overflows the datapath")
+        self.recip_hi_col = (recips >> 30)[:, None]
+        self.recip_lo_col = (recips & _MASK30)[:, None]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RnsBasis(size={self.size}, bits={self.modulus.bit_length()})"
+
+    # -- conversions -----------------------------------------------------------
+
+    def residues_of(self, value: int) -> np.ndarray:
+        """Residue vector of a single integer."""
+        return np.array([value % p for p in self.primes], dtype=np.int64)
+
+    def residues_of_coeffs(self, coeffs) -> np.ndarray:
+        """Residue matrix (size x n) of a list of big integers."""
+        return np.array(
+            [[int(c) % p for c in coeffs] for p in self.primes],
+            dtype=np.int64,
+        )
+
+    def reconstruct(self, residues) -> int:
+        """Exact CRT reconstruction of one residue vector into [0, modulus)."""
+        total = 0
+        for value, star, tilde, p in zip(
+            residues, self.q_star, self.q_tilde, self.primes
+        ):
+            total += (int(value) * tilde % p) * star
+        return total % self.modulus
+
+    def reconstruct_centered(self, residues) -> int:
+        """CRT reconstruction into (-modulus/2, modulus/2]."""
+        value = self.reconstruct(residues)
+        if value > self.modulus // 2:
+            value -= self.modulus
+        return value
+
+    def reconstruct_coeffs(self, residue_matrix: np.ndarray) -> list[int]:
+        """Column-wise CRT of a (size x n) residue matrix to big integers."""
+        matrix = np.asarray(residue_matrix)
+        if matrix.shape[0] != self.size:
+            raise ParameterError(
+                f"residue matrix has {matrix.shape[0]} rows, basis needs "
+                f"{self.size}"
+            )
+        columns = matrix.T.tolist()
+        return [self.reconstruct(column) for column in columns]
+
+    def reconstruct_coeffs_centered(
+        self, residue_matrix: np.ndarray
+    ) -> list[int]:
+        half = self.modulus // 2
+        return [
+            v - self.modulus if v > half else v
+            for v in self.reconstruct_coeffs(residue_matrix)
+        ]
+
+    # -- cross-basis tables ------------------------------------------------------
+
+    def star_mod_table(self, target_primes) -> np.ndarray:
+        """Matrix ``q_star[i] mod t_j`` with shape (len(targets), size)."""
+        return np.array(
+            [[star % t for star in self.q_star] for t in target_primes],
+            dtype=np.int64,
+        )
+
+    def modulus_mod(self, target_primes) -> np.ndarray:
+        """Vector ``modulus mod t_j``."""
+        return np.array(
+            [self.modulus % t for t in target_primes], dtype=np.int64
+        )
+
+
+@dataclass(frozen=True)
+class LiftContext:
+    """Precomputed tables for one base extension (paper Fig. 6).
+
+    ``source`` is the basis the residues live in; ``target_primes`` are the
+    primes whose residues are produced. For Lift q->Q the target is the
+    p-basis; for the final step of Scale Q->q the roles are reversed.
+    """
+
+    source: RnsBasis
+    target_primes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "star_table", self.source.star_mod_table(self.target_primes)
+        )
+        object.__setattr__(
+            self, "q_mod_target", self.source.modulus_mod(self.target_primes)
+        )
+        object.__setattr__(
+            self,
+            "target_col",
+            np.array(self.target_primes, dtype=np.int64)[:, None],
+        )
+
+
+@dataclass(frozen=True)
+class ScaleContext:
+    """Precomputed tables for Scale Q->q with the HPS method (Fig. 9).
+
+    The input lives in the full basis Q = q-basis ∪ p-basis; the output is
+    round(t * x / q) in the q-basis. Constants:
+
+    * ``int_table[j][i]``: integer part of ``t * Q~_i * (p / q_i)`` taken
+      mod p-prime j — wait, precisely: the constant multiplying
+      ``x'_i = [x_i * Q~_i]_{q_i}`` is ``t * Q*_i / q`` whose integer part
+      ``I_i`` is tabulated modulo each output-stage prime and whose
+      fractional part ``R_i`` is stored with 60 fixed-point bits;
+    * ``p_term[j]``: the surviving integer constant ``t * Q*_j / q mod q_j``
+      for the p-basis residue's own channel (Fig. 9 Block 3);
+    * a :class:`LiftContext` from the p-basis to the q-basis for the final
+      base extension (Fig. 9 Block 5).
+    """
+
+    q_basis: RnsBasis
+    p_basis: RnsBasis
+    t: int
+
+    def __post_init__(self) -> None:
+        q = self.q_basis.modulus
+        p = self.p_basis.modulus
+        big_q = q * p
+        # Q~_k = (Q / q_k)^-1 mod q_k for every prime of the full basis.
+        q_tilde_q = [
+            modinv((big_q // qi) % qi, qi) for qi in self.q_basis.primes
+        ]
+        q_tilde_p = [
+            modinv((big_q // pj) % pj, pj) for pj in self.p_basis.primes
+        ]
+        object.__setattr__(
+            self,
+            "x_prime_mult_q",
+            np.array(q_tilde_q, dtype=np.int64)[:, None],
+        )
+        object.__setattr__(
+            self,
+            "x_prime_mult_p",
+            np.array(q_tilde_p, dtype=np.int64)[:, None],
+        )
+        # For q-basis channels: t * Q*_i / q = t * p / q_i = I_i + R_i.
+        int_rows = []
+        frac_hi = []
+        frac_lo = []
+        for qi in self.q_basis.primes:
+            numerator = self.t * p
+            integer_part = numerator // qi
+            remainder = numerator % qi
+            fraction = (remainder << SCALE_FRACTION_BITS) // qi
+            int_rows.append(
+                [integer_part % pj for pj in self.p_basis.primes]
+            )
+            frac_hi.append(fraction >> 30)
+            frac_lo.append(fraction & _MASK30)
+        object.__setattr__(
+            self,
+            "int_table",
+            np.array(int_rows, dtype=np.int64).T,  # (k_p, k_q)
+        )
+        object.__setattr__(
+            self, "frac_hi_col", np.array(frac_hi, dtype=np.int64)[:, None]
+        )
+        object.__setattr__(
+            self, "frac_lo_col", np.array(frac_lo, dtype=np.int64)[:, None]
+        )
+        # For p-basis channel j: t * Q*_j / q = t * (p / p_j) (an integer),
+        # taken mod p_j. All other p-channels vanish mod p_j.
+        object.__setattr__(
+            self,
+            "p_term",
+            np.array(
+                [
+                    (self.t * (p // pj)) % pj
+                    for pj in self.p_basis.primes
+                ],
+                dtype=np.int64,
+            )[:, None],
+        )
+        object.__setattr__(
+            self,
+            "final_lift",
+            LiftContext(self.p_basis, self.q_basis.primes),
+        )
+
+
+@lru_cache(maxsize=None)
+def basis_for(primes: tuple[int, ...]) -> RnsBasis:
+    """Cached basis construction (constant tables are reused everywhere)."""
+    return RnsBasis(primes)
+
+
+@lru_cache(maxsize=None)
+def lift_context(source_primes: tuple[int, ...],
+                 target_primes: tuple[int, ...]) -> LiftContext:
+    return LiftContext(basis_for(source_primes), tuple(target_primes))
+
+
+@lru_cache(maxsize=None)
+def scale_context(q_primes: tuple[int, ...], p_primes: tuple[int, ...],
+                  t: int) -> ScaleContext:
+    return ScaleContext(basis_for(q_primes), basis_for(p_primes), t)

@@ -1,0 +1,131 @@
+"""Lift q->Q: base extension of residue polynomials (paper Sec. IV-C).
+
+Two algorithms, as in the paper:
+
+* :func:`lift_traditional` — exact CRT reconstruction followed by
+  reduction modulo the new primes (Eq. 1, the Fig. 5 architecture). It
+  involves multi-precision arithmetic, which is what makes the
+  corresponding hardware slow.
+* :func:`lift_hps` — the Halevi–Polyakov–Shoup approximate method (Eq. 2,
+  the Fig. 6 architecture): only single-word arithmetic, with the CRT
+  quotient ``v`` estimated from fixed-point reciprocals. The estimate is
+  exact except when the value sits within ~2^-59 of a rounding boundary,
+  in which case the lifted representative shifts by one multiple of q —
+  harmless for FV (it adds a q-multiple absorbed by the scale step).
+
+Both functions map a residue matrix over the source basis to the residue
+matrix over ``target_primes`` of (a representative of) the same integers.
+The HPS lift produces the *centered* representative in (-q/2, q/2]; the
+traditional lift produces the standard representative in [0, q). Tests
+check both against exact big-integer CRT.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+from .basis import RECIP_FRACTION_BITS, LiftContext, RnsBasis
+
+_MASK30 = (1 << 30) - 1
+
+
+def _check_input(basis: RnsBasis, residues: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(residues, dtype=np.int64)
+    if matrix.ndim != 2 or matrix.shape[0] != basis.size:
+        raise ParameterError(
+            f"expected a ({basis.size} x n) residue matrix, got shape "
+            f"{matrix.shape}"
+        )
+    return matrix
+
+
+def hps_quotient(basis: RnsBasis, x_prime: np.ndarray) -> np.ndarray:
+    """Exact fixed-point evaluation of v' = round(sum_i x'_i / q_i).
+
+    This reproduces Fig. 6 Block 3 bit-for-bit: each 1/q_i is the stored
+    89-fractional-bit reciprocal (60 significant bits); the products are
+    accumulated in split 30-bit limbs so that int64 arithmetic never
+    overflows, and the final rounding is exact.
+    """
+    # Split accumulation: T = sum x'_i * recip_i = S_hi * 2^30 + S_lo.
+    s_hi = (x_prime * basis.recip_hi_col).sum(axis=0)
+    s_lo = (x_prime * basis.recip_lo_col).sum(axis=0)
+    # v' = floor((T + 2^88) / 2^89); the carry propagation below is exact
+    # because the discarded low 30 bits can never push the sum across a
+    # multiple of 2^89 (see DESIGN.md / tests for the proof obligation).
+    half = 1 << (RECIP_FRACTION_BITS - 1 - 30)  # 2^88 expressed in 2^30 units
+    carry = s_lo >> 30
+    return (s_hi + half + carry) >> (RECIP_FRACTION_BITS - 30)
+
+
+def lift_hps(context: LiftContext, residues: np.ndarray) -> np.ndarray:
+    """HPS base extension (paper Eq. 2 / Fig. 6), fully vectorised.
+
+    Returns the residues modulo ``context.target_primes`` of the centered
+    representative of the input.
+    """
+    basis = context.source
+    matrix = _check_input(basis, residues)
+    # Block 1: x'_i = x_i * q~_i mod q_i.
+    x_prime = (matrix * basis.q_tilde_col) % basis.primes_col
+    # Block 3 (independent of block 2): quotient estimate.
+    v = hps_quotient(basis, x_prime)
+    # Block 2: a'_j = sum_i x'_i * (q*_i mod t_j) mod t_j. Products are
+    # reduced term-by-term before summation so any basis size is safe.
+    n = matrix.shape[1]
+    out = np.empty((len(context.target_primes), n), dtype=np.int64)
+    for j, t_j in enumerate(context.target_primes):
+        star_row = context.star_table[j][:, None]
+        partial = (x_prime * star_row) % t_j
+        sop = partial.sum(axis=0) % t_j
+        # Blocks 4 and 5: subtract v * (q mod t_j).
+        correction = (v * int(context.q_mod_target[j])) % t_j
+        out[j] = (sop - correction) % t_j
+    return out
+
+
+def lift_hps_reference(context: LiftContext,
+                       residues: np.ndarray) -> np.ndarray:
+    """Big-integer re-evaluation of the HPS formula (for testing).
+
+    Computes exactly the same quantity as :func:`lift_hps` but with
+    unbounded Python integers, proving the limb-split arithmetic exact.
+    """
+    basis = context.source
+    matrix = _check_input(basis, residues)
+    n = matrix.shape[1]
+    out = np.empty((len(context.target_primes), n), dtype=np.int64)
+    half = 1 << (RECIP_FRACTION_BITS - 1)
+    for col in range(n):
+        x_prime = [
+            int(matrix[i, col]) * basis.q_tilde[i] % basis.primes[i]
+            for i in range(basis.size)
+        ]
+        total = sum(
+            xp * basis.recip[i] for i, xp in enumerate(x_prime)
+        )
+        v = (total + half) >> RECIP_FRACTION_BITS
+        value = sum(
+            xp * basis.q_star[i] for i, xp in enumerate(x_prime)
+        ) - v * basis.modulus
+        for j, t_j in enumerate(context.target_primes):
+            out[j, col] = value % t_j
+    return out
+
+
+def lift_traditional(context: LiftContext,
+                     residues: np.ndarray) -> np.ndarray:
+    """Exact CRT lift (paper Eq. 1 / Fig. 5).
+
+    Reconstructs every coefficient with multi-precision arithmetic (the
+    costly part the Fig. 5 architecture pays for with its long-integer
+    division block) and reduces modulo the target primes.
+    """
+    basis = context.source
+    matrix = _check_input(basis, residues)
+    coeffs = basis.reconstruct_coeffs(matrix)
+    return np.array(
+        [[c % t for c in coeffs] for t in context.target_primes],
+        dtype=np.int64,
+    )

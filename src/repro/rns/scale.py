@@ -1,0 +1,94 @@
+"""Scale Q->q: division-and-rounding of residue polynomials (Sec. IV-D).
+
+Given the residues over Q = q*p of a (centered) coefficient x, compute the
+residues over q of ``round(t * x / q)``.
+
+* :func:`scale_traditional` — exact multi-precision route (Fig. 8):
+  reconstruct x, divide, round, reduce.
+* :func:`scale_hps` — the HPS route (Fig. 9): compute the result in the
+  p-basis with single-word arithmetic using the tabulated integer and
+  60-fractional-bit parts of ``t * p / q_i``, then base-extend from the
+  p-basis back to the q-basis with the Fig. 6 lift datapath.
+
+Why the p-basis step is exact modulo each p-prime: expanding
+``t*x/q = sum_k [x_k Q~_k]_{q_k} (t Q*_k / q) - v t p`` shows every term
+except channel k's own survives reduction mod p_j because p divides it.
+The scaled value satisfies |round(t*x/q)| <= t*n*q/4 < p/2 for the paper's
+parameters, so the centered base extension recovers it exactly — this is
+the reason the p-basis has seven primes where q has six.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..utils import round_half_away
+from .basis import SCALE_FRACTION_BITS, RnsBasis, ScaleContext
+from .lift import lift_hps
+
+_MASK30 = (1 << 30) - 1
+
+
+def _split_rows(context: ScaleContext, residues: np.ndarray) -> tuple:
+    matrix = np.asarray(residues, dtype=np.int64)
+    expected = context.q_basis.size + context.p_basis.size
+    if matrix.ndim != 2 or matrix.shape[0] != expected:
+        raise ParameterError(
+            f"expected a ({expected} x n) residue matrix over Q, got shape "
+            f"{matrix.shape}"
+        )
+    return matrix[: context.q_basis.size], matrix[context.q_basis.size:]
+
+
+def scale_hps(context: ScaleContext, residues: np.ndarray) -> np.ndarray:
+    """HPS scale-and-round (Fig. 9), fully vectorised and bit-exact.
+
+    ``residues`` rows are ordered q-basis first then p-basis, matching how
+    the coprocessor stores an R_Q polynomial across its RPAUs.
+    """
+    q_rows, p_rows = _split_rows(context, residues)
+    # Fig. 9 Block 1/2 prep: x'_i = x_i * Q~_i mod q_i for the q-basis part.
+    x_prime_q = (q_rows * context.x_prime_mult_q) % context.q_basis.primes_col
+    # Fractional accumulation sop_R = round(sum_i x'_i * R_i) via split
+    # 30-bit limbs (exact; see rns.lift.hps_quotient for the argument).
+    s_hi = (x_prime_q * context.frac_hi_col).sum(axis=0)
+    s_lo = (x_prime_q * context.frac_lo_col).sum(axis=0)
+    half = 1 << (SCALE_FRACTION_BITS - 1 - 30)
+    rounded = (s_hi + half + (s_lo >> 30)) >> (SCALE_FRACTION_BITS - 30)
+    # Per-output-channel integer accumulation and own-channel term.
+    k_p, n = p_rows.shape
+    y_p = np.empty((k_p, n), dtype=np.int64)
+    for j in range(k_p):
+        p_j = context.p_basis.primes[j]
+        int_row = context.int_table[j][:, None]
+        sop_i = ((x_prime_q * int_row) % p_j).sum(axis=0) % p_j
+        # Fig. 9 Block 3: a'_j = [x_j * Q~_j]_{p_j} * (t * p/p_j mod p_j).
+        x_prime_j = (p_rows[j] * int(context.x_prime_mult_p[j, 0])) % p_j
+        own = (x_prime_j * int(context.p_term[j, 0])) % p_j
+        # Fig. 9 Block 4: combine integer SoP, rounded fraction, own term.
+        y_p[j] = (sop_i + rounded + own) % p_j
+    # Fig. 9 Block 5: base-extend the p-basis result back to the q-basis
+    # re-using the lift datapath, exactly as the hardware does.
+    return lift_hps(context.final_lift, y_p)
+
+
+def scale_traditional(context: ScaleContext,
+                      residues: np.ndarray) -> np.ndarray:
+    """Exact multi-precision scale-and-round (Fig. 8).
+
+    Reconstructs the centered value over Q, computes round(t*x/q), and
+    reduces modulo the q-basis primes. This is the functional model of the
+    slower coprocessor variant (Sec. VI-C).
+    """
+    matrix = np.asarray(residues, dtype=np.int64)
+    q_rows, p_rows = _split_rows(context, residues)
+    full_primes = context.q_basis.primes + context.p_basis.primes
+    full_basis = RnsBasis(full_primes)
+    coeffs = full_basis.reconstruct_coeffs_centered(matrix)
+    q = context.q_basis.modulus
+    scaled = [round_half_away(context.t * c, q) for c in coeffs]
+    return np.array(
+        [[v % qi for v in scaled] for qi in context.q_basis.primes],
+        dtype=np.int64,
+    )

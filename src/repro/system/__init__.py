@@ -1,0 +1,27 @@
+"""System level: the Arm+FPGA server of paper Fig. 11 and its baselines.
+
+* :mod:`~repro.system.arm` — cost model of the baremetal Arm software;
+* :mod:`~repro.system.baseline` — instrumented software FV mapped onto
+  the Intel i5 / FV-NFLlib reference of Sec. VI-E;
+* :mod:`~repro.system.related_work` — the comparison points of Sec. VI-E;
+* :mod:`~repro.system.server` — the dual-coprocessor cloud server with
+  its three Arm cores and job scheduler;
+* :mod:`~repro.system.workloads` — homomorphic job streams for the
+  throughput experiments.
+"""
+
+from .arm import ArmCoreModel
+from .baseline import SoftwareBaseline
+from .server import CloudServer, JobResult
+from .workloads import Job, JobKind, mixed_workload, mult_stream
+
+__all__ = [
+    "ArmCoreModel",
+    "SoftwareBaseline",
+    "CloudServer",
+    "JobResult",
+    "Job",
+    "JobKind",
+    "mult_stream",
+    "mixed_workload",
+]

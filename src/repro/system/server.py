@@ -1,0 +1,152 @@
+"""The cloud server: 2 coprocessors + 3 Arm cores (paper Fig. 11).
+
+The paper reserves one Arm application core per coprocessor and a third
+core for networking and DDR/DMA arbitration (Xilinx mutex IP prevents
+simultaneous DMA requests). This module models that system at the job
+level: each homomorphic request pays its ciphertext transfers and its
+coprocessor compute time, coprocessors run in parallel, and the scheduler
+dispatches to the earliest-free instance — reproducing the paper's "two
+Mult operations take roughly the same time as one" and the 400 Mult/s
+headline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hw.config import HardwareConfig
+from ..hw.coprocessor import Coprocessor
+from ..hw.dma import DmaModel
+from ..params import ParameterSet
+from .arm import ArmCoreModel
+from .workloads import Job, JobKind
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Completion record of one scheduled job."""
+
+    job: Job
+    coprocessor: int
+    start_seconds: float
+    finish_seconds: float
+
+    @property
+    def latency_seconds(self) -> float:
+        return self.finish_seconds - self.job.arrival_seconds
+
+
+@dataclass
+class ServeReport:
+    """Timing summary of one workload run."""
+
+    results: list[JobResult] = field(default_factory=list)
+
+    @property
+    def makespan_seconds(self) -> float:
+        return max((r.finish_seconds for r in self.results), default=0.0)
+
+    def throughput_per_second(self, kind: JobKind | None = None) -> float:
+        jobs = [r for r in self.results
+                if kind is None or r.job.kind is kind]
+        if not jobs or self.makespan_seconds == 0:
+            return 0.0
+        return len(jobs) / self.makespan_seconds
+
+    @property
+    def mean_latency_seconds(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.latency_seconds for r in self.results) / len(self.results)
+
+
+class CloudServer:
+    """The Arm+FPGA homomorphic computing server."""
+
+    def __init__(self, params: ParameterSet,
+                 config: HardwareConfig | None = None) -> None:
+        self.params = params
+        self.config = config or HardwareConfig()
+        self.dma = DmaModel(self.config)
+        self.arm = ArmCoreModel(self.config)
+        # One functional coprocessor is enough to derive the per-op
+        # latencies; the scheduler replicates its timing N times.
+        self.reference = Coprocessor(params, self.config)
+        self._mult_seconds_cache: float | None = None
+
+    # -- per-job costs ---------------------------------------------------------------
+
+    def transfer_in_seconds(self, num_operands: int = 2) -> float:
+        return self.dma.send_ciphertexts_seconds(self.params.poly_bytes,
+                                                 num_operands)
+
+    def transfer_out_seconds(self) -> float:
+        return self.dma.receive_ciphertext_seconds(self.params.poly_bytes)
+
+    def mult_compute_seconds(self) -> float:
+        """Modelled Mult latency (includes relin key streaming)."""
+        if self._mult_seconds_cache is None:
+            from ..hw.compiler import expected_table2_calls
+            from ..hw.isa import Opcode
+
+            model = self.reference.instruction_cycle_model()
+            calls = expected_table2_calls(self.params, self.config)
+            cycles = sum(
+                model[op] * count for op, count in calls.items()
+                if op in model
+            )
+            # Digit broadcasts.
+            digit_cycles = (self.params.n // 2
+                            + self.config.stage_sync_overhead)
+            cycles += calls[Opcode.DIGIT] * digit_cycles
+            seconds = cycles / self.config.fpga_clock_hz
+            # Relinearisation key streaming.
+            if not self.config.relin_key_on_chip:
+                per_component = 2 * (
+                    self.dma.transfer_seconds(self.params.poly_bytes)
+                    + self.dma.arm_setup_seconds
+                )
+                seconds += calls[Opcode.LOAD_RLK] * per_component
+            self._mult_seconds_cache = seconds
+        return self._mult_seconds_cache
+
+    def add_compute_seconds(self) -> float:
+        from ..hw.isa import Opcode
+
+        model = self.reference.instruction_cycle_model()
+        return 2 * model[Opcode.CADD] / self.config.fpga_clock_hz
+
+    def job_seconds(self, kind: JobKind) -> float:
+        compute = (self.mult_compute_seconds() if kind is JobKind.MULT
+                   else self.add_compute_seconds())
+        return (self.transfer_in_seconds() + compute
+                + self.transfer_out_seconds())
+
+    # -- scheduling --------------------------------------------------------------------
+
+    def serve(self, jobs: list[Job]) -> ServeReport:
+        """Dispatch jobs to the earliest-free coprocessor."""
+        free_at = [0.0] * self.config.num_coprocessors
+        report = ServeReport()
+        for job in jobs:
+            coproc = min(range(len(free_at)), key=free_at.__getitem__)
+            start = max(free_at[coproc], job.arrival_seconds)
+            finish = start + self.job_seconds(job.kind)
+            free_at[coproc] = finish
+            report.results.append(
+                JobResult(job=job, coprocessor=coproc,
+                          start_seconds=start, finish_seconds=finish)
+            )
+        return report
+
+    # -- headline numbers ----------------------------------------------------------------
+
+    def mult_throughput_per_second(self) -> float:
+        """The paper's 400-Mult/s claim (both coprocessors busy)."""
+        return self.config.num_coprocessors / self.job_seconds(JobKind.MULT)
+
+    def add_speedup_over_sw(self) -> float:
+        """Table I: Add in SW / Add in HW (incl. transfers) ~ 80x."""
+        hw = self.job_seconds(JobKind.ADD)
+        sw = self.arm.add_in_sw_seconds(self.params)
+        return sw / hw

@@ -1,0 +1,53 @@
+"""Shared fixtures: parameter sets, contexts, and keys.
+
+Key generation is the slow part of the suite, so contexts and key sets
+are session-scoped; tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fv.scheme import FvContext
+from repro.params import hpca19, mini, toy
+
+
+@pytest.fixture(scope="session")
+def toy_params():
+    return toy()
+
+
+@pytest.fixture(scope="session")
+def mini_params():
+    return mini()
+
+
+@pytest.fixture(scope="session")
+def paper_params():
+    return hpca19()
+
+
+@pytest.fixture(scope="session")
+def toy_context(toy_params):
+    return FvContext(toy_params, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def toy_keys(toy_context):
+    return toy_context.keygen()
+
+
+@pytest.fixture(scope="session")
+def mini_context(mini_params):
+    return FvContext(mini_params, seed=5678)
+
+
+@pytest.fixture(scope="session")
+def mini_keys(mini_context):
+    return mini_context.keygen()
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(97)

@@ -1,0 +1,198 @@
+"""Tests for the three cloud applications (paper Sec. III-A)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.forecasting import SmartGridAggregator, plaintext_reference
+from repro.apps.lookup import EncryptedLookupTable, selection_depth
+from repro.apps.rasta_like import RastaLikeCipher
+from repro.errors import ParameterError
+from repro.fv.encoder import Plaintext
+from repro.fv.noise import noise_budget_bits
+from repro.fv.scheme import FvContext
+from repro.params import mini, toy
+
+
+@pytest.fixture(scope="module")
+def batch_context():
+    return FvContext(mini(t=65537), seed=21)
+
+
+@pytest.fixture(scope="module")
+def batch_keys(batch_context):
+    return batch_context.keygen()
+
+
+@pytest.fixture(scope="module")
+def lut_context():
+    return FvContext(mini(t=257), seed=22)
+
+
+@pytest.fixture(scope="module")
+def lut_keys(lut_context):
+    return lut_context.keygen()
+
+
+@pytest.fixture(scope="module")
+def bit_context():
+    return FvContext(mini(t=2), seed=23)
+
+
+@pytest.fixture(scope="module")
+def bit_keys(bit_context):
+    return bit_context.keygen()
+
+
+class TestForecasting:
+    @pytest.fixture(scope="class")
+    def aggregator(self, batch_context, batch_keys):
+        return SmartGridAggregator(batch_context, batch_keys)
+
+    @pytest.fixture(scope="class")
+    def readings(self):
+        rng = np.random.default_rng(41)
+        return rng.integers(0, 300, size=(6, 24))
+
+    @pytest.fixture(scope="class")
+    def meter_cts(self, aggregator, readings):
+        return [aggregator.encrypt_readings(r) for r in readings]
+
+    def test_total(self, aggregator, readings, meter_cts):
+        total = aggregator.decrypt_slots(aggregator.total(meter_cts), 24)
+        assert np.array_equal(total, readings.sum(axis=0) % 65537)
+
+    def test_sum_of_squares(self, aggregator, readings, meter_cts):
+        result = aggregator.decrypt_slots(
+            aggregator.sum_of_squares(meter_cts), 24
+        )
+        assert np.array_equal(result, (readings ** 2).sum(axis=0) % 65537)
+
+    def test_weighted_forecast(self, aggregator, readings, meter_cts):
+        weights = [4, 2, 1]
+        result = aggregator.decrypt_slots(
+            aggregator.weighted_forecast(meter_cts[:3], weights), 24
+        )
+        reference = plaintext_reference(readings, weights, 65537)
+        assert np.array_equal(result, reference["forecast"])
+
+    def test_individual_readings_stay_hidden(self, aggregator, readings,
+                                             meter_cts):
+        """Ciphertexts of different meters are not comparable."""
+        assert not np.array_equal(meter_cts[0].c0.residues,
+                                  meter_cts[1].c0.residues)
+
+    def test_grand_total_via_rotations(self, aggregator, readings,
+                                       meter_cts, batch_context,
+                                       batch_keys):
+        """Galois-rotation extension: one number for the whole fleet."""
+        from repro.fv.galois import GaloisEngine
+
+        engine = GaloisEngine(batch_context)
+        summation_keys = engine.summation_keygen(batch_keys.secret)
+        total_ct = aggregator.grand_total(meter_cts, summation_keys)
+        decoded = aggregator.decrypt_slots(total_ct, 1)
+        assert decoded[0] == int(readings.sum()) % 65537
+
+    def test_weight_mismatch_rejected(self, aggregator, meter_cts):
+        with pytest.raises(ParameterError):
+            aggregator.weighted_forecast(meter_cts[:3], [1, 2])
+
+    def test_empty_meter_list_rejected(self, aggregator):
+        with pytest.raises(ParameterError):
+            aggregator.total([])
+
+
+class TestLookup:
+    TABLE = [13, 42, 7, 99, 1, 64, 250, 8]
+
+    @pytest.fixture(scope="class")
+    def server(self, lut_context, lut_keys):
+        return EncryptedLookupTable(lut_context, lut_keys, self.TABLE)
+
+    def test_every_index_retrieves_correctly(self, server):
+        for index in range(len(self.TABLE)):
+            reply = server.lookup(server.encrypt_index(index))
+            assert server.decrypt_reply(reply) == self.TABLE[index]
+
+    def test_reply_has_noise_budget_left(self, server, lut_context,
+                                         lut_keys):
+        reply = server.lookup(server.encrypt_index(2))
+        assert noise_budget_bits(lut_context, reply, lut_keys.secret) > 0
+
+    def test_selection_depth_paper_sizing(self):
+        """Sec. III-A: a 2^16-entry table fits the depth-4 budget."""
+        assert selection_depth(1 << 16) == 4
+        assert selection_depth(16) == 2
+        assert selection_depth(2) == 0
+
+    def test_rejects_out_of_range_index(self, server):
+        with pytest.raises(ParameterError):
+            server.encrypt_index(len(self.TABLE))
+
+    def test_rejects_wrong_bit_count(self, server, lut_context, lut_keys):
+        bits = server.encrypt_index(1)
+        with pytest.raises(ParameterError):
+            server.lookup(bits[:-1])
+
+    def test_rejects_oversized_values(self, lut_context, lut_keys):
+        with pytest.raises(ParameterError):
+            EncryptedLookupTable(lut_context, lut_keys, [1, 300])
+
+    def test_rejects_non_power_of_two_table(self, lut_context, lut_keys):
+        with pytest.raises(ParameterError):
+            EncryptedLookupTable(lut_context, lut_keys, [1, 2, 3])
+
+
+class TestRastaLike:
+    def test_homomorphic_evaluation_matches_reference(self, bit_context,
+                                                      bit_keys):
+        cipher = RastaLikeCipher(width=6, rounds=2, seed=9)
+        rng = np.random.default_rng(77)
+        bits = rng.integers(0, 2, 6)
+        n = bit_context.params.n
+        bit_cts = [
+            bit_context.encrypt(Plaintext.from_list([int(b)], n, 2),
+                                bit_keys.public)
+            for b in bits
+        ]
+        out = cipher.evaluate_encrypted(bit_context, bit_keys, bit_cts)
+        got = RastaLikeCipher.decrypt_state(bit_context, bit_keys, out)
+        assert np.array_equal(got, cipher.encrypt_reference(bits))
+
+    def test_four_rounds_within_depth_budget(self, bit_context, bit_keys):
+        """Four chi rounds = multiplicative depth 4 (the paper's budget)."""
+        cipher = RastaLikeCipher(width=4, rounds=4, seed=11)
+        bits = np.array([1, 0, 1, 1])
+        n = bit_context.params.n
+        bit_cts = [
+            bit_context.encrypt(Plaintext.from_list([int(b)], n, 2),
+                                bit_keys.public)
+            for b in bits
+        ]
+        out = cipher.evaluate_encrypted(bit_context, bit_keys, bit_cts)
+        got = RastaLikeCipher.decrypt_state(bit_context, bit_keys, out)
+        assert np.array_equal(got, cipher.encrypt_reference(bits))
+        budget = noise_budget_bits(bit_context, out[0], bit_keys.secret)
+        assert budget > 0
+
+    def test_reference_is_deterministic(self):
+        cipher = RastaLikeCipher(width=5, rounds=3, seed=2)
+        bits = np.array([1, 1, 0, 0, 1])
+        assert np.array_equal(cipher.encrypt_reference(bits),
+                              cipher.encrypt_reference(bits))
+
+    def test_different_seeds_different_ciphers(self):
+        bits = np.array([1, 0, 1, 0])
+        a = RastaLikeCipher(width=4, rounds=2, seed=1)
+        b = RastaLikeCipher(width=4, rounds=2, seed=2)
+        assert not np.array_equal(a.encrypt_reference(bits),
+                                  b.encrypt_reference(bits))
+
+    def test_rejects_narrow_state(self):
+        with pytest.raises(ParameterError):
+            RastaLikeCipher(width=2, rounds=1)
+
+    def test_requires_binary_plaintext_modulus(self, lut_context, lut_keys):
+        cipher = RastaLikeCipher(width=4, rounds=1)
+        with pytest.raises(ParameterError):
+            cipher.evaluate_encrypted(lut_context, lut_keys, [None] * 4)

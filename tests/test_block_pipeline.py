@@ -1,0 +1,69 @@
+"""Tests for the block-level pipeline recurrence (paper Sec. V-B2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HardwareModelError
+from repro.hw.block_pipeline import (
+    pipeline_total_cycles,
+    simulate_block_pipeline,
+)
+
+
+class TestSimulation:
+    def test_single_coefficient_traverses_fill(self):
+        finish = simulate_block_pipeline(1, (6, 7, 7))
+        assert finish[0] == [6, 13, 20]
+
+    def test_steady_state_rate_is_bottleneck(self):
+        finish = simulate_block_pipeline(10, (6, 7, 7, 7, 7))
+        ends = [row[-1] for row in finish]
+        gaps = [b - a for a, b in zip(ends, ends[1:])]
+        # After the fill, one result every 7 cycles.
+        assert all(gap == 7 for gap in gaps[2:])
+
+    def test_data_dependencies_respected(self):
+        finish = simulate_block_pipeline(5, (3, 9, 2))
+        for row in finish:
+            assert row[0] < row[1] < row[2]
+
+    def test_structural_hazards_respected(self):
+        """A block never accepts faster than its initiation interval."""
+        finish = simulate_block_pipeline(6, (4, 4), intervals=(4, 4))
+        starts_block0 = [row[0] - 4 for row in finish]
+        gaps = [b - a for a, b in zip(starts_block0, starts_block0[1:])]
+        assert all(gap >= 4 for gap in gaps)
+
+    def test_rejects_empty(self):
+        with pytest.raises(HardwareModelError):
+            simulate_block_pipeline(0, (1,))
+
+    def test_rejects_mismatched_intervals(self):
+        with pytest.raises(HardwareModelError):
+            simulate_block_pipeline(1, (1, 2), intervals=(1,))
+
+
+class TestClosedForm:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.integers(1, 50),
+        st.lists(st.integers(1, 12), min_size=1, max_size=6),
+    )
+    def test_closed_form_equals_simulation(self, count, latencies):
+        latencies = tuple(latencies)
+        finish = simulate_block_pipeline(count, latencies)
+        assert finish[-1][-1] == pipeline_total_cycles(count, latencies)
+
+    def test_paper_lift_chain(self):
+        """The Fig. 6 chain at the paper's size: 2048 coefficients per
+        core through (6,7,7,7,7) = 34 fill + 2047 x 7 steady state."""
+        total = pipeline_total_cycles(2048, (6, 7, 7, 7, 7))
+        assert total == 34 + 2047 * 7
+
+    def test_scale_chain_close_to_lift(self):
+        """Fig. 9 vs Fig. 6: same bottleneck, only the fill differs —
+        the mechanism behind the near-equal Table II rows."""
+        lift = pipeline_total_cycles(2048, (6, 7, 7, 7, 7))
+        scale = pipeline_total_cycles(2048, (7, 7, 6, 7, 6, 7, 7, 7, 7))
+        assert 0 < scale - lift < 40

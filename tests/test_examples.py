@@ -1,0 +1,59 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples are part of the public deliverable; these tests execute
+them as real subprocesses (the way a user would) and check both the exit
+status and a few landmark lines of their output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart_mini(self):
+        output = run_example("quickstart.py", "--params", "mini")
+        assert "depth 4" in output
+        assert "noise budget" in output
+
+    def test_hw_simulation_demo(self):
+        output = run_example("hw_simulation_demo.py")
+        assert "bit-identical to software evaluator: True" in output
+        assert "Mult total" in output
+        assert "paper" in output
+
+    def test_smart_grid_forecasting(self):
+        output = run_example("smart_grid_forecasting.py")
+        assert "match the plaintext reference" in output
+
+    def test_encrypted_search(self):
+        output = run_example("encrypted_search.py")
+        assert output.count("OK") >= 3
+        assert "depth" in output
+
+    def test_design_space_exploration(self):
+        output = run_example("design_space_exploration.py")
+        assert "paper fast coprocessor" in output
+        assert "slow coprocessor" in output
+
+    def test_encrypted_sorting(self):
+        output = run_example("encrypted_sorting.py")
+        assert output.count("OK") >= 4
+        assert "WRONG" not in output

@@ -1,0 +1,244 @@
+"""Tests for the extension modules: analytic noise model, encrypted
+comparator, network model, NTT trace, and CLI."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.apps.comparator import EncryptedComparator, comparator_depth
+from repro.cli import main as cli_main
+from repro.errors import ParameterError
+from repro.fv.encoder import Plaintext
+from repro.fv.evaluator import Evaluator
+from repro.fv.noise import noise_of
+from repro.fv.noise_model import NoiseModel
+from repro.fv.scheme import FvContext
+from repro.hw.trace import NttTrace, render_fig3
+from repro.params import hpca19, mini, toy
+from repro.system.network import ClientSession, NetworkModel
+from repro.system.server import CloudServer
+
+
+class TestNoiseModel:
+    def test_fresh_bound_dominates_measured(self, toy_context, toy_keys):
+        """The analytic bound must envelope actual fresh noise."""
+        model = NoiseModel(toy_context.params)
+        plain = Plaintext.zero(toy_context.params.n, toy_context.params.t)
+        for _ in range(5):
+            ct = toy_context.encrypt(plain, toy_keys.public)
+            measured = noise_of(toy_context, ct, toy_keys.secret)
+            assert measured <= model.fresh_bound()
+
+    def test_add_bound_dominates_measured(self, toy_context, toy_keys):
+        model = NoiseModel(toy_context.params)
+        plain = Plaintext.zero(toy_context.params.n, toy_context.params.t)
+        ct1 = toy_context.encrypt(plain, toy_keys.public)
+        ct2 = toy_context.encrypt(plain, toy_keys.public)
+        n1 = noise_of(toy_context, ct1, toy_keys.secret)
+        n2 = noise_of(toy_context, ct2, toy_keys.secret)
+        summed = toy_context.add(ct1, ct2)
+        assert noise_of(toy_context, summed, toy_keys.secret) \
+            <= model.add_bound(n1, n2)
+
+    def test_mult_bound_dominates_measured(self, toy_context, toy_keys):
+        model = NoiseModel(toy_context.params)
+        evaluator = Evaluator(toy_context)
+        plain = Plaintext.from_list([1, 1], toy_context.params.n,
+                                    toy_context.params.t)
+        ct = toy_context.encrypt(plain, toy_keys.public)
+        fresh = noise_of(toy_context, ct, toy_keys.secret)
+        product = evaluator.multiply(ct, ct, toy_keys.relin)
+        measured = noise_of(toy_context, product, toy_keys.secret)
+        assert measured <= model.mult_relin_bound(fresh, fresh)
+
+    def test_paper_set_supports_depth_four(self):
+        """The paper's central sizing claim, predicted analytically."""
+        assert NoiseModel(hpca19()).supported_depth() >= 4
+
+    def test_depth_monotone_in_modulus(self):
+        assert NoiseModel(hpca19()).supported_depth() \
+            >= NoiseModel(toy()).supported_depth()
+
+    def test_depth_prediction_matches_observation(self, mini_context,
+                                                  mini_keys):
+        """Worst-case analytic depth is a lower bound on observed depth."""
+        model = NoiseModel(mini_context.params)
+        analytic = model.supported_depth()
+        evaluator = Evaluator(mini_context)
+        plain = Plaintext.from_list([1], mini_context.params.n,
+                                    mini_context.params.t)
+        ct = mini_context.encrypt(plain, mini_keys.public)
+        reached = 0
+        for _ in range(analytic):
+            ct = evaluator.multiply(ct, ct, mini_keys.relin)
+            decrypted = mini_context.decrypt(ct, mini_keys.secret)
+            if decrypted.coeffs[0] != 1 or decrypted.coeffs[1:].any():
+                break
+            reached += 1
+        assert reached >= analytic
+
+    def test_report_renders(self):
+        report = NoiseModel(hpca19()).report()
+        assert "supported depth" in report
+
+    def test_budget_bits(self):
+        model = NoiseModel(hpca19())
+        assert model.budget_bits(1) > model.budget_bits(2 ** 50)
+        assert model.budget_bits(model.decryption_threshold * 2) == 0.0
+
+
+@pytest.fixture(scope="module")
+def comparator_context():
+    return FvContext(mini(t=2), seed=31)
+
+
+@pytest.fixture(scope="module")
+def comparator_keys(comparator_context):
+    return comparator_context.keygen()
+
+
+class TestComparator:
+    def test_less_than_exhaustive_2bit(self, comparator_context,
+                                       comparator_keys):
+        comparator = EncryptedComparator(comparator_context,
+                                         comparator_keys, bits=2)
+        for x, y in itertools.product(range(4), repeat=2):
+            lt = comparator.decrypt_bit(
+                comparator.less_than(comparator.encrypt_value(x),
+                                     comparator.encrypt_value(y))
+            )
+            assert lt == int(x < y), (x, y)
+
+    def test_compare_and_swap_sorts(self, comparator_context,
+                                    comparator_keys):
+        comparator = EncryptedComparator(comparator_context,
+                                         comparator_keys, bits=3)
+        for x, y in ((5, 2), (0, 7), (3, 3), (6, 1)):
+            low, high = comparator.sort_two(x, y)
+            assert (low, high) == (min(x, y), max(x, y)), (x, y)
+
+    def test_value_roundtrip(self, comparator_context, comparator_keys):
+        comparator = EncryptedComparator(comparator_context,
+                                         comparator_keys, bits=4)
+        for value in (0, 7, 15):
+            assert comparator.decrypt_value(
+                comparator.encrypt_value(value)
+            ) == value
+
+    def test_depth_formula(self):
+        assert comparator_depth(1) == 1
+        assert comparator_depth(3) == 3
+
+    def test_rejects_oversized_value(self, comparator_context,
+                                     comparator_keys):
+        comparator = EncryptedComparator(comparator_context,
+                                         comparator_keys, bits=2)
+        with pytest.raises(ParameterError):
+            comparator.encrypt_value(4)
+
+    def test_rejects_non_binary_plaintext(self, mini_context, mini_keys):
+        if mini_context.params.t == 2:
+            pytest.skip("fixture uses t = 2")
+        with pytest.raises(ParameterError):
+            EncryptedComparator(mini_context, mini_keys, bits=2)
+
+    def test_rejects_mismatched_widths(self, comparator_context,
+                                       comparator_keys):
+        comparator = EncryptedComparator(comparator_context,
+                                         comparator_keys, bits=3)
+        a = comparator.encrypt_value(1)
+        with pytest.raises(ParameterError):
+            comparator.less_than(a[:2], a)
+
+
+class TestNetworkModel:
+    @pytest.fixture(scope="class")
+    def client(self):
+        params = hpca19()
+        return ClientSession(params, CloudServer(params))
+
+    def test_round_trip_composition(self, client):
+        trip = client.mult_round_trip()
+        assert trip.total_seconds == pytest.approx(
+            trip.upload_seconds + trip.server_seconds
+            + trip.download_seconds
+        )
+        assert trip.upload_seconds > trip.download_seconds
+
+    def test_naive_deployment_is_network_bound(self, client):
+        """The extension finding: gigabit Ethernet cannot feed 400/s of
+        one-shot multiplications (2 x 196 KiB operands each)."""
+        assert client.is_network_bound()
+        assert client.network_bound_throughput() < 300
+
+    def test_batching_recovers_fpga_throughput(self, client):
+        assert client.batched_throughput(4) == pytest.approx(
+            client.server.mult_throughput_per_second()
+        )
+
+    def test_effective_throughput_is_minimum(self, client):
+        assert client.effective_throughput() == pytest.approx(
+            min(client.server.mult_throughput_per_second(),
+                client.network_bound_throughput())
+        )
+
+    def test_batching_validation(self, client):
+        with pytest.raises(ValueError):
+            client.batched_throughput(0)
+
+    def test_faster_network_removes_bottleneck(self):
+        params = hpca19()
+        tenG = NetworkModel(bandwidth_bytes_per_sec=10 * 125_000_000)
+        client = ClientSession(params, CloudServer(params), tenG)
+        assert not client.is_network_bound()
+
+
+class TestNttTrace:
+    def test_capture_and_verify(self):
+        trace = NttTrace.capture(256)
+        trace.verify_port_limits()
+        # log2(256) stages x (reads + writes) x 128 words.
+        assert len(trace.events) == 8 * 2 * 128
+
+    def test_stage_filtering(self):
+        trace = NttTrace.capture(64)
+        reads = trace.stage_events(1, kind="R")
+        assert len(reads) == 32
+        assert all(e.kind == "R" for e in reads)
+
+    def test_occupancy_at_most_one(self):
+        trace = NttTrace.capture(128)
+        for stage in range(1, 8):
+            assert all(
+                count == 1
+                for count in trace.port_occupancy(stage).values()
+            )
+
+    def test_render_fig3_contains_inverted_order(self):
+        figure = render_fig3(4096)
+        assert "1536, 512, 1537, 513" in figure
+        assert "0, 1024, 1, 1025" in figure
+
+    def test_render_small_ring(self):
+        assert "Iteration m = 2" in render_fig3(64)
+
+
+class TestCli:
+    @pytest.mark.parametrize("command", [
+        "table2", "table3", "table4", "table5", "fig3", "noise", "list",
+    ])
+    def test_commands_run(self, command, capsys):
+        assert cli_main([command]) == 0
+        output = capsys.readouterr().out
+        assert len(output) > 20
+
+    def test_table1_and_headline(self, capsys):
+        assert cli_main(["table1"]) == 0
+        assert cli_main(["headline"]) == 0
+        output = capsys.readouterr().out
+        assert "Mult" in output and "speedup" in output
+
+    def test_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            cli_main(["nope"])

@@ -1,0 +1,283 @@
+"""Tests for the compiler and the instruction-set coprocessor.
+
+The headline properties: the compiled Mult reproduces the paper's
+Table II call counts, and the coprocessor's results are bit-identical to
+the software evaluator's for both coprocessor variants.
+"""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.errors import HardwareModelError, IsaError
+from repro.fv.encoder import Plaintext
+from repro.fv.evaluator import Evaluator
+from repro.hw.compiler import compile_add, compile_mult, expected_table2_calls
+from repro.hw.config import HardwareConfig, slow_coprocessor_config
+from repro.hw.coprocessor import Coprocessor
+from repro.hw.isa import Opcode
+from repro.nttmath.ntt import negacyclic_convolution
+
+CONFIG = HardwareConfig()
+
+# Paper Table II call counts per Mult.
+PAPER_CALLS = {
+    Opcode.NTT: 14,
+    Opcode.INTT: 8,
+    Opcode.CMUL: 20,
+    Opcode.CADD: 26,
+    Opcode.REARRANGE: 22,
+    Opcode.LIFT: 4,
+    Opcode.SCALE: 3,
+}
+
+
+class TestCompiler:
+    def test_mult_call_counts_match_paper(self, paper_params):
+        """NTT/INTT/CMUL/LIFT/SCALE counts are exactly the paper's;
+        CADD and REARRANGE follow our documented bookkeeping (see
+        EXPERIMENTS.md for the deviation discussion)."""
+        program = compile_mult(paper_params, CONFIG)
+        histogram = program.opcode_histogram()
+        assert histogram[Opcode.NTT] == PAPER_CALLS[Opcode.NTT]
+        assert histogram[Opcode.INTT] == PAPER_CALLS[Opcode.INTT]
+        assert histogram[Opcode.CMUL] == PAPER_CALLS[Opcode.CMUL]
+        assert histogram[Opcode.LIFT] == PAPER_CALLS[Opcode.LIFT]
+        assert histogram[Opcode.SCALE] == PAPER_CALLS[Opcode.SCALE]
+        assert histogram[Opcode.REARRANGE] == PAPER_CALLS[Opcode.REARRANGE]
+
+    def test_histogram_matches_expected_model(self, paper_params):
+        program = compile_mult(paper_params, CONFIG)
+        histogram = program.opcode_histogram()
+        expected = expected_table2_calls(paper_params, CONFIG)
+        for op, count in expected.items():
+            if count:
+                assert histogram.get(op, 0) == count, op
+
+    def test_one_rearrange_per_transform(self, paper_params):
+        histogram = compile_mult(paper_params, CONFIG).opcode_histogram()
+        assert histogram[Opcode.REARRANGE] == \
+            histogram[Opcode.NTT] + histogram[Opcode.INTT]
+
+    def test_slow_variant_uses_two_components(self, paper_params):
+        program = compile_mult(paper_params, slow_coprocessor_config())
+        histogram = program.opcode_histogram()
+        # 8 forward + 2 digit NTTs; relin SoP has 2x2 products.
+        assert histogram[Opcode.NTT] == 10
+        assert histogram[Opcode.CMUL] == 12
+        assert histogram[Opcode.LOAD_RLK] == 2
+
+    def test_on_chip_key_removes_loads(self, paper_params):
+        config = replace(CONFIG, relin_key_on_chip=True)
+        histogram = compile_mult(paper_params, config).opcode_histogram()
+        assert Opcode.LOAD_RLK not in histogram
+
+    def test_add_program(self, paper_params):
+        histogram = compile_add(paper_params).opcode_histogram()
+        assert histogram == {Opcode.CADD: 2}
+
+
+class TestCoprocessorFunctional:
+    @pytest.fixture(scope="class")
+    def setup(self, mini_context, mini_keys, ):
+        rng = np.random.default_rng(55)
+        params = mini_context.params
+        a = Plaintext(rng.integers(0, params.t, params.n), params.t)
+        b = Plaintext(rng.integers(0, params.t, params.n), params.t)
+        ct_a = mini_context.encrypt(a, mini_keys.public)
+        ct_b = mini_context.encrypt(b, mini_keys.public)
+        return a, b, ct_a, ct_b
+
+    def test_mult_bit_identical_to_evaluator(self, mini_context, mini_keys,
+                                             setup, mini_params):
+        _, _, ct_a, ct_b = setup
+        coprocessor = Coprocessor(mini_params)
+        hw_result, _ = coprocessor.mult(ct_a, ct_b, mini_keys.relin)
+        sw_result = Evaluator(mini_context).multiply(ct_a, ct_b,
+                                                     mini_keys.relin)
+        for hw_part, sw_part in zip(hw_result.parts, sw_result.parts):
+            assert np.array_equal(hw_part.residues, sw_part.residues)
+
+    def test_mult_decrypts_to_product(self, mini_context, mini_keys, setup,
+                                      mini_params):
+        a, b, ct_a, ct_b = setup
+        coprocessor = Coprocessor(mini_params)
+        hw_result, _ = coprocessor.mult(ct_a, ct_b, mini_keys.relin)
+        expected = negacyclic_convolution(
+            a.coeffs.tolist(), b.coeffs.tolist(), mini_params.t
+        )
+        decrypted = mini_context.decrypt(hw_result, mini_keys.secret)
+        assert decrypted.coeffs.tolist() == expected
+
+    def test_add_bit_identical(self, mini_context, mini_keys, setup,
+                               mini_params):
+        _, _, ct_a, ct_b = setup
+        coprocessor = Coprocessor(mini_params)
+        hw_result, _ = coprocessor.add(ct_a, ct_b)
+        sw_result = mini_context.add(ct_a, ct_b)
+        for hw_part, sw_part in zip(hw_result.parts, sw_result.parts):
+            assert np.array_equal(hw_part.residues, sw_part.residues)
+
+    def test_slow_coprocessor_decrypts_correctly(self, mini_context,
+                                                 mini_keys, setup,
+                                                 mini_params):
+        """Traditional-CRT variant with a 2-component digit key."""
+        a, b, ct_a, ct_b = setup
+        config = slow_coprocessor_config()
+        coprocessor = Coprocessor(mini_params, config)
+        base_bits = -(-mini_params.q.bit_length() // 2)
+        digit_key = mini_context.relin_keygen_digit(mini_keys.secret,
+                                                    base_bits)
+        hw_result, report = coprocessor.mult(ct_a, ct_b, digit_key)
+        expected = negacyclic_convolution(
+            a.coeffs.tolist(), b.coeffs.tolist(), mini_params.t
+        )
+        decrypted = mini_context.decrypt(hw_result, mini_keys.secret)
+        assert decrypted.coeffs.tolist() == expected
+
+    def test_on_chip_key_same_result(self, mini_context, mini_keys, setup,
+                                     mini_params):
+        _, _, ct_a, ct_b = setup
+        streamed = Coprocessor(mini_params)
+        pinned = Coprocessor(mini_params,
+                             replace(CONFIG, relin_key_on_chip=True))
+        result_streamed, report_streamed = streamed.mult(
+            ct_a, ct_b, mini_keys.relin
+        )
+        result_pinned, report_pinned = pinned.mult(ct_a, ct_b,
+                                                   mini_keys.relin)
+        assert np.array_equal(result_streamed.c0.residues,
+                              result_pinned.c0.residues)
+        assert report_pinned.transfer_cycles == 0
+        assert report_streamed.transfer_cycles > 0
+
+    def test_missing_relin_key_raises(self, mini_params, setup):
+        _, _, ct_a, ct_b = setup
+        coprocessor = Coprocessor(mini_params)
+        program = compile_mult(mini_params, CONFIG)
+        coprocessor.registers.clear()
+        coprocessor.load_polynomial("a0", ct_a.c0.residues)
+        coprocessor.load_polynomial("a1", ct_a.c1.residues)
+        coprocessor.load_polynomial("b0", ct_b.c0.residues)
+        coprocessor.load_polynomial("b1", ct_b.c1.residues)
+        with pytest.raises(HardwareModelError):
+            coprocessor.execute(program, relin_key=None)
+
+    def test_uninitialised_register_raises(self, mini_params):
+        coprocessor = Coprocessor(mini_params)
+        with pytest.raises(IsaError):
+            coprocessor._reg("nope")
+
+    def test_strict_mode_full_mult(self, toy_context, toy_keys, rng):
+        """End-to-end strict mode: the complete Mult program with every
+        transform replayed cycle-by-cycle through port-checked BRAMs.
+        Results AND cycle reports must equal fast mode exactly."""
+        params = toy_context.params
+        a = Plaintext(rng.integers(0, params.t, params.n), params.t)
+        b = Plaintext(rng.integers(0, params.t, params.n), params.t)
+        ct_a = toy_context.encrypt(a, toy_keys.public)
+        ct_b = toy_context.encrypt(b, toy_keys.public)
+        fast = Coprocessor(params)
+        strict = Coprocessor(params, strict=True)
+        fast_result, fast_report = fast.mult(ct_a, ct_b, toy_keys.relin)
+        strict_result, strict_report = strict.mult(ct_a, ct_b,
+                                                   toy_keys.relin)
+        for f_part, s_part in zip(fast_result.parts, strict_result.parts):
+            assert np.array_equal(f_part.residues, s_part.residues)
+        assert fast_report.total_cycles == strict_report.total_cycles
+        for op, stat in fast_report.op_stats.items():
+            assert strict_report.op_stats[op].cycles == stat.cycles, op
+
+    def test_toy_geometry_coprocessor(self, toy_context, toy_keys, rng):
+        """The coprocessor generalises to other basis geometries
+        (toy: 3+4 primes on 4 RPAUs) with the same bit-exactness."""
+        params = toy_context.params
+        a = Plaintext(rng.integers(0, params.t, params.n), params.t)
+        b = Plaintext(rng.integers(0, params.t, params.n), params.t)
+        ct_a = toy_context.encrypt(a, toy_keys.public)
+        ct_b = toy_context.encrypt(b, toy_keys.public)
+        coprocessor = Coprocessor(params)
+        assert coprocessor.num_rpaus == max(params.k_q, params.k_p)
+        hw_result, _ = coprocessor.mult(ct_a, ct_b, toy_keys.relin)
+        sw_result = Evaluator(toy_context).multiply(ct_a, ct_b,
+                                                    toy_keys.relin)
+        for hw_part, sw_part in zip(hw_result.parts, sw_result.parts):
+            assert np.array_equal(hw_part.residues, sw_part.residues)
+
+
+class TestCoprocessorTiming:
+    @pytest.fixture(scope="class")
+    def paper_report(self, mini_context, mini_keys, paper_params):
+        """One full Mult on the paper-sized coprocessor (uses the mini
+        ciphertexts' rng but paper-sized zero polys for speed)."""
+        from repro.fv.scheme import FvContext
+
+        context = FvContext(paper_params, seed=3)
+        keys = context.keygen()
+        plain = Plaintext.from_list([1], paper_params.n, paper_params.t)
+        ct = context.encrypt(plain, keys.public)
+        coprocessor = Coprocessor(paper_params)
+        _, report = coprocessor.mult(ct, ct, keys.relin)
+        return report
+
+    def test_mult_time_close_to_paper(self, paper_report):
+        """Table I: 4.458 ms; the model must land within 10%."""
+        assert abs(paper_report.seconds - 4.458e-3) / 4.458e-3 < 0.10
+
+    def test_mult_arm_cycles_close_to_paper(self, paper_report):
+        assert abs(paper_report.arm_cycles - 5_349_567) / 5_349_567 < 0.10
+
+    def test_transfer_share_near_30_percent(self, paper_report):
+        """Paper: ~30% of Mult is relin-key data transfer."""
+        share = paper_report.transfer_cycles / paper_report.total_cycles
+        assert 0.15 < share < 0.40
+
+    def test_instruction_cycle_model_vs_paper(self, paper_params):
+        """Every Table II row within 10% (most within 2%)."""
+        paper_arm = {
+            Opcode.NTT: 87_582,
+            Opcode.INTT: 102_043,
+            Opcode.CMUL: 15_662,
+            Opcode.CADD: 16_292,
+            Opcode.REARRANGE: 25_006,
+            Opcode.LIFT: 99_137,
+            Opcode.SCALE: 99_274,
+        }
+        coprocessor = Coprocessor(paper_params)
+        model = coprocessor.instruction_cycle_model()
+        for op, expected in paper_arm.items():
+            arm = CONFIG.fpga_to_arm_cycles(model[op])
+            assert abs(arm - expected) / expected < 0.10, op
+
+    def test_add_time_close_to_paper(self, mini_keys, paper_params):
+        """Table I: Add in HW = 31,339 Arm cycles."""
+        from repro.fv.scheme import FvContext
+
+        context = FvContext(paper_params, seed=4)
+        keys = context.keygen()
+        plain = Plaintext.from_list([1], paper_params.n, paper_params.t)
+        ct = context.encrypt(plain, keys.public)
+        _, report = Coprocessor(paper_params).add(ct, ct)
+        assert abs(report.arm_cycles - 31_339) / 31_339 < 0.10
+
+    def test_report_table_renders(self, paper_report):
+        table = paper_report.table()
+        assert "ntt" in table and "total" in table
+
+    def test_slow_coprocessor_mult_time(self, mini_context, mini_keys,
+                                        paper_params):
+        """Sec. VI-C: the traditional coprocessor needs ~8.3 ms; ours
+        lands within 20% and is clearly slower than the fast one."""
+        from repro.fv.scheme import FvContext
+
+        context = FvContext(paper_params, seed=5)
+        keys = context.keygen()
+        digit_key = context.relin_keygen_digit(
+            keys.secret, -(-paper_params.q.bit_length() // 2)
+        )
+        plain = Plaintext.from_list([1], paper_params.n, paper_params.t)
+        ct = context.encrypt(plain, keys.public)
+        coprocessor = Coprocessor(paper_params, slow_coprocessor_config())
+        _, report = coprocessor.mult(ct, ct, digit_key)
+        assert abs(report.seconds - 8.3e-3) / 8.3e-3 < 0.20
+        assert report.seconds > 4.458e-3

@@ -1,0 +1,230 @@
+"""Tests for the low-level circuit models: reduction, multiplier, butterfly
+(paper Fig. 4 and Sec. V-A4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HardwareModelError, ParameterError
+from repro.hw.butterfly import ButterflyCore
+from repro.hw.config import HardwareConfig
+from repro.hw.datapath import (
+    DSP_PER_30X30,
+    MacUnit,
+    ModAddSub,
+    PipelinedMultiplier,
+)
+from repro.hw.modred import (
+    BarrettReducer,
+    MontgomeryReducer,
+    SlidingWindowReducer,
+)
+from repro.params import hpca19
+
+PRIMES = hpca19().q_primes + hpca19().p_primes
+CONFIG = HardwareConfig()
+
+
+class TestSlidingWindowReducer:
+    @pytest.mark.parametrize("prime", PRIMES[:4])
+    def test_random_60bit_inputs(self, prime, rng):
+        reducer = SlidingWindowReducer(prime)
+        for _ in range(500):
+            value = int(rng.integers(0, 1 << 60))
+            assert reducer.reduce(value) == value % prime
+
+    def test_worst_case_inputs(self):
+        prime = PRIMES[0]
+        reducer = SlidingWindowReducer(prime)
+        for value in (0, 1, prime - 1, prime, 2 * prime,
+                      (1 << 60) - 1, (prime - 1) ** 2):
+            assert reducer.reduce(value) == value % prime
+
+    def test_products_of_residues(self, rng):
+        """The actual butterfly usage: products of two 30-bit residues."""
+        prime = PRIMES[1]
+        reducer = SlidingWindowReducer(prime)
+        for _ in range(500):
+            a = int(rng.integers(0, prime))
+            b = int(rng.integers(0, prime))
+            assert reducer.reduce(a * b) == (a * b) % prime
+
+    def test_table_contents(self):
+        prime = PRIMES[0]
+        reducer = SlidingWindowReducer(prime, window_bits=6)
+        assert len(reducer.table) == 64
+        for w in range(64):
+            assert reducer.table[w] == (w << 30) % prime
+
+    def test_paper_structure(self):
+        """6-bit window over a 60-bit operand: 5 steps + correction."""
+        reducer = SlidingWindowReducer(PRIMES[0], window_bits=6,
+                                       input_bits=60)
+        assert reducer.steps == 5
+        assert reducer.pipeline_stages == 6
+
+    def test_window_size_tradeoff(self):
+        """Wider windows need fewer steps but bigger tables."""
+        narrow = SlidingWindowReducer(PRIMES[0], window_bits=4)
+        wide = SlidingWindowReducer(PRIMES[0], window_bits=8)
+        assert narrow.steps > wide.steps
+        assert narrow.table_entries < wide.table_entries
+
+    def test_rejects_wide_modulus(self):
+        with pytest.raises(ParameterError):
+            SlidingWindowReducer(1 << 31)
+
+    def test_rejects_out_of_range_operand(self):
+        reducer = SlidingWindowReducer(PRIMES[0])
+        with pytest.raises(HardwareModelError):
+            reducer.reduce(1 << 61)
+        with pytest.raises(HardwareModelError):
+            reducer.reduce(-1)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(0, (1 << 60) - 1))
+    def test_matches_modulo_property(self, value):
+        reducer = SlidingWindowReducer(PRIMES[2])
+        assert reducer.reduce(value) == value % PRIMES[2]
+
+
+class TestBarrettReducer:
+    def test_matches_modulo(self, rng):
+        prime = PRIMES[0]
+        barrett = BarrettReducer(prime)
+        for _ in range(300):
+            value = int(rng.integers(0, 1 << 60))
+            assert barrett.reduce(value) == value % prime
+
+    def test_agrees_with_sliding_window(self, rng):
+        """The paper's design choice changes cost, not results."""
+        prime = PRIMES[3]
+        sliding = SlidingWindowReducer(prime)
+        barrett = BarrettReducer(prime)
+        for _ in range(200):
+            value = int(rng.integers(0, 1 << 60))
+            assert sliding.reduce(value) == barrett.reduce(value)
+
+    def test_extra_multiplier_cost(self):
+        assert BarrettReducer(PRIMES[0]).extra_multipliers == 2
+
+
+class TestMontgomeryReducer:
+    @pytest.fixture(scope="class")
+    def mont(self):
+        return MontgomeryReducer(PRIMES[0])
+
+    def test_domain_roundtrip(self, mont, rng):
+        for _ in range(300):
+            value = int(rng.integers(0, mont.modulus))
+            assert mont.from_montgomery(mont.to_montgomery(value)) == value
+
+    def test_modmul_in_domain(self, mont, rng):
+        prime = mont.modulus
+        for _ in range(300):
+            a = int(rng.integers(0, prime))
+            b = int(rng.integers(0, prime))
+            product = mont.modmul(mont.to_montgomery(a),
+                                  mont.to_montgomery(b))
+            assert mont.from_montgomery(product) == (a * b) % prime
+
+    def test_redc_range_guard(self, mont):
+        with pytest.raises(HardwareModelError):
+            mont.reduce(mont.modulus * mont.r)
+        with pytest.raises(HardwareModelError):
+            mont.reduce(-1)
+
+    def test_rejects_even_modulus(self):
+        with pytest.raises(ParameterError):
+            MontgomeryReducer(1 << 20)
+
+    def test_one_extra_multiplier(self, mont):
+        """Design-space triangle: Montgomery 1 extra mult, Barrett 2,
+        sliding window 0 (but a ROM per prime)."""
+        assert mont.extra_multipliers == 1
+        assert BarrettReducer(PRIMES[0]).extra_multipliers == 2
+
+    def test_agreement_with_other_reducers(self, rng):
+        prime = PRIMES[2]
+        mont = MontgomeryReducer(prime)
+        sliding = SlidingWindowReducer(prime)
+        for _ in range(200):
+            a = int(rng.integers(0, prime))
+            b = int(rng.integers(0, prime))
+            via_mont = mont.from_montgomery(
+                mont.modmul(mont.to_montgomery(a), mont.to_montgomery(b))
+            )
+            assert via_mont == sliding.reduce(a * b)
+
+
+class TestPipelinedMultiplier:
+    def test_product(self):
+        mult = PipelinedMultiplier(stages=4)
+        assert mult.multiply(12345, 67890) == 12345 * 67890
+
+    def test_rejects_oversized_operands(self):
+        mult = PipelinedMultiplier(stages=4)
+        with pytest.raises(HardwareModelError):
+            mult.multiply(1 << 30, 2)
+
+    def test_dsp_cost_30x30(self):
+        assert PipelinedMultiplier(stages=4).dsp_cost == DSP_PER_30X30
+
+    def test_latency(self):
+        assert PipelinedMultiplier(stages=4).latency == 4
+
+
+class TestModAddSub:
+    def test_add_with_correction(self):
+        unit = ModAddSub(stages=1)
+        prime = PRIMES[0]
+        assert unit.add(prime - 1, 5, prime) == 4
+        assert unit.add(1, 2, prime) == 3
+
+    def test_sub_with_correction(self):
+        unit = ModAddSub(stages=1)
+        prime = PRIMES[0]
+        assert unit.sub(3, 5, prime) == prime - 2
+        assert unit.sub(5, 3, prime) == 2
+
+
+class TestMacUnit:
+    def test_mac(self):
+        mac = MacUnit(multiplier_stages=4, modred_stages=6)
+        prime = PRIMES[0]
+        assert mac.mac(10, 3, 7, prime) == 31
+        assert mac.latency == 11
+
+
+class TestButterflyCore:
+    @pytest.fixture(scope="class")
+    def core(self):
+        return ButterflyCore(PRIMES[0], CONFIG)
+
+    def test_butterfly_equation(self, core, rng):
+        prime = PRIMES[0]
+        for _ in range(200):
+            u = int(rng.integers(0, prime))
+            t = int(rng.integers(0, prime))
+            w = int(rng.integers(0, prime))
+            hi, lo = core.compute(u, t, w)
+            assert hi == (u + w * t) % prime
+            assert lo == (u - w * t) % prime
+
+    def test_scalar_matches_vectorised(self, core, rng):
+        prime = PRIMES[0]
+        u = rng.integers(0, prime, 100)
+        t = rng.integers(0, prime, 100)
+        w = rng.integers(0, prime, 100)
+        hi_vec, lo_vec = core.compute_many(u, t, w)
+        for i in range(100):
+            hi, lo = core.compute(int(u[i]), int(t[i]), int(w[i]))
+            assert hi_vec[i] == hi and lo_vec[i] == lo
+
+    def test_pipeline_depth_composition(self, core):
+        expected = (CONFIG.multiplier_stages
+                    + core.reducer.pipeline_stages
+                    + CONFIG.addsub_stages)
+        assert core.pipeline_depth == expected
+        assert core.pipeline_depth == CONFIG.butterfly_pipeline_depth

@@ -1,0 +1,252 @@
+"""Tests for the dual-core NTT engine and the Fig. 3 access schedule.
+
+These are the executable form of the paper's Sec. V-A3 correctness
+argument: every stage's schedule is conflict-free on the BRAM ports,
+reads cover every word exactly once, the strict (cycle-by-cycle,
+port-checked) executor and the vectorised executor agree bit-for-bit
+with the mathematical transform, and the m = 2048 order-inversion trick
+appears exactly as printed in the paper's figure.
+"""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.errors import HardwareModelError
+from repro.hw.config import HardwareConfig
+from repro.hw.ntt_unit import DualCoreNttUnit, NttSchedule
+from repro.nttmath.ntt import NegacyclicTransformer
+from repro.nttmath.primes import find_ntt_primes
+from repro.params import hpca19
+
+CONFIG = HardwareConfig()
+
+
+def prime_for(n: int) -> int:
+    return find_ntt_primes(30, n, 1)[0]
+
+
+class TestScheduleStructure:
+    def test_stage_classification(self):
+        schedule = NttSchedule(4096, 2)
+        assert not schedule.is_interleave_stage(10)
+        assert schedule.is_interleave_stage(11)
+        assert not schedule.is_interleave_stage(12)
+
+    def test_pair_lags(self):
+        schedule = NttSchedule(4096, 2)
+        assert schedule.pair_lag(1) == 1
+        assert schedule.pair_lag(10) == 512
+        assert schedule.pair_lag(11) == 1   # interleave stage
+        assert schedule.pair_lag(12) == 0   # in-place final stage
+
+    def test_paper_fig3_m2048_read_order(self):
+        """The exact address sequences printed in Fig. 3 for m = 2048."""
+        schedule = NttSchedule(4096, 2)
+        reads = schedule.read_order(11)
+        assert reads[0][:6] == [0, 1024, 1, 1025, 2, 1026]
+        assert reads[1][:6] == [1536, 512, 1537, 513, 1538, 514]
+
+    def test_paper_fig3_exclusive_stages(self):
+        """m <= 1024 and m = 4096: core 0 lower block, core 1 upper."""
+        schedule = NttSchedule(4096, 2)
+        for stage in (1, 5, 10, 12):
+            reads = schedule.read_order(stage)
+            assert reads[0][0] == 0 and reads[0][-1] == 1023
+            assert reads[1][0] == 1024 and reads[1][-1] == 2047
+
+    @pytest.mark.parametrize("n", [16, 64, 256, 4096])
+    def test_reads_cover_every_word_once(self, n):
+        schedule = NttSchedule(n, 2)
+        for stage in range(1, schedule.log_n + 1):
+            seen = [w for order in schedule.read_order(stage) for w in order]
+            assert sorted(seen) == list(range(schedule.words)), stage
+
+    @pytest.mark.parametrize("n", [16, 64, 256, 4096])
+    def test_writes_cover_every_word_once(self, n):
+        schedule = NttSchedule(n, 2)
+        for stage in range(1, schedule.log_n + 1):
+            seen = [w for order in schedule.write_order(stage)
+                    for w in order]
+            assert sorted(seen) == list(range(schedule.words)), stage
+
+    @pytest.mark.parametrize("n", [16, 64, 256, 1024, 4096])
+    def test_conflict_freedom_every_stage(self, n):
+        """No two cores touch the same block's same port in any cycle —
+        the property Fig. 3's access scheme exists to guarantee."""
+        schedule = NttSchedule(n, 2)
+        block = schedule.block
+        for stage in range(1, schedule.log_n + 1):
+            access = schedule.stage_access(stage, pipeline_depth=11)
+            for stamped in (access.reads, access.writes):
+                used: dict[tuple[int, int], int] = {}
+                for core_accesses in stamped:
+                    for cycle, word in core_accesses:
+                        key = (cycle, word >= block)
+                        assert key not in used, (
+                            f"stage {stage} cycle {cycle}: double access "
+                            f"to block {word >= block}"
+                        )
+                        used[key] = word
+
+    def test_paired_operand_invariant(self):
+        """At every stage, each word holds exactly one butterfly's two
+        operands (indices differing in bit stage-1)."""
+        schedule = NttSchedule(256, 2)
+        for stage in range(1, schedule.log_n + 1):
+            for word in range(schedule.words):
+                i0, i1 = schedule.butterfly_indices(word, stage)
+                assert i1 == i0 + (1 << (stage - 1))
+                assert schedule.word_of(i0, stage) == word
+                assert schedule.word_of(i1, stage) == word
+                assert schedule.slot_of(i0, stage) == 0
+                assert schedule.slot_of(i1, stage) == 1
+
+    def test_destination_invariant(self):
+        """Stage-s writes place every index where stage s+1 expects it."""
+        schedule = NttSchedule(256, 2)
+        for stage in range(1, schedule.log_n):
+            for index in range(256):
+                dest_word, dest_slot = schedule.dest_of(index, stage)
+                assert dest_word == schedule.word_of(index, stage + 1)
+                assert dest_slot == schedule.slot_of(index, stage + 1)
+
+    def test_twiddle_exponents(self):
+        schedule = NttSchedule(64, 2)
+        for stage in range(1, 7):
+            g = 1 << (stage - 1)
+            for word in range(32):
+                i0, _ = schedule.butterfly_indices(word, stage)
+                assert schedule.twiddle_exponent(word, stage) == i0 % g
+
+    def test_single_core_schedule(self):
+        schedule = NttSchedule(64, 1)
+        for stage in range(1, 7):
+            assert len(schedule.read_order(stage)) == 1
+            assert sorted(schedule.read_order(stage)[0]) == list(range(32))
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(HardwareModelError):
+            NttSchedule(4, 2)
+        with pytest.raises(HardwareModelError):
+            NttSchedule(64, 3)
+
+    def test_conflict_freedom_at_table5_size(self):
+        """The schedule stays conflict-free at the (2^13, ...) design
+        point the scaling study instantiates."""
+        schedule = NttSchedule(8192, 2)
+        for stage in (1, schedule.log_n - 2, schedule.log_n - 1,
+                      schedule.log_n):
+            access = schedule.stage_access(stage, pipeline_depth=11)
+            for stamped in (access.reads, access.writes):
+                used = set()
+                for core_accesses in stamped:
+                    for cycle, word in core_accesses:
+                        key = (cycle, word >= schedule.block)
+                        assert key not in used, (stage, cycle)
+                        used.add(key)
+
+
+class TestExecutors:
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_strict_matches_reference_forward(self, n, rng):
+        prime = prime_for(n)
+        unit = DualCoreNttUnit(n, prime, CONFIG)
+        reference = NegacyclicTransformer(n, prime)
+        values = rng.integers(0, prime, n)
+        result, _ = unit.run_strict(values)
+        assert np.array_equal(result, reference.forward(values))
+
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_strict_matches_reference_inverse(self, n, rng):
+        prime = prime_for(n)
+        unit = DualCoreNttUnit(n, prime, CONFIG)
+        reference = NegacyclicTransformer(n, prime)
+        values = rng.integers(0, prime, n)
+        result, _ = unit.run_strict(values, inverse=True)
+        assert np.array_equal(result, reference.inverse(values))
+
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_fast_equals_strict(self, n, rng):
+        prime = prime_for(n)
+        unit = DualCoreNttUnit(n, prime, CONFIG)
+        values = rng.integers(0, prime, n)
+        strict_result, strict_cycles = unit.run_strict(values)
+        fast_result, fast_cycles = unit.run_fast(values)
+        assert np.array_equal(strict_result, fast_result)
+        assert strict_cycles == fast_cycles
+
+    def test_fast_equals_strict_inverse(self, rng):
+        prime = prime_for(64)
+        unit = DualCoreNttUnit(64, prime, CONFIG)
+        values = rng.integers(0, prime, 64)
+        strict_result, strict_cycles = unit.run_strict(values, inverse=True)
+        fast_result, fast_cycles = unit.run_fast(values, inverse=True)
+        assert np.array_equal(strict_result, fast_result)
+        assert strict_cycles == fast_cycles
+
+    def test_roundtrip_through_hardware(self, rng):
+        prime = prime_for(128)
+        unit = DualCoreNttUnit(128, prime, CONFIG)
+        values = rng.integers(0, prime, 128)
+        forward, _ = unit.run_fast(values)
+        back, _ = unit.run_fast(forward, inverse=True)
+        assert np.array_equal(back, values % prime)
+
+    def test_single_core_functional(self, rng):
+        config = replace(CONFIG, butterfly_cores_per_rpau=1)
+        prime = prime_for(64)
+        unit = DualCoreNttUnit(64, prime, config)
+        reference = NegacyclicTransformer(64, prime)
+        values = rng.integers(0, prime, 64)
+        strict_result, strict_cycles = unit.run_strict(values)
+        fast_result, fast_cycles = unit.run_fast(values)
+        assert np.array_equal(strict_result, reference.forward(values))
+        assert np.array_equal(fast_result, strict_result)
+        assert strict_cycles == fast_cycles
+
+    def test_rejects_wrong_length(self):
+        unit = DualCoreNttUnit(64, prime_for(64), CONFIG)
+        with pytest.raises(HardwareModelError):
+            unit.run_fast(np.zeros(32, dtype=np.int64))
+
+
+class TestCycleModel:
+    def test_paper_ntt_instruction_cycles(self, paper_params):
+        """The modelled NTT lands on Table II's 87,582 Arm cycles."""
+        unit = DualCoreNttUnit(4096, paper_params.q_primes[0], CONFIG)
+        fpga = unit.transform_cycles() + CONFIG.dispatch_overhead
+        arm = CONFIG.fpga_to_arm_cycles(fpga)
+        assert abs(arm - 87_582) / 87_582 < 0.02
+
+    def test_paper_intt_instruction_cycles(self, paper_params):
+        unit = DualCoreNttUnit(4096, paper_params.q_primes[0], CONFIG)
+        fpga = (unit.transform_cycles() + unit.scale_pass_cycles()
+                + CONFIG.dispatch_overhead)
+        arm = CONFIG.fpga_to_arm_cycles(fpga)
+        assert abs(arm - 102_043) / 102_043 < 0.04
+
+    def test_two_cores_nearly_halve_cycles(self):
+        prime = prime_for(256)
+        dual = DualCoreNttUnit(256, prime, CONFIG)
+        single = DualCoreNttUnit(
+            256, prime, replace(CONFIG, butterfly_cores_per_rpau=1)
+        )
+        ratio = single.transform_cycles() / dual.transform_cycles()
+        assert 1.4 < ratio < 2.0
+
+    def test_twiddle_rom_removes_bubbles(self):
+        """Paper Sec. V-A4: no ROM -> ~20% more cycles (prior work [20])."""
+        prime = prime_for(256)
+        with_rom = DualCoreNttUnit(256, prime, CONFIG)
+        without = DualCoreNttUnit(
+            256, prime, replace(CONFIG, twiddle_rom=False)
+        )
+        ratio = without.transform_cycles() / with_rom.transform_cycles()
+        assert 1.10 < ratio < 1.25
+
+    def test_strict_cycles_scale_with_n(self):
+        prime64, prime256 = prime_for(64), prime_for(256)
+        small = DualCoreNttUnit(64, prime64, CONFIG).transform_cycles()
+        large = DualCoreNttUnit(256, prime256, CONFIG).transform_cycles()
+        assert large > small

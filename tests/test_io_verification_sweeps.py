@@ -1,0 +1,188 @@
+"""Tests for persistence (repro.io), the equivalence-campaign harness,
+and the design-space sweeps."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.errors import EncodingError, ParameterError
+from repro.fv.encoder import Plaintext
+from repro.fv.evaluator import Evaluator
+from repro.hw.config import HardwareConfig
+from repro.hw.sweeps import (
+    evaluate_point,
+    pareto_front,
+    sweep_butterfly_cores,
+    sweep_conversion_cores,
+    sweep_coprocessor_count,
+)
+from repro.hw.verification import run_campaign, run_configuration_matrix
+from repro.io import (
+    load_ciphertext,
+    load_keyset,
+    save_ciphertext,
+    save_keyset,
+)
+from repro.params import hpca19, mini, toy
+
+
+class TestCiphertextIo:
+    def test_roundtrip(self, tmp_path, toy_context, toy_keys, rng):
+        params = toy_context.params
+        plain = Plaintext(rng.integers(0, params.t, params.n), params.t)
+        ct = toy_context.encrypt(plain, toy_keys.public)
+        path = tmp_path / "ct.bin"
+        save_ciphertext(path, ct)
+        restored = load_ciphertext(path, params)
+        assert np.array_equal(restored.c0.residues, ct.c0.residues)
+        assert toy_context.decrypt(restored, toy_keys.secret) == plain
+
+    def test_wrong_parameters_rejected(self, tmp_path, toy_context,
+                                       toy_keys):
+        params = toy_context.params
+        ct = toy_context.encrypt(Plaintext.zero(params.n, params.t),
+                                 toy_keys.public)
+        path = tmp_path / "ct.bin"
+        save_ciphertext(path, ct)
+        with pytest.raises(ParameterError):
+            load_ciphertext(path, mini())
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"NOTAFILE" + b"\x00" * 100)
+        with pytest.raises(EncodingError):
+            load_ciphertext(path, toy())
+
+    def test_kind_mismatch_rejected(self, tmp_path, toy_context, toy_keys):
+        params = toy_context.params
+        path = tmp_path / "keys.bin"
+        save_keyset(path, toy_keys, params)
+        with pytest.raises(EncodingError):
+            load_ciphertext(path, params)
+
+    def test_roundtrip_property(self, tmp_path, toy_context, toy_keys):
+        """Any encryptable plaintext survives the file roundtrip."""
+        from hypothesis import HealthCheck, given, settings
+        from hypothesis import strategies as st
+
+        params = toy_context.params
+
+        @settings(max_examples=10, deadline=None,
+                  suppress_health_check=[HealthCheck.function_scoped_fixture,
+                                         HealthCheck.too_slow])
+        @given(st.lists(st.integers(0, params.t - 1), min_size=4,
+                        max_size=8))
+        def check(coeffs):
+            plain = Plaintext.from_list(coeffs, params.n, params.t)
+            ct = toy_context.encrypt(plain, toy_keys.public)
+            path = tmp_path / "prop.bin"
+            save_ciphertext(path, ct)
+            restored = load_ciphertext(path, params)
+            assert toy_context.decrypt(restored, toy_keys.secret) == plain
+
+        check()
+
+
+class TestKeysetIo:
+    def test_roundtrip_and_interoperation(self, tmp_path, toy_context,
+                                          toy_keys, rng):
+        """Keys loaded from disk must decrypt and relinearise ciphertexts
+        produced with the originals."""
+        params = toy_context.params
+        path = tmp_path / "keys.bin"
+        save_keyset(path, toy_keys, params)
+        loaded = load_keyset(path, params)
+
+        assert np.array_equal(loaded.secret.coeffs, toy_keys.secret.coeffs)
+        plain = Plaintext(rng.integers(0, params.t, params.n), params.t)
+        ct = toy_context.encrypt(plain, loaded.public)
+        assert toy_context.decrypt(ct, loaded.secret) == plain
+
+        evaluator = Evaluator(toy_context)
+        product = evaluator.multiply(ct, ct, loaded.relin)
+        reference = evaluator.multiply(ct, ct, toy_keys.relin)
+        assert toy_context.decrypt(product, loaded.secret) == \
+            toy_context.decrypt(reference, toy_keys.secret)
+
+    def test_truncated_file_rejected(self, tmp_path, toy_context,
+                                     toy_keys):
+        params = toy_context.params
+        path = tmp_path / "keys.bin"
+        save_keyset(path, toy_keys, params)
+        data = path.read_bytes()
+        path.write_bytes(data[:-16])
+        with pytest.raises(EncodingError):
+            load_keyset(path, params)
+
+
+class TestVerificationHarness:
+    def test_campaign_passes_on_default_config(self):
+        result = run_campaign(params=toy(), operations=4, seed=5)
+        assert result.passed
+        assert result.operations == 4
+        assert "PASS" in result.report()
+
+    def test_campaign_counts_all_matches(self):
+        result = run_campaign(params=toy(), operations=6, seed=6)
+        assert result.bit_exact_matches == 6
+        assert result.decrypt_matches == 6
+
+    def test_configuration_matrix_all_pass(self):
+        results = run_configuration_matrix(operations=2, seed=9)
+        assert len(results) == 4
+        assert all(result.passed for result in results)
+
+    def test_design_knobs_do_not_change_results(self):
+        """The core architectural claim behind the matrix: every corner
+        produces identical ciphertexts, only timing differs."""
+        base = run_campaign(params=toy(), operations=2, seed=11)
+        pinned = run_campaign(
+            params=toy(),
+            config=replace(HardwareConfig(), relin_key_on_chip=True),
+            operations=2, seed=11,
+        )
+        assert base.passed and pinned.passed
+
+
+class TestSweeps:
+    def test_coprocessor_count_scales_throughput(self, paper_params):
+        points = sweep_coprocessor_count(paper_params, counts=(1, 2, 4))
+        rates = [p.throughput_per_second for p in points]
+        assert rates[1] == pytest.approx(2 * rates[0])
+        assert rates[2] == pytest.approx(4 * rates[0])
+
+    def test_f1_projection_exceeds_2000_per_second(self, paper_params):
+        """Paper Sec. VII: ten coprocessors on an Amazon F1 instance."""
+        points = sweep_coprocessor_count(paper_params, counts=(10,))
+        assert points[0].throughput_per_second > 2000
+
+    def test_conversion_cores_reduce_latency(self, paper_params):
+        points = sweep_conversion_cores(paper_params)
+        latencies = [p.mult_seconds for p in points]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_butterfly_sweep_monotone(self, paper_params):
+        single, dual = sweep_butterfly_cores(paper_params)
+        assert dual.mult_seconds < single.mult_seconds
+        assert dual.resources.dsps > single.resources.dsps
+
+    def test_pareto_front_excludes_dominated(self, paper_params):
+        base = HardwareConfig()
+        good = evaluate_point(paper_params, "good", base)
+        # Same latency knobs, strictly more logic: dominated.
+        bloated = evaluate_point(
+            paper_params, "bloated",
+            replace(base, lift_cores=4, scale_cores=4),
+        )
+        slower = evaluate_point(
+            paper_params, "slower",
+            replace(base, butterfly_cores_per_rpau=1),
+        )
+        front = pareto_front([good, bloated, slower])
+        labels = {p.label for p in front}
+        assert "good" in labels
+        assert "slower" in labels  # cheaper, slower: on the front
+
+    def test_rows_render(self, paper_params):
+        for point in sweep_butterfly_cores(paper_params):
+            assert "ms" in point.row()

@@ -1,0 +1,350 @@
+"""Tests for RNS bases, lift, scale, and decomposition (paper Sec. III-B,
+IV-C, IV-D). These validate the exact arithmetic the hardware datapaths
+reuse, including the fixed-point quotient estimates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.rns.basis import (
+    RECIP_FRACTION_BITS,
+    RnsBasis,
+    basis_for,
+    lift_context,
+    scale_context,
+)
+from repro.rns.decompose import (
+    decompose_poly_signed,
+    recompose_signed_digits,
+    rns_decompose,
+    rns_recompose,
+    signed_digit_decompose,
+)
+from repro.rns.lift import (
+    hps_quotient,
+    lift_hps,
+    lift_hps_reference,
+    lift_traditional,
+)
+from repro.rns.scale import scale_hps, scale_traditional
+from repro.utils import round_half_away
+
+
+@pytest.fixture(scope="module")
+def q_basis(mini_params):
+    return basis_for(mini_params.q_primes)
+
+
+@pytest.fixture(scope="module")
+def full_basis(mini_params):
+    return basis_for(mini_params.q_primes + mini_params.p_primes)
+
+
+class TestRnsBasis:
+    def test_constants_satisfy_crt_identity(self, q_basis):
+        for star, tilde, prime in zip(q_basis.q_star, q_basis.q_tilde,
+                                      q_basis.primes):
+            assert (star * tilde) % prime == 1
+            assert q_basis.modulus == star * prime
+
+    def test_residues_and_reconstruct_roundtrip(self, q_basis, rng):
+        for _ in range(50):
+            value = int.from_bytes(rng.bytes(16), "little") % q_basis.modulus
+            assert q_basis.reconstruct(q_basis.residues_of(value)) == value
+
+    def test_reconstruct_centered(self, q_basis):
+        value = q_basis.modulus - 3
+        residues = q_basis.residues_of(value)
+        assert q_basis.reconstruct_centered(residues) == -3
+
+    def test_reconstruct_coeffs_matrix(self, q_basis, rng):
+        values = [int(v) for v in rng.integers(0, 2**60, 20)]
+        matrix = q_basis.residues_of_coeffs(values)
+        assert q_basis.reconstruct_coeffs(matrix) == values
+
+    def test_wrong_row_count_rejected(self, q_basis):
+        with pytest.raises(ParameterError):
+            q_basis.reconstruct_coeffs(np.zeros((2, 4), dtype=np.int64))
+
+    def test_reciprocal_precision(self, q_basis):
+        """recip_i = round(2^89 / q_i): |recip*q - 2^89| <= q/2."""
+        for recip, prime in zip(q_basis.recip, q_basis.primes):
+            assert abs(recip * prime - (1 << RECIP_FRACTION_BITS)) \
+                <= prime // 2
+
+    def test_reciprocal_leading_zeros(self, q_basis):
+        """Paper Sec. V-B2: first 29 fractional bits of 1/q_i are zero,
+        so the stored reciprocal fits 60 bits."""
+        for recip in q_basis.recip:
+            assert recip.bit_length() <= 60
+
+    def test_rejects_duplicate_primes(self):
+        with pytest.raises(ParameterError):
+            RnsBasis((17, 17))
+
+    def test_star_mod_table_shape(self, q_basis, mini_params):
+        table = q_basis.star_mod_table(mini_params.p_primes)
+        assert table.shape == (mini_params.k_p, mini_params.k_q)
+
+
+class TestHpsQuotient:
+    """The fixed-point v' = round(sum x'_i / q_i) estimate (Fig. 6 Block 3)."""
+
+    def test_limb_split_matches_bigint(self, q_basis, rng):
+        k = q_basis.size
+        x = rng.integers(0, 2**30 - 1, size=(k, 200)).astype(np.int64)
+        x %= q_basis.primes_col
+        fast = hps_quotient(q_basis, x)
+        half = 1 << (RECIP_FRACTION_BITS - 1)
+        for col in range(x.shape[1]):
+            total = sum(
+                int(x[i, col]) * q_basis.recip[i] for i in range(k)
+            )
+            expected = (total + half) >> RECIP_FRACTION_BITS
+            assert fast[col] == expected
+
+    def test_quotient_range(self, q_basis, rng):
+        k = q_basis.size
+        x = (rng.integers(0, 2**30, size=(k, 500)) % q_basis.primes_col)
+        v = hps_quotient(q_basis, x.astype(np.int64))
+        assert np.all(v >= 0) and np.all(v <= k)
+
+
+class TestLift:
+    def test_hps_matches_bigint_reference(self, mini_params, q_basis, rng):
+        ctx = lift_context(mini_params.q_primes, mini_params.p_primes)
+        values = [
+            int.from_bytes(rng.bytes(24), "little") % q_basis.modulus
+            for _ in range(300)
+        ]
+        residues = q_basis.residues_of_coeffs(values)
+        assert np.array_equal(lift_hps(ctx, residues),
+                              lift_hps_reference(ctx, residues))
+
+    def test_hps_produces_centered_representative(self, mini_params,
+                                                  q_basis, rng):
+        ctx = lift_context(mini_params.q_primes, mini_params.p_primes)
+        values = [
+            int.from_bytes(rng.bytes(24), "little") % q_basis.modulus
+            for _ in range(300)
+        ]
+        residues = q_basis.residues_of_coeffs(values)
+        out = lift_hps(ctx, residues)
+        q = q_basis.modulus
+        for col, value in enumerate(values):
+            centered = value - q if value > q // 2 else value
+            for j, prime in enumerate(mini_params.p_primes):
+                assert out[j, col] == centered % prime
+
+    def test_traditional_is_exact_crt(self, mini_params, q_basis, rng):
+        ctx = lift_context(mini_params.q_primes, mini_params.p_primes)
+        values = [
+            int.from_bytes(rng.bytes(24), "little") % q_basis.modulus
+            for _ in range(100)
+        ]
+        residues = q_basis.residues_of_coeffs(values)
+        out = lift_traditional(ctx, residues)
+        for col, value in enumerate(values):
+            for j, prime in enumerate(mini_params.p_primes):
+                assert out[j, col] == value % prime
+
+    def test_boundary_values(self, mini_params, q_basis):
+        """0, 1, q-1 and the q/2 neighbourhood lift to a representative
+        congruent mod q with magnitude at most q/2 + 2.
+
+        Values within ~2^-56 * q of the q/2 boundary may land on either
+        side of it: the stored reciprocals are rounded, so the quotient
+        estimate can tip over exactly at the boundary. This is the
+        approximation the paper calls negligible (Sec. IV-C) — the FV
+        noise analysis absorbs a q-multiple shift of this size.
+        """
+        q = q_basis.modulus
+        ctx = lift_context(mini_params.q_primes, mini_params.p_primes)
+        values = [0, 1, q - 1, q // 2, q // 2 + 1, q // 2 - 1]
+        residues = q_basis.residues_of_coeffs(values)
+        out = lift_hps(ctx, residues)
+        for col, value in enumerate(values):
+            candidates = [value, value - q]
+            matched = any(
+                all(out[j, col] == cand % prime
+                    for j, prime in enumerate(mini_params.p_primes))
+                and abs(cand) <= q // 2 + 2
+                for cand in candidates
+            )
+            assert matched, (col, value)
+
+    def test_rejects_wrong_shape(self, mini_params):
+        ctx = lift_context(mini_params.q_primes, mini_params.p_primes)
+        with pytest.raises(ParameterError):
+            lift_hps(ctx, np.zeros((2, 5), dtype=np.int64))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.data())
+    def test_hps_congruence_property(self, mini_params, data):
+        """For arbitrary residue inputs the lifted value is congruent to
+        the input modulo q and bounded by q (HPS centering)."""
+        q_basis_local = basis_for(mini_params.q_primes)
+        ctx = lift_context(mini_params.q_primes, mini_params.p_primes)
+        residues = np.array([
+            [data.draw(st.integers(0, int(p) - 1))]
+            for p in mini_params.q_primes
+        ], dtype=np.int64)
+        out = lift_hps(ctx, residues)
+        value = q_basis_local.reconstruct(residues[:, 0])
+        full = basis_for(mini_params.p_primes)
+        lifted = full.reconstruct_centered(out[:, 0])
+        assert (lifted - value) % q_basis_local.modulus == 0
+        assert abs(lifted) <= q_basis_local.modulus
+
+
+class TestScale:
+    def bound(self, params, q):
+        return params.n * (q // 2) ** 2
+
+    def test_hps_matches_exact_rounding(self, mini_params, q_basis,
+                                        full_basis, rng):
+        ctx = scale_context(mini_params.q_primes, mini_params.p_primes,
+                            mini_params.t)
+        q = q_basis.modulus
+        bound = self.bound(mini_params, q)
+        values = [
+            int.from_bytes(rng.bytes(40), "little") % (2 * bound) - bound
+            for _ in range(300)
+        ]
+        residues = full_basis.residues_of_coeffs(values)
+        out = scale_hps(ctx, residues)
+        for col, value in enumerate(values):
+            want = round_half_away(mini_params.t * value, q)
+            for i, prime in enumerate(mini_params.q_primes):
+                assert out[i, col] == want % prime
+
+    def test_traditional_matches_exact_rounding(self, mini_params, q_basis,
+                                                full_basis, rng):
+        ctx = scale_context(mini_params.q_primes, mini_params.p_primes,
+                            mini_params.t)
+        q = q_basis.modulus
+        bound = self.bound(mini_params, q)
+        values = [
+            int.from_bytes(rng.bytes(40), "little") % (2 * bound) - bound
+            for _ in range(100)
+        ]
+        residues = full_basis.residues_of_coeffs(values)
+        out = scale_traditional(ctx, residues)
+        for col, value in enumerate(values):
+            want = round_half_away(mini_params.t * value, q)
+            for i, prime in enumerate(mini_params.q_primes):
+                assert out[i, col] == want % prime
+
+    def test_zero_scales_to_zero(self, mini_params, full_basis):
+        ctx = scale_context(mini_params.q_primes, mini_params.p_primes,
+                            mini_params.t)
+        residues = np.zeros((full_basis.size, 4), dtype=np.int64)
+        assert np.all(scale_hps(ctx, residues) == 0)
+
+    def test_multiples_of_q_scale_exactly(self, mini_params, q_basis,
+                                          full_basis):
+        """t * (k*q) / q = t*k exactly, no rounding ambiguity."""
+        ctx = scale_context(mini_params.q_primes, mini_params.p_primes,
+                            mini_params.t)
+        q = q_basis.modulus
+        values = [q, 2 * q, 100 * q, -7 * q]
+        residues = full_basis.residues_of_coeffs(values)
+        out = scale_hps(ctx, residues)
+        for col, value in enumerate(values):
+            expected = mini_params.t * (value // q)
+            for i, prime in enumerate(mini_params.q_primes):
+                assert out[i, col] == expected % prime
+
+    def test_plaintext_moduli(self, mini_params, q_basis, full_basis, rng):
+        """The scale pipeline is exact for every supported t."""
+        q = q_basis.modulus
+        bound = self.bound(mini_params, q)
+        values = [
+            int.from_bytes(rng.bytes(40), "little") % (2 * bound) - bound
+            for _ in range(50)
+        ]
+        residues = full_basis.residues_of_coeffs(values)
+        for t in (2, 3, 16, 257, 65537):
+            ctx = scale_context(mini_params.q_primes, mini_params.p_primes,
+                                t)
+            out = scale_hps(ctx, residues)
+            for col, value in enumerate(values):
+                want = round_half_away(t * value, q)
+                for i, prime in enumerate(mini_params.q_primes):
+                    assert out[i, col] == want % prime, (t, col)
+
+    def test_rejects_wrong_shape(self, mini_params):
+        ctx = scale_context(mini_params.q_primes, mini_params.p_primes, 2)
+        with pytest.raises(ParameterError):
+            scale_hps(ctx, np.zeros((3, 5), dtype=np.int64))
+
+
+class TestSignedDigits:
+    def test_paper_toy_example(self):
+        """Paper Sec. II-B: 43 and 39 in base 2^4 with signed digits."""
+        assert signed_digit_decompose(43, 16, 2) == [-5, 3]
+        assert signed_digit_decompose(39, 16, 2) == [7, 2]
+
+    def test_roundtrip(self):
+        for value in range(-120, 121):
+            digits = signed_digit_decompose(value, 16, 3)
+            assert recompose_signed_digits(digits, 16) == value
+
+    def test_digit_bounds(self):
+        for value in range(-500, 500, 7):
+            for digit in signed_digit_decompose(value, 32, 3):
+                assert -16 <= digit < 16
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ParameterError):
+            signed_digit_decompose(10**6, 16, 2)
+
+    def test_rejects_odd_base(self):
+        with pytest.raises(ParameterError):
+            signed_digit_decompose(5, 15, 2)
+
+    @given(st.integers(-(2**59 - 2**30), 2**59 - 2**30))
+    def test_roundtrip_property(self, value):
+        # Two signed base-2^30 digits cover +-(2^59 - 2^30) comfortably.
+        digits = signed_digit_decompose(value, 1 << 30, 2)
+        assert recompose_signed_digits(digits, 1 << 30) == value
+        assert all(-2**29 <= d < 2**29 for d in digits)
+
+    def test_poly_decomposition(self, q_basis):
+        q = q_basis.modulus
+        coeffs = [5, q - 5, q // 3, 0]
+        count = -(-q.bit_length() // 30)
+        digit_polys = decompose_poly_signed(coeffs, q, 1 << 30, count)
+        assert len(digit_polys) == count
+        for idx, coeff in enumerate(coeffs):
+            centered = coeff - q if coeff > q // 2 else coeff
+            recomposed = recompose_signed_digits(
+                [digit_polys[level][idx] for level in range(count)], 1 << 30
+            )
+            assert recomposed == centered
+
+
+class TestRnsDecompose:
+    def test_recompose_identity(self, q_basis, rng):
+        n = 32
+        residues = np.stack([
+            rng.integers(0, p, n) for p in q_basis.primes
+        ]).astype(np.int64)
+        digits = rns_decompose(q_basis, residues)
+        assert digits.shape == (q_basis.size, q_basis.size, n)
+        recomposed = rns_recompose(q_basis, digits)
+        assert np.array_equal(recomposed, residues)
+
+    def test_digits_are_small(self, q_basis, rng):
+        n = 16
+        residues = np.stack([
+            rng.integers(0, p, n) for p in q_basis.primes
+        ]).astype(np.int64)
+        digits = rns_decompose(q_basis, residues)
+        assert digits.max() < 1 << 30
+
+    def test_rejects_wrong_shape(self, q_basis):
+        with pytest.raises(ParameterError):
+            rns_decompose(q_basis, np.zeros((2, 4), dtype=np.int64))

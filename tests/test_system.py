@@ -1,0 +1,193 @@
+"""Tests for the system layer: Arm model, software baseline, server,
+workloads, and the Sec. VI-E comparison data."""
+
+import pytest
+
+from repro.hw.config import HardwareConfig
+from repro.hw.power import PowerModel
+from repro.params import hpca19, mini
+from repro.system.arm import ArmCoreModel
+from repro.system.baseline import (
+    SoftwareBaseline,
+    count_add_operations,
+    count_mult_operations,
+    ntt_operations,
+)
+from repro.system.related_work import (
+    ComparisonPoint,
+    our_point,
+    published_points,
+)
+from repro.system.server import CloudServer
+from repro.system.workloads import (
+    JobKind,
+    add_stream,
+    mixed_workload,
+    mult_stream,
+)
+
+CONFIG = HardwareConfig()
+
+
+@pytest.fixture(scope="module")
+def server():
+    return CloudServer(hpca19(), CONFIG)
+
+
+class TestArmModel:
+    def test_add_in_sw_matches_table1(self):
+        """Table I: Add in SW = 54,680,467 Arm cycles = 45.567 ms."""
+        arm = ArmCoreModel(CONFIG)
+        cycles = arm.add_in_sw_cycles(hpca19())
+        assert abs(cycles - 54_680_467) / 54_680_467 < 0.01
+        assert abs(arm.add_in_sw_seconds(hpca19()) - 45.567e-3) < 1e-3
+
+    def test_mult_in_sw_is_hopeless(self):
+        """Arm software Mult would take far longer than the FPGA's 4.5 ms."""
+        arm = ArmCoreModel(CONFIG)
+        assert arm.mult_in_sw_seconds(hpca19()) > 1.0
+
+
+class TestSoftwareBaseline:
+    def test_mult_matches_nfllib(self):
+        """Sec. VI-E: 33 ms per Mult on the i5 (calibration target)."""
+        baseline = SoftwareBaseline(hpca19())
+        assert abs(baseline.mult_seconds() - 33e-3) / 33e-3 < 0.02
+
+    def test_add_matches_nfllib(self):
+        """Sec. VI-E: 0.1 ms per Add on the i5."""
+        baseline = SoftwareBaseline(hpca19())
+        assert abs(baseline.add_seconds() - 0.1e-3) / 0.1e-3 < 0.05
+
+    def test_op_counts_scale_with_parameters(self):
+        big = count_mult_operations(hpca19())
+        small = count_mult_operations(mini())
+        assert big.modmuls > 4 * small.modmuls
+
+    def test_ntt_op_count(self):
+        ops = ntt_operations(4096)
+        assert ops.modmuls == 2048 * 12
+
+    def test_add_op_count(self):
+        ops = count_add_operations(hpca19())
+        assert ops.modmuls == 0
+        assert ops.modadds == 2 * 6 * 4096
+
+    def test_mults_per_second(self):
+        baseline = SoftwareBaseline(hpca19())
+        assert 28 < baseline.mults_per_second() < 33
+
+
+class TestCloudServer:
+    def test_mult_compute_time_near_paper(self, server):
+        assert abs(server.mult_compute_seconds() - 4.458e-3) / 4.458e-3 \
+            < 0.10
+
+    def test_throughput_near_400(self, server):
+        """The paper's headline: 400 Mult/s with two coprocessors."""
+        throughput = server.mult_throughput_per_second()
+        assert abs(throughput - 400) / 400 < 0.10
+
+    def test_two_coprocessors_double_throughput(self):
+        one = CloudServer(hpca19(),
+                          HardwareConfig(num_coprocessors=1))
+        two = CloudServer(hpca19(),
+                          HardwareConfig(num_coprocessors=2))
+        ratio = (two.mult_throughput_per_second()
+                 / one.mult_throughput_per_second())
+        assert ratio == pytest.approx(2.0)
+
+    def test_add_speedup_near_80x(self, server):
+        """Table I discussion: HW Add is ~80x the Arm-software Add."""
+        assert abs(server.add_speedup_over_sw() - 80) / 80 < 0.15
+
+    def test_serve_keeps_both_coprocessors_busy(self, server):
+        report = server.serve(mult_stream(40))
+        used = {r.coprocessor for r in report.results}
+        assert used == {0, 1}
+
+    def test_serve_parallel_speedup(self, server):
+        """Paper: 'two Mult operations take roughly the same time as one'."""
+        report = server.serve(mult_stream(2))
+        one_job = server.job_seconds(JobKind.MULT)
+        assert report.makespan_seconds == pytest.approx(one_job)
+
+    def test_serve_throughput_matches_analytic(self, server):
+        report = server.serve(mult_stream(100))
+        analytic = server.mult_throughput_per_second()
+        assert abs(report.throughput_per_second() - analytic) / analytic \
+            < 0.05
+
+    def test_mixed_workload_runs(self, server):
+        report = server.serve(mixed_workload(5, 10, seed=3))
+        assert len(report.results) == 55
+        assert report.throughput_per_second(JobKind.MULT) > 0
+
+    def test_headline_13x_speedup(self, server):
+        """Abstract: >13x over the i5 software implementation."""
+        baseline = SoftwareBaseline(hpca19())
+        speedup = (baseline.mult_seconds()
+                   * server.mult_throughput_per_second())
+        assert speedup > 13.0
+        assert speedup < 16.0  # and not absurdly optimistic
+
+
+class TestWorkloads:
+    def test_mult_stream(self):
+        jobs = mult_stream(10)
+        assert len(jobs) == 10
+        assert all(j.kind is JobKind.MULT for j in jobs)
+
+    def test_add_stream(self):
+        assert all(j.kind is JobKind.ADD for j in add_stream(5))
+
+    def test_mixed_composition(self):
+        jobs = mixed_workload(4, 8, seed=0)
+        mults = sum(j.kind is JobKind.MULT for j in jobs)
+        adds = sum(j.kind is JobKind.ADD for j in jobs)
+        assert mults == 4 and adds == 32
+
+    def test_mixed_deterministic(self):
+        a = mixed_workload(4, 8, seed=1)
+        b = mixed_workload(4, 8, seed=1)
+        assert [j.index for j in a] == [j.index for j in b]
+
+
+class TestRelatedWork:
+    def test_published_points_present(self):
+        names = [p.name for p in published_points()]
+        assert any("NFLlib" in name for name in names)
+        assert any("V100" in name for name in names)
+        assert any("Poppelmann" in name for name in names)
+        assert any("HEPCloud" in name for name in names)
+
+    def test_v100_entry_matches_paper_claim(self):
+        """Paper: V100 at matched parameters does ~388 Mult/s."""
+        v100 = next(p for p in published_points() if "V100" in p.name)
+        assert abs(v100.mults_per_second - 388) / 388 < 0.02
+
+    def test_our_point_beats_v100(self, server):
+        power = PowerModel(CONFIG)
+        ours = our_point(
+            server.job_seconds(JobKind.MULT) * 1e3,
+            CONFIG.num_coprocessors, power.peak_watts(),
+        )
+        v100 = next(p for p in published_points() if "V100" in p.name)
+        assert ours.mults_per_second > v100.mults_per_second
+
+    def test_ours_beats_every_published_point(self, server):
+        """Sec. VI-E's overall conclusion."""
+        power = PowerModel(CONFIG)
+        ours = our_point(
+            server.job_seconds(JobKind.MULT) * 1e3,
+            CONFIG.num_coprocessors, power.peak_watts(),
+        )
+        for point in published_points():
+            assert ours.mults_per_second > point.mults_per_second, point.name
+
+    def test_power_advantage(self):
+        """Our peak (8.7 W) is well below the GPU/CPU baselines."""
+        power = PowerModel(CONFIG)
+        for point in published_points():
+            if point.power_watts is not None:
+                assert power.peak_watts() < point.power_watts
