@@ -1,0 +1,54 @@
+"""Discrete-event serving runtime for the Arm+FPGA server (Fig. 11).
+
+Grows the single static scheduling loop of
+:meth:`repro.system.server.CloudServer.serve` into a serving system:
+
+* :mod:`~repro.serve.events` — event heap and simulated clock;
+* :mod:`~repro.serve.engine` — the arrival/dispatch/completion loop;
+* :mod:`~repro.serve.schedulers` — FIFO, shortest-job-first, weighted
+  fair queueing, and per-coprocessor work stealing;
+* :mod:`~repro.serve.batching` — DMA upload coalescing that amortises
+  the Table I Arm setup cost across a backlog;
+* :mod:`~repro.serve.tenants` — multi-tenant clients, SLA deadlines,
+  admission control;
+* :mod:`~repro.serve.telemetry` — latency percentiles, queue-depth and
+  utilisation traces.
+"""
+
+from .batching import BatchPolicy, DmaBatcher
+from .engine import RuntimeReport, ServingRuntime, simulate
+from .events import Event, EventHeap, EventKind
+from .schedulers import (
+    FifoScheduler,
+    Scheduler,
+    ShortestJobFirstScheduler,
+    WeightedFairScheduler,
+    WorkStealingScheduler,
+    default_schedulers,
+)
+from .telemetry import LatencySummary, Telemetry, percentile
+from .tenants import AdmissionController, Rejection, Tenant, TenantSet
+
+__all__ = [
+    "BatchPolicy",
+    "DmaBatcher",
+    "RuntimeReport",
+    "ServingRuntime",
+    "simulate",
+    "Event",
+    "EventHeap",
+    "EventKind",
+    "Scheduler",
+    "FifoScheduler",
+    "ShortestJobFirstScheduler",
+    "WeightedFairScheduler",
+    "WorkStealingScheduler",
+    "default_schedulers",
+    "LatencySummary",
+    "Telemetry",
+    "percentile",
+    "AdmissionController",
+    "Rejection",
+    "Tenant",
+    "TenantSet",
+]

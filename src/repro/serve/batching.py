@@ -1,0 +1,121 @@
+"""Batched DMA: coalescing uploads to amortise Arm/DMA setup cost.
+
+Table I prices each polynomial burst with its own Arm-side DMA setup
+(~14.4 us); sending two operand ciphertexts is four bursts and four
+setups. When a backlog exists, the runtime can coalesce the uploads of
+several queued jobs into one descriptor train: the payload bursts still
+pay full DMA time, but the Arm setup is paid once per train instead of
+once per polynomial. This is the server-side face of the batching that
+:meth:`repro.system.network.ClientSession.batched_throughput` models on
+the network side — one network request (one request latency) carries
+the operands of many operations, and one DMA train moves them to BRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from ..system.network import NetworkModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..system.server import CostModel
+    from .schedulers import QueueEntry
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """How aggressively the dispatcher coalesces queued jobs.
+
+    ``max_jobs=1`` disables batching (every job pays the full Table I
+    transfer cost, matching ``CloudServer.serve``). Larger values let a
+    free coprocessor grab up to ``max_jobs`` queued jobs and run them
+    as one upload train / compute burst / download train; all jobs in
+    the train complete together.
+    """
+
+    max_jobs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_jobs < 1:
+            raise ValueError("max_jobs must be at least 1")
+
+    @classmethod
+    def none(cls) -> "BatchPolicy":
+        return cls(max_jobs=1)
+
+
+class DmaBatcher:
+    """Prices a coalesced train of jobs against the DMA model."""
+
+    #: Polynomial bursts per direction (2 operand cts x 2 polys in,
+    #: 1 result ct = 2 polys out) — the Table I job shape.
+    POLYS_IN_PER_JOB = 4
+    POLYS_OUT_PER_JOB = 2
+
+    def __init__(self, cost: "CostModel",
+                 policy: BatchPolicy | None = None) -> None:
+        self.cost = cost
+        self.policy = BatchPolicy.none() if policy is None else policy
+        dma = cost.dma
+        self._burst_seconds = dma.transfer_seconds(cost.params.poly_bytes)
+        self._setup_seconds = dma.arm_setup_seconds
+
+    @property
+    def max_jobs(self) -> int:
+        return self.policy.max_jobs
+
+    def upload_seconds(self, num_jobs: int) -> float:
+        """One descriptor train for all operand polynomials of the batch."""
+        if num_jobs == 1:
+            return self.cost.transfer_in_seconds()
+        bursts = num_jobs * self.POLYS_IN_PER_JOB
+        return bursts * self._burst_seconds + self._setup_seconds
+
+    def download_seconds(self, num_jobs: int) -> float:
+        if num_jobs == 1:
+            return self.cost.transfer_out_seconds()
+        bursts = num_jobs * self.POLYS_OUT_PER_JOB
+        return bursts * self._burst_seconds + self._setup_seconds
+
+    def service_seconds(self, entries: Sequence["QueueEntry"]) -> float:
+        """Coprocessor occupancy of one dispatched batch."""
+        if not entries:
+            raise ValueError("a batch needs at least one job")
+        compute = sum(self.cost.compute_seconds(e.kind) for e in entries)
+        k = len(entries)
+        return self.upload_seconds(k) + compute + self.download_seconds(k)
+
+    def setup_savings_seconds(self, num_jobs: int) -> float:
+        """Arm setup time a train of `num_jobs` saves over singles."""
+        singles = num_jobs * (self.POLYS_IN_PER_JOB
+                              + self.POLYS_OUT_PER_JOB) * self._setup_seconds
+        batched = 2 * self._setup_seconds
+        return max(singles - batched, 0.0) if num_jobs > 1 else 0.0
+
+    def saturated_mult_throughput(self, num_coprocessors: int,
+                                  num_jobs: int) -> float:
+        """Mult/s of always-full trains (the batching ceiling)."""
+        from ..system.workloads import JobKind
+
+        per_job = self.cost.compute_seconds(JobKind.MULT)
+        batch = (self.upload_seconds(num_jobs) + num_jobs * per_job
+                 + self.download_seconds(num_jobs))
+        return num_coprocessors * num_jobs / batch
+
+
+def network_amortized_upload_seconds(params, num_jobs: int,
+                                     network: NetworkModel | None = None,
+                                     ) -> float:
+    """Ingress time of one coalesced client upload carrying `num_jobs`.
+
+    The network-side analogue of the DMA train: one request latency for
+    the whole batch, payload at line rate — the per-op cost this
+    amortises is what lets ``ClientSession.batched_throughput`` return
+    to the FPGA-bound 400 Mult/s.
+    """
+    if num_jobs < 1:
+        raise ValueError("num_jobs must be at least 1")
+    network = network or NetworkModel()
+    payload = num_jobs * 2 * params.ciphertext_bytes
+    return network.transfer_seconds(payload)

@@ -1,0 +1,127 @@
+"""Latency, queue-depth and utilisation telemetry for the runtime.
+
+Throughput alone (the paper's 400 Mult/s) says nothing about what a
+client experiences under load; serving systems are judged on tail
+latency. The engine feeds every state change through a
+:class:`Telemetry` collector, which keeps full traces (queue depth and
+per-coprocessor busy time against the simulated clock) and reduces
+them to the numbers operators actually watch: p50/p95/p99 latency,
+mean/max queue depth, utilisation, and SLA violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Linear-interpolated percentile; 0.0 for an empty series."""
+    if not values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError("percentile must be in [0, 100]")
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """The percentile digest of one latency series (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @classmethod
+    def of(cls, latencies: list[float]) -> "LatencySummary":
+        if not latencies:
+            return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0,
+                       max=0.0)
+        return cls(
+            count=len(latencies),
+            mean=float(np.mean(latencies)),
+            p50=percentile(latencies, 50),
+            p95=percentile(latencies, 95),
+            p99=percentile(latencies, 99),
+            max=float(np.max(latencies)),
+        )
+
+    def row(self, label: str) -> str:
+        return (f"{label:<10} n={self.count:<6} "
+                f"p50={self.p50 * 1e3:8.2f} ms  "
+                f"p95={self.p95 * 1e3:8.2f} ms  "
+                f"p99={self.p99 * 1e3:8.2f} ms  "
+                f"max={self.max * 1e3:8.2f} ms")
+
+
+@dataclass
+class Telemetry:
+    """Trace collector wired into the event engine."""
+
+    num_coprocessors: int
+    queue_depth_trace: list[tuple[float, int]] = field(default_factory=list)
+    busy_seconds: list[float] = field(init=False)
+    dispatch_count: list[int] = field(init=False)
+    batch_sizes: list[int] = field(default_factory=list)
+    latencies: list[float] = field(default_factory=list)
+    tenant_latencies: dict[str, list[float]] = field(default_factory=dict)
+    sla_violations: int = 0
+
+    def __post_init__(self) -> None:
+        self.busy_seconds = [0.0] * self.num_coprocessors
+        self.dispatch_count = [0] * self.num_coprocessors
+
+    # -- recording hooks ---------------------------------------------------------------
+
+    def record_queue_depth(self, now: float, depth: int) -> None:
+        self.queue_depth_trace.append((now, depth))
+
+    def record_dispatch(self, coprocessor: int, batch_size: int) -> None:
+        self.dispatch_count[coprocessor] += 1
+        self.batch_sizes.append(batch_size)
+
+    def record_completion(self, coprocessor: int, service_seconds: float,
+                          latencies: list[tuple[str, float]],
+                          sla_violations: int) -> None:
+        self.busy_seconds[coprocessor] += service_seconds
+        for tenant, latency in latencies:
+            self.latencies.append(latency)
+            self.tenant_latencies.setdefault(tenant, []).append(latency)
+        self.sla_violations += sla_violations
+
+    # -- reductions --------------------------------------------------------------------
+
+    def latency_summary(self, tenant: str | None = None) -> LatencySummary:
+        series = (self.latencies if tenant is None
+                  else self.tenant_latencies.get(tenant, []))
+        return LatencySummary.of(series)
+
+    def utilization(self, horizon_seconds: float) -> list[float]:
+        """Busy fraction of each coprocessor over the run's busy window."""
+        if horizon_seconds <= 0:
+            return [0.0] * self.num_coprocessors
+        return [min(b / horizon_seconds, 1.0) for b in self.busy_seconds]
+
+    @property
+    def max_queue_depth(self) -> int:
+        return max((d for _, d in self.queue_depth_trace), default=0)
+
+    def mean_queue_depth(self) -> float:
+        """Time-weighted mean depth over the queue-depth trace."""
+        trace = self.queue_depth_trace
+        if len(trace) < 2:
+            return float(trace[0][1]) if trace else 0.0
+        area = 0.0
+        for (t0, d0), (t1, _) in zip(trace, trace[1:]):
+            area += d0 * (t1 - t0)
+        span = trace[-1][0] - trace[0][0]
+        return area / span if span > 0 else float(trace[-1][1])
+
+    def mean_batch_size(self) -> float:
+        if not self.batch_sizes:
+            return 0.0
+        return float(np.mean(self.batch_sizes))

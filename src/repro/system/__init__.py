@@ -4,24 +4,43 @@
 * :mod:`~repro.system.baseline` — instrumented software FV mapped onto
   the Intel i5 / FV-NFLlib reference of Sec. VI-E;
 * :mod:`~repro.system.related_work` — the comparison points of Sec. VI-E;
-* :mod:`~repro.system.server` — the dual-coprocessor cloud server with
-  its three Arm cores and job scheduler;
-* :mod:`~repro.system.workloads` — homomorphic job streams for the
-  throughput experiments.
+* :mod:`~repro.system.server` — the dual-coprocessor cloud server, its
+  reusable per-job :class:`~repro.system.server.CostModel`, and the
+  static job scheduler;
+* :mod:`~repro.system.workloads` — homomorphic job streams (saturating,
+  Poisson, bursty MMPP, multi-tenant) for the throughput experiments.
+
+The discrete-event serving runtime built on these models lives in
+:mod:`repro.serve`.
 """
 
 from .arm import ArmCoreModel
 from .baseline import SoftwareBaseline
-from .server import CloudServer, JobResult
-from .workloads import Job, JobKind, mixed_workload, mult_stream
+from .server import CloudServer, CostModel, JobResult, ServeReport
+from .workloads import (
+    Job,
+    JobKind,
+    merge_streams,
+    mixed_workload,
+    mmpp_stream,
+    mult_stream,
+    multi_tenant_stream,
+    poisson_stream,
+)
 
 __all__ = [
     "ArmCoreModel",
     "SoftwareBaseline",
     "CloudServer",
+    "CostModel",
     "JobResult",
+    "ServeReport",
     "Job",
     "JobKind",
     "mult_stream",
+    "merge_streams",
     "mixed_workload",
+    "mmpp_stream",
+    "multi_tenant_stream",
+    "poisson_stream",
 ]

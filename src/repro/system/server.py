@@ -8,6 +8,11 @@ coprocessor compute time, coprocessors run in parallel, and the scheduler
 dispatches to the earliest-free instance — reproducing the paper's "two
 Mult operations take roughly the same time as one" and the 400 Mult/s
 headline.
+
+The per-job costs live in :class:`CostModel` so that both the static
+:meth:`CloudServer.serve` loop kept here and the discrete-event runtime
+in :mod:`repro.serve` price jobs identically; the two are validated
+against each other on saturated streams.
 """
 
 from __future__ import annotations
@@ -17,9 +22,91 @@ from dataclasses import dataclass, field
 from ..hw.config import HardwareConfig
 from ..hw.coprocessor import Coprocessor
 from ..hw.dma import DmaModel
+from ..hw.isa import Opcode
 from ..params import ParameterSet
 from .arm import ArmCoreModel
 from .workloads import Job, JobKind
+
+
+class CostModel:
+    """Per-job service cost of the Fig. 11 server (transfers + compute).
+
+    Derives Mult/Add latencies from the coprocessor's instruction cycle
+    model and the DMA transfer model, caching the cycle model and the
+    per-kind compute times so repeated pricing (the event engine asks on
+    every dispatch) costs a dictionary lookup.
+    """
+
+    def __init__(self, params: ParameterSet,
+                 config: HardwareConfig | None = None) -> None:
+        self.params = params
+        self.config = config or HardwareConfig()
+        self.dma = DmaModel(self.config)
+        # One functional coprocessor is enough to derive the per-op
+        # latencies; the scheduler replicates its timing N times.
+        self.reference = Coprocessor(params, self.config)
+        self._cycle_model: dict[Opcode, int] | None = None
+        self._compute_cache: dict[JobKind, float] = {}
+
+    def instruction_cycle_model(self) -> dict[Opcode, int]:
+        """The Table II cycle model, built once and shared by all ops."""
+        if self._cycle_model is None:
+            self._cycle_model = self.reference.instruction_cycle_model()
+        return self._cycle_model
+
+    # -- transfers ---------------------------------------------------------------------
+
+    def transfer_in_seconds(self, num_operands: int = 2) -> float:
+        return self.dma.send_ciphertexts_seconds(self.params.poly_bytes,
+                                                 num_operands)
+
+    def transfer_out_seconds(self) -> float:
+        return self.dma.receive_ciphertext_seconds(self.params.poly_bytes)
+
+    # -- compute -----------------------------------------------------------------------
+
+    def mult_compute_seconds(self) -> float:
+        """Modelled Mult latency (includes relin key streaming)."""
+        if JobKind.MULT not in self._compute_cache:
+            from ..hw.compiler import expected_table2_calls
+
+            model = self.instruction_cycle_model()
+            calls = expected_table2_calls(self.params, self.config)
+            cycles = sum(
+                model[op] * count for op, count in calls.items()
+                if op in model
+            )
+            # Digit broadcasts.
+            digit_cycles = (self.params.n // 2
+                            + self.config.stage_sync_overhead)
+            cycles += calls[Opcode.DIGIT] * digit_cycles
+            seconds = cycles / self.config.fpga_clock_hz
+            # Relinearisation key streaming.
+            if not self.config.relin_key_on_chip:
+                per_component = 2 * (
+                    self.dma.transfer_seconds(self.params.poly_bytes)
+                    + self.dma.arm_setup_seconds
+                )
+                seconds += calls[Opcode.LOAD_RLK] * per_component
+            self._compute_cache[JobKind.MULT] = seconds
+        return self._compute_cache[JobKind.MULT]
+
+    def add_compute_seconds(self) -> float:
+        if JobKind.ADD not in self._compute_cache:
+            model = self.instruction_cycle_model()
+            self._compute_cache[JobKind.ADD] = (
+                2 * model[Opcode.CADD] / self.config.fpga_clock_hz
+            )
+        return self._compute_cache[JobKind.ADD]
+
+    def compute_seconds(self, kind: JobKind) -> float:
+        return (self.mult_compute_seconds() if kind is JobKind.MULT
+                else self.add_compute_seconds())
+
+    def job_seconds(self, kind: JobKind) -> float:
+        """Full coprocessor occupancy of one job: in + compute + out."""
+        return (self.transfer_in_seconds() + self.compute_seconds(kind)
+                + self.transfer_out_seconds())
 
 
 @dataclass(frozen=True)
@@ -43,8 +130,25 @@ class ServeReport:
     results: list[JobResult] = field(default_factory=list)
 
     @property
-    def makespan_seconds(self) -> float:
+    def first_arrival_seconds(self) -> float:
+        return min((r.job.arrival_seconds for r in self.results),
+                   default=0.0)
+
+    @property
+    def last_finish_seconds(self) -> float:
         return max((r.finish_seconds for r in self.results), default=0.0)
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Busy interval of the run, measured from the *first arrival*.
+
+        Open-loop streams (e.g. Poisson) may not deliver their first job
+        at t=0; measuring from t=0 would dilute the throughput of every
+        such run by the initial idle gap.
+        """
+        if not self.results:
+            return 0.0
+        return self.last_finish_seconds - self.first_arrival_seconds
 
     def throughput_per_second(self, kind: JobKind | None = None) -> float:
         jobs = [r for r in self.results
@@ -67,65 +171,38 @@ class CloudServer:
                  config: HardwareConfig | None = None) -> None:
         self.params = params
         self.config = config or HardwareConfig()
-        self.dma = DmaModel(self.config)
+        self.cost = CostModel(params, self.config)
+        self.dma = self.cost.dma
+        self.reference = self.cost.reference
         self.arm = ArmCoreModel(self.config)
-        # One functional coprocessor is enough to derive the per-op
-        # latencies; the scheduler replicates its timing N times.
-        self.reference = Coprocessor(params, self.config)
-        self._mult_seconds_cache: float | None = None
 
-    # -- per-job costs ---------------------------------------------------------------
+    # -- per-job costs (delegated to the shared CostModel) -----------------------------
 
     def transfer_in_seconds(self, num_operands: int = 2) -> float:
-        return self.dma.send_ciphertexts_seconds(self.params.poly_bytes,
-                                                 num_operands)
+        return self.cost.transfer_in_seconds(num_operands)
 
     def transfer_out_seconds(self) -> float:
-        return self.dma.receive_ciphertext_seconds(self.params.poly_bytes)
+        return self.cost.transfer_out_seconds()
 
     def mult_compute_seconds(self) -> float:
-        """Modelled Mult latency (includes relin key streaming)."""
-        if self._mult_seconds_cache is None:
-            from ..hw.compiler import expected_table2_calls
-            from ..hw.isa import Opcode
-
-            model = self.reference.instruction_cycle_model()
-            calls = expected_table2_calls(self.params, self.config)
-            cycles = sum(
-                model[op] * count for op, count in calls.items()
-                if op in model
-            )
-            # Digit broadcasts.
-            digit_cycles = (self.params.n // 2
-                            + self.config.stage_sync_overhead)
-            cycles += calls[Opcode.DIGIT] * digit_cycles
-            seconds = cycles / self.config.fpga_clock_hz
-            # Relinearisation key streaming.
-            if not self.config.relin_key_on_chip:
-                per_component = 2 * (
-                    self.dma.transfer_seconds(self.params.poly_bytes)
-                    + self.dma.arm_setup_seconds
-                )
-                seconds += calls[Opcode.LOAD_RLK] * per_component
-            self._mult_seconds_cache = seconds
-        return self._mult_seconds_cache
+        return self.cost.mult_compute_seconds()
 
     def add_compute_seconds(self) -> float:
-        from ..hw.isa import Opcode
-
-        model = self.reference.instruction_cycle_model()
-        return 2 * model[Opcode.CADD] / self.config.fpga_clock_hz
+        return self.cost.add_compute_seconds()
 
     def job_seconds(self, kind: JobKind) -> float:
-        compute = (self.mult_compute_seconds() if kind is JobKind.MULT
-                   else self.add_compute_seconds())
-        return (self.transfer_in_seconds() + compute
-                + self.transfer_out_seconds())
+        return self.cost.job_seconds(kind)
 
     # -- scheduling --------------------------------------------------------------------
 
     def serve(self, jobs: list[Job]) -> ServeReport:
-        """Dispatch jobs to the earliest-free coprocessor."""
+        """Dispatch jobs to the earliest-free coprocessor.
+
+        Static list scheduling in arrival order — the original Fig. 11
+        reproduction. For queueing delay, tenant contention, batching and
+        admission control use :class:`repro.serve.ServingRuntime`, which
+        matches this loop on saturated streams (see tests).
+        """
         free_at = [0.0] * self.config.num_coprocessors
         report = ServeReport()
         for job in jobs:

@@ -2,10 +2,11 @@
 
 The paper's server executes streams of homomorphic operations arriving
 from network clients (Fig. 11). These generators produce deterministic
-job streams for the scheduler simulation: pure Mult streams for the
-400-Mult/s headline, and mixed Add/Mult streams shaped like the
-smart-grid forecasting application of [4] (many additions per
-multiplication).
+job streams for the scheduler simulations: pure Mult streams for the
+400-Mult/s headline, mixed Add/Mult streams shaped like the smart-grid
+forecasting application of [4] (many additions per multiplication),
+and open-loop arrival processes — Poisson, bursty MMPP, and
+multi-tenant superpositions — for the serving-runtime experiments.
 """
 
 from __future__ import annotations
@@ -14,6 +15,8 @@ from dataclasses import dataclass
 from enum import Enum
 
 import numpy as np
+
+DEFAULT_TENANT = "default"
 
 
 class JobKind(Enum):
@@ -28,6 +31,7 @@ class Job:
     index: int
     kind: JobKind
     arrival_seconds: float = 0.0
+    tenant: str = DEFAULT_TENANT
 
 
 def mult_stream(count: int) -> list[Job]:
@@ -41,7 +45,8 @@ def add_stream(count: int) -> list[Job]:
 
 def poisson_stream(rate_per_second: float, duration_seconds: float,
                    kind: JobKind = JobKind.MULT,
-                   seed: int = 0) -> list[Job]:
+                   seed: int = 0,
+                   tenant: str = DEFAULT_TENANT) -> list[Job]:
     """Jobs with exponential inter-arrival times (an open-loop client).
 
     Lets the scheduler experiments study latency under load rather than
@@ -58,9 +63,88 @@ def poisson_stream(rate_per_second: float, duration_seconds: float,
         now += rng.exponential(1.0 / rate_per_second)
         if now >= duration_seconds:
             break
-        jobs.append(Job(index=index, kind=kind, arrival_seconds=now))
+        jobs.append(Job(index=index, kind=kind, arrival_seconds=now,
+                        tenant=tenant))
         index += 1
     return jobs
+
+
+def mmpp_stream(low_rate: float, high_rate: float,
+                mean_dwell_seconds: float, duration_seconds: float,
+                kind: JobKind = JobKind.MULT, seed: int = 0,
+                tenant: str = DEFAULT_TENANT) -> list[Job]:
+    """Two-state Markov-modulated Poisson process (bursty clients).
+
+    The process alternates between a quiet state (``low_rate``) and a
+    burst state (``high_rate``); dwell times in each state are
+    exponential with the given mean. MMPP is the standard model for
+    bursty request traffic — the time-averaged rate is the mean of the
+    two rates, but arrivals cluster, which stresses schedulers and
+    admission control far more than a plain Poisson stream of the same
+    average rate.
+    """
+    if low_rate < 0 or high_rate <= 0:
+        raise ValueError("rates must be non-negative (high rate positive)")
+    if mean_dwell_seconds <= 0 or duration_seconds <= 0:
+        raise ValueError("dwell and duration must be positive")
+    rng = np.random.default_rng(seed)
+    jobs: list[Job] = []
+    now = 0.0
+    index = 0
+    rate = low_rate
+    state_end = rng.exponential(mean_dwell_seconds)
+    while now < duration_seconds:
+        if rate <= 0:
+            now = state_end
+        else:
+            now += rng.exponential(1.0 / rate)
+        if now >= state_end:
+            # Switch state; the interrupted inter-arrival gap is
+            # re-drawn at the new rate (memorylessness makes this
+            # exact). Checked before the duration cut-off so a long
+            # quiet-state draw cannot swallow the bursts behind it.
+            now = state_end
+            rate = high_rate if rate == low_rate else low_rate
+            state_end = now + rng.exponential(mean_dwell_seconds)
+            continue
+        if now >= duration_seconds:
+            break
+        jobs.append(Job(index=index, kind=kind, arrival_seconds=now,
+                        tenant=tenant))
+        index += 1
+    return jobs
+
+
+def merge_streams(*streams: list[Job]) -> list[Job]:
+    """Interleave job streams by arrival time and re-index contiguously.
+
+    The schedulers rely on the merged invariant: arrival-sorted, with
+    ``index`` running 0..n-1 across the combined stream.
+    """
+    merged = sorted((job for stream in streams for job in stream),
+                    key=lambda job: job.arrival_seconds)
+    return [Job(index=i, kind=j.kind, arrival_seconds=j.arrival_seconds,
+                tenant=j.tenant) for i, j in enumerate(merged)]
+
+
+def multi_tenant_stream(rates_per_second: dict[str, float],
+                        duration_seconds: float,
+                        kind: JobKind = JobKind.MULT,
+                        seed: int = 0) -> list[Job]:
+    """Superpose independent per-tenant Poisson streams.
+
+    Each tenant gets its own arrival process; the merged stream is
+    sorted by arrival time and re-indexed, so schedulers see one
+    interleaved queue with per-job tenant tags.
+    """
+    if not rates_per_second:
+        raise ValueError("need at least one tenant")
+    return merge_streams(*(
+        poisson_stream(rate, duration_seconds, kind=kind,
+                       seed=seed + offset, tenant=tenant)
+        for offset, (tenant, rate) in enumerate(
+            sorted(rates_per_second.items()))
+    ))
 
 
 def mixed_workload(mults: int, adds_per_mult: int,

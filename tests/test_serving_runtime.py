@@ -1,0 +1,504 @@
+"""Tests for the discrete-event serving runtime (repro.serve) and the
+CostModel refactor, plus the workload-generator edge cases."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.config import HardwareConfig
+from repro.params import hpca19
+from repro.serve import (
+    BatchPolicy,
+    DmaBatcher,
+    EventHeap,
+    EventKind,
+    FifoScheduler,
+    LatencySummary,
+    ServingRuntime,
+    ShortestJobFirstScheduler,
+    Tenant,
+    TenantSet,
+    WeightedFairScheduler,
+    WorkStealingScheduler,
+    percentile,
+    simulate,
+)
+from repro.serve.batching import network_amortized_upload_seconds
+from repro.system.server import CloudServer, CostModel, JobResult, ServeReport
+from repro.system.workloads import (
+    Job,
+    JobKind,
+    mmpp_stream,
+    mult_stream,
+    multi_tenant_stream,
+    poisson_stream,
+)
+
+CONFIG = HardwareConfig()
+
+
+@pytest.fixture(scope="module")
+def server():
+    return CloudServer(hpca19(), CONFIG)
+
+
+def make_scheduler(name):
+    return {
+        "fifo": FifoScheduler,
+        "sjf": ShortestJobFirstScheduler,
+        "wfq": WeightedFairScheduler,
+        "steal": WorkStealingScheduler,
+    }[name]()
+
+
+ALL_POLICIES = ["fifo", "sjf", "wfq", "steal"]
+
+
+def check_invariants(report, offered_jobs):
+    """The scheduler invariants every policy must uphold."""
+    # Conservation: every offered job either completed or was rejected,
+    # exactly once.
+    done = [r.job.index for r in report.results]
+    rejected = [r.job.index for r in report.rejected]
+    assert sorted(done + rejected) == sorted(j.index for j in offered_jobs)
+    # Causality: no job starts (or finishes) before it arrives.
+    for result in report.results:
+        assert result.start_seconds >= result.job.arrival_seconds - 1e-12
+        assert result.finish_seconds > result.start_seconds
+    # Exclusivity: one batch at a time per coprocessor.
+    per_coproc = {}
+    for result in report.results:
+        per_coproc.setdefault(result.coprocessor, set()).add(
+            (result.start_seconds, result.finish_seconds)
+        )
+    for intervals in per_coproc.values():
+        ordered = sorted(intervals)
+        for (s0, f0), (s1, f1) in zip(ordered, ordered[1:]):
+            assert s1 >= f0 - 1e-12
+
+
+class TestCostModel:
+    def test_cycle_model_built_once(self):
+        cost = CostModel(hpca19(), CONFIG)
+        calls = []
+        original = cost.reference.instruction_cycle_model
+
+        def counting():
+            calls.append(1)
+            return original()
+
+        cost.reference.instruction_cycle_model = counting
+        cost.mult_compute_seconds()
+        cost.add_compute_seconds()
+        cost.mult_compute_seconds()
+        cost.add_compute_seconds()
+        assert len(calls) == 1
+
+    def test_compute_costs_cached(self):
+        cost = CostModel(hpca19(), CONFIG)
+        assert cost.add_compute_seconds() == cost.add_compute_seconds()
+        assert cost.mult_compute_seconds() == cost.mult_compute_seconds()
+
+    def test_server_delegates_to_cost_model(self, server):
+        assert server.job_seconds(JobKind.MULT) == \
+            server.cost.job_seconds(JobKind.MULT)
+        assert server.mult_compute_seconds() == \
+            server.cost.mult_compute_seconds()
+        assert server.add_compute_seconds() == \
+            server.cost.add_compute_seconds()
+
+
+class TestServeReportWindow:
+    def test_makespan_measured_from_first_arrival(self, server):
+        """A late first arrival must not dilute throughput (satellite)."""
+        offset = 5.0
+        early = server.serve(mult_stream(40))
+        late_jobs = [Job(index=i, kind=JobKind.MULT,
+                         arrival_seconds=offset) for i in range(40)]
+        late = server.serve(late_jobs)
+        assert late.first_arrival_seconds == pytest.approx(offset)
+        assert late.makespan_seconds == pytest.approx(early.makespan_seconds)
+        assert late.throughput_per_second() == \
+            pytest.approx(early.throughput_per_second())
+
+    def test_empty_report(self):
+        report = ServeReport()
+        assert report.makespan_seconds == 0.0
+        assert report.throughput_per_second() == 0.0
+
+
+class TestEventHeap:
+    def test_orders_by_time_then_insertion(self):
+        heap = EventHeap()
+        heap.push(2.0, EventKind.ARRIVAL, "late")
+        heap.push(1.0, EventKind.ARRIVAL, "a")
+        heap.push(1.0, EventKind.DISPATCH, "b")
+        assert [heap.pop().payload for _ in range(3)] == ["a", "b", "late"]
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            EventHeap().push(-1.0, EventKind.ARRIVAL)
+
+
+class TestEngineMatchesStaticLoop:
+    def test_saturated_throughput_within_one_percent(self, server):
+        """Acceptance: engine matches the analytic 400 Mult/s headline."""
+        report = simulate(server, mult_stream(200))
+        analytic = server.mult_throughput_per_second()
+        assert abs(report.throughput_per_second() - analytic) / analytic \
+            < 0.01
+
+    @pytest.mark.parametrize("jobs", [
+        mult_stream(50),
+        poisson_stream(300.0, 0.5, seed=5),
+        poisson_stream(600.0, 0.3, seed=9),
+    ], ids=["saturated", "underload", "overload"])
+    def test_fifo_engine_reproduces_legacy_serve(self, server, jobs):
+        """serve() is a compatibility wrapper for FIFO + no batching."""
+        legacy = server.serve(jobs)
+        event = simulate(server, jobs)
+        legacy_finishes = sorted(r.finish_seconds for r in legacy.results)
+        event_finishes = sorted(r.finish_seconds for r in event.results)
+        assert event_finishes == pytest.approx(legacy_finishes)
+        assert event.makespan_seconds == \
+            pytest.approx(legacy.makespan_seconds)
+
+    def test_both_coprocessors_used(self, server):
+        report = simulate(server, mult_stream(40))
+        assert {r.coprocessor for r in report.results} == {0, 1}
+
+    def test_runtime_is_single_use(self, server):
+        runtime = ServingRuntime.for_server(server)
+        runtime.run(mult_stream(4))
+        with pytest.raises(RuntimeError):
+            runtime.run(mult_stream(4))
+
+
+class TestSchedulerInvariants:
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_invariants_on_mixed_poisson(self, server, policy):
+        jobs = sorted(
+            poisson_stream(400.0, 0.4, seed=3)
+            + poisson_stream(500.0, 0.4, kind=JobKind.ADD, seed=4,
+                             tenant="adds"),
+            key=lambda j: j.arrival_seconds,
+        )
+        jobs = [Job(index=i, kind=j.kind,
+                    arrival_seconds=j.arrival_seconds, tenant=j.tenant)
+                for i, j in enumerate(jobs)]
+        report = simulate(server, jobs, scheduler=make_scheduler(policy))
+        check_invariants(report, jobs)
+        assert len(report.rejected) == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        policy=st.sampled_from(ALL_POLICIES),
+        kinds=st.lists(st.sampled_from([JobKind.MULT, JobKind.ADD]),
+                       min_size=1, max_size=30),
+        gaps=st.lists(st.floats(0.0, 0.02), min_size=1, max_size=30),
+        batch=st.integers(1, 4),
+    )
+    def test_invariants_property(self, server, policy, kinds, gaps, batch):
+        now, jobs = 0.0, []
+        for i, kind in enumerate(kinds):
+            now += gaps[i % len(gaps)]
+            jobs.append(Job(index=i, kind=kind, arrival_seconds=now,
+                            tenant=f"t{i % 3}"))
+        report = simulate(server, jobs, scheduler=make_scheduler(policy),
+                          batching=BatchPolicy(max_jobs=batch))
+        check_invariants(report, jobs)
+
+
+class TestPolicies:
+    def test_sjf_runs_adds_before_mults(self, server):
+        jobs = [Job(index=i, kind=JobKind.MULT) for i in range(6)] + \
+               [Job(index=6 + i, kind=JobKind.ADD) for i in range(6)]
+        report = simulate(server, jobs,
+                          scheduler=ShortestJobFirstScheduler())
+        by_start = sorted(report.results, key=lambda r: r.start_seconds)
+        first_kinds = [r.job.kind for r in by_start[:6]]
+        assert all(k is JobKind.ADD for k in first_kinds)
+
+    def test_wfq_respects_weights(self, server):
+        """A weight-4 tenant's jobs wait far less than a weight-1 peer's."""
+        jobs = []
+        for i in range(60):
+            jobs.append(Job(index=2 * i, kind=JobKind.MULT,
+                            tenant="heavy"))
+            jobs.append(Job(index=2 * i + 1, kind=JobKind.MULT,
+                            tenant="light"))
+        tenants = TenantSet.of(Tenant("heavy", weight=4.0),
+                               Tenant("light", weight=1.0))
+        report = simulate(server, jobs, scheduler=WeightedFairScheduler(),
+                          tenants=tenants)
+        heavy = report.latency_summary("heavy")
+        light = report.latency_summary("light")
+        assert heavy.count == light.count == 60
+        assert heavy.mean < 0.5 * light.mean
+
+    def test_wfq_explicit_weights_win_over_tenants(self):
+        scheduler = WeightedFairScheduler(weights={"a": 9.0})
+        ServingRuntime(CostModel(hpca19(), CONFIG), scheduler=scheduler,
+                       tenants=TenantSet.of(Tenant("a", weight=1.0)))
+        assert scheduler.weights == {"a": 9.0}
+
+    def test_wfq_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            WeightedFairScheduler(weights={"a": 0.0})
+
+    def test_work_stealing_keeps_both_busy(self, server):
+        report = simulate(server, mult_stream(80),
+                          scheduler=WorkStealingScheduler())
+        fifo = simulate(server, mult_stream(80))
+        assert report.makespan_seconds == \
+            pytest.approx(fifo.makespan_seconds, rel=0.05)
+        util = report.utilization()
+        assert all(u > 0.9 for u in util)
+
+    def test_work_stealing_rebalances_cost_skew(self, server):
+        """Round-robin spray puts all Mults on one queue; stealing must
+        keep the other coprocessor from idling."""
+        jobs = []
+        for i in range(40):
+            kind = JobKind.MULT if i % 2 == 0 else JobKind.ADD
+            jobs.append(Job(index=i, kind=kind))
+        report = simulate(server, jobs,
+                          scheduler=WorkStealingScheduler())
+        util = report.utilization()
+        assert all(u > 0.8 for u in util)
+
+
+class TestBatching:
+    def test_batch_amortizes_arm_setup(self, server):
+        batcher = DmaBatcher(server.cost, BatchPolicy(max_jobs=8))
+        k = 8
+        singles = k * server.cost.job_seconds(JobKind.MULT)
+        entries = [
+            type("E", (), {"kind": JobKind.MULT})() for _ in range(k)
+        ]
+        batched = batcher.service_seconds(entries)
+        assert batched < singles
+        assert singles - batched == \
+            pytest.approx(batcher.setup_savings_seconds(k))
+
+    def test_single_job_batch_matches_table1_cost(self, server):
+        batcher = DmaBatcher(server.cost)
+        entry = type("E", (), {"kind": JobKind.MULT})()
+        assert batcher.service_seconds([entry]) == \
+            pytest.approx(server.job_seconds(JobKind.MULT))
+
+    def test_batched_runtime_beats_unbatched_on_backlog(self, server):
+        # 128 jobs = 16 full trains of 8, 8 per coprocessor: the
+        # comparison measures setup amortisation, not packing remainder.
+        jobs = mult_stream(128)
+        plain = simulate(server, jobs)
+        batched = simulate(server, jobs, batching=BatchPolicy(max_jobs=8))
+        assert batched.makespan_seconds < plain.makespan_seconds
+        assert batched.telemetry.mean_batch_size() > 1.5
+
+    def test_batching_ceiling_above_analytic_throughput(self, server):
+        batcher = DmaBatcher(server.cost, BatchPolicy(max_jobs=8))
+        assert batcher.saturated_mult_throughput(2, 8) > \
+            server.mult_throughput_per_second()
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_jobs=0)
+
+    def test_batching_never_serializes_free_coprocessors(self, server):
+        """Two simultaneous jobs on two free coprocessors must run in
+        parallel even with an aggressive batch policy."""
+        report = simulate(server, mult_stream(2),
+                          batching=BatchPolicy(max_jobs=4))
+        assert {r.coprocessor for r in report.results} == {0, 1}
+        assert report.makespan_seconds == \
+            pytest.approx(server.job_seconds(JobKind.MULT))
+
+    def test_network_amortized_upload(self):
+        params = hpca19()
+        one = network_amortized_upload_seconds(params, 1)
+        eight = network_amortized_upload_seconds(params, 8)
+        # One request latency for eight payloads, not eight latencies.
+        assert eight < 8 * one
+
+
+class TestTenantsAndAdmission:
+    def test_queue_depth_cap_rejects(self, server):
+        tenants = TenantSet.of(Tenant("capped", max_queue_depth=4))
+        jobs = [Job(index=i, kind=JobKind.MULT, tenant="capped")
+                for i in range(30)]
+        report = simulate(server, jobs, tenants=tenants)
+        assert report.rejected
+        assert all(r.reason == "queue-depth" for r in report.rejected)
+        check_invariants(report, jobs)
+
+    def test_deadline_admission_rejects_dead_on_arrival(self, server):
+        tenants = TenantSet.of(Tenant("tight", sla_seconds=0.02))
+        jobs = [Job(index=i, kind=JobKind.MULT, tenant="tight")
+                for i in range(40)]
+        report = simulate(server, jobs, tenants=tenants)
+        reasons = {r.reason for r in report.rejected}
+        assert reasons == {"deadline"}
+        # Admitted jobs were all completable within the deadline model's
+        # optimistic estimate, so violations stay rare.
+        assert len(report.results) + len(report.rejected) == 40
+
+    def test_sla_violations_counted(self, server):
+        tenants = TenantSet.of(Tenant("strict", sla_seconds=1e-6))
+        jobs = [Job(index=0, kind=JobKind.ADD, tenant="strict")]
+        report = simulate(server, jobs, tenants=tenants)
+        if report.results:
+            assert report.telemetry.sla_violations == len(report.results)
+
+    def test_unknown_tenant_gets_defaults(self):
+        tenants = TenantSet()
+        t = tenants.get("anyone")
+        assert t.weight == 1.0
+        assert t.sla_seconds is None and t.max_queue_depth is None
+
+    def test_tenant_validation(self):
+        with pytest.raises(ValueError):
+            Tenant("bad", weight=0.0)
+        with pytest.raises(ValueError):
+            Tenant("bad", sla_seconds=-1.0)
+
+
+class TestTelemetry:
+    def test_percentiles(self):
+        values = [float(i) for i in range(1, 101)]
+        assert percentile(values, 50) == pytest.approx(50.5)
+        assert percentile(values, 99) == pytest.approx(99.01)
+        assert percentile([], 50) == 0.0
+        with pytest.raises(ValueError):
+            percentile(values, 101)
+
+    def test_latency_summary_of_empty(self):
+        summary = LatencySummary.of([])
+        assert summary.count == 0 and summary.p99 == 0.0
+
+    def test_utilization_saturated(self, server):
+        report = simulate(server, mult_stream(60))
+        util = report.utilization()
+        assert len(util) == CONFIG.num_coprocessors
+        assert all(0.95 <= u <= 1.0 for u in util)
+
+    def test_queue_depth_trace_and_mean(self, server):
+        report = simulate(server, mult_stream(30))
+        telemetry = report.telemetry
+        assert telemetry.max_queue_depth >= 1
+        assert 0.0 < telemetry.mean_queue_depth() <= \
+            telemetry.max_queue_depth
+
+
+class TestPoissonStreamEdges:
+    def test_rate_just_above_zero_yields_no_jobs_in_window(self):
+        # Mean inter-arrival 1e6 s >> 1 s duration: empty with near
+        # certainty for any seed, and must not loop forever.
+        assert poisson_stream(1e-6, 1.0, seed=0) == []
+
+    def test_duration_shorter_than_first_gap(self):
+        # With rate 1 job/s a 1 ms window almost surely sees nothing.
+        jobs = poisson_stream(1.0, 1e-3, seed=42)
+        assert jobs == []
+
+    def test_determinism_across_calls(self):
+        a = poisson_stream(200.0, 0.5, seed=7)
+        b = poisson_stream(200.0, 0.5, seed=7)
+        assert [(j.index, j.arrival_seconds) for j in a] == \
+            [(j.index, j.arrival_seconds) for j in b]
+
+    def test_seeds_differ(self):
+        a = poisson_stream(200.0, 0.5, seed=1)
+        b = poisson_stream(200.0, 0.5, seed=2)
+        assert [j.arrival_seconds for j in a] != \
+            [j.arrival_seconds for j in b]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            poisson_stream(0.0, 1.0)
+        with pytest.raises(ValueError):
+            poisson_stream(1.0, 0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(rate=st.floats(10.0, 1000.0), seed=st.integers(0, 100))
+    def test_arrivals_sorted_and_in_window(self, rate, seed):
+        jobs = poisson_stream(rate, 0.25, seed=seed)
+        times = [j.arrival_seconds for j in jobs]
+        assert times == sorted(times)
+        assert all(0.0 < t < 0.25 for t in times)
+        assert [j.index for j in jobs] == list(range(len(jobs)))
+
+
+class TestBurstyWorkloads:
+    def test_mmpp_deterministic_and_sorted(self):
+        a = mmpp_stream(50.0, 800.0, 0.1, 1.0, seed=3)
+        b = mmpp_stream(50.0, 800.0, 0.1, 1.0, seed=3)
+        assert [j.arrival_seconds for j in a] == \
+            [j.arrival_seconds for j in b]
+        times = [j.arrival_seconds for j in a]
+        assert times == sorted(times)
+        assert all(0.0 < t < 1.0 for t in times)
+
+    def test_mmpp_mean_rate_between_states(self):
+        jobs = mmpp_stream(50.0, 800.0, 0.2, 20.0, seed=1)
+        rate = len(jobs) / 20.0
+        assert 50.0 < rate < 800.0
+
+    def test_mmpp_zero_low_rate(self):
+        jobs = mmpp_stream(0.0, 400.0, 0.1, 2.0, seed=5)
+        assert jobs
+        assert all(0.0 < j.arrival_seconds < 2.0 for j in jobs)
+
+    def test_mmpp_tiny_low_rate_still_bursts(self):
+        """A quiet-state gap overshooting the horizon must not swallow
+        the burst periods behind it (output is continuous in low_rate)."""
+        tiny = mmpp_stream(0.01, 1000.0, 0.1, 10.0, seed=0)
+        zero = mmpp_stream(0.0, 1000.0, 0.1, 10.0, seed=0)
+        assert len(tiny) > 0.5 * len(zero)
+
+    def test_mmpp_burstier_than_poisson(self):
+        """Arrival-count variance across bins far exceeds Poisson's."""
+        import numpy as np
+
+        def bin_counts(jobs, width=0.1, horizon=30.0):
+            counts = np.zeros(int(horizon / width))
+            for j in jobs:
+                counts[min(int(j.arrival_seconds / width),
+                           len(counts) - 1)] += 1
+            return counts
+
+        mmpp = bin_counts(mmpp_stream(10.0, 790.0, 0.3, 30.0, seed=2))
+        poisson = bin_counts(poisson_stream(float(np.mean(mmpp)) / 0.1,
+                                            30.0, seed=2))
+        assert np.var(mmpp) > 3 * np.var(poisson)
+
+    def test_mmpp_validation(self):
+        with pytest.raises(ValueError):
+            mmpp_stream(-1.0, 10.0, 0.1, 1.0)
+        with pytest.raises(ValueError):
+            mmpp_stream(1.0, 10.0, 0.0, 1.0)
+
+    def test_multi_tenant_stream_tags_and_order(self):
+        jobs = multi_tenant_stream({"a": 100.0, "b": 50.0}, 1.0, seed=0)
+        assert {j.tenant for j in jobs} == {"a", "b"}
+        times = [j.arrival_seconds for j in jobs]
+        assert times == sorted(times)
+        assert [j.index for j in jobs] == list(range(len(jobs)))
+        counts = {t: sum(j.tenant == t for j in jobs) for t in "ab"}
+        assert counts["a"] > counts["b"]
+
+    def test_multi_tenant_stream_needs_tenants(self):
+        with pytest.raises(ValueError):
+            multi_tenant_stream({}, 1.0)
+
+
+class TestLatencyUnderLoad:
+    def test_latency_diverges_past_service_rate(self, server):
+        """The queueing signature: p99 explodes once rho > 1."""
+        capacity = server.mult_throughput_per_second()
+        p99 = {}
+        for rho in (0.5, 1.4):
+            jobs = poisson_stream(rho * capacity, 1.0, seed=13)
+            report = simulate(server, jobs)
+            p99[rho] = report.latency_summary().p99
+        assert p99[1.4] > 10 * p99[0.5]
