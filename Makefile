@@ -1,0 +1,39 @@
+# Single source of truth for the commands CI runs, so local dev and
+# the workflow can never drift: `make test` is exactly the tier-1
+# gate, `make lint` / `make coverage` / `make bench-smoke` are the CI
+# jobs, `make cluster-demo` is the multi-FPGA acceptance run.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint coverage bench-smoke bench-full cluster-demo clean
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint:
+	ruff check src tests benchmarks examples
+
+coverage:
+	$(PYTHON) -m pytest -q --cov=repro --cov-report=term \
+		--cov-fail-under=70
+
+# Fast-mode benches: regenerate the serving + cluster result files the
+# CI bench-smoke job uploads as artifacts (REPRO_BENCH_FAST shrinks
+# the sweeps; drop it to reproduce the committed full-mode numbers).
+bench-smoke:
+	REPRO_BENCH_FAST=1 $(PYTHON) -m pytest -q \
+		benchmarks/bench_serving_runtime.py \
+		benchmarks/bench_cluster_scaling.py
+
+bench-full:
+	$(PYTHON) -m pytest -q \
+		benchmarks/bench_serving_runtime.py \
+		benchmarks/bench_cluster_scaling.py
+
+cluster-demo:
+	$(PYTHON) -m repro cluster --shards 8
+
+clean:
+	rm -rf .pytest_cache .ruff_cache .coverage htmlcov
+	find . -name __pycache__ -type d -exec rm -rf {} +

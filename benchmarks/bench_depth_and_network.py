@@ -9,7 +9,6 @@
   400 Mult/s.
 """
 
-import numpy as np
 import pytest
 
 from conftest import save_result

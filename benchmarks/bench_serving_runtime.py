@@ -5,7 +5,12 @@ below the service rate (rho < 1) tail latency sits near the bare
 service time; past it, the backlog — and with it p50/p99 — grows with
 the length of the run. Each scheduling policy traces its own curve,
 and DMA batching shifts the knee right by raising effective capacity.
+
+Set ``REPRO_BENCH_FAST=1`` (the CI bench-smoke job does) to shrink the
+sweeps; the result files record which mode produced them.
 """
+
+import os
 
 from conftest import save_result
 
@@ -20,14 +25,17 @@ from repro.serve import (
 from repro.system.server import CloudServer
 from repro.system.workloads import JobKind, mult_stream, poisson_stream
 
-RHOS = (0.5, 0.7, 0.9, 1.1, 1.3)
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+RHOS = (0.5, 0.9, 1.3) if FAST else (0.5, 0.7, 0.9, 1.1, 1.3)
 POLICIES = {
     "fifo": FifoScheduler,
     "sjf": ShortestJobFirstScheduler,
     "wfq": WeightedFairScheduler,
     "steal": WorkStealingScheduler,
 }
-DURATION_SECONDS = 1.5
+DURATION_SECONDS = 0.75 if FAST else 1.5
+KNEE_SECONDS = 0.6 if FAST else 1.0
+MODE = "fast" if FAST else "full"
 
 
 def run_curve(server, policy_cls, batching=None):
@@ -54,7 +62,8 @@ def test_latency_vs_offered_load(benchmark, paper_params):
     )
 
     lines = [
-        "EXTENSION — SERVING RUNTIME: LATENCY vs OFFERED LOAD",
+        f"EXTENSION — SERVING RUNTIME: LATENCY vs OFFERED LOAD "
+        f"({MODE} mode)",
         f"service capacity: {capacity:.0f} Mult/s "
         f"(Poisson arrivals over {DURATION_SECONDS:.1f} s, per policy)",
         f"{'policy':<8}" + "".join(f"rho={rho:<11}" for rho in RHOS),
@@ -95,8 +104,8 @@ def test_batching_shifts_the_knee(benchmark, paper_params):
     server = CloudServer(paper_params)
     add_capacity = (server.config.num_coprocessors
                     / server.job_seconds(JobKind.ADD))
-    jobs = poisson_stream(1.08 * add_capacity, 1.0, kind=JobKind.ADD,
-                          seed=23)
+    jobs = poisson_stream(1.08 * add_capacity, KNEE_SECONDS,
+                          kind=JobKind.ADD, seed=23)
 
     def compare():
         plain = ServingRuntime.for_server(server).run(jobs)
@@ -108,9 +117,10 @@ def test_batching_shifts_the_knee(benchmark, paper_params):
     plain, batched = benchmark.pedantic(compare, rounds=1, iterations=1)
     lines = [
         "EXTENSION — DMA BATCHING AT THE KNEE "
-        "(Add stream at 1.08x unbatched capacity)",
+        f"(Add stream at 1.08x unbatched capacity, {MODE} mode)",
         f"unbatched capacity {add_capacity:6.0f} Add/s; offered "
-        f"{1.08 * add_capacity:6.0f}/s for 1 s ({len(jobs)} jobs)",
+        f"{1.08 * add_capacity:6.0f}/s for {KNEE_SECONDS} s "
+        f"({len(jobs)} jobs)",
         f"unbatched: p99 = {plain.latency_summary().p99 * 1e3:8.1f} ms, "
         f"throughput = {plain.throughput_per_second():6.0f}/s",
         f"trains<=8: p99 = {batched.latency_summary().p99 * 1e3:8.1f} ms, "

@@ -9,7 +9,6 @@ import pytest
 
 from conftest import format_row, save_result
 
-from repro.hw.config import HardwareConfig
 from repro.hw.dma import DmaModel
 from repro.system.arm import ArmCoreModel
 

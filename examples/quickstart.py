@@ -10,7 +10,6 @@ Run:  python examples/quickstart.py [--params mini|hpca19]
 
 import argparse
 
-import numpy as np
 
 from repro import Evaluator, FvContext, Plaintext, hpca19, mini
 from repro.fv.noise import noise_budget_bits

@@ -22,7 +22,7 @@ import numpy as np
 
 from ..errors import ParameterError
 from ..fv.ciphertext import Ciphertext
-from ..fv.encoder import BatchEncoder, Plaintext
+from ..fv.encoder import BatchEncoder
 from ..fv.keys import KeySet
 from ..fv.evaluator import Evaluator
 from ..fv.scheme import FvContext

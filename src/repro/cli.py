@@ -12,6 +12,7 @@ Usage (installed as ``python -m repro``):
     python -m repro headline             # 400 Mult/s + 13x speedup
     python -m repro noise                # analytic depth budget
     python -m repro serve                # multi-tenant serving runtime
+    python -m repro cluster --shards 8   # multi-FPGA shard layer
     python -m repro all                  # everything above
 """
 
@@ -51,7 +52,7 @@ def _print_header(title: str) -> None:
     print("=" * len(title))
 
 
-def cmd_table1() -> None:
+def cmd_table1(args: argparse.Namespace) -> None:
     _print_header("Table I — high-level operations (one coprocessor)")
     params = hpca19()
     config = HardwareConfig()
@@ -71,7 +72,7 @@ def cmd_table1() -> None:
         print(f"{label:<24}{ours * 1e3:>12.3f}{paper * 1e3:>12.3f}")
 
 
-def cmd_table2() -> None:
+def cmd_table2(args: argparse.Namespace) -> None:
     _print_header("Table II — individual instructions (Arm cycles/call)")
     params = hpca19()
     coprocessor = Coprocessor(params)
@@ -83,7 +84,7 @@ def cmd_table2() -> None:
               f"{(ours - paper) / paper * 100:>+7.1f}%")
 
 
-def cmd_table3() -> None:
+def cmd_table3(args: argparse.Namespace) -> None:
     _print_header("Table III — data transfer techniques (Arm cycles)")
     dma = DmaModel(HardwareConfig())
     rows = [("single 98,304-byte burst", None, 90_708),
@@ -95,7 +96,7 @@ def cmd_table3() -> None:
         print(f"{label:<28}{ours:>10,}{paper:>10,}")
 
 
-def cmd_table4() -> None:
+def cmd_table4(args: argparse.Namespace) -> None:
     _print_header("Table IV — resource utilisation (ZCU102)")
     estimator = ResourceEstimator(hpca19(), HardwareConfig())
     full = estimator.full_design()
@@ -111,7 +112,7 @@ def cmd_table4() -> None:
           f"{388:>8}{208:>6}")
 
 
-def cmd_table5() -> None:
+def cmd_table5(args: argparse.Namespace) -> None:
     _print_header("Table V — scaling estimates (single coprocessor)")
     params = hpca19()
     config = HardwareConfig()
@@ -122,12 +123,12 @@ def cmd_table5() -> None:
         print(point.row())
 
 
-def cmd_fig3() -> None:
+def cmd_fig3(args: argparse.Namespace) -> None:
     _print_header("Fig. 3 — two-core NTT memory access pattern")
     print(render_fig3())
 
 
-def cmd_headline() -> None:
+def cmd_headline(args: argparse.Namespace) -> None:
     _print_header("Headline — throughput, speedup, power")
     params = hpca19()
     config = HardwareConfig()
@@ -142,12 +143,12 @@ def cmd_headline() -> None:
     print(f"add speedup over Arm SW:      {server.add_speedup_over_sw():6.0f}x (paper: 80x)")
 
 
-def cmd_noise() -> None:
+def cmd_noise(args: argparse.Namespace) -> None:
     _print_header("Analytic noise budget (paper Sec. II-A/III-A)")
     print(NoiseModel(hpca19()).report())
 
 
-def cmd_serve() -> None:
+def cmd_serve(args: argparse.Namespace) -> None:
     _print_header("Serving runtime — multi-tenant discrete-event simulation")
     from .serve import (
         BatchPolicy,
@@ -206,7 +207,81 @@ def cmd_serve() -> None:
         print("  " + wfq_report.latency_summary(name).row(name))
 
 
-def cmd_security() -> None:
+def cmd_cluster(args: argparse.Namespace) -> None:
+    _print_header("Multi-FPGA cluster — sharded serving simulation")
+    from dataclasses import replace
+
+    from .cluster import FpgaCluster, TenantAffinityRouter, default_routers
+    from .system.workloads import cluster_trace, saturated_tenant_jobs
+
+    params = hpca19()
+    shards = args.shards
+    seed = args.seed
+    single_capacity = FpgaCluster.homogeneous(
+        params, 1).capacity_mults_per_second()
+
+    # -- saturated throughput scaling under tenant-affinity routing --
+    print(f"one board: {single_capacity:.0f} Mult/s "
+          f"({HardwareConfig().num_coprocessors} coprocessors)\n")
+    print("saturated scaling, tenant-affinity (rendezvous) routing:")
+    print(f"{'shards':>7}{'tenants':>9}{'Mult/s':>9}{'scale':>8}"
+          f"{'imbalance':>11}")
+    counts = []
+    n = 1
+    while n < shards:
+        counts.append(n)
+        n *= 2
+    counts.append(shards)  # always measure the requested size
+    baseline = None
+    for n in counts:
+        jobs = saturated_tenant_jobs(256 * shards, 1)
+        cluster = FpgaCluster.homogeneous(
+            params, n, router=TenantAffinityRouter())
+        report = cluster.run(jobs)
+        tput = report.throughput_per_second()
+        if baseline is None:
+            baseline = tput
+        print(f"{n:>7}{256 * shards:>9}{tput:>9.0f}"
+              f"{tput / baseline:>7.2f}x{report.imbalance():>11.3f}")
+
+    # -- routing policies on a skewed open-loop trace --
+    if args.hetero:
+        fast = HardwareConfig()
+        slow = replace(fast, butterfly_cores_per_rpau=1)
+        configs = [fast if i % 2 == 0 else slow for i in range(shards)]
+
+        def build(router):
+            return FpgaCluster.heterogeneous(params, configs,
+                                             router=router)
+
+        capacity = build(None).capacity_mults_per_second()
+        flavour = "heterogeneous (alternating 2/1 butterfly cores)"
+    else:
+        def build(router):
+            return FpgaCluster.homogeneous(params, shards, router=router)
+
+        capacity = shards * single_capacity
+        flavour = "homogeneous"
+    trace = cluster_trace(args.tenants, 0.8 * capacity, args.duration,
+                          skew=1.1, seed=seed)
+    print(f"\nrouting policies, {flavour} x{shards}, Zipf(1.1) trace of "
+          f"{len(trace)} jobs at 80% capacity over {args.duration:.1f} s:")
+    print(f"{'router':<12}{'done':>7}{'rej':>6}{'reroute':>8}"
+          f"{'tput/s':>8}{'p50 ms':>9}{'p99 ms':>9}{'imbal':>8}")
+    for router in default_routers(seed=seed):
+        report = build(router).run(trace)
+        latency = report.latency_summary()
+        print(f"{router.name:<12}{report.completed:>7}"
+              f"{len(report.rejected):>6}{report.reroutes:>8}"
+              f"{report.throughput_per_second():>8.0f}"
+              f"{latency.p50 * 1e3:>9.2f}{latency.p99 * 1e3:>9.2f}"
+              f"{report.imbalance():>8.3f}")
+    print("\n(pure affinity keeps every tenant's DMA trains on one board "
+          "but a hot tenant\n can swamp its shard; bounded-load affinity "
+          "spills just enough to cap p99.)")
+
+
+def cmd_security(args: argparse.Namespace) -> None:
     _print_header("Security placement (paper Sec. III-A, ref. [26])")
     from .params import mini, table5_large
     from .security import assess
@@ -216,7 +291,7 @@ def cmd_security() -> None:
         print()
 
 
-def cmd_report() -> None:
+def cmd_report(args: argparse.Namespace) -> None:
     """Collate every regenerated table from benchmarks/results into one
     report on stdout (run the benchmark suite first)."""
     _print_header("Collated experiment report")
@@ -237,7 +312,7 @@ def cmd_report() -> None:
         print("-" * 72)
 
 
-def cmd_verify() -> None:
+def cmd_verify(args: argparse.Namespace) -> None:
     _print_header("Hardware-vs-software equivalence campaign")
     from .hw.verification import run_configuration_matrix
 
@@ -250,7 +325,7 @@ def cmd_verify() -> None:
     print("all configurations bit-exact.")
 
 
-def cmd_sweep() -> None:
+def cmd_sweep(args: argparse.Namespace) -> None:
     _print_header("Design-space sweeps (paper Sec. VII)")
     from .hw.sweeps import (
         sweep_butterfly_cores,
@@ -270,6 +345,8 @@ def cmd_sweep() -> None:
         print()
 
 
+# Every command takes the parsed argparse namespace (most ignore it;
+# `cluster` reads its --shards/--tenants/... group).
 COMMANDS = {
     "table1": cmd_table1,
     "table2": cmd_table2,
@@ -280,11 +357,19 @@ COMMANDS = {
     "headline": cmd_headline,
     "noise": cmd_noise,
     "serve": cmd_serve,
+    "cluster": cmd_cluster,
     "verify": cmd_verify,
     "sweep": cmd_sweep,
     "security": cmd_security,
     "report": cmd_report,
 }
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be at least 1")
+    return value
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -297,6 +382,20 @@ def main(argv: list[str] | None = None) -> int:
         choices=sorted(COMMANDS) + ["all", "list"],
         help="which experiment to regenerate",
     )
+    cluster_group = parser.add_argument_group(
+        "cluster options", "only used by `python -m repro cluster`")
+    cluster_group.add_argument("--shards", type=_positive_int, default=4,
+                               help="number of FPGA boards (default 4)")
+    cluster_group.add_argument("--tenants", type=_positive_int,
+                               default=192,
+                               help="tenant population of the open-loop "
+                                    "trace (default 192)")
+    cluster_group.add_argument("--duration", type=float, default=1.0,
+                               help="trace duration in simulated seconds")
+    cluster_group.add_argument("--hetero", action="store_true",
+                               help="alternate 2- and 1-butterfly-core "
+                                    "boards")
+    cluster_group.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
     if args.experiment == "list":
         for name in sorted(COMMANDS):
@@ -305,9 +404,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "all":
         for name in ("table1", "table2", "table3", "table4", "table5",
                      "fig3", "headline", "noise"):
-            COMMANDS[name]()
+            COMMANDS[name](args)
         return 0
-    COMMANDS[args.experiment]()
+    COMMANDS[args.experiment](args)
     return 0
 
 

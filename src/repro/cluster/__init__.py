@@ -1,0 +1,40 @@
+"""Multi-FPGA shard layer over the serving runtime.
+
+Scales the single Arm+FPGA board of the paper (and the PR 1 serving
+runtime that simulates it) out to a cluster: N per-board runtimes
+behind a placement router on one shared simulated clock —
+
+* :mod:`~repro.cluster.shard` — one board: a steppable runtime plus
+  the load signals routing reads;
+* :mod:`~repro.cluster.routing` — round-robin, least-outstanding-work,
+  tenant-affinity (rendezvous hashing, optionally bounded-load), and
+  power-of-two-choices placement;
+* :mod:`~repro.cluster.cluster` — the shared-clock run loop with
+  per-shard admission backpressure and overflow re-routing;
+* :mod:`~repro.cluster.report` — merged cluster telemetry: cluster and
+  per-shard percentiles, throughput, utilization imbalance.
+"""
+
+from .cluster import FpgaCluster
+from .report import ClusterReport
+from .routing import (
+    LeastOutstandingWorkRouter,
+    PowerOfTwoChoicesRouter,
+    RoundRobinRouter,
+    Router,
+    TenantAffinityRouter,
+    default_routers,
+)
+from .shard import Shard
+
+__all__ = [
+    "FpgaCluster",
+    "ClusterReport",
+    "Shard",
+    "Router",
+    "RoundRobinRouter",
+    "LeastOutstandingWorkRouter",
+    "TenantAffinityRouter",
+    "PowerOfTwoChoicesRouter",
+    "default_routers",
+]

@@ -1,0 +1,184 @@
+"""The multi-FPGA shard layer: N boards behind one router.
+
+Composes per-board :class:`~repro.serve.engine.ServingRuntime`
+instances (wrapped as :class:`~repro.cluster.shard.Shard`) into one
+serving system on a shared simulated clock. Arrivals are processed in
+global time order: every shard first advances to the arrival instant
+(strictly — tied arrivals keep the one-shot heap ordering inside each
+shard), the router names a primary shard, and per-shard admission
+backpressure can overflow the job onto the least-loaded accepting
+sibling before the cluster gives up and rejects at its edge.
+
+A single-shard cluster is bit-identical to driving the underlying
+:class:`ServingRuntime` directly (validated in the tests), so the PR 1
+runtime results — and through them the paper's 400 Mult/s headline —
+carry over unchanged; the scale-out claim this layer adds is
+near-linear Mult/s to eight boards under tenant-affinity routing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..hw.config import HardwareConfig
+from ..params import ParameterSet
+from ..serve.batching import BatchPolicy
+from ..serve.schedulers import Scheduler
+from ..serve.tenants import Rejection, TenantSet
+from ..system.server import CostModel
+from ..system.workloads import Job
+from .report import ClusterReport
+from .routing import Router, RoundRobinRouter
+from .shard import Shard
+
+SchedulerFactory = Callable[[], Scheduler]
+
+
+class FpgaCluster:
+    """N Arm+FPGA boards serving one job stream (single-use)."""
+
+    def __init__(self, shards: Sequence[Shard],
+                 router: Router | None = None) -> None:
+        if not shards:
+            raise ValueError("a cluster needs at least one shard")
+        if len({shard.name for shard in shards}) != len(shards):
+            raise ValueError("shard names must be unique")
+        self.shards = list(shards)
+        self.router = RoundRobinRouter() if router is None else router
+        self._ran = False
+
+    # -- constructors ------------------------------------------------------------------
+
+    @classmethod
+    def homogeneous(cls, params: ParameterSet, num_shards: int, *,
+                    config: HardwareConfig | None = None,
+                    router: Router | None = None,
+                    scheduler_factory: SchedulerFactory | None = None,
+                    batching: BatchPolicy | None = None,
+                    tenants: TenantSet | None = None,
+                    max_backlog_seconds: float | None = None,
+                    ) -> "FpgaCluster":
+        """N identical boards sharing one cached :class:`CostModel`.
+
+        The cost model (instruction cycle model and per-op latencies)
+        depends only on ``(params, config)``, so identical boards share
+        a single instance instead of re-deriving the Table II model N
+        times.
+        """
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        cost = CostModel(params, config)
+        shards = [
+            cls._build_shard(f"shard{i}", cost, scheduler_factory,
+                             batching, tenants, max_backlog_seconds)
+            for i in range(num_shards)
+        ]
+        return cls(shards, router=router)
+
+    @classmethod
+    def heterogeneous(cls, params: ParameterSet,
+                      configs: Sequence[HardwareConfig], *,
+                      router: Router | None = None,
+                      scheduler_factory: SchedulerFactory | None = None,
+                      batching: BatchPolicy | None = None,
+                      tenants: TenantSet | None = None,
+                      max_backlog_seconds: float | None = None,
+                      ) -> "FpgaCluster":
+        """One board per config — mixed design points in one cluster.
+
+        Real deployments accrete hardware: a rack may mix two-butterfly
+        boards with older one-butterfly builds or the slow non-HPS
+        design point. Load-aware routers see each board's own service
+        costs, so the slow boards naturally draw less work.
+        """
+        if not configs:
+            raise ValueError("need at least one hardware config")
+        # Boards sharing a design point share one cost model too —
+        # HardwareConfig is frozen/hashable, and the cycle model it
+        # keys is the expensive part of shard construction.
+        costs: dict[HardwareConfig, CostModel] = {}
+        shards = []
+        for i, config in enumerate(configs):
+            cost = costs.get(config)
+            if cost is None:
+                cost = costs[config] = CostModel(params, config)
+            shards.append(
+                cls._build_shard(f"shard{i}", cost, scheduler_factory,
+                                 batching, tenants, max_backlog_seconds)
+            )
+        return cls(shards, router=router)
+
+    @staticmethod
+    def _build_shard(name: str, cost: CostModel,
+                     scheduler_factory: SchedulerFactory | None,
+                     batching: BatchPolicy | None,
+                     tenants: TenantSet | None,
+                     max_backlog_seconds: float | None) -> Shard:
+        scheduler = scheduler_factory() if scheduler_factory else None
+        return Shard(name, cost, scheduler=scheduler, batching=batching,
+                     tenants=tenants,
+                     max_backlog_seconds=max_backlog_seconds)
+
+    def capacity_mults_per_second(self) -> float:
+        """Sum of every board's saturated Mult/s."""
+        return sum(shard.capacity_mults_per_second()
+                   for shard in self.shards)
+
+    # -- the shared-clock run ----------------------------------------------------------
+
+    def run(self, jobs: Sequence[Job]) -> ClusterReport:
+        """Route `jobs` across the shards and drain every board."""
+        if self._ran:
+            raise RuntimeError(
+                "an FpgaCluster is single-use; build a fresh one per run"
+            )
+        self._ran = True
+        for shard in self.shards:
+            shard.begin()
+        overflow: list[Rejection] = []
+        reroutes = 0
+        for job in sorted(jobs, key=lambda j: j.arrival_seconds):
+            now = job.arrival_seconds
+            # Advance every board to (just before) the arrival so the
+            # router compares load states at one instant.
+            for shard in self.shards:
+                shard.advance_to(now, inclusive=False)
+            primary = self.router.choose(job, self.shards)
+            if not 0 <= primary < len(self.shards):
+                raise ValueError(
+                    f"router {self.router.name!r} chose shard {primary} "
+                    f"of {len(self.shards)}"
+                )
+            target = primary
+            if not self.shards[primary].accepting(job):
+                # Overflow re-routing: the least-loaded accepting
+                # sibling takes the spill.
+                siblings = [
+                    i for i in range(len(self.shards))
+                    if i != primary and self.shards[i].accepting(job)
+                ]
+                if siblings:
+                    target = min(
+                        siblings,
+                        key=lambda i:
+                            (self.shards[i].drain_estimate_seconds(), i),
+                    )
+                    reroutes += 1
+                elif self.shards[primary].runtime.would_admit(job):
+                    # Every board is over its backlog cap but none
+                    # would refuse outright: shed at the cluster edge
+                    # rather than bust the primary's cap.
+                    overflow.append(Rejection(job=job, time_seconds=now,
+                                              reason="backpressure"))
+                    continue
+                # Otherwise fall through: the primary's own admission
+                # control records the rejection with its precise reason.
+            self.shards[target].inject(job)
+        reports = [shard.drain() for shard in self.shards]
+        return ClusterReport(
+            shard_names=[shard.name for shard in self.shards],
+            shard_reports=reports,
+            router_name=self.router.name,
+            overflow_rejected=overflow,
+            reroutes=reroutes,
+        )

@@ -1,0 +1,100 @@
+"""One board of the multi-FPGA cluster: a steppable serving runtime.
+
+The paper's server is a single Arm+FPGA board (Fig. 11); the Table V
+scaling argument only becomes real when many boards serve one job
+stream. A :class:`Shard` wraps one
+:class:`~repro.serve.engine.ServingRuntime` — its own
+:class:`~repro.system.server.CostModel`, scheduler, DMA batcher and
+admission controller — and exposes the stepping interface the cluster
+router drives on a shared clock, plus the load signals routing and
+backpressure decisions read between arrivals.
+
+Shards may be heterogeneous: each carries its own
+:class:`~repro.hw.config.HardwareConfig` (e.g. mixed butterfly-core
+counts or the slow non-HPS design point), so a cluster can mix board
+generations the way a real deployment accretes hardware.
+"""
+
+from __future__ import annotations
+
+from ..serve.batching import BatchPolicy
+from ..serve.engine import RuntimeReport, ServingRuntime
+from ..serve.schedulers import Scheduler
+from ..serve.tenants import TenantSet
+from ..system.server import CostModel
+from ..system.workloads import Job, JobKind
+
+
+class Shard:
+    """One Arm+FPGA board behind the cluster router (single-use)."""
+
+    def __init__(self, name: str, cost: CostModel, *,
+                 scheduler: Scheduler | None = None,
+                 batching: BatchPolicy | None = None,
+                 tenants: TenantSet | None = None,
+                 max_backlog_seconds: float | None = None,
+                 num_coprocessors: int | None = None) -> None:
+        if max_backlog_seconds is not None and max_backlog_seconds <= 0:
+            raise ValueError("backlog cap must be positive")
+        self.name = name
+        self.cost = cost
+        self.max_backlog_seconds = max_backlog_seconds
+        self.runtime = ServingRuntime(
+            cost, scheduler=scheduler, batching=batching, tenants=tenants,
+            num_coprocessors=num_coprocessors,
+        )
+
+    @property
+    def config(self):
+        return self.cost.config
+
+    @property
+    def num_coprocessors(self) -> int:
+        return self.runtime.num_coprocessors
+
+    def capacity_mults_per_second(self) -> float:
+        """This board's saturated Mult/s (its share of cluster capacity)."""
+        return self.num_coprocessors / self.cost.job_seconds(JobKind.MULT)
+
+    # -- stepping (driven by the cluster on the shared clock) --------------------------
+
+    def begin(self) -> None:
+        self.runtime.begin()
+
+    def inject(self, job: Job) -> None:
+        self.runtime.inject(job)
+
+    def advance_to(self, time_seconds: float, *,
+                   inclusive: bool = True) -> None:
+        self.runtime.advance_to(time_seconds, inclusive=inclusive)
+
+    def drain(self) -> RuntimeReport:
+        return self.runtime.drain()
+
+    # -- load signals ------------------------------------------------------------------
+
+    def outstanding_seconds(self) -> float:
+        return self.runtime.outstanding_seconds()
+
+    def outstanding_jobs(self) -> int:
+        return self.runtime.outstanding_jobs()
+
+    def drain_estimate_seconds(self) -> float:
+        return self.runtime.drain_estimate_seconds()
+
+    def accepting(self, job: Job) -> bool:
+        """Backpressure gate: would this shard take `job` right now?
+
+        False once the queued-work backlog exceeds the shard's cap, or
+        when the shard's own admission control would refuse the job —
+        the signal the cluster uses to re-route overflow to a sibling
+        board before the shard has to reject.
+        """
+        if (self.max_backlog_seconds is not None
+                and self.outstanding_seconds() > self.max_backlog_seconds):
+            return False
+        return self.runtime.would_admit(job)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Shard({self.name!r}, "
+                f"coprocessors={self.num_coprocessors})")

@@ -23,7 +23,7 @@ from ..rns.decompose import decompose_poly_signed
 from ..utils import round_half_away
 from .ciphertext import Ciphertext
 from .encoder import Plaintext
-from .sampler import discrete_gaussian, uniform_mod
+from .sampler import discrete_gaussian
 
 
 class TextbookRelinKey:

@@ -11,7 +11,6 @@ places the paper's (4096, 180) point on the standard's scale.
 
 from __future__ import annotations
 
-from bisect import bisect_right
 from dataclasses import dataclass
 
 from .params import ParameterSet

@@ -9,6 +9,19 @@ admission control — while pricing every job with the *same*
 saturated single-tenant stream with batching disabled the two produce
 identical schedules (validated in the test suite), so the paper's
 400 Mult/s headline carries over unchanged.
+
+A runtime can be driven two ways:
+
+* :meth:`ServingRuntime.run` — the one-shot mode: inject a whole job
+  list and drain the heap to completion;
+* the stepping API — :meth:`begin`, :meth:`inject`, :meth:`advance_to`
+  and :meth:`drain` — which lets an outer simulation (the multi-FPGA
+  shard layer in :mod:`repro.cluster`) feed arrivals one at a time on
+  a shared clock and read live load signals
+  (:meth:`outstanding_seconds`, :meth:`drain_estimate_seconds`)
+  between injections for routing decisions. ``run`` is exactly
+  ``begin`` + ``inject``\\* + ``drain``, so both paths share one event
+  loop and produce identical schedules.
 """
 
 from __future__ import annotations
@@ -64,6 +77,15 @@ class RuntimeReport(ServeReport):
             return []
         return self.telemetry.utilization(self.makespan_seconds)
 
+    def mean_utilization(self) -> float:
+        """Average busy fraction across coprocessors; 0.0 when empty.
+
+        Safe on reports with no results (an idle shard in a cluster
+        must not crash the aggregation that averages utilizations).
+        """
+        util = self.utilization()
+        return sum(util) / len(util) if util else 0.0
+
 
 class ServingRuntime:
     """Event-driven scheduler simulation over the per-op cost models.
@@ -95,80 +117,182 @@ class ServingRuntime:
         self.admission = AdmissionController(self.tenants,
                                              self.num_coprocessors)
         self._ran = False
+        self._heap: EventHeap | None = None
+        self._telemetry: Telemetry | None = None
+        self._report: RuntimeReport | None = None
+        self._free: list[bool] = []
+        self._busy_until: list[float] = []
+        self._queued_per_tenant: dict[str, int] = {}
+        self._seq: "itertools.count[int]" = itertools.count()
+        self._now = 0.0
+        self._pending_seconds = 0.0
+        self._pending_jobs = 0
+        self._in_flight_jobs = 0
 
     @classmethod
     def for_server(cls, server: CloudServer, **kwargs) -> "ServingRuntime":
         return cls(server.cost, **kwargs)
 
-    # -- the event loop ----------------------------------------------------------------
+    # -- the stepping API --------------------------------------------------------------
 
-    def run(self, jobs: list[Job]) -> RuntimeReport:
+    def begin(self) -> None:
+        """Arm the runtime for one simulation (idempotent guard)."""
         if self._ran:
             raise RuntimeError(
                 "a ServingRuntime is single-use; build a fresh one per run"
             )
         self._ran = True
         self.scheduler.bind(self.num_coprocessors)
+        self._heap = EventHeap()
+        self._telemetry = Telemetry(self.num_coprocessors)
+        self._report = RuntimeReport(telemetry=self._telemetry)
+        self._free = [True] * self.num_coprocessors
+        self._busy_until = [0.0] * self.num_coprocessors
 
-        heap = EventHeap()
+    def inject(self, job: Job) -> None:
+        """Feed one arrival into the simulation (shared-clock mode).
+
+        The arrival is queued on the event heap, not processed: events
+        advance only through :meth:`advance_to` / :meth:`drain`, so an
+        outer simulation injecting several equal-time arrivals observes
+        the same event ordering as a one-shot :meth:`run`.
+        """
+        if self._heap is None:
+            raise RuntimeError("begin() must run before inject()")
+        if job.arrival_seconds < self._now:
+            raise ValueError(
+                f"cannot inject an arrival at {job.arrival_seconds} behind "
+                f"the shard clock at {self._now}"
+            )
+        self._heap.push(job.arrival_seconds, EventKind.ARRIVAL, job)
+        self._pending_seconds += self.cost.job_seconds(job.kind)
+        self._pending_jobs += 1
+
+    def advance_to(self, time_seconds: float, *,
+                   inclusive: bool = True) -> None:
+        """Process every event due by ``time_seconds``.
+
+        With ``inclusive=False`` only events *strictly before* the
+        deadline run — the shard layer uses this so arrivals injected
+        at the deadline keep the one-shot heap ordering (all tied
+        arrivals pop before the dispatches they trigger).
+        """
+        if self._heap is None:
+            raise RuntimeError("begin() must run before advance_to()")
+        while self._heap:
+            due = self._heap.peek().time_seconds
+            if due > time_seconds or (due == time_seconds
+                                      and not inclusive):
+                break
+            self._step()
+        # The clock always reaches the deadline — exclusive mode only
+        # defers the *events* at it. Load signals (outstanding in-flight
+        # time) must be measured against the deadline, not the last
+        # processed event, or shards would report stale snapshots to
+        # the router; equal-time injects still pass the strict `<`
+        # guard.
+        self._now = max(self._now, time_seconds)
+
+    def drain(self) -> RuntimeReport:
+        """Process all remaining events and return the final report."""
+        if self._heap is None:
+            raise RuntimeError("begin() must run before drain()")
+        while self._heap:
+            self._step()
+        return self._report
+
+    def run(self, jobs: list[Job]) -> RuntimeReport:
+        self.begin()
         for job in jobs:
-            heap.push(job.arrival_seconds, EventKind.ARRIVAL, job)
+            self.inject(job)
+        return self.drain()
 
-        telemetry = Telemetry(self.num_coprocessors)
-        report = RuntimeReport(telemetry=telemetry)
-        free = [True] * self.num_coprocessors
-        queued_per_tenant: dict[str, int] = {}
-        seq = itertools.count()
+    # -- live load signals (routing/backpressure hints) --------------------------------
 
-        while heap:
-            event = heap.pop()
-            now = event.time_seconds
-            if event.kind is EventKind.ARRIVAL:
-                self._on_arrival(event.payload, now, heap, telemetry,
-                                 report, queued_per_tenant, seq, free)
-            elif event.kind is EventKind.DISPATCH:
-                self._on_dispatch(now, heap, telemetry, free,
-                                  queued_per_tenant)
-            else:
-                self._on_completion(event.payload, now, heap, telemetry,
-                                    report, free)
-        return report
+    @property
+    def now(self) -> float:
+        """The shard-local simulated clock (last processed event)."""
+        return self._now
 
-    def _on_arrival(self, job: Job, now: float, heap: EventHeap,
-                    telemetry: Telemetry, report: RuntimeReport,
-                    queued_per_tenant: dict[str, int],
-                    seq: "itertools.count", free: list[bool]) -> None:
+    def outstanding_seconds(self) -> float:
+        """Service-seconds of admitted-or-pending work not yet finished.
+
+        Counts the scheduler backlog, the remaining service of in-flight
+        batches, and injected-but-unprocessed arrivals — the signal
+        load-aware routers compare across shards.
+        """
+        in_flight = sum(max(until - self._now, 0.0)
+                        for until in self._busy_until)
+        return (self.scheduler.backlog_seconds + in_flight
+                + self._pending_seconds)
+
+    def outstanding_jobs(self) -> int:
+        return (len(self.scheduler) + self._in_flight_jobs
+                + self._pending_jobs)
+
+    def drain_estimate_seconds(self) -> float:
+        """Optimistic time-to-idle: outstanding work split evenly."""
+        return self.outstanding_seconds() / self.num_coprocessors
+
+    def would_admit(self, job: Job) -> bool:
+        """Whether admission control would accept `job` right now.
+
+        A routing hint only — the authoritative decision happens when
+        the arrival event is processed (equal-time arrivals injected
+        after this check still count against the backlog then).
+        """
         cost = self.cost.job_seconds(job.kind)
         reason = self.admission.reject_reason(
-            job, queued_per_tenant.get(job.tenant, 0),
+            job, self._queued_per_tenant.get(job.tenant, 0),
+            self.scheduler.backlog_seconds, cost,
+        )
+        return reason is None
+
+    # -- the event loop ----------------------------------------------------------------
+
+    def _step(self) -> None:
+        event = self._heap.pop()
+        self._now = event.time_seconds
+        if event.kind is EventKind.ARRIVAL:
+            self._on_arrival(event.payload, self._now)
+        elif event.kind is EventKind.DISPATCH:
+            self._on_dispatch(self._now)
+        else:
+            self._on_completion(event.payload, self._now)
+
+    def _on_arrival(self, job: Job, now: float) -> None:
+        cost = self.cost.job_seconds(job.kind)
+        self._pending_seconds = max(self._pending_seconds - cost, 0.0)
+        self._pending_jobs -= 1
+        reason = self.admission.reject_reason(
+            job, self._queued_per_tenant.get(job.tenant, 0),
             self.scheduler.backlog_seconds, cost,
         )
         if reason is not None:
-            report.rejected.append(
+            self._report.rejected.append(
                 Rejection(job=job, time_seconds=now, reason=reason)
             )
             return
         self.scheduler.enqueue(
-            QueueEntry(job=job, cost_seconds=cost, seq=next(seq))
+            QueueEntry(job=job, cost_seconds=cost, seq=next(self._seq))
         )
-        queued_per_tenant[job.tenant] = \
-            queued_per_tenant.get(job.tenant, 0) + 1
-        telemetry.record_queue_depth(now, len(self.scheduler))
+        self._queued_per_tenant[job.tenant] = \
+            self._queued_per_tenant.get(job.tenant, 0) + 1
+        self._telemetry.record_queue_depth(now, len(self.scheduler))
         # All-busy arrivals just queue; the next completion dispatches.
-        if any(free):
-            heap.push(now, EventKind.DISPATCH)
+        if any(self._free):
+            self._heap.push(now, EventKind.DISPATCH)
 
-    def _on_dispatch(self, now: float, heap: EventHeap,
-                     telemetry: Telemetry, free: list[bool],
-                     queued_per_tenant: dict[str, int]) -> None:
+    def _on_dispatch(self, now: float) -> None:
         for coproc in range(self.num_coprocessors):
-            if not free[coproc] or not len(self.scheduler):
+            if not self._free[coproc] or not len(self.scheduler):
                 continue
             # Coalesce only the backlog beyond what the still-free
             # coprocessors can absorb one job each: a train must never
             # serialize work that could run in parallel right now.
             still_free = sum(
-                1 for c in range(coproc, self.num_coprocessors) if free[c]
+                1 for c in range(coproc, self.num_coprocessors)
+                if self._free[c]
             )
             fair_share = -(-len(self.scheduler) // still_free)
             limit = min(self.batcher.max_jobs, fair_share)
@@ -178,25 +302,25 @@ class ServingRuntime:
                 if entry is None:
                     break
                 batch.append(entry)
-                queued_per_tenant[entry.tenant] -= 1
+                self._queued_per_tenant[entry.tenant] -= 1
             if not batch:
                 continue
-            telemetry.record_queue_depth(now, len(self.scheduler))
-            telemetry.record_dispatch(coproc, len(batch))
+            self._telemetry.record_queue_depth(now, len(self.scheduler))
+            self._telemetry.record_dispatch(coproc, len(batch))
             service = self.batcher.service_seconds(batch)
-            free[coproc] = False
-            heap.push(now + service, EventKind.COMPLETION, _Dispatched(
+            self._free[coproc] = False
+            self._busy_until[coproc] = now + service
+            self._in_flight_jobs += len(batch)
+            self._heap.push(now + service, EventKind.COMPLETION, _Dispatched(
                 coprocessor=coproc, entries=tuple(batch),
                 start_seconds=now, service_seconds=service,
             ))
 
-    def _on_completion(self, done: _Dispatched, now: float,
-                       heap: EventHeap, telemetry: Telemetry,
-                       report: RuntimeReport, free: list[bool]) -> None:
+    def _on_completion(self, done: _Dispatched, now: float) -> None:
         latencies: list[tuple[str, float]] = []
         violations = 0
         for entry in done.entries:
-            report.results.append(JobResult(
+            self._report.results.append(JobResult(
                 job=entry.job, coprocessor=done.coprocessor,
                 start_seconds=done.start_seconds, finish_seconds=now,
             ))
@@ -205,10 +329,12 @@ class ServingRuntime:
             sla = self.tenants.get(entry.tenant).sla_seconds
             if sla is not None and latency > sla:
                 violations += 1
-        telemetry.record_completion(done.coprocessor, done.service_seconds,
-                                    latencies, violations)
-        free[done.coprocessor] = True
-        heap.push(now, EventKind.DISPATCH)
+        self._telemetry.record_completion(done.coprocessor,
+                                          done.service_seconds,
+                                          latencies, violations)
+        self._free[done.coprocessor] = True
+        self._in_flight_jobs -= len(done.entries)
+        self._heap.push(now, EventKind.DISPATCH)
 
 
 def simulate(server: CloudServer, jobs: list[Job],

@@ -12,6 +12,7 @@ mean/max queue depth, utilisation, and SLA violations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -125,3 +126,37 @@ class Telemetry:
         if not self.batch_sizes:
             return 0.0
         return float(np.mean(self.batch_sizes))
+
+    # -- merging (multi-shard aggregation) ---------------------------------------------
+
+    @classmethod
+    def merged(cls, parts: Sequence["Telemetry"]) -> "Telemetry":
+        """Combine per-shard collectors into one cluster-wide view.
+
+        Telemetry keeps the raw sample series (not just digests), so
+        the merge is exact: percentiles of the merged collector equal
+        percentiles over the concatenated samples — there is no
+        digest-merging approximation error. The queue-depth trace of a
+        merge interleaves *per-shard* depth samples by time (there is
+        no single cluster queue); ``busy_seconds`` and
+        ``dispatch_count`` concatenate, so coprocessor ``i`` of shard
+        ``k`` keeps a distinct slot. Merging zero parts (or parts from
+        idle shards) yields a valid empty collector.
+        """
+        total = cls(num_coprocessors=sum(p.num_coprocessors
+                                         for p in parts))
+        total.busy_seconds = [b for p in parts for b in p.busy_seconds]
+        total.dispatch_count = [d for p in parts
+                                for d in p.dispatch_count]
+        total.queue_depth_trace = sorted(
+            (sample for p in parts for sample in p.queue_depth_trace),
+            key=lambda sample: sample[0],
+        )
+        total.batch_sizes = [s for p in parts for s in p.batch_sizes]
+        total.latencies = [lat for p in parts for lat in p.latencies]
+        for part in parts:
+            for tenant, series in part.tenant_latencies.items():
+                total.tenant_latencies.setdefault(tenant,
+                                                  []).extend(series)
+        total.sla_violations = sum(p.sla_violations for p in parts)
+        return total

@@ -147,6 +147,81 @@ def multi_tenant_stream(rates_per_second: dict[str, float],
     ))
 
 
+def zipf_tenant_rates(num_tenants: int, total_rate_per_second: float,
+                      skew: float = 1.1) -> dict[str, float]:
+    """Zipf-popularity tenant rates summing to ``total_rate_per_second``.
+
+    Request traffic across a large tenant population is famously
+    heavy-tailed: a few tenants dominate, most trickle. Tenant ``i``
+    (zero-based) gets weight ``(i + 1) ** -skew``, normalised so the
+    cluster-wide offered load is exactly the requested total. ``skew=0``
+    degenerates to a uniform population.
+    """
+    if num_tenants < 1:
+        raise ValueError("need at least one tenant")
+    if total_rate_per_second <= 0:
+        raise ValueError("total rate must be positive")
+    if skew < 0:
+        raise ValueError("skew must be non-negative")
+    weights = [(i + 1) ** -skew for i in range(num_tenants)]
+    scale = total_rate_per_second / sum(weights)
+    return {tenant_name(i): w * scale for i, w in enumerate(weights)}
+
+
+def tenant_name(index: int) -> str:
+    """The canonical name of synthetic tenant `index` (``t0042``)."""
+    return f"t{index:04d}"
+
+
+def cluster_trace(num_tenants: int, total_rate_per_second: float,
+                  duration_seconds: float, *, skew: float = 1.1,
+                  add_fraction: float = 0.0,
+                  seed: int = 0) -> list[Job]:
+    """An open-loop cluster-scale trace: many tenants, Zipf popularity.
+
+    Superposes one Poisson stream per tenant (rates from
+    :func:`zipf_tenant_rates`) and optionally flips a deterministic
+    fraction of jobs to cheap Adds, mimicking the mixed Add/Mult
+    traffic of the forecasting application. This is the workload shape
+    the multi-FPGA shard layer routes: enough distinct tenants that
+    consistent-hash placement spreads load, with the skew stressing the
+    balance of any tenant-sticky policy.
+    """
+    if not 0.0 <= add_fraction <= 1.0:
+        raise ValueError("add_fraction must be within [0, 1]")
+    rates = zipf_tenant_rates(num_tenants, total_rate_per_second, skew)
+    jobs = multi_tenant_stream(rates, duration_seconds, seed=seed)
+    if add_fraction == 0.0:
+        return jobs
+    rng = np.random.default_rng(seed + 0x5EED)
+    flips = rng.random(len(jobs)) < add_fraction
+    return [Job(index=j.index,
+                kind=JobKind.ADD if flip else j.kind,
+                arrival_seconds=j.arrival_seconds, tenant=j.tenant)
+            for j, flip in zip(jobs, flips)]
+
+
+def saturated_tenant_jobs(num_tenants: int, jobs_per_tenant: int,
+                          kind: JobKind = JobKind.MULT) -> list[Job]:
+    """A saturating multi-tenant backlog: everything available at t=0.
+
+    Tenants are interleaved round-robin so any prefix of the stream
+    spans the whole population — the shape used to measure the
+    saturated throughput ceiling of a cluster under tenant-affinity
+    routing, where per-tenant placement determines the balance.
+    """
+    if num_tenants < 1 or jobs_per_tenant < 1:
+        raise ValueError("need at least one tenant and one job each")
+    jobs = []
+    index = 0
+    for _ in range(jobs_per_tenant):
+        for tenant in range(num_tenants):
+            jobs.append(Job(index=index, kind=kind,
+                            tenant=tenant_name(tenant)))
+            index += 1
+    return jobs
+
+
 def mixed_workload(mults: int, adds_per_mult: int,
                    seed: int = 0) -> list[Job]:
     """Forecasting-shaped workload: bursts of adds around each mult.

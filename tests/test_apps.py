@@ -10,7 +10,7 @@ from repro.errors import ParameterError
 from repro.fv.encoder import Plaintext
 from repro.fv.noise import noise_budget_bits
 from repro.fv.scheme import FvContext
-from repro.params import mini, toy
+from repro.params import mini
 
 
 @pytest.fixture(scope="module")

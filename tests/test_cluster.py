@@ -1,0 +1,546 @@
+"""Tests for the multi-FPGA shard layer (repro.cluster), the stepping
+API it drives, telemetry merging, and the empty-report division edges."""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    ClusterReport,
+    FpgaCluster,
+    LeastOutstandingWorkRouter,
+    PowerOfTwoChoicesRouter,
+    RoundRobinRouter,
+    Router,
+    TenantAffinityRouter,
+)
+from repro.hw.config import HardwareConfig
+from repro.params import hpca19
+from repro.serve import (
+    LatencySummary,
+    RuntimeReport,
+    ServingRuntime,
+    Telemetry,
+)
+from repro.system.server import CloudServer
+from repro.system.workloads import (
+    Job,
+    JobKind,
+    cluster_trace,
+    mult_stream,
+    poisson_stream,
+    saturated_tenant_jobs,
+    tenant_name,
+    zipf_tenant_rates,
+)
+
+PARAMS = hpca19()
+
+
+@pytest.fixture(scope="module")
+def server():
+    return CloudServer(PARAMS, HardwareConfig())
+
+
+def check_cluster_conservation(report, offered_jobs):
+    """Every offered job lands in exactly one shard report or rejection."""
+    seen = [r.job.index for shard in report.shard_reports
+            for r in shard.results]
+    seen += [r.job.index for r in report.rejected]
+    assert sorted(seen) == sorted(j.index for j in offered_jobs)
+
+
+class TestSingleShardExactness:
+    """Acceptance: a 1-shard cluster reproduces the PR 1 runtime."""
+
+    @pytest.mark.parametrize("jobs", [
+        mult_stream(60),
+        poisson_stream(500.0, 0.5, seed=9),
+        poisson_stream(900.0, 0.4, seed=2),
+    ], ids=["saturated", "underload", "overload"])
+    def test_reproduces_direct_runtime_exactly(self, server, jobs):
+        direct = ServingRuntime.for_server(server).run(jobs)
+        cluster = FpgaCluster.homogeneous(PARAMS, 1)
+        report = cluster.run(jobs)
+        assert report.num_shards == 1
+        shard = report.shard_reports[0]
+        assert [r.finish_seconds for r in shard.results] == \
+            [r.finish_seconds for r in direct.results]
+        assert [r.coprocessor for r in shard.results] == \
+            [r.coprocessor for r in direct.results]
+        assert report.makespan_seconds == direct.makespan_seconds
+        assert report.throughput_per_second() == \
+            direct.throughput_per_second()
+        assert shard.telemetry.latencies == direct.telemetry.latencies
+
+    def test_every_router_degenerates_on_one_shard(self, server):
+        jobs = poisson_stream(400.0, 0.3, seed=4)
+        direct = ServingRuntime.for_server(server).run(jobs)
+        for router in (RoundRobinRouter(), LeastOutstandingWorkRouter(),
+                       TenantAffinityRouter(),
+                       PowerOfTwoChoicesRouter(seed=3)):
+            cluster = FpgaCluster.homogeneous(PARAMS, 1, router=router)
+            report = cluster.run(jobs)
+            assert report.makespan_seconds == direct.makespan_seconds
+
+
+class TestScalingAcceptance:
+    def test_eight_shards_scale_near_linearly_under_affinity(self):
+        """Acceptance: >= 7x one shard, saturated, tenant-affinity."""
+        jobs = saturated_tenant_jobs(2048, 1)
+        single = FpgaCluster.homogeneous(PARAMS, 1).run(mult_stream(256))
+        eight = FpgaCluster.homogeneous(
+            PARAMS, 8, router=TenantAffinityRouter()).run(jobs)
+        check_cluster_conservation(eight, jobs)
+        scale = (eight.throughput_per_second()
+                 / single.throughput_per_second())
+        assert scale >= 7.0, scale
+        # Every board took part.
+        assert all(shard.results for shard in eight.shard_reports)
+
+    def test_two_shards_double_throughput_least_work(self):
+        jobs = mult_stream(240)
+        one = FpgaCluster.homogeneous(PARAMS, 1).run(jobs)
+        two = FpgaCluster.homogeneous(
+            PARAMS, 2, router=LeastOutstandingWorkRouter()).run(jobs)
+        assert two.throughput_per_second() == \
+            pytest.approx(2 * one.throughput_per_second(), rel=0.02)
+
+    def test_cluster_capacity_sums_shards(self):
+        one = FpgaCluster.homogeneous(PARAMS, 1)
+        four = FpgaCluster.homogeneous(PARAMS, 4)
+        assert four.capacity_mults_per_second() == \
+            pytest.approx(4 * one.capacity_mults_per_second())
+
+
+class TestRouting:
+    def test_round_robin_spreads_evenly(self):
+        cluster = FpgaCluster.homogeneous(PARAMS, 4,
+                                          router=RoundRobinRouter())
+        report = cluster.run(mult_stream(40))
+        counts = [len(shard.results) for shard in report.shard_reports]
+        assert counts == [10, 10, 10, 10]
+
+    def test_affinity_keeps_tenant_on_one_shard(self):
+        jobs = cluster_trace(24, 900.0, 1.0, seed=6)
+        cluster = FpgaCluster.homogeneous(PARAMS, 4,
+                                          router=TenantAffinityRouter())
+        report = cluster.run(jobs)
+        check_cluster_conservation(report, jobs)
+        homes = {}
+        for index, shard in enumerate(report.shard_reports):
+            for result in shard.results:
+                homes.setdefault(result.job.tenant, set()).add(index)
+        assert all(len(shards) == 1 for shards in homes.values())
+
+    def test_affinity_is_consistent_under_scale_out(self):
+        """Adding a shard relocates only ~1/N of the tenant population."""
+        router = TenantAffinityRouter()
+        tenants = [tenant_name(i) for i in range(400)]
+
+        def placement(num_shards):
+            cluster = FpgaCluster.homogeneous(PARAMS, num_shards,
+                                              router=router)
+            fresh = TenantAffinityRouter()
+            return {t: fresh.preference_order(t, cluster.shards)[0]
+                    for t in tenants}
+
+        four, five = placement(4), placement(5)
+        moved = sum(1 for t in tenants if four[t] != five[t])
+        # Rendezvous hashing moves ~1/5 of tenants; far below a rehash.
+        assert moved / len(tenants) < 0.35
+        # Tenants that stay keep their exact shard index.
+        for t in tenants:
+            if four[t] != five[t]:
+                assert five[t] == 4 or four[t] != five[t]
+
+    def test_least_work_prefers_idle_shard(self):
+        class FirstThenLeast(Router):
+            """Jam shard 0, then defer to least-outstanding-work."""
+            def __init__(self):
+                self._sent = 0
+                self._low = LeastOutstandingWorkRouter()
+
+            def choose(self, job, shards):
+                self._sent += 1
+                if self._sent <= 4:
+                    return 0
+                return self._low.choose(job, shards)
+
+        cluster = FpgaCluster.homogeneous(PARAMS, 2,
+                                          router=FirstThenLeast())
+        report = cluster.run(mult_stream(5))
+        # The fifth job must land on the idle shard 1.
+        assert report.shard_reports[1].results
+
+    def test_power_of_two_choices_deterministic(self):
+        jobs = poisson_stream(1200.0, 0.4, seed=8)
+        runs = []
+        for _ in range(2):
+            cluster = FpgaCluster.homogeneous(
+                PARAMS, 4, router=PowerOfTwoChoicesRouter(seed=5))
+            report = cluster.run(jobs)
+            runs.append([len(s.results) for s in report.shard_reports])
+        assert runs[0] == runs[1]
+
+    def test_bounded_affinity_caps_hot_shard_blowup(self):
+        """A Zipf-hot tenant swamps pure affinity; bounded load spills."""
+        trace = cluster_trace(64, 0.8 * 4 * 415.0, 1.0, skew=1.1, seed=5)
+        pure = FpgaCluster.homogeneous(
+            PARAMS, 4, router=TenantAffinityRouter()).run(trace)
+        bounded = FpgaCluster.homogeneous(
+            PARAMS, 4,
+            router=TenantAffinityRouter(bounded_load_factor=1.25),
+        ).run(trace)
+        assert bounded.latency_summary().p99 < pure.latency_summary().p99
+        assert bounded.imbalance() < pure.imbalance()
+
+    def test_bad_router_index_raises(self):
+        class Broken(Router):
+            def choose(self, job, shards):
+                return len(shards)
+
+        cluster = FpgaCluster.homogeneous(PARAMS, 2, router=Broken())
+        with pytest.raises(ValueError):
+            cluster.run(mult_stream(1))
+
+    def test_affinity_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            TenantAffinityRouter(bounded_load_factor=0.5)
+
+
+class TestBackpressure:
+    def test_overflow_reroutes_to_sibling(self):
+        """A full primary spills onto the least-loaded accepting board."""
+        jobs = saturated_tenant_jobs(4, 24)
+        cluster = FpgaCluster.homogeneous(
+            PARAMS, 4, router=TenantAffinityRouter(),
+            max_backlog_seconds=0.1,
+        )
+        report = cluster.run(jobs)
+        check_cluster_conservation(report, jobs)
+        assert report.reroutes > 0
+
+    def test_cluster_rejects_when_every_shard_capped(self):
+        jobs = saturated_tenant_jobs(4, 64)
+        cluster = FpgaCluster.homogeneous(
+            PARAMS, 2, router=RoundRobinRouter(),
+            max_backlog_seconds=0.05,
+        )
+        report = cluster.run(jobs)
+        check_cluster_conservation(report, jobs)
+        assert report.overflow_rejected
+        assert all(r.reason == "backpressure"
+                   for r in report.overflow_rejected)
+        assert 0.0 < report.rejection_fraction < 1.0
+
+    def test_tenant_admission_rejections_stay_in_shard_reports(self):
+        from repro.serve import Tenant, TenantSet
+
+        tenants = TenantSet.of(Tenant("capped", max_queue_depth=2))
+        jobs = [Job(index=i, kind=JobKind.MULT, tenant="capped")
+                for i in range(40)]
+        cluster = FpgaCluster.homogeneous(
+            PARAMS, 2, router=TenantAffinityRouter(), tenants=tenants)
+        report = cluster.run(jobs)
+        check_cluster_conservation(report, jobs)
+        shard_rejections = [r for shard in report.shard_reports
+                            for r in shard.rejected]
+        assert shard_rejections
+        assert all(r.reason == "queue-depth" for r in shard_rejections)
+        assert not report.overflow_rejected
+
+    def test_single_use(self):
+        cluster = FpgaCluster.homogeneous(PARAMS, 2)
+        cluster.run(mult_stream(2))
+        with pytest.raises(RuntimeError):
+            cluster.run(mult_stream(2))
+
+
+class TestHeterogeneousCluster:
+    def test_slow_boards_draw_less_under_least_work(self):
+        fast = HardwareConfig()
+        slow = replace(fast, butterfly_cores_per_rpau=1)
+        cluster = FpgaCluster.heterogeneous(
+            PARAMS, [fast, slow], router=LeastOutstandingWorkRouter())
+        report = cluster.run(mult_stream(120))
+        check_cluster_conservation(report, mult_stream(120))
+        done_fast = len(report.shard_reports[0].results)
+        done_slow = len(report.shard_reports[1].results)
+        assert done_fast > done_slow
+        # Both boards finish near-simultaneously: balanced in *time*.
+        assert report.imbalance() < 0.1
+
+    def test_heterogeneous_capacity_mixes_configs(self):
+        fast = HardwareConfig()
+        slow = replace(fast, butterfly_cores_per_rpau=1)
+        mixed = FpgaCluster.heterogeneous(PARAMS, [fast, slow])
+        twins = FpgaCluster.heterogeneous(PARAMS, [fast, fast])
+        assert mixed.capacity_mults_per_second() < \
+            twins.capacity_mults_per_second()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            FpgaCluster.heterogeneous(PARAMS, [])
+        with pytest.raises(ValueError):
+            FpgaCluster.homogeneous(PARAMS, 0)
+        with pytest.raises(ValueError):
+            FpgaCluster([])
+
+
+class TestEmptyAndIdleEdges:
+    """The division-edge satellite: empty shards must aggregate."""
+
+    def test_empty_cluster_run(self):
+        report = FpgaCluster.homogeneous(PARAMS, 3).run([])
+        assert report.completed == 0
+        assert report.offered == 0
+        assert report.rejection_fraction == 0.0
+        assert report.makespan_seconds == 0.0
+        assert report.throughput_per_second() == 0.0
+        assert report.per_shard_throughput() == [0.0, 0.0, 0.0]
+        assert report.utilization_by_shard() == [0.0, 0.0, 0.0]
+        assert report.imbalance() == 0.0
+        assert report.latency_summary().count == 0
+        assert report.sla_violations == 0
+
+    def test_idle_shards_do_not_crash_aggregation(self):
+        """One tenant, four shards: three boards never see a job."""
+        jobs = [Job(index=i, kind=JobKind.MULT, tenant="solo")
+                for i in range(12)]
+        cluster = FpgaCluster.homogeneous(PARAMS, 4,
+                                          router=TenantAffinityRouter())
+        report = cluster.run(jobs)
+        check_cluster_conservation(report, jobs)
+        busy = [bool(shard.results) for shard in report.shard_reports]
+        assert sum(busy) == 1
+        assert report.completed == 12
+        assert report.throughput_per_second() > 0
+        assert report.imbalance() > 0
+        summary = report.latency_summary()
+        assert summary.count == 12
+        for shard in report.shard_reports:
+            if not shard.results:
+                assert shard.mean_utilization() == 0.0
+                assert shard.latency_summary().count == 0
+                assert shard.rejection_fraction == 0.0
+
+    def test_runtime_report_empty_guards(self):
+        report = RuntimeReport()
+        assert report.rejection_fraction == 0.0
+        assert report.mean_utilization() == 0.0
+        assert report.utilization() == []
+        assert report.latency_summary().p99 == 0.0
+
+    def test_cluster_report_validation(self):
+        with pytest.raises(ValueError):
+            ClusterReport(shard_names=["a"], shard_reports=[])
+
+
+class TestTelemetryMerging:
+    """Satellite: merged percentiles equal concatenated-sample ones."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        shards=st.lists(
+            st.lists(st.floats(0.0, 10.0, allow_nan=False,
+                               allow_infinity=False),
+                     min_size=0, max_size=40),
+            min_size=1, max_size=5,
+        ),
+        q=st.sampled_from([50, 95, 99]),
+    )
+    def test_merged_percentiles_equal_concatenated(self, shards, q):
+        from repro.serve import percentile
+
+        parts = []
+        for series in shards:
+            telemetry = Telemetry(num_coprocessors=2)
+            telemetry.record_completion(
+                0, 1.0, [("t", lat) for lat in series], 0)
+            parts.append(telemetry)
+        merged = Telemetry.merged(parts)
+        concatenated = [lat for series in shards for lat in series]
+        summary = merged.latency_summary()
+        assert summary.count == len(concatenated)
+        reference = LatencySummary.of(concatenated)
+        assert summary.p50 == reference.p50
+        assert summary.p95 == reference.p95
+        assert summary.p99 == reference.p99
+        assert merged.latency_summary("t").count == len(concatenated)
+        # The per-quantile helper agrees as well.
+        direct = percentile(concatenated, q)
+        assert percentile(merged.latencies, q) == direct
+
+    @settings(max_examples=20, deadline=None)
+    @given(violations=st.lists(st.integers(0, 9), min_size=1,
+                               max_size=6))
+    def test_merged_counters_sum(self, violations):
+        parts = []
+        for count in violations:
+            telemetry = Telemetry(num_coprocessors=1)
+            telemetry.record_completion(0, 0.5, [("x", 0.1)] * count,
+                                        count)
+            telemetry.record_dispatch(0, max(count, 1))
+            parts.append(telemetry)
+        merged = Telemetry.merged(parts)
+        assert merged.sla_violations == sum(violations)
+        assert merged.num_coprocessors == len(violations)
+        assert len(merged.busy_seconds) == len(violations)
+        assert sum(merged.dispatch_count) == len(violations)
+
+    def test_merged_of_nothing_is_empty(self):
+        merged = Telemetry.merged([])
+        assert merged.num_coprocessors == 0
+        assert merged.latency_summary().count == 0
+        assert merged.max_queue_depth == 0
+        assert merged.mean_queue_depth() == 0.0
+        assert merged.mean_batch_size() == 0.0
+
+    def test_merged_queue_depth_trace_sorted(self):
+        a = Telemetry(num_coprocessors=1)
+        b = Telemetry(num_coprocessors=1)
+        a.record_queue_depth(2.0, 3)
+        a.record_queue_depth(4.0, 1)
+        b.record_queue_depth(1.0, 2)
+        b.record_queue_depth(3.0, 5)
+        merged = Telemetry.merged([a, b])
+        times = [t for t, _ in merged.queue_depth_trace]
+        assert times == sorted(times)
+        assert merged.max_queue_depth == 5
+
+    def test_cluster_summary_matches_shard_concatenation(self, server):
+        """End-to-end: cluster latency summary == concatenated shards."""
+        jobs = cluster_trace(16, 1200.0, 0.6, seed=11)
+        cluster = FpgaCluster.homogeneous(PARAMS, 3,
+                                          router=RoundRobinRouter())
+        report = cluster.run(jobs)
+        concatenated = [lat for shard in report.shard_reports
+                        for lat in shard.telemetry.latencies]
+        assert report.latency_summary() == \
+            LatencySummary.of(concatenated)
+
+
+class TestSteppingApi:
+    def test_run_equals_begin_inject_drain(self, server):
+        jobs = poisson_stream(700.0, 0.4, seed=21)
+        oneshot = ServingRuntime.for_server(server).run(jobs)
+        stepped_runtime = ServingRuntime.for_server(server)
+        stepped_runtime.begin()
+        for job in jobs:
+            stepped_runtime.advance_to(job.arrival_seconds,
+                                       inclusive=False)
+            stepped_runtime.inject(job)
+        stepped = stepped_runtime.drain()
+        assert [r.finish_seconds for r in stepped.results] == \
+            [r.finish_seconds for r in oneshot.results]
+
+    def test_inject_requires_begin(self, server):
+        runtime = ServingRuntime.for_server(server)
+        with pytest.raises(RuntimeError):
+            runtime.inject(Job(index=0, kind=JobKind.MULT))
+        with pytest.raises(RuntimeError):
+            runtime.advance_to(1.0)
+        with pytest.raises(RuntimeError):
+            runtime.drain()
+
+    def test_inject_behind_clock_raises(self, server):
+        runtime = ServingRuntime.for_server(server)
+        runtime.begin()
+        runtime.inject(Job(index=0, kind=JobKind.MULT,
+                           arrival_seconds=0.5))
+        runtime.advance_to(1.0)
+        with pytest.raises(ValueError):
+            runtime.inject(Job(index=1, kind=JobKind.MULT,
+                               arrival_seconds=0.2))
+
+    def test_outstanding_tracks_pending_and_drains_to_zero(self, server):
+        runtime = ServingRuntime.for_server(server)
+        runtime.begin()
+        assert runtime.outstanding_seconds() == 0.0
+        for i in range(6):
+            runtime.inject(Job(index=i, kind=JobKind.MULT))
+        # Injected but unprocessed arrivals already register as load.
+        assert runtime.outstanding_jobs() == 6
+        assert runtime.outstanding_seconds() == pytest.approx(
+            6 * server.job_seconds(JobKind.MULT))
+        assert runtime.drain_estimate_seconds() == pytest.approx(
+            3 * server.job_seconds(JobKind.MULT))
+        report = runtime.drain()
+        assert len(report.results) == 6
+        assert runtime.outstanding_seconds() == pytest.approx(0.0)
+        assert runtime.outstanding_jobs() == 0
+
+    def test_exclusive_advance_still_moves_the_clock(self, server):
+        """Load signals must be measured at the deadline, not at the
+        last processed event — a nearly-finished batch is nearly-zero
+        outstanding work (the router reads this between arrivals)."""
+        runtime = ServingRuntime.for_server(server)
+        runtime.begin()
+        runtime.inject(Job(index=0, kind=JobKind.MULT))
+        service = server.job_seconds(JobKind.MULT)
+        runtime.advance_to(0.9 * service, inclusive=False)
+        assert runtime.now == pytest.approx(0.9 * service)
+        assert runtime.outstanding_seconds() == \
+            pytest.approx(0.1 * service)
+        # Equal-time arrivals still inject after an exclusive advance.
+        runtime.inject(Job(index=1, kind=JobKind.MULT,
+                           arrival_seconds=0.9 * service))
+        report = runtime.drain()
+        assert len(report.results) == 2
+
+    def test_advance_exclusive_defers_deadline_events(self, server):
+        runtime = ServingRuntime.for_server(server)
+        runtime.begin()
+        runtime.inject(Job(index=0, kind=JobKind.MULT,
+                           arrival_seconds=1.0))
+        runtime.advance_to(1.0, inclusive=False)
+        assert runtime.outstanding_jobs() == 1  # still pending
+        assert not runtime._report.results
+        runtime.advance_to(1.0)
+        assert runtime.outstanding_jobs() == 1  # now queued/in flight
+        report = runtime.drain()
+        assert report.results[0].start_seconds == pytest.approx(1.0)
+
+
+class TestClusterWorkloads:
+    def test_zipf_rates_sum_and_skew(self):
+        rates = zipf_tenant_rates(50, 1000.0, skew=1.2)
+        assert sum(rates.values()) == pytest.approx(1000.0)
+        ordered = [rates[tenant_name(i)] for i in range(50)]
+        assert ordered == sorted(ordered, reverse=True)
+        uniform = zipf_tenant_rates(10, 100.0, skew=0.0)
+        assert all(rate == pytest.approx(10.0)
+                   for rate in uniform.values())
+
+    def test_zipf_validation(self):
+        with pytest.raises(ValueError):
+            zipf_tenant_rates(0, 100.0)
+        with pytest.raises(ValueError):
+            zipf_tenant_rates(5, -1.0)
+        with pytest.raises(ValueError):
+            zipf_tenant_rates(5, 100.0, skew=-0.1)
+
+    def test_cluster_trace_sorted_and_tagged(self):
+        jobs = cluster_trace(12, 600.0, 0.5, seed=3)
+        times = [j.arrival_seconds for j in jobs]
+        assert times == sorted(times)
+        assert [j.index for j in jobs] == list(range(len(jobs)))
+        assert len({j.tenant for j in jobs}) > 1
+
+    def test_cluster_trace_add_fraction(self):
+        jobs = cluster_trace(8, 2000.0, 0.5, add_fraction=0.5, seed=1)
+        adds = sum(1 for j in jobs if j.kind is JobKind.ADD)
+        assert 0.3 < adds / len(jobs) < 0.7
+        with pytest.raises(ValueError):
+            cluster_trace(8, 100.0, 0.5, add_fraction=1.5)
+
+    def test_saturated_tenant_jobs_interleaved(self):
+        jobs = saturated_tenant_jobs(3, 2)
+        assert [j.tenant for j in jobs] == [
+            "t0000", "t0001", "t0002", "t0000", "t0001", "t0002"]
+        assert all(j.arrival_seconds == 0.0 for j in jobs)
+        with pytest.raises(ValueError):
+            saturated_tenant_jobs(0, 1)

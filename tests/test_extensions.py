@@ -3,7 +3,6 @@ comparator, network model, NTT trace, and CLI."""
 
 import itertools
 
-import numpy as np
 import pytest
 
 from repro.apps.comparator import EncryptedComparator, comparator_depth

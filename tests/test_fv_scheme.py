@@ -3,7 +3,7 @@ additive operations, and the textbook cross-check (paper Sec. II-B)."""
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import EncodingError, ParameterError
@@ -16,7 +16,7 @@ from repro.fv.sampler import (
     uniform_ternary,
 )
 from repro.fv.scheme import FvContext
-from repro.params import mini, toy
+from repro.params import mini
 
 
 class TestSamplers:

@@ -1,12 +1,11 @@
 """Tests for Galois automorphisms and slot rotations (extension)."""
 
-import math
 
 import numpy as np
 import pytest
 
 from repro.errors import ParameterError
-from repro.fv.encoder import BatchEncoder, Plaintext
+from repro.fv.encoder import BatchEncoder
 from repro.fv.galois import (
     GaloisEngine,
     apply_galois_rows,
@@ -18,7 +17,6 @@ from repro.fv.galois import (
 from repro.fv.noise import noise_budget_bits
 from repro.fv.scheme import FvContext
 from repro.params import mini
-from repro.poly.dense import IntPoly
 
 
 @pytest.fixture(scope="module")
@@ -62,7 +60,6 @@ class TestAutomorphismMath:
         n, modulus = 16, 97
         g = 3
         coeffs = [int(c) for c in rng.integers(0, modulus, n)]
-        a = IntPoly(tuple(coeffs), modulus)
         # Substitute x -> x^g the slow exact way.
         expected = [0] * n
         for i, c in enumerate(coeffs):

@@ -18,7 +18,7 @@ from repro.fv.scheme import FvContext
 from repro.hw.config import HardwareConfig
 from repro.hw.coprocessor import Coprocessor
 from repro.nttmath.ntt import negacyclic_convolution
-from repro.params import table5_large, toy
+from repro.params import table5_large
 from repro.rns.basis import basis_for
 from repro.rns.decompose import (
     grouped_reconstruction_weights,

@@ -1,7 +1,6 @@
 """Tests for the low-level circuit models: reduction, multiplier, butterfly
 (paper Fig. 4 and Sec. V-A4)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

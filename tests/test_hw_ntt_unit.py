@@ -17,7 +17,6 @@ from repro.hw.config import HardwareConfig
 from repro.hw.ntt_unit import DualCoreNttUnit, NttSchedule
 from repro.nttmath.ntt import NegacyclicTransformer
 from repro.nttmath.primes import find_ntt_primes
-from repro.params import hpca19
 
 CONFIG = HardwareConfig()
 

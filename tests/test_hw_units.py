@@ -8,14 +8,12 @@ from repro.errors import CapacityError, HardwareModelError, IsaError
 from repro.hw.config import HardwareConfig, slow_coprocessor_config
 from repro.hw.isa import Instruction, Opcode, Program
 from repro.hw.lift_unit import (
-    HPS_LIFT_BLOCKS,
     HpsLiftUnit,
     TraditionalLiftUnit,
 )
 from repro.hw.memory_file import MemoryFile
 from repro.hw.rpau import Rpau, batch_rows, rpau_prime_assignment
 from repro.hw.scale_unit import HpsScaleUnit, TraditionalScaleUnit
-from repro.params import hpca19, mini
 from repro.rns.basis import basis_for, lift_context, scale_context
 from repro.rns.lift import lift_hps, lift_traditional
 from repro.rns.scale import scale_hps, scale_traditional

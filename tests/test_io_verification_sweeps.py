@@ -23,7 +23,7 @@ from repro.io import (
     save_ciphertext,
     save_keyset,
 )
-from repro.params import hpca19, mini, toy
+from repro.params import mini, toy
 
 
 class TestCiphertextIo:

@@ -85,7 +85,6 @@ class TestPrimes:
     def test_primitive_root(self):
         for p in (5, 7, 13, PRIME):
             g = primitive_root(p)
-            seen = set()
             # Check order by factor test instead of enumeration for PRIME.
             assert modpow(g, p - 1, p) == 1
             assert modpow(g, (p - 1) // 2, p) != 1

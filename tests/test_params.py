@@ -8,7 +8,6 @@ from repro.params import (
     hpca19,
     mini,
     table5_parameter_points,
-    toy,
 )
 
 

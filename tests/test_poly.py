@@ -2,13 +2,12 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+
 
 from repro.errors import ParameterError
 from repro.nttmath.ntt import negacyclic_convolution
 from repro.poly.dense import IntPoly
-from repro.poly.ring import RingContext, ring_context
+from repro.poly.ring import ring_context
 from repro.poly.rns_poly import RnsPoly
 from repro.rns.basis import basis_for
 

@@ -17,7 +17,6 @@ from repro.hw.config import HardwareConfig
 from repro.hw.modred import SlidingWindowReducer
 from repro.hw.ntt_unit import DualCoreNttUnit, NttSchedule
 from repro.nttmath.ntt import NegacyclicTransformer, negacyclic_convolution
-from repro.nttmath.primes import find_ntt_primes
 from repro.params import toy
 from repro.rns.basis import basis_for, lift_context, scale_context
 from repro.rns.lift import lift_hps

@@ -24,7 +24,7 @@ from repro.serve import (
     simulate,
 )
 from repro.serve.batching import network_amortized_upload_seconds
-from repro.system.server import CloudServer, CostModel, JobResult, ServeReport
+from repro.system.server import CloudServer, CostModel, ServeReport
 from repro.system.workloads import (
     Job,
     JobKind,

@@ -14,7 +14,6 @@ from repro.system.baseline import (
     ntt_operations,
 )
 from repro.system.related_work import (
-    ComparisonPoint,
     our_point,
     published_points,
 )
