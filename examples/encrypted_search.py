@@ -1,43 +1,65 @@
 #!/usr/bin/env python3
-"""Private information retrieval: query a table with an encrypted index.
+"""Private information retrieval: one HE program, two executors.
 
 Paper Sec. III-A sizes its depth-4 parameter set for "private
 information retrieval or encrypted search in a table of 2^16 entries".
 This demo runs the PIR protocol end to end on a 16-entry table (selector
-products of 4 encrypted index bits, multiplicative depth 2) and prints
-the noise budget actually consumed, then shows the depth arithmetic for
-the paper's full 2^16-entry sizing claim.
+products of 4 encrypted index bits, multiplicative depth 2) — and then
+shows the point of the `repro.api` facade: the *same* compiled
+`HEProgram` runs
+
+* functionally through `LocalBackend` (real FV ciphertexts, decrypted
+  and checked against the table), and
+* through `SimulatedBackend` over a multi-shard FPGA cluster, which
+  prices every lowered operation on the paper's hardware cost models
+  and reports per-request p50/p95/p99 latency.
 
 Run:  python examples/encrypted_search.py
 """
 
-from repro import FvContext, mini
+from repro import LocalBackend, Session, SimulatedBackend, mini
 from repro.apps import EncryptedLookupTable
 from repro.apps.lookup import selection_depth
-from repro.fv.noise import noise_budget_bits
+from repro.cluster import TenantAffinityRouter
 
 TABLE = [13, 42, 7, 99, 1, 64, 250, 8, 77, 31, 5, 190, 2, 120, 55, 86]
+SHARDS = 4
 
 
 def main() -> None:
-    params = mini(t=257)
-    context = FvContext(params, seed=13)
-    keys = context.keygen()
-    server = EncryptedLookupTable(context, keys, TABLE)
+    session = Session(mini(t=257), seed=13)
+    server = EncryptedLookupTable(session, TABLE)
 
     print(f"table: {TABLE}")
     print(f"index bits: {server.index_bits}, "
           f"selector depth: {selection_depth(len(TABLE))}\n")
 
+    # -- functional executions, one program per query -------------------
+    local = LocalBackend(session)
+    program = None
     for index in (3, 6, 12):
-        encrypted_index = server.encrypt_index(index)
-        reply = server.lookup(encrypted_index)
-        value = server.decrypt_reply(reply)
-        budget = noise_budget_bits(context, reply, keys.secret)
+        program = server.lookup_program(server.encrypt_index(index))
+        result = local.run(program)
+        value = int(result.decrypt("out")[0])
+        budget = result.noise_budget_bits("out")
         status = "OK" if value == TABLE[index] else "WRONG"
         print(f"lookup(index={index:2d}) -> {value:3d} "
               f"(expected {TABLE[index]:3d}, {status}; "
               f"reply noise budget {budget:.1f} bits)")
+
+    # -- the same program object through the simulated cluster ----------
+    backend = SimulatedBackend.over_cluster(
+        session.params, SHARDS, router_factory=TenantAffinityRouter)
+    run = backend.run(program, requests=100, rate_per_second=150.0,
+                      num_tenants=32, seed=1)
+    latency = run.latency_summary()
+    print(f"\nsame HEProgram on a {SHARDS}-shard cluster "
+          f"({program.num_ops} ops/request, 100 requests at 150/s):")
+    print(f"  completed {len(run.completed)}/100, "
+          f"{run.requests_per_second():.0f} requests/s")
+    print(f"  per-request latency p50 {latency.p50 * 1e3:.2f} ms, "
+          f"p95 {latency.p95 * 1e3:.2f} ms, "
+          f"p99 {latency.p99 * 1e3:.2f} ms")
 
     print("\nthe paper's sizing claim: a 2^16-entry table needs 16 index")
     print(f"bits and a selector tree of depth "

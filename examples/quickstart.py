@@ -1,18 +1,18 @@
 #!/usr/bin/env python3
-"""Quickstart: encrypt, compute on ciphertext, decrypt.
+"""Quickstart: encrypt, compute on ciphertext, decrypt — via the facade.
 
 Walks the full FV lifecycle at the paper's production parameter set
-(n = 4096, 180-bit q, depth 4) and prints the noise budget as
-homomorphic operations consume it.
+(n = 4096, 180-bit q, depth 4) through the `repro.api.Session` facade:
+handles instead of raw ciphertexts, Python operators instead of
+evaluator calls, and the noise budget printed as homomorphic operations
+consume it.
 
 Run:  python examples/quickstart.py [--params mini|hpca19]
 """
 
 import argparse
 
-
-from repro import Evaluator, FvContext, Plaintext, hpca19, mini
-from repro.fv.noise import noise_budget_bits
+from repro import Session, hpca19, mini
 
 
 def main() -> None:
@@ -28,44 +28,39 @@ def main() -> None:
     print(f"estimated ring-LWE security: "
           f"~{params.estimated_security_bits():.0f} bits\n")
 
-    context = FvContext(params, seed=2019)
-    keys = context.keygen()
+    # One Session owns the context, the keys, and the encoder.
+    session = Session(params, seed=2019)
 
     # Two plaintext polynomials: x + 1 and x - 1 (over t = 2: x + 1 both).
-    m1 = Plaintext.from_list([1, 1], params.n, params.t)
-    m2 = Plaintext.from_list([1, 1], params.n, params.t)
-    ct1 = context.encrypt(m1, keys.public)
-    ct2 = context.encrypt(m2, keys.public)
-    print(f"fresh ciphertext: {ct1.byte_size():,} bytes, noise budget "
-          f"{noise_budget_bits(context, ct1, keys.secret):.1f} bits")
+    h1 = session.encrypt([1, 1])
+    h2 = session.encrypt([1, 1])
+    print(f"fresh ciphertext: {h1.ciphertext.byte_size():,} bytes, "
+          f"noise budget {session.noise_budget_bits(h1):.1f} bits")
 
-    # Homomorphic addition.
-    ct_sum = context.add(ct1, ct2)
-    dec_sum = context.decrypt(ct_sum, keys.secret)
-    print(f"add:  decrypt(ct1 + ct2) low coeffs = "
-          f"{dec_sum.coeffs[:4].tolist()} (expect (m1+m2) mod t)")
+    # Homomorphic addition — plain Python operators on opaque handles.
+    dec_sum = session.decrypt(h1 + h2)
+    print(f"add:  decrypt(h1 + h2) low coeffs = "
+          f"{dec_sum[:4].tolist()} (expect (m1+m2) mod t)")
 
     # Homomorphic multiplication: (x+1)^2 = x^2 + 2x + 1 = x^2 + 1 mod 2.
-    evaluator = Evaluator(context)
-    ct_prod = evaluator.multiply(ct1, ct2, keys.relin)
-    dec_prod = context.decrypt(ct_prod, keys.secret)
-    print(f"mult: decrypt(ct1 * ct2) low coeffs = "
-          f"{dec_prod.coeffs[:4].tolist()} (expect [1, 0, 1, 0])")
+    h_prod = h1 * h2
+    dec_prod = session.decrypt(h_prod)
+    print(f"mult: decrypt(h1 * h2) low coeffs = "
+          f"{dec_prod[:4].tolist()} (expect [1, 0, 1, 0])")
     print(f"      noise budget after mult: "
-          f"{noise_budget_bits(context, ct_prod, keys.secret):.1f} bits")
+          f"{session.noise_budget_bits(h_prod):.1f} bits")
 
-    # Chain multiplications to the advertised depth.
-    ct = ct_prod
-    depth = 1
+    # Chain multiplications to the advertised depth. Every handle keeps
+    # its multiplicative depth; the measured budget tracks the decay.
+    h = h_prod
     while True:
-        ct = evaluator.multiply(ct, ct, keys.relin)
-        depth += 1
-        budget = noise_budget_bits(context, ct, keys.secret)
-        print(f"      depth {depth}: budget {budget:.1f} bits")
-        if budget < 10 or depth >= 4:
+        h = h * h
+        budget = session.noise_budget_bits(h)
+        print(f"      depth {h.depth}: budget {budget:.1f} bits")
+        if budget < 10 or h.depth >= 4:
             break
     print("\nthe paper sizes this parameter set for depth 4 — confirmed"
-          if depth >= 4 else "")
+          if h.depth >= 4 else "")
 
 
 if __name__ == "__main__":

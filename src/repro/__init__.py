@@ -7,27 +7,53 @@ A functional + cycle-level Python reproduction of:
     Architecture for Homomorphic Computing on Encrypted Data."
     HPCA 2019, pp. 387-398.
 
-Public API tour:
+Public API tour — the :class:`Session` facade is the front door:
+
+>>> from repro import Session, mini
+>>> s = Session(mini(t=65537), seed=7)
+>>> a, b = s.encrypt([1, 2, 3]), s.encrypt([4, 5, 6])
+>>> s.decrypt(a * b + a, size=3)          # lazy graph, auto-executed
+array([ 5, 14, 27])
+
+The same expression compiles into an :class:`HEProgram` that also runs
+through the simulated serving stack (latency under load on N boards):
+
+>>> from repro import SimulatedBackend, sum_slots
+>>> program = s.compile(sum_slots(a * b), name="dot")
+>>> run = SimulatedBackend.over_cluster(s.params, 4).run(
+...     program, requests=100, rate_per_second=200.0)
+>>> run.latency_summary().p99             # simulated seconds
+
+The low-level layers stay importable for scheme internals work:
 
 >>> from repro import hpca19, FvContext, Evaluator, Plaintext
 >>> params = hpca19()
 >>> ctx = FvContext(params, seed=1)
 >>> keys = ctx.keygen()
 
-Encrypt, compute, decrypt:
-
->>> import numpy as np
->>> m = Plaintext(np.ones(params.n, dtype=np.int64), params.t)
->>> ct = ctx.encrypt(m, keys.public)
->>> prod = Evaluator(ctx).multiply(ct, ct, keys.relin)
-
-Run the same multiplication on the simulated coprocessor and read the
+Run one multiplication on the simulated coprocessor and read the
 paper's Table I/II numbers off the report:
 
 >>> from repro import Coprocessor
+>>> m = Plaintext.from_list([1, 1], params.n, params.t)
+>>> ct = ctx.encrypt(m, keys.public)
 >>> hw_result, report = Coprocessor(params).mult(ct, ct, keys.relin)
 >>> report.seconds           # ~4.3e-3, the paper measures 4.458 ms
 """
+
+from .api import (
+    Backend,
+    CiphertextHandle,
+    HEProgram,
+    LocalBackend,
+    ProgramFuture,
+    ProgramResult,
+    Session,
+    SimulatedBackend,
+    SimulatedRun,
+    rotate,
+    sum_slots,
+)
 
 from .errors import (
     CapacityError,
@@ -58,9 +84,13 @@ from .hw.config import slow_coprocessor_config
 from .params import ParameterSet, hpca19, mini, toy
 from .system import CloudServer, SoftwareBaseline
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # client facade (start here)
+    "Session", "CiphertextHandle", "HEProgram", "rotate", "sum_slots",
+    "Backend", "LocalBackend", "ProgramResult",
+    "SimulatedBackend", "SimulatedRun", "ProgramFuture",
     # parameters
     "ParameterSet", "hpca19", "mini", "toy",
     # FV scheme

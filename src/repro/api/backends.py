@@ -1,0 +1,128 @@
+"""Program executors: the ``Backend`` protocol and the functional one.
+
+A backend consumes a compiled :class:`~repro.api.program.HEProgram`.
+:class:`LocalBackend` here executes it for real — every graph node runs
+through the FV :class:`~repro.fv.evaluator.Evaluator` (multiplication +
+relinearisation exactly as the paper's coprocessor computes them) or the
+:class:`~repro.fv.galois.GaloisEngine` (rotations), and the results are
+verified against the measured noise budget before they are handed back.
+The simulation twin lives in :mod:`repro.api.simulated`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from ..errors import NoiseBudgetExhausted, ParameterError
+from ..fv.ciphertext import Ciphertext
+from .program import CiphertextHandle, ExprNode, HEProgram, OpKind
+from .session import Session
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Anything that can execute an :class:`HEProgram`."""
+
+    def run(self, program: HEProgram, **kwargs):  # pragma: no cover
+        ...
+
+
+class ProgramResult:
+    """Outputs of one functional execution, addressable by label."""
+
+    def __init__(self, session: Session,
+                 outputs: dict[str, CiphertextHandle]) -> None:
+        self.session = session
+        self.outputs = outputs
+
+    def __getitem__(self, label: str) -> CiphertextHandle:
+        return self.outputs[label]
+
+    def handle(self, label: str = "out") -> CiphertextHandle:
+        return self.outputs[label]
+
+    def decrypt(self, label: str = "out", size: int | None = None):
+        """Decrypt one output into the session encoder's domain."""
+        return self.session.decrypt(self.outputs[label], size)
+
+    def noise_budget_bits(self, label: str = "out") -> float:
+        return self.session.noise_budget_bits(self.outputs[label])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProgramResult({list(self.outputs)})"
+
+
+class LocalBackend:
+    """Execute a program functionally over the session's evaluator.
+
+    Node results are cached on the expression graph, so overlapping
+    programs (or a decrypt of an intermediate handle followed by more
+    building) never recompute shared work. With ``verify=True`` every
+    output's *measured* noise budget is checked after execution — a
+    non-positive budget means the decryption is garbage, and the
+    backend refuses to return it silently.
+    """
+
+    def __init__(self, session: Session, *, verify: bool = True) -> None:
+        self.session = session
+        self.verify = verify
+
+    def run(self, program: HEProgram, **kwargs) -> ProgramResult:
+        if kwargs:
+            raise TypeError(
+                f"LocalBackend.run got unknown options {sorted(kwargs)}"
+            )
+        if program.params is not self.session.params:
+            # Identity is the cheap check; equal parameter sets from
+            # two constructions are fine too.
+            if program.params != self.session.params:
+                raise ParameterError(
+                    "program was compiled for different parameters"
+                )
+        for node in program.nodes:
+            if node.cached is None:
+                node.cached = self._execute(node)
+        outputs = {
+            label: CiphertextHandle(node, self.session)
+            for label, node in program.outputs.items()
+        }
+        if self.verify:
+            for label, handle in outputs.items():
+                budget = self.session.noise_budget_bits(handle)
+                if budget <= 0:
+                    raise NoiseBudgetExhausted(
+                        f"output {label!r} decrypts with no noise budget "
+                        f"left ({budget:.1f} bits)"
+                    )
+        return ProgramResult(self.session, outputs)
+
+    # -- node dispatch -------------------------------------------------------------------
+
+    def _execute(self, node: ExprNode) -> Ciphertext:
+        session = self.session
+        context = session.context
+        args = [arg.cached for arg in node.args]
+        if node.op is OpKind.INPUT:
+            raise ParameterError(
+                "program has an unbound input (wrap() a ciphertext first)"
+            )
+        if node.op is OpKind.ADD:
+            return context.add(args[0], args[1])
+        if node.op is OpKind.SUB:
+            return context.sub(args[0], args[1])
+        if node.op is OpKind.NEGATE:
+            return context.negate(args[0])
+        if node.op is OpKind.ADD_PLAIN:
+            return context.add_plain(args[0], node.payload)
+        if node.op is OpKind.MUL_PLAIN:
+            return context.mul_plain(args[0], node.payload)
+        if node.op is OpKind.MULTIPLY:
+            return session.evaluator.multiply(args[0], args[1],
+                                              session.keys.relin)
+        if node.op is OpKind.ROTATE:
+            key = session.rotation_key(node.payload)
+            return session.galois.apply(args[0], key)
+        if node.op is OpKind.SUM_SLOTS:
+            return session.galois.sum_all_slots(args[0],
+                                                session.summation_keys())
+        raise ParameterError(f"unknown op {node.op!r}")  # pragma: no cover

@@ -1,0 +1,236 @@
+"""The client session: keys, encoders, and handle minting.
+
+A :class:`Session` is the one object a client application needs. It owns
+the :class:`~repro.fv.scheme.FvContext`, generates and holds the
+:class:`~repro.fv.keys.KeySet` (plus lazily-created Galois keys for
+rotations), picks an encoder for the parameter set, and mints the opaque
+:class:`~repro.api.program.CiphertextHandle` objects all client-side
+arithmetic runs on::
+
+    session = Session(mini(t=257), seed=7)
+    a, b = session.encrypt([1, 2, 3]), session.encrypt([4, 5, 6])
+    program = session.compile((a * b).sum_slots(), name="dot")
+    print(session.decrypt(program_result))
+
+Everything below the session — ``FvContext``, ``Evaluator``,
+``GaloisEngine``, raw key material — remains importable for low-level
+work, but application code should not need it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import EncodingError, ParameterError
+from ..fv.ciphertext import Ciphertext
+from ..fv.encoder import BatchEncoder, IntegerEncoder, Plaintext
+from ..fv.evaluator import Evaluator
+from ..fv.galois import GaloisEngine, GaloisKey
+from ..fv.keys import KeySet
+from ..fv.noise import noise_budget_bits
+from ..fv.scheme import FvContext
+from ..params import ParameterSet, hpca19
+from .program import CiphertextHandle, ExprNode, HEProgram, OpKind
+
+#: Encoder selection values accepted by :class:`Session`.
+ENCODERS = ("auto", "batch", "coeff", "integer")
+
+
+class Session:
+    """One client's view of the FV scheme: keys + encoder + handles."""
+
+    def __init__(self, params: ParameterSet | None = None, *,
+                 seed: int = 2019, encoder: str = "auto",
+                 context: FvContext | None = None,
+                 keys: KeySet | None = None) -> None:
+        if encoder not in ENCODERS:
+            raise ParameterError(
+                f"unknown encoder {encoder!r}; pick one of {ENCODERS}"
+            )
+        if context is not None:
+            self.context = context
+            self.params = context.params
+        else:
+            self.params = params if params is not None else hpca19()
+            self.context = FvContext(self.params, seed=seed)
+        self.keys = keys if keys is not None else self.context.keygen()
+        self.encoder_kind, self.encoder = self._pick_encoder(encoder)
+        self.evaluator = Evaluator(self.context)
+        self.galois = GaloisEngine(self.context)
+        self._rotation_keys: dict[int, GaloisKey] = {}
+        self._summation_keys: dict | None = None
+
+    @classmethod
+    def from_parts(cls, context: FvContext, keys: KeySet, *,
+                   encoder: str = "auto") -> "Session":
+        """Adopt an existing context + key set (the migration shim).
+
+        Code that used to hand-wire ``FvContext``/``keygen`` wraps those
+        parts once and then speaks the handle API.
+        """
+        return cls(context=context, keys=keys, encoder=encoder)
+
+    def _pick_encoder(self, requested: str):
+        if requested == "batch" or requested == "auto":
+            try:
+                return "batch", BatchEncoder(self.params)
+            except (ParameterError, EncodingError):
+                if requested == "batch":
+                    raise
+        if requested == "integer":
+            return "integer", IntegerEncoder(self.params)
+        return "coeff", None
+
+    # -- encoding ------------------------------------------------------------------------
+
+    @property
+    def slot_count(self) -> int:
+        """SIMD slots per ciphertext (= n for the batch encoder)."""
+        if self.encoder_kind == "batch":
+            return self.encoder.slot_count
+        return self.params.n
+
+    def encode(self, values) -> Plaintext:
+        """Encode scalars / vectors with the session's encoder.
+
+        A scalar broadcasts: all slots under the batch encoder, the
+        constant coefficient otherwise — so ``handle * 3`` means the
+        same slot-wise scaling everywhere.
+        """
+        if isinstance(values, Plaintext):
+            return values
+        if isinstance(values, (int, np.integer)):
+            if self.encoder_kind == "batch":
+                return self.encoder.encode(
+                    np.full(self.encoder.slot_count, int(values),
+                            dtype=np.int64)
+                )
+            if self.encoder_kind == "integer":
+                return self.encoder.encode(int(values))
+            return Plaintext.from_list([int(values)], self.params.n,
+                                       self.params.t)
+        arr = np.asarray(values, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ValueError("encode expects a scalar or 1-D values")
+        if self.encoder_kind == "batch":
+            if len(arr) < self.encoder.slot_count:
+                arr = np.concatenate([
+                    arr, np.zeros(self.encoder.slot_count - len(arr),
+                                  dtype=np.int64),
+                ])
+            return self.encoder.encode(arr)
+        return Plaintext.from_list(arr.tolist(), self.params.n,
+                                   self.params.t)
+
+    def negate_plain(self, plain: Plaintext) -> Plaintext:
+        """The additive inverse of an encoded plaintext (mod t)."""
+        return Plaintext((-plain.coeffs) % self.params.t, self.params.t)
+
+    def decode(self, plain: Plaintext, size: int | None = None):
+        """Invert :meth:`encode`; ``size`` truncates vector results."""
+        if self.encoder_kind == "batch":
+            decoded = self.encoder.decode(plain)
+        elif self.encoder_kind == "integer":
+            return self.encoder.decode(plain)
+        else:
+            decoded = plain.coeffs
+        return decoded if size is None else decoded[:size]
+
+    # -- encrypt / decrypt ----------------------------------------------------------------
+
+    def encrypt(self, values) -> CiphertextHandle:
+        """Encode + encrypt; returns an opaque (lazy-capable) handle."""
+        ct = self.context.encrypt(self.encode(values), self.keys.public)
+        return self.wrap(ct)
+
+    def wrap(self, ciphertext: Ciphertext) -> CiphertextHandle:
+        """Adopt an existing ciphertext as a graph input."""
+        return CiphertextHandle(
+            ExprNode(OpKind.INPUT, payload=ciphertext), self
+        )
+
+    def decrypt(self, value, size: int | None = None):
+        """Decrypt a handle (materialising it if lazy) or a ciphertext.
+
+        Returns decoded values in the session encoder's domain: a slot
+        vector for batch, coefficients for coeff, an int for integer.
+        """
+        return self.decode(self.decrypt_plaintext(value), size)
+
+    def decrypt_plaintext(self, value) -> Plaintext:
+        ct = value.ciphertext if isinstance(value, CiphertextHandle) \
+            else value
+        return self.context.decrypt(ct, self.keys.secret)
+
+    def noise_budget_bits(self, value) -> float:
+        """Measured (not worst-case) remaining budget of a result."""
+        ct = value.ciphertext if isinstance(value, CiphertextHandle) \
+            else value
+        return noise_budget_bits(self.context, ct, self.keys.secret)
+
+    # -- Galois key management --------------------------------------------------------
+
+    def rotation_key(self, steps: int) -> GaloisKey:
+        """The key-switch key for one rotation amount (cached)."""
+        steps = int(steps) % self.params.n
+        if steps not in self._rotation_keys:
+            self._rotation_keys.update(
+                self.galois.rotation_keygen(self.keys.secret, [steps])
+            )
+        return self._rotation_keys[steps]
+
+    def summation_keys(self) -> dict:
+        """Every key :meth:`GaloisEngine.sum_all_slots` needs (cached)."""
+        if self._summation_keys is None:
+            self._summation_keys = self.galois.summation_keygen(
+                self.keys.secret
+            )
+        return self._summation_keys
+
+    def use_summation_keys(self, keys: dict) -> None:
+        """Adopt externally generated summation keys (seeds the cache)."""
+        self._summation_keys = keys
+
+    # -- programs -------------------------------------------------------------------------
+
+    def compile(self, outputs, *, name: str = "program",
+                check: bool = True) -> HEProgram:
+        """Capture handles into an :class:`HEProgram`.
+
+        ``outputs`` may be one handle, a list (labelled ``out0..``), or
+        a dict of label -> handle. ``check=True`` runs the static
+        depth/noise validation and raises
+        :class:`~repro.errors.NoiseBudgetExhausted` for programs that
+        could fail to decrypt in the worst case.
+        """
+        if isinstance(outputs, CiphertextHandle):
+            mapping = {"out": outputs}
+        elif isinstance(outputs, dict):
+            mapping = outputs
+        else:
+            mapping = {f"out{i}": h for i, h in enumerate(outputs)}
+        for handle in mapping.values():
+            if not isinstance(handle, CiphertextHandle):
+                raise ParameterError("program outputs must be handles")
+            if handle.session is not self:
+                raise ParameterError(
+                    "cannot compile handles from another session"
+                )
+        return HEProgram({label: h.node for label, h in mapping.items()},
+                         self.params, name=name, check=check)
+
+    def run(self, outputs):
+        """Materialise handle(s) through the local backend.
+
+        The convenience path behind ``session.decrypt(lazy_handle)`` —
+        compiles without the static check (the measured noise verify in
+        the backend still guards correctness) and executes functionally.
+        """
+        from .backends import LocalBackend
+
+        program = self.compile(outputs, check=False)
+        return LocalBackend(self).run(program)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Session({self.params.name!r}, "
+                f"encoder={self.encoder_kind!r})")

@@ -1,0 +1,236 @@
+"""The simulation executor: programs priced through the serving stack.
+
+Where :class:`~repro.api.backends.LocalBackend` computes real
+ciphertexts, :class:`SimulatedBackend` answers the capacity-planning
+question: *what latency would this program see on the paper's hardware,
+at this request rate, on this many boards?* It lowers each graph node to
+a :class:`~repro.system.workloads.Job` carrying the operation's real
+polynomial-transfer footprint, replays ``requests`` copies of the
+stream through a fresh :class:`~repro.serve.engine.ServingRuntime` or
+:class:`~repro.cluster.cluster.FpgaCluster`, and reassembles per-request
+futures whose telemetry reports simulated p50/p95/p99 latency.
+
+The queueing model prices every lowered op independently (intra-request
+dependency chains are not serialised); request latency is the span from
+arrival to the completion of the request's last op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..hw.config import HardwareConfig
+from ..params import ParameterSet
+from ..serve.engine import ServingRuntime
+from ..serve.telemetry import LatencySummary
+from ..system.server import CostModel
+from ..system.workloads import Job, tenant_name
+from .program import HEProgram, LoweredOp
+
+
+@dataclass
+class ProgramFuture:
+    """Future-style handle for one simulated program execution."""
+
+    request: int
+    tenant: str
+    arrival_seconds: float
+    num_ops: int
+    completed_ops: int = 0
+    rejected_ops: int = 0
+    finish_seconds: float = field(default=0.0)
+
+    @property
+    def done(self) -> bool:
+        """All ops accounted for (completed or rejected)."""
+        return self.completed_ops + self.rejected_ops >= self.num_ops
+
+    @property
+    def succeeded(self) -> bool:
+        return self.done and self.rejected_ops == 0
+
+    @property
+    def latency_seconds(self) -> float:
+        """Arrival-to-last-op-completion span of the whole request."""
+        if not self.succeeded:
+            raise RuntimeError(
+                f"request {self.request} did not complete "
+                f"({self.rejected_ops} of {self.num_ops} ops rejected)"
+            )
+        return self.finish_seconds - self.arrival_seconds
+
+    def result(self) -> float:
+        """Future idiom: the latency, or an error for failed requests."""
+        return self.latency_seconds
+
+
+@dataclass
+class SimulatedRun:
+    """Everything one :meth:`SimulatedBackend.run` produced."""
+
+    program: HEProgram
+    futures: list[ProgramFuture]
+    #: The underlying :class:`RuntimeReport` or :class:`ClusterReport`.
+    report: object
+
+    @property
+    def completed(self) -> list[ProgramFuture]:
+        return [f for f in self.futures if f.succeeded]
+
+    @property
+    def rejected(self) -> list[ProgramFuture]:
+        return [f for f in self.futures if f.done and not f.succeeded]
+
+    def latency_summary(self) -> LatencySummary:
+        """Per-*request* p50/p95/p99 across completed executions."""
+        return LatencySummary.of(
+            [f.latency_seconds for f in self.completed]
+        )
+
+    def requests_per_second(self) -> float:
+        """Completed program executions over the busy window."""
+        done = self.completed
+        if not done:
+            return 0.0
+        first = min(f.arrival_seconds for f in done)
+        last = max(f.finish_seconds for f in done)
+        span = last - first
+        return len(done) / span if span > 0 else 0.0
+
+
+class SimulatedBackend:
+    """Execute programs against the serving runtime or the cluster.
+
+    Construct with one of the factories::
+
+        SimulatedBackend.over_runtime(params)            # one board
+        SimulatedBackend.over_cluster(params, shards=8)  # a rack
+
+    then ``run(program, requests=1000, rate_per_second=500)``. Each call
+    builds a fresh single-use target from the stored factory, so one
+    backend can run many programs / load points.
+    """
+
+    def __init__(self, params: ParameterSet,
+                 target_factory: Callable[[], object], *,
+                 description: str = "") -> None:
+        self.params = params
+        self.target_factory = target_factory
+        self.description = description
+
+    # -- constructors --------------------------------------------------------------------
+
+    @classmethod
+    def over_runtime(cls, params: ParameterSet, *,
+                     config: HardwareConfig | None = None,
+                     scheduler_factory: Callable[[], object] | None = None,
+                     batching=None, tenants=None,
+                     num_coprocessors: int | None = None,
+                     ) -> "SimulatedBackend":
+        """One Arm+FPGA board (the paper's Fig. 11 server)."""
+        cost = CostModel(params, config)
+
+        def factory() -> ServingRuntime:
+            scheduler = scheduler_factory() if scheduler_factory else None
+            return ServingRuntime(
+                cost, scheduler=scheduler, batching=batching,
+                tenants=tenants, num_coprocessors=num_coprocessors,
+            )
+
+        return cls(params, factory, description="single board")
+
+    @classmethod
+    def over_cluster(cls, params: ParameterSet, num_shards: int, *,
+                     router_factory: Callable[[], object] | None = None,
+                     config: HardwareConfig | None = None,
+                     scheduler_factory: Callable[[], object] | None = None,
+                     batching=None, tenants=None,
+                     max_backlog_seconds: float | None = None,
+                     ) -> "SimulatedBackend":
+        """A multi-FPGA shard cluster behind a placement router."""
+        from ..cluster.cluster import FpgaCluster
+
+        def factory() -> FpgaCluster:
+            router = router_factory() if router_factory else None
+            return FpgaCluster.homogeneous(
+                params, num_shards, config=config, router=router,
+                scheduler_factory=scheduler_factory, batching=batching,
+                tenants=tenants, max_backlog_seconds=max_backlog_seconds,
+            )
+
+        return cls(params, factory,
+                   description=f"{num_shards}-shard cluster")
+
+    # -- execution ----------------------------------------------------------------------
+
+    def lower_jobs(self, ops: Sequence[LoweredOp], *, requests: int,
+                   rate_per_second: float | None, num_tenants: int,
+                   seed: int) -> tuple[list[Job], list[ProgramFuture]]:
+        """The job stream for `requests` executions of one lowered program."""
+        if requests < 1:
+            raise ValueError("need at least one request")
+        if num_tenants < 1:
+            raise ValueError("need at least one tenant")
+        rng = np.random.default_rng(seed)
+        if rate_per_second is None:
+            arrivals = np.zeros(requests)
+        else:
+            if rate_per_second <= 0:
+                raise ValueError("request rate must be positive")
+            arrivals = np.cumsum(
+                rng.exponential(1.0 / rate_per_second, size=requests)
+            )
+        jobs: list[Job] = []
+        futures: list[ProgramFuture] = []
+        index = 0
+        for r in range(requests):
+            tenant = tenant_name(r % num_tenants)
+            at = float(arrivals[r])
+            futures.append(ProgramFuture(
+                request=r, tenant=tenant, arrival_seconds=at,
+                num_ops=len(ops),
+            ))
+            for op in ops:
+                jobs.append(Job(
+                    index=index, kind=op.kind, arrival_seconds=at,
+                    tenant=tenant, polys_in=op.polys_in,
+                    polys_out=op.polys_out, request=r,
+                ))
+                index += 1
+        return jobs, futures
+
+    def run(self, program: HEProgram, *, requests: int = 1,
+            rate_per_second: float | None = None, num_tenants: int = 1,
+            seed: int = 0) -> SimulatedRun:
+        """Simulate `requests` executions and resolve their futures.
+
+        ``rate_per_second`` draws Poisson request arrivals; ``None``
+        offers every request at t=0 (the saturated ceiling). Requests
+        round-robin over ``num_tenants`` synthetic tenants so
+        tenant-affinity routers spread program traffic across boards.
+        """
+        ops = program.lower()
+        jobs, futures = self.lower_jobs(
+            ops, requests=requests, rate_per_second=rate_per_second,
+            num_tenants=num_tenants, seed=seed,
+        )
+        target = self.target_factory()
+        report = target.run(jobs)
+        by_request = {future.request: future for future in futures}
+        for result in report.results:
+            future = by_request.get(result.job.request)
+            if future is None:      # pragma: no cover - foreign job
+                continue
+            future.completed_ops += 1
+            future.finish_seconds = max(future.finish_seconds,
+                                        result.finish_seconds)
+        for rejection in report.rejected:
+            future = by_request.get(rejection.job.request)
+            if future is None:      # pragma: no cover - foreign job
+                continue
+            future.rejected_ops += 1
+        return SimulatedRun(program=program, futures=futures,
+                            report=report)

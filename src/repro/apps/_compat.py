@@ -1,0 +1,57 @@
+"""Session adoption shim shared by the application modules.
+
+Every app is Session-first: construct with a :class:`repro.api.Session`
+and work in opaque ciphertext handles. The pre-facade spelling —
+handing each app a raw ``(FvContext, KeySet)`` pair and moving
+:class:`~repro.fv.ciphertext.Ciphertext` objects by hand — still works
+through this shim, but warns: the pair is wrapped into a session, and
+results are materialised back to raw ciphertexts so old call sites see
+the types they always did.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from ..api.program import CiphertextHandle
+from ..api.session import Session
+from ..errors import ParameterError
+from ..fv.scheme import FvContext
+
+
+def adopt_session(first, keys=None, *, encoder: str = "auto",
+                  app: str = "this application") -> tuple[Session, bool]:
+    """Resolve the dual constructor: (Session) or legacy (context, keys).
+
+    Returns ``(session, legacy)`` — ``legacy=True`` keeps the app's
+    outward types raw (ciphertexts in, ciphertexts out) for
+    compatibility with pre-facade call sites.
+    """
+    if isinstance(first, Session):
+        return first, False
+    if isinstance(first, FvContext):
+        if keys is None:
+            raise ParameterError(
+                f"{app} needs a KeySet alongside the FvContext"
+            )
+        warnings.warn(
+            f"constructing {app} from (FvContext, KeySet) is deprecated; "
+            "pass a repro.api.Session instead",
+            DeprecationWarning, stacklevel=3,
+        )
+        return Session.from_parts(first, keys, encoder=encoder), True
+    raise ParameterError(
+        f"{app} expects a repro.api.Session (or a legacy FvContext)"
+    )
+
+
+def as_handle(session: Session, value) -> CiphertextHandle:
+    """Accept a handle or a raw ciphertext (legacy callers)."""
+    if isinstance(value, CiphertextHandle):
+        return value
+    return session.wrap(value)
+
+
+def unwrap(handle: CiphertextHandle, legacy: bool):
+    """Return the handle, or materialise it for legacy callers."""
+    return handle.ciphertext if legacy else handle

@@ -17,16 +17,17 @@ k-bit integers encrypted bit-wise over t = 2:
 A 3-bit compare-and-swap therefore consumes depth 4: the largest
 comparator the paper's parameter set supports, and a concrete
 quantitative form of its "encrypted sorting" sizing remark.
+
+The comparator speaks the :mod:`repro.api` facade — bits are opaque
+ciphertext handles and the whole circuit stays a lazy expression graph
+until something is decrypted (shared subterms like the running equality
+chain are then computed once, not per use).
 """
 
 from __future__ import annotations
 
 from ..errors import ParameterError
-from ..fv.ciphertext import Ciphertext
-from ..fv.encoder import Plaintext
-from ..fv.keys import KeySet
-from ..fv.evaluator import Evaluator
-from ..fv.scheme import FvContext
+from ._compat import adopt_session, as_handle, unwrap
 
 
 def comparator_depth(bits: int) -> int:
@@ -37,64 +38,65 @@ def comparator_depth(bits: int) -> int:
 
 
 class EncryptedComparator:
-    """Bitwise comparator over per-bit FV ciphertexts (t = 2)."""
+    """Bitwise comparator over per-bit FV ciphertexts (t = 2).
 
-    def __init__(self, context: FvContext, keys: KeySet, bits: int) -> None:
-        if context.params.t != 2:
+    Construct with ``EncryptedComparator(session, bits=k)``; the legacy
+    ``(context, keys, bits)`` spelling is deprecated.
+    """
+
+    def __init__(self, session, keys=None, bits: int | None = None) -> None:
+        if bits is None and isinstance(keys, int):
+            keys, bits = None, keys     # new-style positional bit count
+        self.session, self._legacy = adopt_session(
+            session, keys, app="EncryptedComparator")
+        if self.session.params.t != 2:
             raise ParameterError("the comparator works over t = 2")
-        if bits < 1:
+        if bits is None or bits < 1:
             raise ParameterError("need at least one bit")
-        self.context = context
-        self.keys = keys
         self.bits = bits
-        self.evaluator = Evaluator(context)
-        self._one = Plaintext.from_list([1], context.params.n, 2)
 
     # -- client side -------------------------------------------------------------
 
-    def encrypt_value(self, value: int) -> list[Ciphertext]:
+    def encrypt_value(self, value: int) -> list:
         """Encrypt a k-bit integer as k bit ciphertexts (LSB first)."""
         if not 0 <= value < (1 << self.bits):
             raise ParameterError(
                 f"value {value} does not fit in {self.bits} bits"
             )
-        n = self.context.params.n
         return [
-            self.context.encrypt(
-                Plaintext.from_list([(value >> i) & 1], n, 2),
-                self.keys.public,
-            )
+            unwrap(self.session.encrypt([(value >> i) & 1]), self._legacy)
             for i in range(self.bits)
         ]
 
-    def decrypt_value(self, bit_cts: list[Ciphertext]) -> int:
+    def decrypt_value(self, bit_cts: list) -> int:
         value = 0
         for i, ct in enumerate(bit_cts):
-            bit = int(self.context.decrypt(ct, self.keys.secret).coeffs[0])
-            value |= bit << i
+            value |= self.decrypt_bit(ct) << i
         return value
 
-    def decrypt_bit(self, ct: Ciphertext) -> int:
-        return int(self.context.decrypt(ct, self.keys.secret).coeffs[0])
+    def decrypt_bit(self, ct) -> int:
+        return int(self.session.decrypt(ct)[0])
 
     # -- homomorphic building blocks -----------------------------------------------
 
-    def _not(self, ct: Ciphertext) -> Ciphertext:
-        return self.context.add_plain(ct, self._one)
+    def _lift(self, ct):
+        return as_handle(self.session, ct)
 
-    def _and(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
-        return self.evaluator.multiply(a, b, self.keys.relin)
+    def _not(self, ct):
+        return self._lift(ct) + 1
 
-    def _xor(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
-        return self.context.add(a, b)
+    def _and(self, a, b):
+        return self._lift(a) * self._lift(b)
 
-    def _xnor(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+    def _xor(self, a, b):
+        return self._lift(a) + self._lift(b)
+
+    def _xnor(self, a, b):
         return self._not(self._xor(a, b))
 
     # -- comparison ------------------------------------------------------------------
 
-    def less_than(self, a: list[Ciphertext],
-                  b: list[Ciphertext]) -> Ciphertext:
+    def less_than(self, a: list, b: list):
         """Encrypted [a < b] for two bit-decomposed values (LSB first).
 
         MSB-first ripple: lt = (~a_k b_k) + eq_k * ( ... ), where over
@@ -112,23 +114,23 @@ class EncryptedComparator:
             lt = self._xor(lt, self._and(eq, bit_lt))
             if i > 0:
                 eq = self._and(eq, self._xnor(a[i], b[i]))
-        return lt
+        return unwrap(lt, self._legacy)
 
-    def multiplex(self, select: Ciphertext, when_one: list[Ciphertext],
-                  when_zero: list[Ciphertext]) -> list[Ciphertext]:
+    def multiplex(self, select, when_one: list, when_zero: list) -> list:
         """Bitwise mux: select * when_one + (1 - select) * when_zero.
 
         Over F_2: out = when_zero + select * (when_one - when_zero).
         """
+        sel = self._lift(select)
         out = []
         for one_bit, zero_bit in zip(when_one, when_zero):
-            diff = self.context.sub(one_bit, zero_bit)
+            diff = self._lift(one_bit) - self._lift(zero_bit)
             out.append(
-                self.context.add(zero_bit, self._and(select, diff))
+                unwrap(self._lift(zero_bit) + sel * diff, self._legacy)
             )
         return out
 
-    def compare_and_swap(self, a: list[Ciphertext], b: list[Ciphertext]):
+    def compare_and_swap(self, a: list, b: list):
         """Oblivious (min, max) — the cell of every sorting network."""
         a_lt_b = self.less_than(a, b)
         minimum = self.multiplex(a_lt_b, a, b)

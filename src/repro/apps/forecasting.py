@@ -12,8 +12,10 @@ readings, and:
   operation the paper's coprocessor accelerates (depth 1 of the
   available 4).
 
-All methods return ciphertexts; the utility can only decrypt the
-aggregate it is authorised for.
+The aggregator speaks the :mod:`repro.api` facade: methods take and
+return opaque ciphertext handles and stay lazy until decrypted, so a
+whole aggregation pipeline can also be compiled into one
+:class:`~repro.api.HEProgram` and priced on the simulated cluster.
 """
 
 from __future__ import annotations
@@ -21,42 +23,50 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ParameterError
-from ..fv.ciphertext import Ciphertext
-from ..fv.encoder import BatchEncoder
-from ..fv.keys import KeySet
-from ..fv.evaluator import Evaluator
-from ..fv.scheme import FvContext
+from ._compat import adopt_session, as_handle, unwrap
 
 
 class SmartGridAggregator:
-    """Server-side aggregation over encrypted meter readings."""
+    """Server-side aggregation over encrypted meter readings.
 
-    def __init__(self, context: FvContext, keys: KeySet) -> None:
-        self.context = context
-        self.keys = keys
-        self.encoder = BatchEncoder(context.params)
-        self.evaluator = Evaluator(context)
+    Construct with ``SmartGridAggregator(session)`` (the session must
+    use the batch encoder, i.e. an NTT-friendly plaintext modulus); the
+    legacy ``(context, keys)`` spelling is deprecated.
+    """
+
+    def __init__(self, session, keys=None) -> None:
+        self.session, self._legacy = adopt_session(
+            session, keys, encoder="batch", app="SmartGridAggregator")
+        if self.session.encoder_kind != "batch":
+            raise ParameterError(
+                "SmartGridAggregator needs a batch-encoder session "
+                "(NTT-friendly plaintext modulus); got "
+                f"{self.session.encoder_kind!r}"
+            )
+        self.encoder = self.session.encoder
 
     # -- client side -------------------------------------------------------------
 
-    def encrypt_readings(self, readings) -> Ciphertext:
+    def encrypt_readings(self, readings):
         """A meter encrypts one batch of readings (one slot each)."""
-        plain = self.encoder.encode(np.asarray(readings, dtype=np.int64))
-        return self.context.encrypt(plain, self.keys.public)
+        return unwrap(
+            self.session.encrypt(np.asarray(readings, dtype=np.int64)),
+            self._legacy,
+        )
 
     # -- server side (never sees plaintext) -----------------------------------------
 
-    def total(self, meter_cts: list[Ciphertext]) -> Ciphertext:
+    def total(self, meter_cts: list):
         """Slot-wise sum over all meters (pure additions)."""
         if not meter_cts:
             raise ParameterError("no meter ciphertexts supplied")
-        acc = meter_cts[0]
-        for ct in meter_cts[1:]:
-            acc = self.context.add(acc, ct)
-        return acc
+        handles = [as_handle(self.session, ct) for ct in meter_cts]
+        acc = handles[0]
+        for handle in handles[1:]:
+            acc = acc + handle
+        return unwrap(acc, self._legacy)
 
-    def weighted_forecast(self, lagged_cts: list[Ciphertext],
-                          weights: list[int]) -> Ciphertext:
+    def weighted_forecast(self, lagged_cts: list, weights: list[int]):
         """GMDH-style linear predictor: sum_i w_i * x_{t-i}.
 
         Weights are public model coefficients (plaintext multiplications,
@@ -66,43 +76,42 @@ class SmartGridAggregator:
             raise ParameterError("one weight per lagged ciphertext required")
         acc = None
         for ct, weight in zip(lagged_cts, weights):
-            w_plain = self.encoder.encode(
-                np.full(self.encoder.slot_count, weight, dtype=np.int64)
-            )
-            term = self.context.mul_plain(ct, w_plain)
-            acc = term if acc is None else self.context.add(acc, term)
-        return acc
+            term = as_handle(self.session, ct) * int(weight)
+            acc = term if acc is None else acc + term
+        return unwrap(acc, self._legacy)
 
-    def squared(self, ct: Ciphertext) -> Ciphertext:
+    def squared(self, ct):
         """Slot-wise square (one homomorphic multiplication)."""
-        return self.evaluator.multiply(ct, ct, self.keys.relin)
+        handle = as_handle(self.session, ct)
+        return unwrap(handle * handle, self._legacy)
 
-    def sum_of_squares(self, meter_cts: list[Ciphertext]) -> Ciphertext:
+    def sum_of_squares(self, meter_cts: list):
         """sum_i x_i^2 — with the total, gives the variance."""
-        squares = [self.squared(ct) for ct in meter_cts]
+        squares = [as_handle(self.session, self.squared(ct))
+                   for ct in meter_cts]
         acc = squares[0]
-        for ct in squares[1:]:
-            acc = self.context.add(acc, ct)
-        return acc
+        for handle in squares[1:]:
+            acc = acc + handle
+        return unwrap(acc, self._legacy)
 
-    def grand_total(self, meter_cts: list[Ciphertext],
-                    summation_keys: dict) -> Ciphertext:
+    def grand_total(self, meter_cts: list, summation_keys: dict | None = None):
         """One ciphertext whose every slot holds the total over all
         meters *and* all slots (rotate-and-add via Galois keys).
 
-        Build ``summation_keys`` once with
-        ``GaloisEngine(context).summation_keygen(secret)`` on the client.
+        The session generates and caches the summation keys on first
+        use; passing them explicitly (the legacy spelling) seeds that
+        cache instead.
         """
-        from ..fv.galois import GaloisEngine
-
-        engine = GaloisEngine(self.context)
-        return engine.sum_all_slots(self.total(meter_cts), summation_keys)
+        if summation_keys is not None:
+            self.session.use_summation_keys(summation_keys)
+        handles = [as_handle(self.session, ct) for ct in meter_cts]
+        total = as_handle(self.session, self.total(handles))
+        return unwrap(total.sum_slots(), self._legacy)
 
     # -- authority side -----------------------------------------------------------------
 
-    def decrypt_slots(self, ct: Ciphertext, count: int) -> np.ndarray:
-        plain = self.context.decrypt(ct, self.keys.secret)
-        return self.encoder.decode(plain)[:count]
+    def decrypt_slots(self, ct, count: int) -> np.ndarray:
+        return self.session.decrypt(ct, size=count)
 
 
 def plaintext_reference(readings_matrix: np.ndarray, weights: list[int],

@@ -14,16 +14,19 @@ implements the standard PIR-by-selection-product protocol:
 A 16-entry table needs k = 4 index bits and multiplicative depth 2,
 comfortably inside the paper's depth-4 budget; a 2^16-entry table needs
 k = 16 and depth 4 — exactly the sizing claim of Sec. III-A.
+
+The server side is written against the :mod:`repro.api` facade: the
+reply is a *lazy expression* over ciphertext handles, so the same
+lookup compiles to an :class:`~repro.api.HEProgram` that either runs
+functionally or replays against the simulated serving cluster
+(:meth:`EncryptedLookupTable.lookup_program`).
 """
 
 from __future__ import annotations
 
+from ..api.program import CiphertextHandle, HEProgram
 from ..errors import ParameterError
-from ..fv.ciphertext import Ciphertext
-from ..fv.encoder import Plaintext
-from ..fv.keys import KeySet
-from ..fv.evaluator import Evaluator
-from ..fv.scheme import FvContext
+from ._compat import adopt_session, as_handle, unwrap
 
 
 def selection_depth(table_size: int) -> int:
@@ -33,86 +36,90 @@ def selection_depth(table_size: int) -> int:
 
 
 class EncryptedLookupTable:
-    """Server holding a public table, queried with encrypted indices."""
+    """Server holding a public table, queried with encrypted indices.
 
-    def __init__(self, context: FvContext, keys: KeySet,
-                 table: list[int]) -> None:
-        if context.params.t <= max(table, default=0):
+    Construct with ``EncryptedLookupTable(session, table)``; the legacy
+    ``(context, keys, table)`` spelling still works but is deprecated.
+    """
+
+    def __init__(self, session, keys_or_table=None, table=None) -> None:
+        if table is None:
+            self.session, self._legacy = adopt_session(
+                session, app="EncryptedLookupTable")
+            table = keys_or_table
+        else:
+            self.session, self._legacy = adopt_session(
+                session, keys_or_table, app="EncryptedLookupTable")
+        if table is None:
+            raise ParameterError("the lookup table is required")
+        if self.session.params.t <= max(table, default=0):
             raise ParameterError(
                 "table values must fit below the plaintext modulus"
             )
         size = len(table)
         if size & (size - 1) or size < 2:
             raise ParameterError("table size must be a power of two >= 2")
-        self.context = context
-        self.keys = keys
-        self.evaluator = Evaluator(context)
         self.table = list(table)
         self.index_bits = (size - 1).bit_length()
 
     # -- client side ---------------------------------------------------------------
 
-    def encrypt_index(self, index: int) -> list[Ciphertext]:
+    def encrypt_index(self, index: int) -> list:
         """Encrypt each index bit in its own ciphertext (constant slot)."""
         if not 0 <= index < len(self.table):
             raise ParameterError(f"index {index} outside the table")
-        n, t = self.context.params.n, self.context.params.t
-        cts = []
-        for j in range(self.index_bits):
-            bit = (index >> j) & 1
-            plain = Plaintext.from_list([bit], n, t)
-            cts.append(self.context.encrypt(plain, self.keys.public))
-        return cts
+        return [
+            unwrap(self.session.encrypt([(index >> j) & 1]), self._legacy)
+            for j in range(self.index_bits)
+        ]
 
     # -- server side ----------------------------------------------------------------
 
-    def _bit_selector(self, bit_ct: Ciphertext, want: int) -> Ciphertext:
-        """Encrypted (b) when want=1, (1 - b) when want=0."""
-        if want:
-            return bit_ct
-        n, t = self.context.params.n, self.context.params.t
-        one = Plaintext.from_list([1], n, t)
-        return self.context.add_plain(self.context.negate(bit_ct), one)
-
-    def _product_tree(self, factors: list[Ciphertext]) -> Ciphertext:
+    def _product_tree(self,
+                      factors: list[CiphertextHandle]) -> CiphertextHandle:
         """Balanced multiplication tree (minimises depth)."""
         layer = factors
         while len(layer) > 1:
-            next_layer = []
-            for i in range(0, len(layer) - 1, 2):
-                next_layer.append(
-                    self.evaluator.multiply(layer[i], layer[i + 1],
-                                            self.keys.relin)
-                )
+            next_layer = [
+                layer[i] * layer[i + 1]
+                for i in range(0, len(layer) - 1, 2)
+            ]
             if len(layer) % 2:
                 next_layer.append(layer[-1])
             layer = next_layer
         return layer[0]
 
-    def lookup(self, index_bits: list[Ciphertext]) -> Ciphertext:
-        """PIR reply: sum_e sel(e) * T[e], all under encryption."""
+    def reply_expr(self, index_bits: list) -> CiphertextHandle:
+        """The PIR reply as a lazy expression: sum_e sel(e) * T[e]."""
         if len(index_bits) != self.index_bits:
             raise ParameterError(
                 f"expected {self.index_bits} encrypted index bits"
             )
-        n, t = self.context.params.n, self.context.params.t
+        bits = [as_handle(self.session, b) for b in index_bits]
+        # Build each negated bit once so every table entry shares the
+        # same subexpression node (the graph dedups by identity).
+        negated = [1 - b for b in bits]
         reply = None
         for entry, value in enumerate(self.table):
             factors = [
-                self._bit_selector(index_bits[j], (entry >> j) & 1)
+                bits[j] if (entry >> j) & 1 else negated[j]
                 for j in range(self.index_bits)
             ]
-            selector = self._product_tree(factors)
-            weighted = self.context.mul_plain(
-                selector, Plaintext.from_list([value], n, t)
-            )
-            reply = weighted if reply is None else self.context.add(
-                reply, weighted
-            )
+            weighted = self._product_tree(factors) * value
+            reply = weighted if reply is None else reply + weighted
         return reply
+
+    def lookup(self, index_bits: list):
+        """PIR reply (handle; a raw ciphertext for legacy callers)."""
+        return unwrap(self.reply_expr(index_bits), self._legacy)
+
+    def lookup_program(self, index_bits: list, *,
+                       check: bool = True) -> HEProgram:
+        """Compile one lookup into a backend-agnostic program."""
+        return self.session.compile(self.reply_expr(index_bits),
+                                    name="encrypted-lookup", check=check)
 
     # -- client side again --------------------------------------------------------------
 
-    def decrypt_reply(self, reply: Ciphertext) -> int:
-        plain = self.context.decrypt(reply, self.keys.secret)
-        return int(plain.coeffs[0])
+    def decrypt_reply(self, reply) -> int:
+        return int(self.session.decrypt(reply)[0])

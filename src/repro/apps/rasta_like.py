@@ -12,18 +12,19 @@ chi nonlinear layer ``y_i = x_i XOR (x_{i+1} AND x_{i+2}) XOR x_{i+2}``
 (one AND — one homomorphic multiplication — of depth per round). Over
 F_2 (t = 2), XOR is addition and AND is multiplication, so a 4-round
 instance consumes exactly the paper's multiplicative depth of 4.
+
+Homomorphic evaluation is expressed over :mod:`repro.api` ciphertext
+handles — ``evaluate_encrypted(session, bit_handles)``; the legacy
+``(context, keys, bit_cts)`` spelling is deprecated but still works.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..api.session import Session
 from ..errors import ParameterError
-from ..fv.ciphertext import Ciphertext
-from ..fv.encoder import Plaintext
-from ..fv.keys import KeySet
-from ..fv.evaluator import Evaluator
-from ..fv.scheme import FvContext
+from ._compat import adopt_session, as_handle, unwrap
 
 
 class RastaLikeCipher:
@@ -65,16 +66,21 @@ class RastaLikeCipher:
 
     # -- homomorphic evaluation ------------------------------------------------------------
 
-    def evaluate_encrypted(self, context: FvContext, keys: KeySet,
-                           bit_cts: list[Ciphertext]) -> list[Ciphertext]:
-        """Run the cipher over per-bit ciphertexts (t must be 2)."""
-        if context.params.t != 2:
+    def evaluate_encrypted(self, session, keys_or_bits,
+                           bit_cts=None) -> list:
+        """Run the cipher over per-bit handles (t must be 2)."""
+        if isinstance(session, Session) and bit_cts is None:
+            bit_cts = keys_or_bits
+            keys = None
+        else:
+            keys = keys_or_bits
+        session, legacy = adopt_session(session, keys,
+                                        app="RastaLikeCipher")
+        if session.params.t != 2:
             raise ParameterError("homomorphic chi works over t = 2")
-        if len(bit_cts) != self.width:
+        if bit_cts is None or len(bit_cts) != self.width:
             raise ParameterError(f"need {self.width} encrypted state bits")
-        evaluator = Evaluator(context)
-        n = context.params.n
-        state = list(bit_cts)
+        state = [as_handle(session, ct) for ct in bit_cts]
         for matrix, constant in zip(self.matrices, self.constants):
             # Affine layer: XOR of selected bits plus a public constant.
             new_state = []
@@ -83,33 +89,30 @@ class RastaLikeCipher:
                 for col in range(self.width):
                     if matrix[row, col]:
                         acc = (state[col] if acc is None
-                               else context.add(acc, state[col]))
+                               else acc + state[col])
                 if acc is None:
                     # Degenerate all-zero row: encrypt-free zero via
                     # subtracting a ciphertext from itself.
-                    acc = context.sub(state[0], state[0])
+                    acc = state[0] - state[0]
                 if constant[row]:
-                    one = Plaintext.from_list([1], n, 2)
-                    acc = context.add_plain(acc, one)
+                    acc = acc + 1
                 new_state.append(acc)
             # chi layer: one AND per output bit (depth 1 per round).
             state = []
             for i in range(self.width):
-                and_term = evaluator.multiply(
-                    new_state[(i + 1) % self.width],
-                    new_state[(i + 2) % self.width],
-                    keys.relin,
-                )
-                term = context.add(new_state[i], and_term)
-                state.append(
-                    context.add(term, new_state[(i + 2) % self.width])
-                )
-        return state
+                and_term = (new_state[(i + 1) % self.width]
+                            * new_state[(i + 2) % self.width])
+                term = new_state[i] + and_term
+                state.append(term + new_state[(i + 2) % self.width])
+        return [unwrap(handle, legacy) for handle in state]
 
     @staticmethod
-    def decrypt_state(context: FvContext, keys: KeySet,
-                      state: list[Ciphertext]) -> np.ndarray:
-        bits = [
-            int(context.decrypt(ct, keys.secret).coeffs[0]) for ct in state
-        ]
+    def decrypt_state(session, keys_or_state, state=None) -> np.ndarray:
+        """Decrypt the output bits (session + handles, or legacy triple)."""
+        if isinstance(session, Session) and state is None:
+            state = keys_or_state
+        else:
+            session, _ = adopt_session(session, keys_or_state,
+                                       app="RastaLikeCipher")
+        bits = [int(session.decrypt(ct)[0]) for ct in state]
         return np.array(bits, dtype=np.int64)

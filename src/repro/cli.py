@@ -13,6 +13,7 @@ Usage (installed as ``python -m repro``):
     python -m repro noise                # analytic depth budget
     python -m repro serve                # multi-tenant serving runtime
     python -m repro cluster --shards 8   # multi-FPGA shard layer
+    python -m repro program              # HE program on both executors
     python -m repro all                  # everything above
 """
 
@@ -206,6 +207,25 @@ def cmd_serve(args: argparse.Namespace) -> None:
     for name in sorted(tenants.tenants):
         print("  " + wfq_report.latency_summary(name).row(name))
 
+    # -- closed-loop clients: offered load self-regulates --------------
+    from .system.workloads import ClosedLoopClients
+
+    think = 0.05
+    print(f"\nclosed-loop clients (think time {think * 1e3:.0f} ms, "
+          f"1 s window) — the interactive-system law:")
+    print(f"{'clients':>8}{'done':>7}{'tput/s':>9}{'p50 ms':>9}"
+          f"{'p99 ms':>9}{'util':>7}")
+    for clients in (4, 16, 64, 256):
+        runtime = ServingRuntime.for_server(server)
+        result = ClosedLoopClients(clients, think, seed=3).drive(
+            runtime, duration_seconds=1.0)
+        report = result.report
+        latency = report.latency_summary()
+        print(f"{clients:>8}{len(report.results):>7}"
+              f"{report.throughput_per_second():>9.0f}"
+              f"{latency.p50 * 1e3:>9.2f}{latency.p99 * 1e3:>9.2f}"
+              f"{report.mean_utilization():>7.0%}")
+
 
 def cmd_cluster(args: argparse.Namespace) -> None:
     _print_header("Multi-FPGA cluster — sharded serving simulation")
@@ -279,6 +299,84 @@ def cmd_cluster(args: argparse.Namespace) -> None:
     print("\n(pure affinity keeps every tenant's DMA trains on one board "
           "but a hot tenant\n can swamp its shard; bounded-load affinity "
           "spills just enough to cap p99.)")
+
+    # -- closed-loop clients against the whole cluster -----------------
+    from .system.workloads import ClosedLoopClients
+
+    think = 0.05
+    clients = 64 * shards
+    cluster = build(TenantAffinityRouter())
+    result = ClosedLoopClients(clients, think, num_tenants=32 * shards,
+                               seed=seed).drive(cluster, 0.5)
+    report = result.report
+    latency = report.latency_summary()
+    print(f"\nclosed-loop: {clients} clients "
+          f"(think {think * 1e3:.0f} ms) on affinity routing: "
+          f"{report.completed} done, "
+          f"{report.throughput_per_second():.0f} jobs/s, "
+          f"p99 {latency.p99 * 1e3:.2f} ms, "
+          f"imbalance {report.imbalance():.3f}")
+
+
+def cmd_program(args: argparse.Namespace) -> None:
+    _print_header("HE programs — one graph, two executors")
+    from .api import LocalBackend, Session, SimulatedBackend
+    from .apps.lookup import EncryptedLookupTable
+    from .cluster.routing import TenantAffinityRouter
+    from .params import mini
+    from .system.server import CostModel
+    from .system.workloads import Job
+
+    params = mini(t=257)
+    session = Session(params, seed=13)
+    table = [13, 42, 7, 99, 1, 64, 250, 8, 77, 31, 5, 190, 2, 120, 55, 86]
+    server = EncryptedLookupTable(session, table)
+    index = 6
+    program = server.lookup_program(server.encrypt_index(index))
+    static = program.static_noise_bits()["out"]
+    print(f"program {program.name!r}: {program.num_ops} ops, "
+          f"depth {program.depth}, static worst-case budget "
+          f"{static:.1f} bits")
+
+    # Executor 1: the functional FV evaluator (real ciphertexts).
+    result = LocalBackend(session).run(program)
+    value = int(result.decrypt("out")[0])
+    status = "OK" if value == table[index] else "WRONG"
+    print(f"LocalBackend: lookup(index={index}) -> {value} "
+          f"(expected {table[index]}, {status}; measured budget "
+          f"{result.noise_budget_bits('out'):.1f} bits)")
+
+    # Executor 2: the same program object through the simulated cluster.
+    cost = CostModel(params)
+    ops = program.lower()
+    per_request = sum(
+        cost.job_seconds_of(Job(index=0, kind=op.kind,
+                                polys_in=op.polys_in,
+                                polys_out=op.polys_out))
+        for op in ops
+    )
+    shards = args.shards
+    capacity = shards * cost.config.num_coprocessors / per_request
+    backend = SimulatedBackend.over_cluster(
+        params, shards, router_factory=TenantAffinityRouter)
+    print(f"\nSimulatedBackend: {shards} boards, "
+          f"~{capacity:.0f} requests/s ceiling "
+          f"({len(ops)} jobs per request, "
+          f"{per_request * 1e3:.2f} ms service each)")
+    print(f"{'rate/s':>8}{'done':>7}{'req/s':>8}{'p50 ms':>9}"
+          f"{'p95 ms':>9}{'p99 ms':>9}")
+    for rho in (0.3, 0.6, 0.9):
+        run = backend.run(program, requests=args.requests,
+                          rate_per_second=rho * capacity,
+                          num_tenants=16 * shards, seed=args.seed)
+        latency = run.latency_summary()
+        print(f"{rho * capacity:>8.0f}{len(run.completed):>7}"
+              f"{run.requests_per_second():>8.0f}"
+              f"{latency.p50 * 1e3:>9.2f}{latency.p95 * 1e3:>9.2f}"
+              f"{latency.p99 * 1e3:>9.2f}")
+    print("\n(same HEProgram object both times: the facade decides "
+          "whether a graph\n becomes ciphertext math or a priced job "
+          "stream on the shard cluster.)")
 
 
 def cmd_security(args: argparse.Namespace) -> None:
@@ -358,6 +456,7 @@ COMMANDS = {
     "noise": cmd_noise,
     "serve": cmd_serve,
     "cluster": cmd_cluster,
+    "program": cmd_program,
     "verify": cmd_verify,
     "sweep": cmd_sweep,
     "security": cmd_security,
@@ -383,9 +482,14 @@ def main(argv: list[str] | None = None) -> int:
         help="which experiment to regenerate",
     )
     cluster_group = parser.add_argument_group(
-        "cluster options", "only used by `python -m repro cluster`")
+        "cluster options",
+        "used by `python -m repro cluster` and `python -m repro program`")
     cluster_group.add_argument("--shards", type=_positive_int, default=4,
                                help="number of FPGA boards (default 4)")
+    cluster_group.add_argument("--requests", type=_positive_int,
+                               default=200,
+                               help="program executions per load point "
+                                    "(default 200)")
     cluster_group.add_argument("--tenants", type=_positive_int,
                                default=192,
                                help="tenant population of the open-loop "

@@ -28,7 +28,7 @@ from ..serve.tenants import Rejection, TenantSet
 from ..system.server import CostModel
 from ..system.workloads import Job
 from .report import ClusterReport
-from .routing import Router, RoundRobinRouter
+from .routing import RoundRobinRouter, Router
 from .shard import Shard
 
 SchedulerFactory = Callable[[], Scheduler]
@@ -46,6 +46,8 @@ class FpgaCluster:
         self.shards = list(shards)
         self.router = RoundRobinRouter() if router is None else router
         self._ran = False
+        self._overflow: list[Rejection] = []
+        self._reroutes = 0
 
     # -- constructors ------------------------------------------------------------------
 
@@ -124,10 +126,10 @@ class FpgaCluster:
         return sum(shard.capacity_mults_per_second()
                    for shard in self.shards)
 
-    # -- the shared-clock run ----------------------------------------------------------
+    # -- the shared-clock stepping API -------------------------------------------------
 
-    def run(self, jobs: Sequence[Job]) -> ClusterReport:
-        """Route `jobs` across the shards and drain every board."""
+    def begin(self) -> None:
+        """Arm every shard for one shared-clock run (single-use guard)."""
         if self._ran:
             raise RuntimeError(
                 "an FpgaCluster is single-use; build a fresh one per run"
@@ -135,50 +137,94 @@ class FpgaCluster:
         self._ran = True
         for shard in self.shards:
             shard.begin()
-        overflow: list[Rejection] = []
-        reroutes = 0
-        for job in sorted(jobs, key=lambda j: j.arrival_seconds):
-            now = job.arrival_seconds
-            # Advance every board to (just before) the arrival so the
-            # router compares load states at one instant.
-            for shard in self.shards:
-                shard.advance_to(now, inclusive=False)
-            primary = self.router.choose(job, self.shards)
-            if not 0 <= primary < len(self.shards):
-                raise ValueError(
-                    f"router {self.router.name!r} chose shard {primary} "
-                    f"of {len(self.shards)}"
+        self._overflow: list[Rejection] = []
+        self._reroutes = 0
+
+    def inject(self, job: Job) -> None:
+        """Advance the boards to the arrival instant, route, and inject.
+
+        Every board first advances to (just before) the arrival so the
+        router compares load states at one instant; per-shard admission
+        backpressure can then overflow the job onto the least-loaded
+        accepting sibling before the cluster rejects at its edge.
+        """
+        now = job.arrival_seconds
+        for shard in self.shards:
+            shard.advance_to(now, inclusive=False)
+        primary = self.router.choose(job, self.shards)
+        if not 0 <= primary < len(self.shards):
+            raise ValueError(
+                f"router {self.router.name!r} chose shard {primary} "
+                f"of {len(self.shards)}"
+            )
+        target = primary
+        if not self.shards[primary].accepting(job):
+            # Overflow re-routing: the least-loaded accepting
+            # sibling takes the spill.
+            siblings = [
+                i for i in range(len(self.shards))
+                if i != primary and self.shards[i].accepting(job)
+            ]
+            if siblings:
+                target = min(
+                    siblings,
+                    key=lambda i:
+                        (self.shards[i].drain_estimate_seconds(), i),
                 )
-            target = primary
-            if not self.shards[primary].accepting(job):
-                # Overflow re-routing: the least-loaded accepting
-                # sibling takes the spill.
-                siblings = [
-                    i for i in range(len(self.shards))
-                    if i != primary and self.shards[i].accepting(job)
-                ]
-                if siblings:
-                    target = min(
-                        siblings,
-                        key=lambda i:
-                            (self.shards[i].drain_estimate_seconds(), i),
-                    )
-                    reroutes += 1
-                elif self.shards[primary].runtime.would_admit(job):
-                    # Every board is over its backlog cap but none
-                    # would refuse outright: shed at the cluster edge
-                    # rather than bust the primary's cap.
-                    overflow.append(Rejection(job=job, time_seconds=now,
-                                              reason="backpressure"))
-                    continue
-                # Otherwise fall through: the primary's own admission
-                # control records the rejection with its precise reason.
-            self.shards[target].inject(job)
+                self._reroutes += 1
+            elif self.shards[primary].runtime.would_admit(job):
+                # Every board is over its backlog cap but none
+                # would refuse outright: shed at the cluster edge
+                # rather than bust the primary's cap.
+                self._overflow.append(Rejection(job=job, time_seconds=now,
+                                                reason="backpressure"))
+                return
+            # Otherwise fall through: the primary's own admission
+            # control records the rejection with its precise reason.
+        self.shards[target].inject(job)
+
+    def advance_to(self, time_seconds: float, *,
+                   inclusive: bool = True) -> None:
+        """Advance every board's clock (stepping-protocol passthrough)."""
+        for shard in self.shards:
+            shard.advance_to(time_seconds, inclusive=inclusive)
+
+    def next_event_seconds(self) -> float | None:
+        """Due time of the earliest queued event on any board."""
+        times = [t for shard in self.shards
+                 if (t := shard.next_event_seconds()) is not None]
+        return min(times, default=None)
+
+    def completion_feeds(self) -> list[list]:
+        """One live completion list per shard (closed-loop protocol)."""
+        return [feed for shard in self.shards
+                for feed in shard.runtime.completion_feeds()]
+
+    def rejection_feeds(self) -> list[list[Rejection]]:
+        """Per-shard live rejection lists plus the cluster-edge overflow."""
+        feeds = [feed for shard in self.shards
+                 for feed in shard.runtime.rejection_feeds()]
+        return feeds + [self._overflow]
+
+    def drain(self) -> ClusterReport:
+        """Drain every board and merge the per-shard reports."""
         reports = [shard.drain() for shard in self.shards]
         return ClusterReport(
             shard_names=[shard.name for shard in self.shards],
             shard_reports=reports,
             router_name=self.router.name,
-            overflow_rejected=overflow,
-            reroutes=reroutes,
+            overflow_rejected=self._overflow,
+            reroutes=self._reroutes,
         )
+
+    def run(self, jobs: Sequence[Job]) -> ClusterReport:
+        """Route `jobs` across the shards and drain every board.
+
+        Exactly ``begin`` + ``inject``\\* (in arrival order) + ``drain``,
+        so the one-shot and stepping paths share one code path — the
+        same structure :class:`~repro.serve.engine.ServingRuntime` has.
+        """
+        self.begin()
+        for job in sorted(jobs, key=lambda j: j.arrival_seconds):
+            self.inject(job)
+        return self.drain()

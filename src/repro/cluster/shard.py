@@ -71,6 +71,9 @@ class Shard:
     def drain(self) -> RuntimeReport:
         return self.runtime.drain()
 
+    def next_event_seconds(self) -> float | None:
+        return self.runtime.next_event_seconds()
+
     # -- load signals ------------------------------------------------------------------
 
     def outstanding_seconds(self) -> float:

@@ -13,9 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from ..params import ParameterSet
+from ..system.server import CloudServer
 from .config import HardwareConfig
 from .resources import ResourceEstimator, Utilization
-from ..system.server import CloudServer
 
 
 @dataclass(frozen=True)

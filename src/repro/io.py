@@ -84,7 +84,17 @@ def load_ciphertext(path, params: ParameterSet) -> Ciphertext:
         raise EncodingError("file does not hold a ciphertext")
     _check_fingerprint(header, params)
     basis = basis_for(params.q_primes)
-    return Ciphertext.from_bytes(payload, params, basis)
+    ct = Ciphertext.from_bytes(payload, params, basis)
+    # The header declares the part count; a truncated three-part blob
+    # can still be a *valid* two-part length, so the payload-inferred
+    # count alone cannot catch the corruption.
+    declared = header.get("parts", ct.size)
+    if declared != ct.size:
+        raise EncodingError(
+            f"ciphertext payload holds {ct.size} parts but the header "
+            f"declares {declared} — truncated or corrupted file"
+        )
+    return ct
 
 
 # -- keys -----------------------------------------------------------------------------

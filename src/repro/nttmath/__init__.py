@@ -5,19 +5,19 @@ scheme (``repro.fv``) and the hardware simulator (``repro.hw``). It
 contains no hardware modelling; everything here is plain number theory.
 """
 
-from .modmath import modinv, modpow, mod_centered
-from .primes import (
-    find_ntt_primes,
-    is_prime,
-    primitive_root,
-    root_of_unity,
-)
 from .bitrev import bit_reverse_indices, bit_reverse_int, bit_reverse_permute
+from .modmath import mod_centered, modinv, modpow
 from .ntt import (
     NegacyclicTransformer,
     intt_iterative,
     negacyclic_convolution,
     ntt_iterative,
+)
+from .primes import (
+    find_ntt_primes,
+    is_prime,
+    primitive_root,
+    root_of_unity,
 )
 
 __all__ = [

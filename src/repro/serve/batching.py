@@ -79,12 +79,33 @@ class DmaBatcher:
         return bursts * self._burst_seconds + self._setup_seconds
 
     def service_seconds(self, entries: Sequence["QueueEntry"]) -> float:
-        """Coprocessor occupancy of one dispatched batch."""
+        """Coprocessor occupancy of one dispatched batch.
+
+        A single-job "train" prices exactly as the unbatched job —
+        including any per-op transfer footprint the job carries. Longer
+        trains coalesce each job's real polynomial bursts behind one
+        Arm setup per direction.
+        """
         if not entries:
             raise ValueError("a batch needs at least one job")
+        if len(entries) == 1:
+            return self.cost.job_seconds_of(entries[0].job)
         compute = sum(self.cost.compute_seconds(e.kind) for e in entries)
-        k = len(entries)
-        return self.upload_seconds(k) + compute + self.download_seconds(k)
+        bursts_in = sum(
+            self.POLYS_IN_PER_JOB if e.job.polys_in is None
+            else e.job.polys_in for e in entries
+        )
+        bursts_out = sum(
+            self.POLYS_OUT_PER_JOB if e.job.polys_out is None
+            else e.job.polys_out for e in entries
+        )
+        # A direction that moves no bursts (all-resident operands or
+        # no downloads) pays no Arm setup either.
+        upload = (bursts_in * self._burst_seconds + self._setup_seconds
+                  if bursts_in else 0.0)
+        download = (bursts_out * self._burst_seconds + self._setup_seconds
+                    if bursts_out else 0.0)
+        return upload + compute + download
 
     def setup_savings_seconds(self, num_jobs: int) -> float:
         """Arm setup time a train of `num_jobs` saves over singles."""

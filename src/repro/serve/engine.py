@@ -165,7 +165,7 @@ class ServingRuntime:
                 f"the shard clock at {self._now}"
             )
         self._heap.push(job.arrival_seconds, EventKind.ARRIVAL, job)
-        self._pending_seconds += self.cost.job_seconds(job.kind)
+        self._pending_seconds += self.cost.job_seconds_of(job)
         self._pending_jobs += 1
 
     def advance_to(self, time_seconds: float, *,
@@ -214,6 +214,33 @@ class ServingRuntime:
         """The shard-local simulated clock (last processed event)."""
         return self._now
 
+    def next_event_seconds(self) -> float | None:
+        """Due time of the next queued event, or None when idle.
+
+        Closed-loop drivers peek this to know how far they can advance
+        before the simulation state changes.
+        """
+        if self._heap is None or not self._heap:
+            return None
+        return self._heap.peek().time_seconds
+
+    def completion_feeds(self) -> list[list[JobResult]]:
+        """Live completion list(s); entries appear as events process.
+
+        Part of the stepping protocol closed-loop clients drive
+        (:class:`~repro.system.workloads.ClosedLoopClients`): callers
+        keep a cursor per feed and must not mutate the lists.
+        """
+        if self._report is None:
+            raise RuntimeError("begin() must run before completion_feeds()")
+        return [self._report.results]
+
+    def rejection_feeds(self) -> list[list[Rejection]]:
+        """Live rejection list(s), parallel to :meth:`completion_feeds`."""
+        if self._report is None:
+            raise RuntimeError("begin() must run before rejection_feeds()")
+        return [self._report.rejected]
+
     def outstanding_seconds(self) -> float:
         """Service-seconds of admitted-or-pending work not yet finished.
 
@@ -241,7 +268,7 @@ class ServingRuntime:
         the arrival event is processed (equal-time arrivals injected
         after this check still count against the backlog then).
         """
-        cost = self.cost.job_seconds(job.kind)
+        cost = self.cost.job_seconds_of(job)
         reason = self.admission.reject_reason(
             job, self._queued_per_tenant.get(job.tenant, 0),
             self.scheduler.backlog_seconds, cost,
@@ -261,7 +288,7 @@ class ServingRuntime:
             self._on_completion(event.payload, self._now)
 
     def _on_arrival(self, job: Job, now: float) -> None:
-        cost = self.cost.job_seconds(job.kind)
+        cost = self.cost.job_seconds_of(job)
         self._pending_seconds = max(self._pending_seconds - cost, 0.0)
         self._pending_jobs -= 1
         reason = self.admission.reject_reason(

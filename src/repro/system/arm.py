@@ -13,8 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..params import ParameterSet
 from ..hw.config import HardwareConfig
+from ..params import ParameterSet
 
 #: Calibrated from Table I: 54,680,467 cycles / (2 * 6 * 4096) additions.
 ARM_CYCLES_PER_MODADD = 1112

@@ -99,14 +99,77 @@ class CostModel:
             )
         return self._compute_cache[JobKind.ADD]
 
+    def rotate_compute_seconds(self) -> float:
+        """Modelled Galois rotation (slot-rotate + key switch).
+
+        The permutation runs on the memory-rearrange datapath (two
+        polynomial passes); the key switch is the relinearisation
+        sum-of-products with the same RNS digit structure: k_q digit
+        NTTs, 2 k_q coefficient multiplies/accumulates, two inverse
+        transforms — plus streaming the k_q-component Galois key from
+        DDR when relinearisation keys are not resident on chip.
+        """
+        if JobKind.ROTATE not in self._compute_cache:
+            model = self.instruction_cycle_model()
+            k = self.params.k_q
+            cycles = (2 * model[Opcode.REARRANGE]
+                      + k * model[Opcode.NTT]
+                      + 2 * model[Opcode.INTT]
+                      + 2 * k * (model[Opcode.CMUL] + model[Opcode.CADD]))
+            cycles += k * (self.params.n // 2
+                           + self.config.stage_sync_overhead)
+            seconds = cycles / self.config.fpga_clock_hz
+            if not self.config.relin_key_on_chip:
+                per_component = 2 * (
+                    self.dma.transfer_seconds(self.params.poly_bytes)
+                    + self.dma.arm_setup_seconds
+                )
+                seconds += k * per_component
+            self._compute_cache[JobKind.ROTATE] = seconds
+        return self._compute_cache[JobKind.ROTATE]
+
+    def mul_plain_compute_seconds(self) -> float:
+        """Ciphertext x plaintext multiply: 3 NTT + 2 CMUL + 2 INTT."""
+        if JobKind.MUL_PLAIN not in self._compute_cache:
+            model = self.instruction_cycle_model()
+            cycles = (3 * model[Opcode.NTT] + 2 * model[Opcode.CMUL]
+                      + 2 * model[Opcode.INTT])
+            self._compute_cache[JobKind.MUL_PLAIN] = (
+                cycles / self.config.fpga_clock_hz
+            )
+        return self._compute_cache[JobKind.MUL_PLAIN]
+
     def compute_seconds(self, kind: JobKind) -> float:
-        return (self.mult_compute_seconds() if kind is JobKind.MULT
-                else self.add_compute_seconds())
+        if kind is JobKind.MULT:
+            return self.mult_compute_seconds()
+        if kind is JobKind.ROTATE:
+            return self.rotate_compute_seconds()
+        if kind is JobKind.MUL_PLAIN:
+            return self.mul_plain_compute_seconds()
+        return self.add_compute_seconds()
 
     def job_seconds(self, kind: JobKind) -> float:
         """Full coprocessor occupancy of one job: in + compute + out."""
         return (self.transfer_in_seconds() + self.compute_seconds(kind)
                 + self.transfer_out_seconds())
+
+    def job_seconds_of(self, job: Job) -> float:
+        """Occupancy of one concrete job, honouring its real byte sizes.
+
+        Falls back to the canonical Table I shape (4 polynomial bursts
+        in, 2 out) when the job carries no per-op transfer footprint, so
+        plain MULT/ADD streams price exactly as :meth:`job_seconds`.
+        """
+        if job.polys_in is None and job.polys_out is None:
+            return self.job_seconds(job.kind)
+        poly_bytes = self.params.poly_bytes
+        polys_in = 4 if job.polys_in is None else job.polys_in
+        polys_out = 2 if job.polys_out is None else job.polys_out
+        transfer_in = (self.dma.polynomial_job_seconds(poly_bytes, polys_in)
+                       if polys_in else 0.0)
+        transfer_out = (self.dma.polynomial_job_seconds(poly_bytes, polys_out)
+                        if polys_out else 0.0)
+        return transfer_in + self.compute_seconds(job.kind) + transfer_out
 
 
 @dataclass(frozen=True)

@@ -11,7 +11,8 @@ multi-tenant superpositions — for the serving-runtime experiments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import heapq
+from dataclasses import dataclass, replace
 from enum import Enum
 
 import numpy as np
@@ -22,16 +23,30 @@ DEFAULT_TENANT = "default"
 class JobKind(Enum):
     MULT = "mult"
     ADD = "add"
+    ROTATE = "rotate"
+    MUL_PLAIN = "mul_plain"
 
 
 @dataclass(frozen=True)
 class Job:
-    """One homomorphic operation request from a client."""
+    """One homomorphic operation request from a client.
+
+    ``polys_in``/``polys_out`` override the canonical Table I transfer
+    shape (two operand ciphertexts in, one result out = 4/2 polynomial
+    bursts) with the operation's real byte footprint — the HE-program
+    lowering in :mod:`repro.api` sets them per graph node (a rotation
+    moves one ciphertext, not two). ``request`` tags every job lowered
+    from the same client program execution so request-level latency can
+    be reassembled from per-op completions.
+    """
 
     index: int
     kind: JobKind
     arrival_seconds: float = 0.0
     tenant: str = DEFAULT_TENANT
+    polys_in: int | None = None
+    polys_out: int | None = None
+    request: int | None = None
 
 
 def mult_stream(count: int) -> list[Job]:
@@ -123,8 +138,7 @@ def merge_streams(*streams: list[Job]) -> list[Job]:
     """
     merged = sorted((job for stream in streams for job in stream),
                     key=lambda job: job.arrival_seconds)
-    return [Job(index=i, kind=j.kind, arrival_seconds=j.arrival_seconds,
-                tenant=j.tenant) for i, j in enumerate(merged)]
+    return [replace(j, index=i) for i, j in enumerate(merged)]
 
 
 def multi_tenant_stream(rates_per_second: dict[str, float],
@@ -195,9 +209,7 @@ def cluster_trace(num_tenants: int, total_rate_per_second: float,
         return jobs
     rng = np.random.default_rng(seed + 0x5EED)
     flips = rng.random(len(jobs)) < add_fraction
-    return [Job(index=j.index,
-                kind=JobKind.ADD if flip else j.kind,
-                arrival_seconds=j.arrival_seconds, tenant=j.tenant)
+    return [replace(j, kind=JobKind.ADD) if flip else j
             for j, flip in zip(jobs, flips)]
 
 
@@ -220,6 +232,147 @@ def saturated_tenant_jobs(num_tenants: int, jobs_per_tenant: int,
                             tenant=tenant_name(tenant)))
             index += 1
     return jobs
+
+
+# -- closed-loop clients ---------------------------------------------------------------
+
+
+@dataclass
+class ClosedLoopResult:
+    """Outcome of one closed-loop drive: the target's report + client stats.
+
+    ``report`` is whatever the target's ``drain()`` returned (a
+    :class:`~repro.serve.engine.RuntimeReport` for a runtime, a
+    :class:`~repro.cluster.report.ClusterReport` for a cluster).
+    """
+
+    report: object
+    submitted: int
+    completed: int
+    rejected: int
+    jobs_per_client: dict[int, int]
+
+    @property
+    def mean_jobs_per_client(self) -> float:
+        if not self.jobs_per_client:
+            return 0.0
+        return sum(self.jobs_per_client.values()) / len(self.jobs_per_client)
+
+
+class ClosedLoopClients:
+    """A population of think-time clients driving a steppable target.
+
+    Open-loop generators (:func:`poisson_stream` and friends) offer load
+    regardless of how the server keeps up — above capacity the queue
+    grows without bound. Real client populations are *closed-loop*: each
+    client submits one request, waits for its response, thinks for an
+    exponential think time, and only then submits again, so the offered
+    load self-regulates at ``num_clients / (response + think)`` — the
+    interactive-system law. This driver implements that model against
+    anything exposing the stepping protocol shared by
+    :class:`~repro.serve.engine.ServingRuntime` and
+    :class:`~repro.cluster.cluster.FpgaCluster`: ``begin``, ``inject``,
+    ``advance_to``, ``drain``, ``next_event_seconds``, and the live
+    ``completion_feeds()`` / ``rejection_feeds()`` lists.
+
+    The driver is duck-typed on purpose — it lives below both consumers
+    in the layering, so `serve` and `cluster` (and their CLI commands)
+    share one client model.
+    """
+
+    def __init__(self, num_clients: int, think_seconds_mean: float, *,
+                 kind: JobKind = JobKind.MULT, num_tenants: int = 1,
+                 seed: int = 0) -> None:
+        if num_clients < 1:
+            raise ValueError("need at least one client")
+        if think_seconds_mean < 0:
+            raise ValueError("think time cannot be negative")
+        if num_tenants < 1:
+            raise ValueError("need at least one tenant")
+        self.num_clients = num_clients
+        self.think_seconds_mean = think_seconds_mean
+        self.kind = kind
+        self.num_tenants = num_tenants
+        self.seed = seed
+
+    def _think(self, rng: np.random.Generator) -> float:
+        if self.think_seconds_mean == 0:
+            return 0.0
+        return float(rng.exponential(self.think_seconds_mean))
+
+    def drive(self, target, duration_seconds: float) -> ClosedLoopResult:
+        """Run the client population against ``target`` until no client
+        will submit again before ``duration_seconds``.
+
+        Clients whose next ready time falls past the horizon retire;
+        the target is then drained so every in-flight job completes.
+        """
+        if duration_seconds <= 0:
+            raise ValueError("duration must be positive")
+        rng = np.random.default_rng(self.seed)
+        target.begin()
+        # Stagger the first submissions with one think draw each so the
+        # population does not arrive as a thundering herd at t=0.
+        ready: list[tuple[float, int]] = []
+        for client in range(self.num_clients):
+            heapq.heappush(ready, (self._think(rng), client))
+        outstanding: dict[int, int] = {}   # job index -> client
+        jobs_per_client: dict[int, int] = {}
+        completion_cursors = [0] * len(target.completion_feeds())
+        rejection_cursors = [0] * len(target.rejection_feeds())
+        next_index = 0
+
+        def scan_feedback() -> None:
+            """Wake clients whose jobs finished (or were rejected)."""
+            for i, feed in enumerate(target.completion_feeds()):
+                while completion_cursors[i] < len(feed):
+                    result = feed[completion_cursors[i]]
+                    completion_cursors[i] += 1
+                    client = outstanding.pop(result.job.index, None)
+                    if client is None:
+                        continue
+                    wake = result.finish_seconds + self._think(rng)
+                    if wake < duration_seconds:
+                        heapq.heappush(ready, (wake, client))
+            for i, feed in enumerate(target.rejection_feeds()):
+                while rejection_cursors[i] < len(feed):
+                    rejection = feed[rejection_cursors[i]]
+                    rejection_cursors[i] += 1
+                    client = outstanding.pop(rejection.job.index, None)
+                    if client is None:
+                        continue
+                    # Rejected clients back off one think time and retry.
+                    wake = rejection.time_seconds + self._think(rng)
+                    if wake < duration_seconds:
+                        heapq.heappush(ready, (wake, client))
+
+        while ready or outstanding:
+            due = target.next_event_seconds()
+            if ready and (due is None or ready[0][0] <= due):
+                at, client = heapq.heappop(ready)
+                target.advance_to(at, inclusive=False)
+                tenant = tenant_name(client % self.num_tenants)
+                target.inject(Job(index=next_index, kind=self.kind,
+                                  arrival_seconds=at, tenant=tenant,
+                                  request=client))
+                outstanding[next_index] = client
+                jobs_per_client[client] = jobs_per_client.get(client, 0) + 1
+                next_index += 1
+                # Cluster-edge backpressure rejects synchronously at
+                # inject time; scan now so the shed client's retry wake
+                # is scheduled before the loop can run out of events.
+                scan_feedback()
+            elif due is not None:
+                target.advance_to(due)
+                scan_feedback()
+            else:      # pragma: no cover - no events and nothing ready
+                break
+        report = target.drain()
+        completed = sum(len(feed) for feed in target.completion_feeds())
+        rejected = sum(len(feed) for feed in target.rejection_feeds())
+        return ClosedLoopResult(report=report, submitted=next_index,
+                                completed=completed, rejected=rejected,
+                                jobs_per_client=jobs_per_client)
 
 
 def mixed_workload(mults: int, adds_per_mult: int,

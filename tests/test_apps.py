@@ -196,3 +196,28 @@ class TestRastaLike:
         cipher = RastaLikeCipher(width=4, rounds=1)
         with pytest.raises(ParameterError):
             cipher.evaluate_encrypted(lut_context, lut_keys, [None] * 4)
+
+
+class TestSessionFirstConstruction:
+    """The facade path of the apps (legacy dual-accept covered above)."""
+
+    def test_forecasting_rejects_non_batch_session(self):
+        from repro.api import Session
+        from repro.params import mini
+
+        with pytest.raises(ParameterError):
+            SmartGridAggregator(Session(mini(t=257), seed=60))
+
+    def test_lookup_session_first(self):
+        from repro.api import OpKind, Session
+        from repro.params import mini
+
+        session = Session(mini(t=257), seed=61)
+        table = [5, 6, 7, 8]
+        server = EncryptedLookupTable(session, table)
+        bits = server.encrypt_index(2)
+        assert server.decrypt_reply(server.lookup(bits)) == 7
+        # Negated bits are shared across table entries: exactly one
+        # NEGATE per index bit in the compiled graph.
+        program = server.lookup_program(server.encrypt_index(1))
+        assert program.op_counts()[OpKind.NEGATE] == server.index_bits

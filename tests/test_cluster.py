@@ -544,3 +544,50 @@ class TestClusterWorkloads:
         assert all(j.arrival_seconds == 0.0 for j in jobs)
         with pytest.raises(ValueError):
             saturated_tenant_jobs(0, 1)
+
+
+class TestClosedLoopCluster:
+    """The think-time client model drives the whole cluster too."""
+
+    def test_single_shard_matches_runtime(self, server):
+        """Closed loop on a 1-shard cluster == closed loop on the bare
+        runtime: same protocol, same clock, same completions."""
+        from repro.system.workloads import ClosedLoopClients
+
+        def drive(target):
+            clients = ClosedLoopClients(8, 0.02, seed=11)
+            return clients.drive(target, duration_seconds=0.5)
+
+        on_runtime = drive(ServingRuntime.for_server(server))
+        on_cluster = drive(FpgaCluster.homogeneous(PARAMS, 1))
+        assert on_cluster.submitted == on_runtime.submitted
+        assert on_cluster.completed == on_runtime.completed
+        assert on_cluster.report.makespan_seconds == pytest.approx(
+            on_runtime.report.makespan_seconds)
+
+    def test_population_spreads_over_shards(self):
+        from repro.system.workloads import ClosedLoopClients
+
+        cluster = FpgaCluster.homogeneous(
+            PARAMS, 4, router=TenantAffinityRouter())
+        clients = ClosedLoopClients(64, 0.01, num_tenants=32, seed=3)
+        result = clients.drive(cluster, duration_seconds=0.5)
+        report = result.report
+        assert result.completed == result.submitted > 0
+        busy = sum(1 for rep in report.shard_reports if rep.results)
+        assert busy == 4
+        # Self-regulation: a closed population cannot overrun capacity.
+        assert report.throughput_per_second() <= \
+            cluster.capacity_mults_per_second() * 1.01
+
+    def test_more_boards_serve_more_closed_loop_clients(self):
+        from repro.system.workloads import ClosedLoopClients
+
+        done = {}
+        for shards in (1, 4):
+            cluster = FpgaCluster.homogeneous(
+                PARAMS, shards, router=TenantAffinityRouter())
+            clients = ClosedLoopClients(256, 0.005, num_tenants=64,
+                                        seed=7)
+            done[shards] = clients.drive(cluster, 0.5).completed
+        assert done[4] > 2 * done[1]

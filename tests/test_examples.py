@@ -46,6 +46,10 @@ class TestExamples:
         output = run_example("encrypted_search.py")
         assert output.count("OK") >= 3
         assert "depth" in output
+        # The acceptance demo: the same HEProgram also reports simulated
+        # per-request latency from the multi-shard cluster.
+        assert "same HEProgram on a 4-shard cluster" in output
+        assert "per-request latency p50" in output
 
     def test_design_space_exploration(self):
         output = run_example("design_space_exploration.py")

@@ -238,6 +238,14 @@ class TestCli:
         output = capsys.readouterr().out
         assert "Mult" in output and "speedup" in output
 
+    def test_program_command(self, capsys):
+        """The facade demo: one graph, both executors, latency table."""
+        assert cli_main(["program", "--shards", "2",
+                         "--requests", "40"]) == 0
+        output = capsys.readouterr().out
+        assert "LocalBackend" in output and "OK" in output
+        assert "SimulatedBackend" in output and "p99" in output
+
     def test_rejects_unknown_command(self):
         with pytest.raises(SystemExit):
             cli_main(["nope"])

@@ -7,9 +7,10 @@ constant as the basis grows. With naive per-prime digits the simulated
 the paper's 9.68 ms estimate almost exactly.
 """
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
-from dataclasses import replace
 
 from repro.errors import ParameterError
 from repro.fv.encoder import Plaintext

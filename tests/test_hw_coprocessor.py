@@ -5,9 +5,10 @@ Table II call counts, and the coprocessor's results are bit-identical to
 the software evaluator's for both coprocessor variants.
 """
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
-from dataclasses import replace
 
 from repro.errors import HardwareModelError, IsaError
 from repro.fv.encoder import Plaintext

@@ -1,20 +1,21 @@
 """Tests for the DMA, resource, power, scaling, and config models
 (paper Tables III, IV, V and Sec. VI-C/VI-D)."""
 
-import pytest
 from dataclasses import replace
+
+import pytest
 
 from repro.errors import ParameterError
 from repro.hw.config import HardwareConfig, slow_coprocessor_config
 from repro.hw.dma import DmaModel
 from repro.hw.power import PowerModel
 from repro.hw.resources import (
-    ResourceEstimator,
-    Utilization,
     ZCU102_BRAM36,
     ZCU102_DSPS,
     ZCU102_LUTS,
     ZCU102_REGS,
+    ResourceEstimator,
+    Utilization,
 )
 from repro.hw.scaling import scaling_table
 from repro.params import hpca19

@@ -8,9 +8,10 @@ with the mathematical transform, and the m = 2048 order-inversion trick
 appears exactly as printed in the paper's figure.
 """
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
-from dataclasses import replace
 
 from repro.errors import HardwareModelError
 from repro.hw.config import HardwareConfig

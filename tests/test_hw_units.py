@@ -1,8 +1,9 @@
 """Tests for the lift/scale units, RPAUs, memory file, and ISA."""
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
-from dataclasses import replace
 
 from repro.errors import CapacityError, HardwareModelError, IsaError
 from repro.hw.config import HardwareConfig, slow_coprocessor_config

@@ -47,6 +47,58 @@ class TestSerialisationRoundtrip:
             Ciphertext.from_bytes(ct.to_bytes()[:-1], params,
                                   mini_context.q_basis)
 
+    def test_three_part_round_trip(self, mini_context, mini_keys, rng):
+        """Pre-relinearisation (size-3) ciphertexts must survive the
+        wire: serialise after multiply_raw, restore, relinearise the
+        restored copy, decrypt — all bit-exact."""
+        params = mini_context.params
+        a = Plaintext(rng.integers(0, params.t, params.n), params.t)
+        b = Plaintext(rng.integers(0, params.t, params.n), params.t)
+        evaluator = Evaluator(mini_context)
+        raw = evaluator.multiply_raw(
+            mini_context.encrypt(a, mini_keys.public),
+            mini_context.encrypt(b, mini_keys.public),
+        )
+        assert raw.size == 3
+        blob = raw.to_bytes()
+        assert len(blob) == raw.byte_size() == 3 * params.poly_bytes
+        restored = Ciphertext.from_bytes(blob, params,
+                                         mini_context.q_basis)
+        assert restored.size == 3
+        for part, original in zip(restored.parts, raw.parts):
+            assert np.array_equal(part.residues, original.residues)
+        relin = evaluator.relinearize(restored, mini_keys.relin)
+        expected = evaluator.relinearize(raw, mini_keys.relin)
+        assert mini_context.decrypt(relin, mini_keys.secret) == \
+            mini_context.decrypt(expected, mini_keys.secret)
+
+    def test_three_part_file_truncation_detected(self, tmp_path,
+                                                 mini_context, mini_keys,
+                                                 rng):
+        """A 3-part file cut down to a *valid 2-part length* must not
+        load silently — the header's part count catches it."""
+        from repro.errors import EncodingError
+        from repro.io import load_ciphertext, save_ciphertext
+
+        params = mini_context.params
+        plain = Plaintext(rng.integers(0, params.t, params.n), params.t)
+        evaluator = Evaluator(mini_context)
+        raw = evaluator.multiply_raw(
+            mini_context.encrypt(plain, mini_keys.public),
+            mini_context.encrypt(plain, mini_keys.public),
+        )
+        path = tmp_path / "three_part.ct"
+        save_ciphertext(path, raw)
+        restored = load_ciphertext(path, params)
+        assert restored.size == 3
+
+        truncated = tmp_path / "truncated.ct"
+        truncated.write_bytes(
+            path.read_bytes()[:-params.poly_bytes]
+        )
+        with pytest.raises(EncodingError):
+            load_ciphertext(truncated, params)
+
 
 class TestClientCloudFlow:
     def test_cloud_mult_through_wire_format(self, mini_context, mini_keys,

@@ -1,9 +1,10 @@
 """Tests for persistence (repro.io), the equivalence-campaign harness,
 and the design-space sweeps."""
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
-from dataclasses import replace
 
 from repro.errors import EncodingError, ParameterError
 from repro.fv.encoder import Plaintext

@@ -6,8 +6,9 @@ is held to 10%; model-calibrated quantities (power) to exactness;
 qualitative claims to their ordering.
 """
 
-import pytest
 from dataclasses import replace
+
+import pytest
 
 from repro.hw.config import HardwareConfig, slow_coprocessor_config
 from repro.hw.power import PowerModel

@@ -24,6 +24,7 @@ from repro.serve import (
     simulate,
 )
 from repro.serve.batching import network_amortized_upload_seconds
+from repro.serve.schedulers import QueueEntry
 from repro.system.server import CloudServer, CostModel, ServeReport
 from repro.system.workloads import (
     Job,
@@ -274,7 +275,8 @@ class TestBatching:
         k = 8
         singles = k * server.cost.job_seconds(JobKind.MULT)
         entries = [
-            type("E", (), {"kind": JobKind.MULT})() for _ in range(k)
+            QueueEntry(job=Job(index=i, kind=JobKind.MULT),
+                       cost_seconds=0.0, seq=i) for i in range(k)
         ]
         batched = batcher.service_seconds(entries)
         assert batched < singles
@@ -283,7 +285,8 @@ class TestBatching:
 
     def test_single_job_batch_matches_table1_cost(self, server):
         batcher = DmaBatcher(server.cost)
-        entry = type("E", (), {"kind": JobKind.MULT})()
+        entry = QueueEntry(job=Job(index=0, kind=JobKind.MULT),
+                           cost_seconds=0.0, seq=0)
         assert batcher.service_seconds([entry]) == \
             pytest.approx(server.job_seconds(JobKind.MULT))
 
@@ -502,3 +505,70 @@ class TestLatencyUnderLoad:
             report = simulate(server, jobs)
             p99[rho] = report.latency_summary().p99
         assert p99[1.4] > 10 * p99[0.5]
+
+
+class TestClosedLoopClients:
+    """The think-time client model (ROADMAP PR 1 follow-up)."""
+
+    def test_population_self_regulates(self, server):
+        from repro.system.workloads import ClosedLoopClients
+
+        throughput = {}
+        for clients in (2, 64):
+            runtime = ServingRuntime.for_server(server)
+            result = ClosedLoopClients(clients, 0.05, seed=5).drive(
+                runtime, duration_seconds=1.0)
+            report = result.report
+            # Closed loop: every submitted job completes (no rejection
+            # path configured), and nothing is lost.
+            assert len(report.results) == result.submitted
+            assert result.completed == result.submitted
+            assert result.rejected == 0
+            throughput[clients] = report.throughput_per_second()
+        # More clients -> more throughput, capped by board capacity.
+        assert throughput[64] > 2 * throughput[2]
+        assert throughput[64] <= server.mult_throughput_per_second() * 1.01
+
+    def test_small_population_tracks_interactive_law(self, server):
+        """N clients with think Z and service S complete roughly
+        duration * N / (Z + S) jobs while the server is unsaturated."""
+        from repro.system.workloads import ClosedLoopClients
+
+        think = 0.05
+        clients = 4
+        runtime = ServingRuntime.for_server(server)
+        result = ClosedLoopClients(clients, think, seed=7).drive(
+            runtime, duration_seconds=2.0)
+        service = server.job_seconds(JobKind.MULT)
+        expected = 2.0 * clients / (think + service)
+        assert 0.5 * expected < result.completed < 1.5 * expected
+
+    def test_at_most_one_outstanding_job_per_client(self, server):
+        from repro.system.workloads import ClosedLoopClients
+
+        runtime = ServingRuntime.for_server(server)
+        result = ClosedLoopClients(3, 0.0, kind=JobKind.ADD, seed=1).drive(
+            runtime, duration_seconds=0.2)
+        # Zero think time: a client's next arrival is its previous
+        # completion; per-client arrivals must be >= one service apart.
+        per_client: dict[int, list] = {}
+        for r in result.report.results:
+            per_client.setdefault(r.job.request, []).append(r)
+        assert set(per_client) == {0, 1, 2}
+        service = server.job_seconds(JobKind.ADD)
+        for results in per_client.values():
+            times = sorted(r.job.arrival_seconds for r in results)
+            gaps = [b - a for a, b in zip(times, times[1:])]
+            assert all(gap >= service * 0.999 for gap in gaps)
+
+    def test_validation(self):
+        from repro.system.workloads import ClosedLoopClients
+
+        with pytest.raises(ValueError):
+            ClosedLoopClients(0, 0.1)
+        with pytest.raises(ValueError):
+            ClosedLoopClients(1, -0.1)
+        with pytest.raises(ValueError):
+            ClosedLoopClients(1, 0.1, num_tenants=0)
+        with pytest.raises(ValueError):
+            ClosedLoopClients(1, 0.1).drive(None, 0.0)
