@@ -16,7 +16,7 @@ lint:
 
 coverage:
 	$(PYTHON) -m pytest -q --cov=repro --cov-report=term \
-		--cov-fail-under=73
+		--cov-fail-under=74
 
 # Fast-mode benches: regenerate the serving + cluster result files the
 # CI bench-smoke job uploads as artifacts (REPRO_BENCH_FAST shrinks
@@ -24,12 +24,14 @@ coverage:
 bench-smoke:
 	REPRO_BENCH_FAST=1 $(PYTHON) -m pytest -q \
 		benchmarks/bench_serving_runtime.py \
-		benchmarks/bench_cluster_scaling.py
+		benchmarks/bench_cluster_scaling.py \
+		benchmarks/bench_fv_throughput.py
 
 bench-full:
 	$(PYTHON) -m pytest -q \
 		benchmarks/bench_serving_runtime.py \
-		benchmarks/bench_cluster_scaling.py
+		benchmarks/bench_cluster_scaling.py \
+		benchmarks/bench_fv_throughput.py
 
 cluster-demo:
 	$(PYTHON) -m repro cluster --shards 8

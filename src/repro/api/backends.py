@@ -15,6 +15,7 @@ from typing import Protocol, runtime_checkable
 
 from ..errors import NoiseBudgetExhausted, ParameterError
 from ..fv.ciphertext import Ciphertext
+from ..nttmath.batch import transform_counts
 from .program import CiphertextHandle, ExprNode, HEProgram, OpKind
 from .session import Session
 
@@ -61,11 +62,41 @@ class LocalBackend:
     output's *measured* noise budget is checked after execution — a
     non-positive budget means the decryption is garbage, and the
     backend refuses to return it silently.
+
+    With ``ntt_resident=True`` (the default) intermediates stay in the
+    evaluation domain across ADD / SUB / MUL_PLAIN / ROTATE / SUM_SLOTS
+    chains, exactly as HEAX/Medha keep operands on-chip in NTT form:
+    rotations become slot permutations plus a key switch that never
+    leaves the NTT domain, plaintext multiplies are pointwise products
+    against the session's plaintext-constant NTT pool, and conversions
+    back to the coefficient domain happen only at MULTIPLY inputs and
+    at the program's output boundary. ``ntt_resident=False`` replays
+    the eager coefficient-domain schedule; :attr:`telemetry` reports
+    the forward/inverse transform counts of the last run so the saving
+    is measurable (the property tests assert it).
     """
 
-    def __init__(self, session: Session, *, verify: bool = True) -> None:
+    def __init__(self, session: Session, *, verify: bool = True,
+                 ntt_resident: bool = True) -> None:
         self.session = session
         self.verify = verify
+        self.ntt_resident = ntt_resident
+        #: Transform counts of the most recent :meth:`run`.
+        self.last_transform_counts: dict[str, int] = {}
+        #: Accumulated transform counts across all runs of this backend.
+        self.total_transform_counts = {
+            "forward_rows": 0, "inverse_rows": 0,
+            "forward_calls": 0, "inverse_calls": 0,
+        }
+
+    @property
+    def telemetry(self) -> dict:
+        """Execution telemetry: transform counts and executor mode."""
+        return {
+            "ntt_resident": self.ntt_resident,
+            "last_run": dict(self.last_transform_counts),
+            "total": dict(self.total_transform_counts),
+        }
 
     def run(self, program: HEProgram, **kwargs) -> ProgramResult:
         if kwargs:
@@ -79,9 +110,24 @@ class LocalBackend:
                 raise ParameterError(
                     "program was compiled for different parameters"
                 )
+        before = transform_counts()
+        wants = self._plan_domains(program) if self.ntt_resident else {}
         for node in program.nodes:
             if node.cached is None:
-                node.cached = self._execute(node)
+                node.cached = self._execute(node, wants)
+        # Output boundary: results leave the executor in the coefficient
+        # domain (the representation the wire format and the rest of
+        # the system speak), mirroring the download DMA of the paper's
+        # server. Intermediate nodes stay resident in the graph cache.
+        context = self.session.context
+        for node in program.outputs.values():
+            node.cached = context.to_coeff_ct(node.cached)
+        after = transform_counts()
+        self.last_transform_counts = {
+            key: after[key] - before[key] for key in after
+        }
+        for key, value in self.last_transform_counts.items():
+            self.total_transform_counts[key] += value
         outputs = {
             label: CiphertextHandle(node, self.session)
             for label, node in program.outputs.items()
@@ -96,33 +142,115 @@ class LocalBackend:
                     )
         return ProgramResult(self.session, outputs)
 
+    # -- domain planning -----------------------------------------------------------------
+
+    #: Ops that compute naturally in the evaluation domain — a node
+    #: feeding one of these benefits from arriving NTT-resident.
+    _RESIDENT_SINKS = frozenset(
+        {OpKind.ROTATE, OpKind.MUL_PLAIN, OpKind.SUM_SLOTS}
+    )
+    #: Domain-agnostic ops: they propagate their consumers' preference.
+    _LINEAR_OPS = frozenset(
+        {OpKind.ADD, OpKind.SUB, OpKind.NEGATE, OpKind.ADD_PLAIN}
+    )
+
+    def _plan_domains(self, program: HEProgram) -> dict[int, bool]:
+        """Consumer analysis: which nodes should produce NTT-resident
+        results?
+
+        Greedy residency wastes transforms when a rotation or plaintext
+        multiply feeds straight into the coefficient-domain boundary
+        (MULTIPLY or a program output): the forward transforms it saves
+        come back as inverse transforms one node later. Walking the
+        graph in reverse, a node wants to be resident exactly when some
+        consumer computes in the evaluation domain — directly, or
+        through a chain of domain-agnostic linear ops.
+        """
+        consumers: dict[int, list[ExprNode]] = {}
+        for node in program.nodes:
+            for arg in node.args:
+                consumers.setdefault(id(arg), []).append(node)
+        wants: dict[int, bool] = {}
+        for node in reversed(program.nodes):
+            wants[id(node)] = any(
+                user.op in self._RESIDENT_SINKS
+                or (user.op in self._LINEAR_OPS and wants[id(user)])
+                for user in consumers.get(id(node), ())
+            )
+        return wants
+
     # -- node dispatch -------------------------------------------------------------------
 
-    def _execute(self, node: ExprNode) -> Ciphertext:
+    def _execute(self, node: ExprNode, wants: dict[int, bool]) -> Ciphertext:
         session = self.session
         context = session.context
         args = [arg.cached for arg in node.args]
+        resident_out = self.ntt_resident and wants.get(id(node), False)
         if node.op is OpKind.INPUT:
             raise ParameterError(
                 "program has an unbound input (wrap() a ciphertext first)"
             )
-        if node.op is OpKind.ADD:
-            return context.add(args[0], args[1])
-        if node.op is OpKind.SUB:
-            return context.sub(args[0], args[1])
+        if node.op in (OpKind.ADD, OpKind.SUB):
+            if not resident_out and not all(
+                ct.c0.ntt_domain for ct in args
+            ):
+                # No downstream benefit: align mixed operands onto the
+                # coefficient domain instead of transforming forward.
+                # Converted operands are written back to their nodes so
+                # a shared subexpression never converts twice.
+                for arg_node, ct in zip(node.args, args):
+                    if ct.c0.ntt_domain:
+                        arg_node.cached = context.to_coeff_ct(ct)
+                args = [arg.cached for arg in node.args]
+            op = context.add if node.op is OpKind.ADD else context.sub
+            return op(args[0], args[1])
         if node.op is OpKind.NEGATE:
             return context.negate(args[0])
         if node.op is OpKind.ADD_PLAIN:
+            if self.ntt_resident and args[0].c0.ntt_domain:
+                return context.add_plain(
+                    args[0], node.payload,
+                    delta_m_ntt=session.plain_delta_ntt(node.payload),
+                )
             return context.add_plain(args[0], node.payload)
         if node.op is OpKind.MUL_PLAIN:
+            if self.ntt_resident:
+                # MulPlain computes in the evaluation domain either
+                # way, so a resident result is free — and in an
+                # add-tree of plaintext products the deferred
+                # conversions all merge at the root. The plaintext
+                # operand comes from the session's NTT pool, and the
+                # operand's conversion is written back so a shared
+                # subexpression transforms forward only once.
+                node.args[0].cached = context.to_ntt_ct(args[0])
+                return context.mul_plain(
+                    node.args[0].cached, node.payload,
+                    m_ntt=session.plain_ntt(node.payload),
+                )
             return context.mul_plain(args[0], node.payload)
         if node.op is OpKind.MULTIPLY:
+            # MULTIPLY is a coefficient-domain boundary: the base
+            # extension needs coefficient residues. Convert with
+            # write-back so shared resident operands convert once.
+            for arg_node, ct in zip(node.args, args):
+                if ct.c0.ntt_domain:
+                    arg_node.cached = context.to_coeff_ct(ct)
+            args = [arg.cached for arg in node.args]
             return session.evaluator.multiply(args[0], args[1],
                                               session.keys.relin)
         if node.op is OpKind.ROTATE:
             key = session.rotation_key(node.payload)
+            if self.ntt_resident and (args[0].c0.ntt_domain
+                                      or resident_out):
+                return session.galois.apply_resident(args[0], key)
             return session.galois.apply(args[0], key)
         if node.op is OpKind.SUM_SLOTS:
+            if self.ntt_resident:
+                # The internal rotate-and-add chain always benefits
+                # from residency, whatever happens downstream.
+                return session.galois.sum_all_slots_resident(
+                    args[0], session.summation_keys()
+                )
             return session.galois.sum_all_slots(args[0],
                                                 session.summation_keys())
         raise ParameterError(f"unknown op {node.op!r}")  # pragma: no cover

@@ -59,6 +59,14 @@ class Session:
         self.galois = GaloisEngine(self.context)
         self._rotation_keys: dict[int, GaloisKey] = {}
         self._summation_keys: dict | None = None
+        # Plaintext-constant NTT pool: the server-side cache of encoded
+        # constants in the evaluation domain, so a constant reused
+        # across ops/requests is transformed exactly once. Bounded
+        # (FIFO eviction) so long-lived sessions that stream fresh
+        # per-request plaintexts cannot grow it without limit.
+        self._plain_pool_limit = 256
+        self._plain_ntt_pool: dict[int, tuple[Plaintext, np.ndarray]] = {}
+        self._plain_delta_pool: dict[int, tuple[Plaintext, np.ndarray]] = {}
 
     @classmethod
     def from_parts(cls, context: FvContext, keys: KeySet, *,
@@ -125,6 +133,41 @@ class Session:
     def negate_plain(self, plain: Plaintext) -> Plaintext:
         """The additive inverse of an encoded plaintext (mod t)."""
         return Plaintext((-plain.coeffs) % self.params.t, self.params.t)
+
+    # -- plaintext-constant NTT pool ---------------------------------------------
+
+    def plain_ntt(self, plain: Plaintext) -> np.ndarray:
+        """NTT rows of a plaintext constant (cached per object).
+
+        The pool is what lets the NTT-resident executor multiply by the
+        same plaintext constant many times while transforming it once —
+        the software twin of the paper's server keeping operands
+        resident in DDR between jobs.
+        """
+        return self._pool_lookup(self._plain_ntt_pool, plain,
+                                 self.context.plain_ntt_rows)
+
+    def plain_delta_ntt(self, plain: Plaintext) -> np.ndarray:
+        """NTT rows of ``Delta * m`` for AddPlain (cached per object)."""
+        return self._pool_lookup(
+            self._plain_delta_pool, plain,
+            lambda p: self.context._ntt_rows(
+                self.context.delta_plain_rows(p)
+            ),
+        )
+
+    def _pool_lookup(self, pool: dict, plain: Plaintext,
+                     compute) -> np.ndarray:
+        """Bounded id-keyed cache (the id check guards against a dead
+        object's id being reused after its entry was evicted)."""
+        key = id(plain)
+        entry = pool.get(key)
+        if entry is None or entry[0] is not plain:
+            if len(pool) >= self._plain_pool_limit:
+                pool.pop(next(iter(pool)))
+            entry = (plain, compute(plain))
+            pool[key] = entry
+        return entry[1]
 
     def decode(self, plain: Plaintext, size: int | None = None):
         """Invert :meth:`encode`; ``size`` truncates vector results."""

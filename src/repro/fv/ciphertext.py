@@ -39,6 +39,17 @@ class Ciphertext:
         return len(self.parts)
 
     @property
+    def ntt_resident(self) -> bool:
+        """True when every part lives in the evaluation (NTT) domain.
+
+        NTT-resident ciphertexts are what the resident executor passes
+        between operations; convert with
+        :meth:`~repro.fv.scheme.FvContext.to_coeff_ct` before
+        serialising.
+        """
+        return all(part.ntt_domain for part in self.parts)
+
+    @property
     def c0(self) -> RnsPoly:
         return self.parts[0]
 

@@ -17,7 +17,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ParameterError
-from ..poly.ring import ring_context
+from ..nttmath import batch
+from ..nttmath.batch import intt_rows, ntt_rows
 from ..poly.rns_poly import RnsPoly
 from ..rns.lift import lift_hps, lift_traditional
 from ..rns.scale import scale_hps, scale_traditional
@@ -35,22 +36,33 @@ class Evaluator:
     is functionally identical but reproduces a different cost profile.
     """
 
+    #: Safe lazy-accumulation width: summands are < 2^60 (products of
+    #: 30-bit residues), so eight of them stay below int64 overflow.
+    _LAZY_TERMS = 8
+
     def __init__(self, context: FvContext, use_hps: bool = True) -> None:
         self.context = context
         self.use_hps = use_hps
         params = context.params
         self._full_primes = params.q_primes + params.p_primes
-        self._full_rings = [
-            ring_context(params.n, prime) for prime in self._full_primes
-        ]
 
     # -- Fig. 2 boxes ------------------------------------------------------------
 
-    def _lift(self, poly: RnsPoly) -> np.ndarray:
-        """Lift q->Q: returns (k_total x n) residues over the full basis."""
+    def _lift(self, poly: RnsPoly,
+              out: np.ndarray | None = None) -> np.ndarray:
+        """Lift q->Q: returns (k_total x n) residues over the full basis.
+
+        ``out``, when given, receives the result in place (the tensor
+        step lifts all four operands straight into its stacked
+        transform input).
+        """
         if self.use_hps:
-            return lift_hps(self.context.lift_ctx, poly.residues)
-        return lift_traditional(self.context.lift_ctx, poly.residues)
+            return lift_hps(self.context.lift_ctx, poly.residues, out)
+        rows = lift_traditional(self.context.lift_ctx, poly.residues)
+        if out is not None:
+            out[...] = rows
+            return out
+        return rows
 
     def _scale(self, residues: np.ndarray) -> RnsPoly:
         """Scale Q->q: returns an R_q polynomial."""
@@ -58,37 +70,115 @@ class Evaluator:
             rows = scale_hps(self.context.scale_ctx, residues)
         else:
             rows = scale_traditional(self.context.scale_ctx, residues)
-        return RnsPoly(self.context.q_basis, rows)
+        # Both scale routes produce canonical residues.
+        return RnsPoly.trusted(self.context.q_basis, rows)
 
     def _full_ntt(self, residues: np.ndarray) -> np.ndarray:
-        return np.stack([
-            ring.ntt(residues[i]) for i, ring in enumerate(self._full_rings)
-        ])
+        """Batched forward NTT over the full basis ((k, n) or stacks)."""
+        return ntt_rows(self._full_primes, residues)
+
+    def _full_ntt_lazy(self, residues: np.ndarray) -> np.ndarray:
+        """Forward NTT with lazy [0, 2q) outputs where the batched
+        engine runs; canonical (a subset of lazy) via the guarded
+        dispatcher otherwise, so large-degree or wide-prime parameter
+        sets degrade instead of crashing."""
+        from ..nttmath.batch import basis_transformer, batched_engine_ok
+
+        n = self.context.params.n
+        if not batched_engine_ok(self._full_primes, n):
+            return ntt_rows(self._full_primes, residues)
+        return basis_transformer(self._full_primes, n).forward(
+            residues, lazy=True
+        )
 
     def _full_intt(self, values: np.ndarray) -> np.ndarray:
-        return np.stack([
-            ring.intt(values[i]) for i, ring in enumerate(self._full_rings)
-        ])
+        """Batched inverse NTT over the full basis ((k, n) or stacks)."""
+        return intt_rows(self._full_primes, values)
 
     def tensor(self, a: Ciphertext, b: Ciphertext) -> tuple[np.ndarray, ...]:
-        """Lift both ciphertexts and form (c~0, c~1, c~2) over the full basis."""
+        """Lift both ciphertexts and form (c~0, c~1, c~2) over the full basis.
+
+        All four lifted operands go through one stacked forward call and
+        the three tensor parts through one stacked inverse call — the
+        limb-parallel schedule of the paper's Fig. 2 datapath. The cross
+        term accumulates both 60-bit products before a single reduction.
+        """
+        return self._tensor_parts(a, b, prescaled=False)
+
+    def _tensor_parts(self, a: Ciphertext, b: Ciphertext,
+                      prescaled: bool) -> tuple[np.ndarray, ...]:
+        """Tensor core; ``prescaled=True`` folds Scale's Q~_k constants
+        into the inverse transforms (the outputs then feed
+        ``scale_hps(..., prescaled=True)``)."""
         if a.size != 2 or b.size != 2:
             raise ParameterError("tensor expects two-part ciphertexts")
+        a = self.context.to_coeff_ct(a)
+        b = self.context.to_coeff_ct(b)
         full_col = np.array(self._full_primes, dtype=np.int64)[:, None]
-        a0 = self._full_ntt(self._lift(a.c0))
-        a1 = self._full_ntt(self._lift(a.c1))
-        b0 = self._full_ntt(self._lift(b.c0))
-        b1 = self._full_ntt(self._lift(b.c1))
-        t0 = self._full_intt((a0 * b0) % full_col)
-        cross = ((a0 * b1) % full_col + (a1 * b0) % full_col) % full_col
-        t1 = self._full_intt(cross)
-        t2 = self._full_intt((a1 * b1) % full_col)
+        k_total = len(self._full_primes)
+        n = self.context.params.n
+        if batch._PER_ROW_MODE:
+            a0, a1, b0, b1 = self._full_ntt(np.stack([
+                self._lift(a.c0), self._lift(a.c1),
+                self._lift(b.c0), self._lift(b.c1),
+            ]))
+            # Pre-batching cross term: both products reduced separately.
+            cross = ((a0 * b1) % full_col + (a1 * b0) % full_col) % full_col
+            t0, t1, t2 = self._full_intt(np.stack([
+                (a0 * b0) % full_col,
+                cross,
+                (a1 * b1) % full_col,
+            ]))
+            return t0, t1, t2
+        lifted = np.empty((4, k_total, n), dtype=np.int64)
+        for idx, part in enumerate((a.c0, a.c1, b.c0, b.c1)):
+            self._lift(part, lifted[idx])
+        # Lazy forward transforms: entries land in [0, 2q), which the
+        # point-wise reductions below absorb (products stay under 2^62
+        # and the cross pair under 2^63).
+        a0, a1, b0, b1 = self._full_ntt_lazy(lifted)
+        prods = lifted  # reuse: the forwards no longer need it
+        np.multiply(a0, b0, out=prods[0])
+        prods[0] %= full_col
+        np.multiply(a0, b1, out=prods[1])
+        np.multiply(a1, b0, out=prods[3])
+        prods[1] += prods[3]
+        prods[1] %= full_col
+        np.multiply(a1, b1, out=prods[2])
+        prods[2] %= full_col
+        if prescaled:
+            t0, t1, t2 = batch.intt_rows_scaled(
+                self._full_primes, prods[:3],
+                self.context.scale_ctx.full_q_tilde,
+            )
+        else:
+            t0, t1, t2 = self._full_intt(prods[:3])
         return t0, t1, t2
 
     def multiply_raw(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
-        """FV.Mult without relinearisation: a three-part ciphertext."""
-        t0, t1, t2 = self.tensor(a, b)
-        parts = (self._scale(t0), self._scale(t1), self._scale(t2))
+        """FV.Mult without relinearisation: a three-part ciphertext.
+
+        Scale Q->q is column-wise throughout (Blocks 1-5 of Fig. 9 act
+        per coefficient), so the three tensor parts go through *one*
+        column-stacked call — one gemm at triple width and one fixed
+        overhead instead of three. ``per_row_mode`` keeps the
+        pre-batching one-call-per-part schedule.
+        """
+        if batch._PER_ROW_MODE or not self.use_hps:
+            t0, t1, t2 = self.tensor(a, b)
+            parts = (self._scale(t0), self._scale(t1), self._scale(t2))
+            return Ciphertext(parts, self.context.params)
+        t0, t1, t2 = self._tensor_parts(a, b, prescaled=True)
+        n = self.context.params.n
+        stacked = scale_hps(self.context.scale_ctx,
+                            np.concatenate([t0, t1, t2], axis=1),
+                            prescaled=True)
+        parts = tuple(
+            RnsPoly.trusted(self.context.q_basis,
+                            np.ascontiguousarray(
+                                stacked[:, i * n: (i + 1) * n]))
+            for i in range(3)
+        )
         return Ciphertext(parts, self.context.params)
 
     def rns_digits(self, residues: np.ndarray) -> np.ndarray:
@@ -98,11 +188,65 @@ class Evaluator:
         data movement (the paper's cheap WordDecomp); the CRT weights
         q~_i q*_i live inside the relinearisation key.
         """
-        primes_col = self.context.q_basis.primes_col
-        k = residues.shape[0]
-        return np.stack([
-            residues[i][None, :] % primes_col for i in range(k)
-        ])
+        from ..rns.decompose import broadcast_digit_rows
+
+        return broadcast_digit_rows(residues, self.context.q_basis)
+
+    def _fold_keyswitch(self, ct: Ciphertext, d_ntt: np.ndarray,
+                        pairs, lazy_digits: bool = False) -> Ciphertext:
+        """Fold the NTT-domain digit/key sum of products back into (c0, c1).
+
+        ``d_ntt`` holds the already-transformed digits (one stacked
+        batched call at every call site — the paper's "all digits in
+        flight at once" schedule). Products of 30-bit residues are
+        below 2^60, so up to eight accumulate lazily in int64 before a
+        reduction; both accumulators share one stacked inverse call.
+        """
+        context = self.context
+        primes_col = context.q_basis.primes_col
+        acc0 = np.zeros_like(ct.c0.residues)
+        acc1 = np.zeros_like(ct.c1.residues)
+        if batch._PER_ROW_MODE:
+            # Pre-batching accumulation: reduce after every product.
+            for i, (b_ntt, a_ntt) in enumerate(pairs):
+                acc0 = (acc0 + d_ntt[i] * b_ntt) % primes_col
+                acc1 = (acc1 + d_ntt[i] * a_ntt) % primes_col
+        else:
+            # Lazy [0, 2q) digits double each summand, so halve the
+            # accumulation window (4 * 2 * q^2 still fits int64).
+            window = self._LAZY_TERMS // 2 if lazy_digits \
+                else self._LAZY_TERMS
+            pending = 0
+            tmp = np.empty_like(acc0)
+            for i, (b_ntt, a_ntt) in enumerate(pairs):
+                np.multiply(d_ntt[i], b_ntt, out=tmp)
+                acc0 += tmp
+                np.multiply(d_ntt[i], a_ntt, out=tmp)
+                acc1 += tmp
+                pending += 1
+                if pending == window:
+                    acc0 %= primes_col
+                    acc1 %= primes_col
+                    pending = 0
+            if pending:
+                acc0 %= primes_col
+                acc1 %= primes_col
+        delta0, delta1 = context._intt_rows(np.stack([acc0, acc1]))
+        if batch._PER_ROW_MODE:
+            c0_rows = (ct.c0.residues + delta0) % primes_col
+            c1_rows = (ct.c1.residues + delta1) % primes_col
+        else:
+            # Sums of two canonical rows are < 2q: one unsigned-minimum
+            # conditional subtract instead of an integer division.
+            c0_rows = ct.c0.residues + delta0
+            c1_rows = ct.c1.residues + delta1
+            for rows in (c0_rows, c1_rows):
+                over = rows - primes_col
+                np.minimum(rows.view(np.uint64), over.view(np.uint64),
+                           out=rows.view(np.uint64))
+        c0 = RnsPoly.trusted(context.q_basis, c0_rows)
+        c1 = RnsPoly.trusted(context.q_basis, c1_rows)
+        return Ciphertext((c0, c1), context.params)
 
     def relinearize(self, ct: Ciphertext, relin: RelinKey) -> Ciphertext:
         """ReLin: fold c2 back into (c0, c1) using the RNS key.
@@ -115,27 +259,20 @@ class Evaluator:
         if ct.size != 3:
             raise ParameterError("relinearize expects a three-part ciphertext")
         context = self.context
-        primes_col = context.q_basis.primes_col
-        digits = self.rns_digits(ct.c2.residues)
-        if len(relin.pairs) != digits.shape[0]:
+        if len(relin.pairs) != ct.c2.residues.shape[0]:
             raise ParameterError(
                 "relinearisation key does not match the RNS decomposition"
             )
-        acc0 = np.zeros_like(ct.c0.residues)
-        acc1 = np.zeros_like(ct.c1.residues)
-        for i, (b_ntt, a_ntt) in enumerate(relin.pairs):
-            d_ntt = context._ntt_rows(digits[i])
-            acc0 = (acc0 + d_ntt * b_ntt) % primes_col
-            acc1 = (acc1 + d_ntt * a_ntt) % primes_col
-        c0 = RnsPoly(
-            context.q_basis,
-            (ct.c0.residues + context._intt_rows(acc0)) % primes_col,
-        )
-        c1 = RnsPoly(
-            context.q_basis,
-            (ct.c1.residues + context._intt_rows(acc1)) % primes_col,
-        )
-        return Ciphertext((c0, c1), context.params)
+        if batch._PER_ROW_MODE:
+            d_ntt = context._ntt_rows(self.rns_digits(ct.c2.residues))
+            return self._fold_keyswitch(ct, d_ntt, relin.pairs)
+        # Fused WordDecomp + NTT: each raw-residue digit row is
+        # transformed under every channel directly, left lazy in
+        # [0, 2q) (the narrower accumulation window below absorbs it).
+        d_ntt = batch.ntt_broadcast_rows(context.params.q_primes,
+                                         ct.c2.residues, lazy=True)
+        return self._fold_keyswitch(ct, d_ntt, relin.pairs,
+                                    lazy_digits=True)
 
     def relinearize_grouped(self, ct: Ciphertext, relin) -> Ciphertext:
         """ReLin with grouped RNS digits (60-bit group residues).
@@ -149,28 +286,14 @@ class Evaluator:
         if ct.size != 3:
             raise ParameterError("relinearize expects a three-part ciphertext")
         context = self.context
-        primes_col = context.q_basis.primes_col
         digits = grouped_rns_digits(context.q_basis, ct.c2.residues,
                                     relin.group_size)
         if len(relin.pairs) != digits.shape[0]:
             raise ParameterError(
                 "grouped key does not match the digit count"
             )
-        acc0 = np.zeros_like(ct.c0.residues)
-        acc1 = np.zeros_like(ct.c1.residues)
-        for j, (b_ntt, a_ntt) in enumerate(relin.pairs):
-            d_ntt = context._ntt_rows(digits[j])
-            acc0 = (acc0 + d_ntt * b_ntt) % primes_col
-            acc1 = (acc1 + d_ntt * a_ntt) % primes_col
-        c0 = RnsPoly(
-            context.q_basis,
-            (ct.c0.residues + context._intt_rows(acc0)) % primes_col,
-        )
-        c1 = RnsPoly(
-            context.q_basis,
-            (ct.c1.residues + context._intt_rows(acc1)) % primes_col,
-        )
-        return Ciphertext((c0, c1), context.params)
+        d_ntt = context._ntt_rows(digits)
+        return self._fold_keyswitch(ct, d_ntt, relin.pairs)
 
     def relinearize_digit(self, ct: Ciphertext, relin) -> Ciphertext:
         """ReLin with the signed base-w digit key (slow coprocessor).
@@ -185,32 +308,21 @@ class Evaluator:
             raise ParameterError("relinearize expects a three-part ciphertext")
         context = self.context
         params = context.params
-        primes_col = context.q_basis.primes_col
         coeffs = ct.c2.to_int_coeffs()
         digit_polys = decompose_poly_signed(
             coeffs, params.q, 1 << relin.base_bits, relin.num_components
         )
-        acc0 = np.zeros_like(ct.c0.residues)
-        acc1 = np.zeros_like(ct.c1.residues)
-        for digits, (b_ntt, a_ntt) in zip(digit_polys, relin.pairs):
-            # Digits may exceed 64 bits (e.g. 90-bit digits); reduce each
-            # channel with exact integer arithmetic before vectorising.
-            rows = np.array(
+        # Digits may exceed 64 bits (e.g. 90-bit digits); reduce each
+        # channel with exact integer arithmetic before vectorising.
+        digit_rows = np.stack([
+            np.array(
                 [[d % p for d in digits] for p in params.q_primes],
                 dtype=np.int64,
             )
-            d_ntt = context._ntt_rows(rows)
-            acc0 = (acc0 + d_ntt * b_ntt) % primes_col
-            acc1 = (acc1 + d_ntt * a_ntt) % primes_col
-        c0 = RnsPoly(
-            context.q_basis,
-            (ct.c0.residues + context._intt_rows(acc0)) % primes_col,
-        )
-        c1 = RnsPoly(
-            context.q_basis,
-            (ct.c1.residues + context._intt_rows(acc1)) % primes_col,
-        )
-        return Ciphertext((c0, c1), context.params)
+            for digits in digit_polys
+        ])
+        d_ntt = context._ntt_rows(digit_rows)
+        return self._fold_keyswitch(ct, d_ntt, relin.pairs)
 
     def multiply(self, a: Ciphertext, b: Ciphertext,
                  relin: RelinKey) -> Ciphertext:

@@ -22,6 +22,7 @@ under s.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -78,11 +79,25 @@ def conjugation_element(n: int) -> int:
 
 
 def slot_permutation(n: int, g: int) -> np.ndarray:
-    """perm with decode(tau_g(a))[j] == decode(a)[perm[j]]."""
+    """perm with decode(tau_g(a))[j] == decode(a)[perm[j]].
+
+    The same permutation moves *NTT evaluations*: position j of the
+    forward transform holds a(psi^(2j+1)), and tau_g(a)(psi^(2j+1)) =
+    a(psi^(g(2j+1))), so in the evaluation domain the automorphism is
+    the free column gather ``values[:, perm]`` — the reason HEAX-style
+    designs keep rotation chains NTT-resident. Cached per (n, g).
+    """
+    return _slot_permutation_cached(n, g)
+
+
+@lru_cache(maxsize=None)
+def _slot_permutation_cached(n: int, g: int) -> np.ndarray:
     _check_galois_element(g, n)
     j = np.arange(n, dtype=np.int64)
     source_odd = (g * (2 * j + 1)) % (2 * n)
-    return (source_odd - 1) // 2
+    perm = (source_odd - 1) // 2
+    perm.flags.writeable = False
+    return perm
 
 
 @dataclass
@@ -151,6 +166,52 @@ class GaloisEngine:
 
     # -- homomorphic application -----------------------------------------------------
 
+    def _key_switch_accumulators(self, tau_c1: np.ndarray,
+                                 key: GaloisKey) -> tuple[np.ndarray,
+                                                          np.ndarray]:
+        """NTT-domain key-switch accumulators for coefficient rows.
+
+        The raw-residue digits (each row of tau(c1) broadcast across
+        the basis) go through one stacked forward transform; products
+        of 30-bit residues accumulate lazily (they are < 2^60, so the
+        whole q basis of at most eight primes sums within int64) and
+        are reduced once.
+        """
+        from ..nttmath import batch
+        from ..rns.decompose import broadcast_digit_rows
+
+        context = self.context
+        primes_col = context.q_basis.primes_col
+        if batch._PER_ROW_MODE:
+            d_ntt = context._ntt_rows(
+                broadcast_digit_rows(tau_c1, context.q_basis)
+            )
+        else:
+            # Fused WordDecomp + NTT on the raw tau(c1) rows.
+            d_ntt = batch.ntt_broadcast_rows(context.params.q_primes,
+                                             tau_c1)
+        acc0 = np.zeros_like(tau_c1)
+        acc1 = np.zeros_like(tau_c1)
+        if batch._PER_ROW_MODE:
+            # Pre-batching accumulation: reduce after every product.
+            for i, (b_ntt, a_ntt) in enumerate(key.pairs):
+                acc0 = (acc0 + d_ntt[i] * b_ntt) % primes_col
+                acc1 = (acc1 + d_ntt[i] * a_ntt) % primes_col
+            return acc0, acc1
+        pending = 0
+        for i, (b_ntt, a_ntt) in enumerate(key.pairs):
+            acc0 += d_ntt[i] * b_ntt
+            acc1 += d_ntt[i] * a_ntt
+            pending += 1
+            if pending == 8:
+                acc0 %= primes_col
+                acc1 %= primes_col
+                pending = 0
+        if pending:
+            acc0 %= primes_col
+            acc1 %= primes_col
+        return acc0, acc1
+
     def apply(self, ct: Ciphertext, key: GaloisKey) -> Ciphertext:
         """tau_g on a two-part ciphertext, key-switched back under s."""
         if ct.size != 2:
@@ -158,22 +219,56 @@ class GaloisEngine:
         context = self.context
         params = context.params
         primes_col = context.q_basis.primes_col
+        ct = context.to_coeff_ct(ct)
         g = key.element
         tau_c0 = apply_galois_rows(ct.c0.residues, primes_col, params.n, g)
         tau_c1 = apply_galois_rows(ct.c1.residues, primes_col, params.n, g)
         # Key switch tau(c1) from tau(s) to s with raw-residue digits.
-        acc0 = np.zeros_like(tau_c0)
-        acc1 = np.zeros_like(tau_c1)
-        for i, (b_ntt, a_ntt) in enumerate(key.pairs):
-            digit = tau_c1[i][None, :] % primes_col
-            d_ntt = context._ntt_rows(digit)
-            acc0 = (acc0 + d_ntt * b_ntt) % primes_col
-            acc1 = (acc1 + d_ntt * a_ntt) % primes_col
-        c0 = RnsPoly(
+        acc0, acc1 = self._key_switch_accumulators(tau_c1, key)
+        delta0, delta1 = context._intt_rows(np.stack([acc0, acc1]))
+        c0 = RnsPoly.trusted(
             context.q_basis,
-            (tau_c0 + context._intt_rows(acc0)) % primes_col,
+            (tau_c0 + delta0) % primes_col,
         )
-        c1 = RnsPoly(context.q_basis, context._intt_rows(acc1))
+        c1 = RnsPoly.trusted(context.q_basis, delta1)
+        return Ciphertext((c0, c1), params)
+
+    def apply_resident(self, ct: Ciphertext, key: GaloisKey) -> Ciphertext:
+        """tau_g keeping the result NTT-resident (the HEAX schedule).
+
+        tau_g on the resident c0 is a free column permutation of its
+        NTT evaluations; only c1 is inverse-transformed (its raw-residue
+        digits live in the coefficient domain), and the key-switch
+        accumulators — already NTT-domain — are *not* transformed back.
+        Per rotation that is one inverse transform instead of two, and
+        chained rotations/additions stay in the evaluation domain
+        end to end.
+        """
+        if ct.size != 2:
+            raise ParameterError("apply_galois expects a 2-part ciphertext")
+        context = self.context
+        params = context.params
+        primes_col = context.q_basis.primes_col
+        n = params.n
+        g = key.element
+        if ct.c1.ntt_domain:
+            c1_coeff = context._intt_rows(ct.c1.residues)
+        else:
+            c1_coeff = ct.c1.residues
+        tau_c1 = apply_galois_rows(c1_coeff, primes_col, n, g)
+        if ct.c0.ntt_domain:
+            tau_c0_ntt = ct.c0.residues[:, slot_permutation(n, g)]
+        else:
+            tau_c0_ntt = context._ntt_rows(
+                apply_galois_rows(ct.c0.residues, primes_col, n, g)
+            )
+        acc0, acc1 = self._key_switch_accumulators(tau_c1, key)
+        c0 = RnsPoly.trusted(
+            context.q_basis,
+            (tau_c0_ntt + acc0) % primes_col,
+            ntt_domain=True,
+        )
+        c1 = RnsPoly.trusted(context.q_basis, acc1, ntt_domain=True)
         return Ciphertext((c0, c1), params)
 
     def rotate(self, ct: Ciphertext, steps: int,
@@ -198,4 +293,25 @@ class GaloisEngine:
             result = self.context.add(result, rotated)
             step *= 2
         conjugated = self.apply(result, keys["conjugate"])
+        return self.context.add(result, conjugated)
+
+    def sum_all_slots_resident(self, ct: Ciphertext,
+                               keys: dict) -> Ciphertext:
+        """NTT-resident rotate-and-add (same algebra as sum_all_slots).
+
+        Every round's rotation output and addition stays in the
+        evaluation domain, so the whole reduction performs no inverse
+        transforms beyond the one per round that key-switching
+        fundamentally needs.
+        """
+        n = self.context.params.n
+        result = self.context.to_ntt_ct(ct)
+        step = 1
+        while step < n // 2:
+            if step not in keys:
+                raise ParameterError(f"no rotation key for {step} steps")
+            rotated = self.apply_resident(result, keys[step])
+            result = self.context.add(result, rotated)
+            step *= 2
+        conjugated = self.apply_resident(result, keys["conjugate"])
         return self.context.add(result, conjugated)

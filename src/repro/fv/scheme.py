@@ -10,8 +10,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ParameterError
+from ..nttmath.batch import intt_rows, ntt_rows
 from ..params import ParameterSet
-from ..poly.ring import ring_context
 from ..poly.rns_poly import RnsPoly
 from ..rns.basis import basis_for, lift_context, scale_context
 from ..utils import round_half_away
@@ -42,19 +42,40 @@ class FvContext:
         self.delta_rows = np.array(
             [params.delta % qi for qi in params.q_primes], dtype=np.int64
         )[:, None]
-        self._rings = [ring_context(params.n, qi) for qi in params.q_primes]
 
     # -- helpers -------------------------------------------------------------------
 
     def _ntt_rows(self, residues: np.ndarray) -> np.ndarray:
-        return np.stack([
-            ring.ntt(residues[i]) for i, ring in enumerate(self._rings)
-        ])
+        """Batched forward NTT over the q basis ((k, n) or (j, k, n))."""
+        return ntt_rows(self.params.q_primes, residues)
 
     def _intt_rows(self, values: np.ndarray) -> np.ndarray:
-        return np.stack([
-            ring.intt(values[i]) for i, ring in enumerate(self._rings)
-        ])
+        """Batched inverse NTT over the q basis ((k, n) or (j, k, n))."""
+        return intt_rows(self.params.q_primes, values)
+
+    def to_ntt_ct(self, ct: Ciphertext) -> Ciphertext:
+        """NTT-resident copy of a ciphertext (per-part forward NTT).
+
+        Already-resident parts are reused as-is, so repeated calls are
+        free — this is what keeps :class:`~repro.api.backends.LocalBackend`
+        chains in the evaluation domain.
+        """
+        if all(part.ntt_domain for part in ct.parts):
+            return ct
+        parts = tuple(
+            part if part.ntt_domain else part.to_ntt() for part in ct.parts
+        )
+        return Ciphertext(parts, ct.params)
+
+    def to_coeff_ct(self, ct: Ciphertext) -> Ciphertext:
+        """Coefficient-domain copy of a ciphertext (per-part inverse NTT)."""
+        if not any(part.ntt_domain for part in ct.parts):
+            return ct
+        parts = tuple(
+            part.to_coeff() if part.ntt_domain else part
+            for part in ct.parts
+        )
+        return Ciphertext(parts, ct.params)
 
     def _small_poly_rows(self, coeffs: np.ndarray) -> np.ndarray:
         """Residues of a polynomial with small signed coefficients."""
@@ -216,8 +237,11 @@ class FvContext:
             raise ParameterError("plaintext does not match the parameter set")
         primes_col = self.q_basis.primes_col
         u_ntt = self._ntt_rows(self._small_poly_rows(np.asarray(u)))
-        p0_u = self._intt_rows((public.p0_ntt * u_ntt) % primes_col)
-        p1_u = self._intt_rows((public.p1_ntt * u_ntt) % primes_col)
+        # One stacked inverse transform for both mask polynomials.
+        p0_u, p1_u = self._intt_rows(np.stack([
+            (public.p0_ntt * u_ntt) % primes_col,
+            (public.p1_ntt * u_ntt) % primes_col,
+        ]))
         e1_rows = self._small_poly_rows(np.asarray(e1))
         e2_rows = self._small_poly_rows(np.asarray(e2))
         m_rows = plain.coeffs[None, :] % primes_col
@@ -225,7 +249,8 @@ class FvContext:
         c0 = (p0_u + e1_rows + delta_m) % primes_col
         c1 = (p1_u + e2_rows) % primes_col
         return Ciphertext(
-            (RnsPoly(self.q_basis, c0), RnsPoly(self.q_basis, c1)),
+            (RnsPoly.trusted(self.q_basis, c0),
+             RnsPoly.trusted(self.q_basis, c1)),
             params,
         )
 
@@ -242,11 +267,18 @@ class FvContext:
         params = self.params
         primes_col = self.q_basis.primes_col
         # w = c0 + c1*s (+ c2*s^2 for three-part ciphertexts), computed in
-        # the NTT domain per residue.
-        acc = self._ntt_rows(ct.c0.residues)
+        # the NTT domain per residue. NTT-resident parts skip their
+        # forward transform — decrypting a resident result is cheaper
+        # than decrypting a coefficient-domain one.
+        def part_ntt(part: RnsPoly) -> np.ndarray:
+            if part.ntt_domain:
+                return part.residues
+            return self._ntt_rows(part.residues)
+
+        acc = part_ntt(ct.c0)
         s_power = secret.ntt_rows
         for part in ct.parts[1:]:
-            acc = (acc + self._ntt_rows(part.residues) * s_power) % primes_col
+            acc = (acc + part_ntt(part) * s_power) % primes_col
             s_power = (s_power * secret.ntt_rows) % primes_col
         w_rows = self._intt_rows(acc)
         w_coeffs = self.q_basis.reconstruct_coeffs_centered(w_rows)
@@ -264,40 +296,115 @@ class FvContext:
 
     # -- additive homomorphic operations ---------------------------------------------------
 
+    def _align_domains(self, a: Ciphertext,
+                       b: Ciphertext) -> tuple[Ciphertext, Ciphertext]:
+        """Bring two ciphertexts into a common domain for linear ops.
+
+        Mixed operands converge on the NTT domain (addition commutes
+        with the transform), which keeps NTT-resident execution chains
+        resident when a fresh coefficient-domain operand joins in.
+        """
+        a_resident = a.c0.ntt_domain
+        b_resident = b.c0.ntt_domain
+        if a_resident == b_resident:
+            return a, b
+        if a_resident:
+            return a, self.to_ntt_ct(b)
+        return self.to_ntt_ct(a), b
+
     def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
-        """FV.Add: coefficient-wise addition of ciphertext parts."""
+        """FV.Add: element-wise addition of ciphertext parts.
+
+        Works in either domain (the NTT is linear); mixed-domain
+        operands are aligned onto the NTT domain first.
+        """
         if a.size != b.size:
             raise ParameterError("cannot add ciphertexts of different sizes")
+        a, b = self._align_domains(a, b)
         parts = tuple(pa + pb for pa, pb in zip(a.parts, b.parts))
         return Ciphertext(parts, self.params)
 
     def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
         if a.size != b.size:
             raise ParameterError("cannot subtract ciphertexts of different sizes")
+        a, b = self._align_domains(a, b)
         parts = tuple(pa - pb for pa, pb in zip(a.parts, b.parts))
         return Ciphertext(parts, self.params)
 
     def negate(self, a: Ciphertext) -> Ciphertext:
         return Ciphertext(tuple(-p for p in a.parts), self.params)
 
-    def add_plain(self, a: Ciphertext, plain: Plaintext) -> Ciphertext:
-        """Add an unencrypted plaintext into a ciphertext (free operation)."""
+    def delta_plain_rows(self, plain: Plaintext) -> np.ndarray:
+        """Residue rows of ``Delta * m`` (what Encrypt/AddPlain embed)."""
         primes_col = self.q_basis.primes_col
         m_rows = plain.coeffs[None, :] % primes_col
-        delta_m = (self.delta_rows * m_rows) % primes_col
-        c0 = RnsPoly(self.q_basis,
-                     (a.c0.residues + delta_m) % primes_col)
+        return (self.delta_rows * m_rows) % primes_col
+
+    def plain_ntt_rows(self, plain: Plaintext) -> np.ndarray:
+        """NTT rows of a plaintext polynomial (for MulPlain)."""
+        primes_col = self.q_basis.primes_col
+        return self._ntt_rows(plain.coeffs[None, :] % primes_col)
+
+    def add_plain(self, a: Ciphertext, plain: Plaintext,
+                  delta_m_ntt: np.ndarray | None = None) -> Ciphertext:
+        """Add an unencrypted plaintext into a ciphertext (free operation).
+
+        NTT-resident ciphertexts stay resident: ``Delta * m`` is added
+        in the evaluation domain (``delta_m_ntt`` lets the session's
+        plaintext-constant pool supply the transform).
+        """
+        primes_col = self.q_basis.primes_col
+        if a.c0.ntt_domain:
+            if delta_m_ntt is None:
+                delta_m_ntt = self._ntt_rows(self.delta_plain_rows(plain))
+            c0 = RnsPoly.trusted(
+                self.q_basis,
+                (a.c0.residues + delta_m_ntt) % primes_col,
+                ntt_domain=True,
+            )
+        else:
+            c0 = RnsPoly.trusted(
+                self.q_basis,
+                (a.c0.residues + self.delta_plain_rows(plain)) % primes_col,
+            )
         return Ciphertext((c0,) + a.parts[1:], self.params)
 
-    def mul_plain(self, a: Ciphertext, plain: Plaintext) -> Ciphertext:
-        """Multiply a ciphertext by a plaintext polynomial (no relin needed)."""
+    def mul_plain(self, a: Ciphertext, plain: Plaintext,
+                  m_ntt: np.ndarray | None = None) -> Ciphertext:
+        """Multiply a ciphertext by a plaintext polynomial (no relin needed).
+
+        The product is computed in the NTT domain. Coefficient-domain
+        inputs are transformed (one stacked call for all parts) and
+        converted back, preserving the legacy contract; NTT-resident
+        inputs stay resident and pay only the pointwise products —
+        the big win of the NTT-resident executor, especially when
+        ``m_ntt`` comes from the session's plaintext-constant pool.
+        """
         primes_col = self.q_basis.primes_col
-        m_rows = plain.coeffs[None, :] % primes_col
-        m_ntt = self._ntt_rows(m_rows)
-        parts = []
-        for part in a.parts:
-            prod = self._intt_rows(
-                (self._ntt_rows(part.residues) * m_ntt) % primes_col
+        if m_ntt is None:
+            m_ntt = self.plain_ntt_rows(plain)
+        resident = a.c0.ntt_domain
+        if resident:
+            parts_ntt = np.stack([part.residues for part in a.parts])
+        else:
+            parts_ntt = self._ntt_rows(
+                np.stack([part.residues for part in a.parts])
             )
-            parts.append(RnsPoly(self.q_basis, prod))
-        return Ciphertext(tuple(parts), self.params)
+        products = (parts_ntt * m_ntt) % primes_col
+        if resident:
+            return Ciphertext(
+                tuple(
+                    RnsPoly.trusted(self.q_basis, products[i],
+                                    ntt_domain=True)
+                    for i in range(a.size)
+                ),
+                self.params,
+            )
+        coeff = self._intt_rows(products)
+        return Ciphertext(
+            tuple(
+                RnsPoly.trusted(self.q_basis, coeff[i])
+                for i in range(a.size)
+            ),
+            self.params,
+        )

@@ -5,6 +5,15 @@ scheme (``repro.fv``) and the hardware simulator (``repro.hw``). It
 contains no hardware modelling; everything here is plain number theory.
 """
 
+from .batch import (
+    BasisTransformer,
+    basis_transformer,
+    intt_rows,
+    ntt_rows,
+    per_row_mode,
+    reset_transform_counts,
+    transform_counts,
+)
 from .bitrev import bit_reverse_indices, bit_reverse_int, bit_reverse_permute
 from .modmath import mod_centered, modinv, modpow
 from .ntt import (
@@ -12,6 +21,7 @@ from .ntt import (
     intt_iterative,
     negacyclic_convolution,
     ntt_iterative,
+    power_table,
 )
 from .primes import (
     find_ntt_primes,
@@ -32,6 +42,14 @@ __all__ = [
     "bit_reverse_int",
     "bit_reverse_permute",
     "NegacyclicTransformer",
+    "BasisTransformer",
+    "basis_transformer",
+    "ntt_rows",
+    "intt_rows",
+    "per_row_mode",
+    "transform_counts",
+    "reset_transform_counts",
+    "power_table",
     "ntt_iterative",
     "intt_iterative",
     "negacyclic_convolution",

@@ -1,0 +1,673 @@
+"""Batched limb-parallel negacyclic NTT engine.
+
+This is the software analogue of the paper's headline parallelism: all
+``k`` RPAUs transform their residue channels *simultaneously*. A
+:class:`BasisTransformer` transforms the whole ``(k, n)`` residue
+matrix of an RNS polynomial in one shot instead of looping over limbs
+in Python the way the per-row
+:class:`~repro.nttmath.ntt.NegacyclicTransformer` path does.
+
+The engine uses the four-step decomposition ``n = n1 * n2`` (the same
+factorisation the paper's pipelined NTT unit streams through its
+butterfly array): a size-n1 sub-NTT, an element-wise twiddle
+correction, a transpose, and a size-n2 sub-NTT. Because the
+sub-transforms are short, each one is evaluated as a *dense matrix
+product* in float64 — operands split into 15-bit limbs so every BLAS
+partial sum stays below 2^53 and is therefore exact — which turns the
+NTT's many memory-bound element-wise passes into a handful of
+compute-dense dgemm calls. The remaining element-wise work per
+transform is two division-free reductions and one Shoup twiddle
+multiply. See :class:`BasisTransformer` for the detailed numerics.
+
+All transforms are bit-exact against :func:`~repro.nttmath.ntt.ntt_iterative`
+and the per-row ``NegacyclicTransformer`` — the property tests enforce
+this across ring sizes and basis shapes.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..utils import log2_exact
+from .modmath import modinv
+from .ntt import _MAX_MODULUS_BITS, power_table
+from .primes import root_of_unity
+
+_SHOUP_SHIFT = 32
+"""Fixed-point shift of the precomputed Shoup twiddle quotients."""
+
+
+# -- transform accounting ------------------------------------------------------
+
+
+@dataclass
+class TransformStats:
+    """Global forward/inverse transform counters.
+
+    ``*_rows`` count single-polynomial row transforms (the unit one RPAU
+    performs); ``*_calls`` count batched engine invocations. The
+    counters drive :class:`~repro.api.backends.LocalBackend` telemetry,
+    which is how the tests prove the NTT-resident executor really does
+    eliminate redundant transforms.
+    """
+
+    forward_rows: int = 0
+    inverse_rows: int = 0
+    forward_calls: int = 0
+    inverse_calls: int = 0
+
+    def snapshot(self) -> tuple[int, int, int, int]:
+        return (self.forward_rows, self.inverse_rows,
+                self.forward_calls, self.inverse_calls)
+
+
+TRANSFORM_STATS = TransformStats()
+
+
+def transform_counts() -> dict[str, int]:
+    """Current global transform counters as a plain dict."""
+    return {
+        "forward_rows": TRANSFORM_STATS.forward_rows,
+        "inverse_rows": TRANSFORM_STATS.inverse_rows,
+        "forward_calls": TRANSFORM_STATS.forward_calls,
+        "inverse_calls": TRANSFORM_STATS.inverse_calls,
+    }
+
+
+def reset_transform_counts() -> None:
+    TRANSFORM_STATS.forward_rows = 0
+    TRANSFORM_STATS.inverse_rows = 0
+    TRANSFORM_STATS.forward_calls = 0
+    TRANSFORM_STATS.inverse_calls = 0
+
+
+# -- per-row fallback mode ------------------------------------------------------
+
+_PER_ROW_MODE = False
+
+
+@contextmanager
+def per_row_mode():
+    """Restore the pre-batching hot path for baseline measurement.
+
+    Inside this context every rewired call site falls back to its
+    pre-PR implementation: one :class:`~repro.poly.ring.RingContext`
+    transform per residue row (with the per-call bit-reversal index
+    rebuild those transforms used to pay), the per-target-prime Python
+    loops in the lift/scale conversions, eager per-term reductions in
+    the key-switch accumulators, integer-division digit broadcasts,
+    and the validating :class:`~repro.poly.rns_poly.RnsPoly`
+    constructor on every intermediate. The throughput benchmark runs
+    inside this context to price exactly what the limb-loop hot path
+    cost before the batched engine landed.
+    """
+    from . import ntt as _ntt
+
+    global _PER_ROW_MODE
+    previous = _PER_ROW_MODE
+    previous_bitrev = _ntt.LEGACY_BITREV
+    _PER_ROW_MODE = True
+    _ntt.LEGACY_BITREV = True
+    try:
+        yield
+    finally:
+        _PER_ROW_MODE = previous
+        _ntt.LEGACY_BITREV = previous_bitrev
+
+
+def batched_engine_ok(primes: tuple[int, ...], n: int) -> bool:
+    """Can the gemm engine run this basis (outside per_row_mode)?
+
+    Mirrors :class:`BasisTransformer`'s own constructor limits: primes
+    must leave 4q < 2^32 headroom and the sub-transforms must stay at
+    or below 128 points (n1 = 2^ceil(log2(n)/2) <= 128, i.e.
+    n <= 16384) so the limb-split float64 partial sums remain exact.
+    Every dispatcher consults this one predicate; ineligible bases take
+    the (slower, still exact) per-row path.
+    """
+    return (max(primes).bit_length() < _MAX_MODULUS_BITS
+            and n <= 16384)
+
+
+def _shoup_table(table: np.ndarray, primes_col: np.ndarray) -> np.ndarray:
+    """Scaled quotients ``floor(w * 2^32 / q)`` for a stacked table.
+
+    Entries are < 2^30, so the shifted product stays below 2^62 and the
+    division is exact in int64 — no object-dtype arithmetic needed.
+    """
+    return (table << _SHOUP_SHIFT) // primes_col
+
+
+class BasisTransformer:
+    """Vectorised negacyclic NTT over a whole RNS basis at once.
+
+    The transform uses the four-step decomposition ``n = n1 * n2`` the
+    paper's pipelined NTT unit is built around — a size-n1 NTT down the
+    columns of the (n1, n2) coefficient matrix, an element-wise twiddle
+    correction, a transpose, and a size-n2 NTT over the transposed
+    matrix — but computes both short sub-NTTs as *dense matrix
+    products* evaluated by BLAS in float64:
+
+    * each operand is split into a high and a low 15-bit limb, and the
+      sub-DFT matrix is stored as the (n1, 2*n1) block ``[W * 2^15 mod
+      q | W]``, so one dgemm per step computes the exact sub-transform
+      (every partial sum stays below 2^53, where float64 arithmetic on
+      integers is exact);
+    * the negacyclic psi^i pre-twist is folded into the step-1 matrix
+      and the four-step twiddle table, and the inverse transform's
+      ``psi^-i / n`` post-scale is folded into its twiddle and step-2
+      matrix, so neither costs a separate pass;
+    * the post-gemm reductions run in float64 too (quotients are below
+      2^23, so ``g - rint(g/q) * q`` is exact), leaving the Shoup
+      twiddle multiply as the only integer element-wise stage;
+    * a ``(j, k, n)`` stack of polynomials over the same basis shares
+      one dgemm pair — polynomial ``idx`` occupies column block ``idx``
+      of the limb matrices — so the tensor step's four lifted operands
+      or relinearisation's digit matrices transform in a single call.
+
+    This is what "as fast as numpy allows" looks like for an exact NTT:
+    the butterflies' many memory-bound element passes become a handful
+    of compute-dense BLAS calls. Results are bit-identical to the
+    per-row :class:`~repro.nttmath.ntt.NegacyclicTransformer` and to
+    the paper-literal :func:`~repro.nttmath.ntt.ntt_iterative`.
+    Instances are cached per ``(primes, n)`` via
+    :func:`basis_transformer`.
+    """
+
+    def __init__(self, primes: tuple[int, ...], n: int) -> None:
+        self.primes = tuple(int(p) for p in primes)
+        self.n = n
+        self.stages = log2_exact(n)
+        # n = n1 * n2, n1 >= n2. Exactness of the single-gemm step needs
+        # n1 * max_prime * 2^16 < 2^53, i.e. n1 <= 128 for 30-bit primes.
+        self.n1 = 1 << ((self.stages + 1) // 2)
+        self.n2 = n // self.n1
+        for p in self.primes:
+            if p.bit_length() > _MAX_MODULUS_BITS - 1:
+                raise ParameterError(
+                    f"modulus {p} exceeds {_MAX_MODULUS_BITS - 1} bits; the "
+                    "lazy-reduction datapath needs 4q < 2^32"
+                )
+            if (p - 1) % (2 * n) != 0:
+                raise ParameterError(
+                    f"modulus {p} is not NTT-friendly for degree {n}"
+                )
+        if self.n1 > 128:
+            raise ParameterError(
+                f"degree {n} needs sub-transforms above 128 points; the "
+                "float64 gemm would lose exactness (use the per-row path)"
+            )
+        self.k = len(self.primes)
+        self.primes_col = np.array(self.primes, dtype=np.int64)[:, None]
+        # Modulus tables shared by both directions and the scratch pool.
+        p_int = np.repeat(self.primes_col, n, axis=1)
+        self._mod_tables = (p_int, p_int.astype(np.float64), 1.0 / p_int)
+        self._fwd = _GemmPlan(self, inverse=False)
+        self._inv = _GemmPlan(self, inverse=True)
+        self._scaled_inv: dict[tuple[int, ...], _GemmPlan] = {}
+        self._scratch: tuple[np.ndarray, ...] | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BasisTransformer(k={self.k}, n={self.n})"
+
+    # -- internals ---------------------------------------------------------------
+
+    def _buffers(self) -> tuple[np.ndarray, ...]:
+        """Preallocated scratch, shared by both transform directions.
+
+        Kept cache-sized on purpose: stacks are processed one
+        polynomial at a time (whole-stack buffers would spill the
+        last-level cache and turn every pass memory-bound), and forward
+        and inverse share one set so the hot loop keeps touching the
+        same few hundred kilobytes.
+        """
+        if self._scratch is None:
+            k, n, n1, n2 = self.k, self.n, self.n1, self.n2
+            self._scratch = (
+                np.empty((k, 2 * n1, n2), dtype=np.float64),  # limbs 1
+                np.empty((k, 2 * n2, n1), dtype=np.float64),  # limbs 2
+                np.empty((k, n1, n2), dtype=np.float64),      # gemm out 1
+                np.empty((k, n2, n1), dtype=np.float64),      # gemm out 2
+                np.empty((k, n), dtype=np.int64),             # int work
+                np.empty((k, n), dtype=np.float64),           # float tmp
+                np.empty((k, n), dtype=np.int64),             # int tmp
+            )
+        return self._scratch
+
+    def _check(self, matrix: np.ndarray) -> tuple[np.ndarray, bool]:
+        arr = np.asarray(matrix, dtype=np.int64)
+        if arr.ndim == 2:
+            stacked = False
+            arr = arr[None, :, :]
+        elif arr.ndim == 3:
+            stacked = True
+        else:
+            raise ParameterError(
+                f"expected a (k, n) matrix or (j, k, n) stack, got shape "
+                f"{np.asarray(matrix).shape}"
+            )
+        if arr.shape[1] != self.k or arr.shape[2] != self.n:
+            raise ParameterError(
+                f"residue stack shape {arr.shape[1:]} does not match the "
+                f"({self.k} x {self.n}) basis layout"
+            )
+        return arr, stacked
+
+    # -- public API ----------------------------------------------------------------
+
+    def forward(self, matrix: np.ndarray,
+                lazy: bool = False) -> np.ndarray:
+        """Negacyclic forward NTT of every residue row, batched.
+
+        ``matrix`` is a ``(k, n)`` residue matrix with entries in
+        ``[0, q_i)`` or a ``(j, k, n)`` stack; the result has the same
+        shape with canonical NTT-domain entries, bit-identical to the
+        per-row reference transforms. With ``lazy=True`` the final
+        conditional subtract is skipped and entries land in [0, 2q) —
+        for consumers whose own reduction absorbs the slack (the tensor
+        step's point-wise products).
+        """
+        arr, stacked = self._check(matrix)
+        out = np.empty_like(arr)
+        for idx in range(arr.shape[0]):
+            self._fwd.apply(self, arr[idx], out[idx], lazy=lazy)
+        TRANSFORM_STATS.forward_rows += arr.shape[0] * self.k
+        TRANSFORM_STATS.forward_calls += 1
+        return out if stacked else out[0]
+
+    def inverse(self, matrix: np.ndarray) -> np.ndarray:
+        """Negacyclic inverse NTT of every residue row, batched."""
+        arr, stacked = self._check(matrix)
+        out = np.empty_like(arr)
+        for idx in range(arr.shape[0]):
+            self._inv.apply(self, arr[idx], out[idx])
+        TRANSFORM_STATS.inverse_rows += arr.shape[0] * self.k
+        TRANSFORM_STATS.inverse_calls += 1
+        return out if stacked else out[0]
+
+    def inverse_scaled(self, matrix: np.ndarray,
+                       constants: tuple[int, ...]) -> np.ndarray:
+        """Inverse NTT with a per-channel constant multiply folded in.
+
+        Channel ``c`` of the result equals
+        ``(INTT_c(matrix[c]) * constants[c]) mod q_c`` — the constant
+        rides along in the (linear) transform's twiddle table for free.
+        This is how the evaluator fuses Scale's Block-1 ``Q~_k``
+        multiplies into the tensor step's inverse transforms. Scaled
+        plans are cached per constants tuple.
+        """
+        if len(constants) != self.k:
+            raise ParameterError(
+                f"need {self.k} channel constants, got {len(constants)}"
+            )
+        plan = self._scaled_inv.get(constants)
+        if plan is None:
+            plan = _GemmPlan(self, inverse=True, channel_scale=constants)
+            self._scaled_inv[constants] = plan
+        arr, stacked = self._check(matrix)
+        out = np.empty_like(arr)
+        for idx in range(arr.shape[0]):
+            plan.apply(self, arr[idx], out[idx])
+        TRANSFORM_STATS.inverse_rows += arr.shape[0] * self.k
+        TRANSFORM_STATS.inverse_calls += 1
+        return out if stacked else out[0]
+
+    def forward_broadcast(self, rows: np.ndarray,
+                          lazy: bool = False) -> np.ndarray:
+        """Forward NTT of each raw digit row under every basis prime.
+
+        ``rows`` is a ``(j, n)`` matrix of non-negative values below
+        2^31 (unreduced raw-residue digits); the result is ``(j, k, n)``
+        with channel ``c`` of output ``i`` equal to the NTT of
+        ``rows[i] mod primes[c]`` — bit-identical to broadcasting,
+        reducing, and transforming per channel, at a fraction of the
+        cost (see :meth:`_GemmPlan.apply_broadcast`).
+        """
+        arr = np.asarray(rows, dtype=np.int64)
+        if arr.ndim != 2 or arr.shape[1] != self.n:
+            raise ParameterError(
+                f"expected (j, {self.n}) digit rows, got {arr.shape}"
+            )
+        j = arr.shape[0]
+        out = np.empty((j, self.k, self.n), dtype=np.int64)
+        for idx in range(j):
+            self._fwd.apply_broadcast(self, arr[idx], out[idx], lazy=lazy)
+        TRANSFORM_STATS.forward_rows += j * self.k
+        TRANSFORM_STATS.forward_calls += 1
+        return out
+
+    def pointwise(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        """Element-wise modular product of NTT-domain matrices."""
+        return (np.asarray(left, dtype=np.int64)
+                * np.asarray(right, dtype=np.int64)) % self.primes_col
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Negacyclic product of two residue matrices, batched."""
+        stack = np.stack([np.asarray(a, dtype=np.int64),
+                          np.asarray(b, dtype=np.int64)])
+        fa, fb = self.forward(stack)
+        return self.inverse(self.pointwise(fa, fb))
+
+
+_SPLIT_BITS = 15
+_SPLIT_MASK = (1 << _SPLIT_BITS) - 1
+
+
+class _GemmPlan:
+    """Precomputed tables for one transform direction of a basis.
+
+    ``step1``/``step2`` hold the float64 ``(k, L, 2L)`` limb-split
+    sub-DFT matrices ``[W * 2^15 mod q | W]``; the four-step twiddle
+    correction is kept in int64 with its Shoup quotients. The psi
+    pre-twist (forward) and the ``psi^-i / n`` post-scale (inverse)
+    are folded into these tables, so :meth:`apply` runs no standalone
+    scaling passes. Per stack width ``j``, :meth:`tables` lazily
+    materialises column-tiled twiddle and modulus tables (real strides
+    everywhere — numpy's zero-stride broadcast loops are 3-4x slower).
+    """
+
+    def __init__(self, bt: BasisTransformer, inverse: bool,
+                 channel_scale: tuple[int, ...] | None = None) -> None:
+        k, n, n1, n2 = bt.k, bt.n, bt.n1, bt.n2
+        step1 = np.empty((k, n1, 2 * n1), dtype=np.float64)
+        step2 = np.empty((k, n2, 2 * n2), dtype=np.float64)
+        twiddle = np.empty((k, n1, n2), dtype=np.int64)
+        for ki, p in enumerate(bt.primes):
+            psi = root_of_unity(2 * n, p)
+            if inverse:
+                psi = modinv(psi, p)
+            # psi powers over exponents mod 2n (omega = psi^2).
+            psi_pow = power_table(psi, 2 * n, p)
+            j1 = np.arange(n1, dtype=np.int64)[:, None]
+            i1 = np.arange(n1, dtype=np.int64)[None, :]
+            i2 = np.arange(n2, dtype=np.int64)[None, :]
+            j2 = np.arange(n2, dtype=np.int64)[:, None]
+            if not inverse:
+                # W1[j1, i1] = omega^(n2 i1 j1) * psi^(n2 i1): the
+                # psi^i twist contributes psi^(i1 n2) here and psi^(i2)
+                # to the twiddle below.
+                w1 = psi_pow[(2 * n2 * j1 * i1 + n2 * i1) % (2 * n)]
+                tw = psi_pow[(2 * j1 * i2 + i2) % (2 * n)]
+                w2 = psi_pow[(2 * n1 * j2 * i2) % (2 * n)]
+            else:
+                # Inverse: plain DFT over psi^-2, with psi^-j1 / n in
+                # the twiddle and psi^-(n1 j2) in the step-2 rows (the
+                # output index is j = j2 n1 + j1).
+                inv_n = modinv(n, p)
+                w1 = psi_pow[(2 * n2 * j1 * i1) % (2 * n)]
+                tw = (psi_pow[(2 * j1 * i2 + j1) % (2 * n)]
+                      * inv_n) % p
+                w2 = psi_pow[(2 * n1 * j2 * i2 + n1 * j2) % (2 * n)]
+            if channel_scale is not None:
+                # Per-channel constant folded into the mid twiddle
+                # (linearity: it scales the whole channel's output).
+                tw = (tw * (channel_scale[ki] % p)) % p
+            step1[ki, :, :n1] = (w1 << _SPLIT_BITS) % p
+            step1[ki, :, n1:] = w1
+            step2[ki, :, :n2] = (w2 << _SPLIT_BITS) % p
+            step2[ki, :, n2:] = w2
+            twiddle[ki] = tw
+        self.step1 = step1
+        self.step2 = step2
+        self._twiddle = twiddle
+        self._primes_col = bt.primes_col
+        self._flat: tuple[np.ndarray, np.ndarray] | None = None
+
+    def tables(self) -> tuple[np.ndarray, np.ndarray]:
+        """Flat (k, n) twiddle tables, materialised with real strides
+        (numpy's zero-stride broadcast loops are 3-4x slower)."""
+        if self._flat is None:
+            k, n1, n2 = self._twiddle.shape
+            tw = self._twiddle.reshape(k, n1 * n2)
+            self._flat = (tw, _shoup_table(tw, self._primes_col))
+        return self._flat
+
+    @staticmethod
+    def _reduce_lazy(g: np.ndarray, p_f: np.ndarray, inv_p: np.ndarray,
+                     q_f: np.ndarray, out: np.ndarray) -> None:
+        """Cast the exact float64 gemm output into lazy int64 [0, 2q).
+
+        ``g`` holds exact integers below 2^53, so the float quotient
+        ``rint(g / q)`` is off by at most one and ``g - rint(g/q) * q``
+        lands in (-q, q) — still exact, because every intermediate is
+        an integer of magnitude below 2^53. Adding q gives the lazy
+        representative with no integer division anywhere.
+        """
+        np.multiply(g, inv_p, out=q_f)
+        np.rint(q_f, out=q_f)
+        np.multiply(q_f, p_f, out=q_f)
+        np.subtract(g, q_f, out=g)
+        np.add(g, p_f, out=out, casting="unsafe")
+
+    @staticmethod
+    def _split_into(values: np.ndarray, limbs: np.ndarray) -> None:
+        """Write the high/low 15-bit limb stack of one (k, L, c) block.
+
+        The ufuncs cast straight into the float64 limb buffer (exact:
+        both limbs are below 2^16), one pass per limb.
+        """
+        rows = values.shape[1]
+        np.right_shift(values, _SPLIT_BITS, out=limbs[:, :rows, :],
+                       casting="unsafe")
+        np.bitwise_and(values, _SPLIT_MASK, out=limbs[:, rows:, :],
+                       casting="unsafe")
+
+    def apply(self, bt: BasisTransformer, x: np.ndarray,
+              out: np.ndarray, lazy: bool = False) -> None:
+        """Transform one (k, n) matrix into ``out`` (natural order).
+
+        Entries of ``x`` must be non-negative and below 2^31 (canonical
+        residues always are); ``out`` receives canonical [0, q) values
+        (or lazy [0, 2q) ones when ``lazy`` is set).
+        """
+        k, n1, n2 = bt.k, bt.n1, bt.n2
+        limbs1, limbs2, g1, g2, work, f_tmp, i_tmp = bt._buffers()
+        p_f, inv_p = bt._mod_tables[1], bt._mod_tables[2]
+        # Step 1: exact size-n1 sub-DFT down the columns (one dgemm),
+        # then the float reduction into lazy [0, 2q).
+        self._split_into(x.reshape(k, n1, n2), limbs1)
+        np.matmul(self.step1, limbs1, out=g1)
+        self._reduce_lazy(g1, p_f.reshape(g1.shape),
+                          inv_p.reshape(g1.shape),
+                          f_tmp.reshape(g1.shape), work.reshape(g1.shape))
+        self._tail(bt, work, out, lazy)
+
+    def apply_broadcast(self, bt: BasisTransformer, row: np.ndarray,
+                        out: np.ndarray, lazy: bool = False) -> None:
+        """Transform one raw digit row under *every* basis prime.
+
+        ``row`` is a length-n vector of non-negative values below 2^31
+        — typically an unreduced raw-residue digit. Because
+        ``NTT_k(v) ≡ NTT_k(v mod q_k)`` and the engine's reductions are
+        exact, ``out`` (shape (k, n)) is bit-identical to broadcasting
+        the row across the basis, reducing per channel, and
+        transforming each channel — but the shared source means one
+        limb split and a single tall dgemm cover step 1 of all k
+        channels at once (the paper's fused WordDecomp + NTT digit
+        pipeline).
+        """
+        k, n1, n2 = bt.k, bt.n1, bt.n2
+        limbs1, limbs2, g1, g2, work, f_tmp, i_tmp = bt._buffers()
+        p_f, inv_p = bt._mod_tables[1], bt._mod_tables[2]
+        shared = limbs1.reshape(k * 2 * n1, n2)[: 2 * n1]
+        self._split_into(row.reshape(1, n1, n2),
+                         shared.reshape(1, 2 * n1, n2))
+        np.matmul(self.step1.reshape(k * n1, 2 * n1), shared,
+                  out=g1.reshape(k * n1, n2))
+        self._reduce_lazy(g1, p_f.reshape(g1.shape),
+                          inv_p.reshape(g1.shape),
+                          f_tmp.reshape(g1.shape), work.reshape(g1.shape))
+        self._tail(bt, work, out, lazy)
+
+    def _tail(self, bt: BasisTransformer, work: np.ndarray,
+              out: np.ndarray, lazy: bool = False) -> None:
+        """Steps 2-4: twiddle, transpose, second sub-DFT, canonicalise
+        (or stop at the lazy [0, 2q) representative)."""
+        k, n1, n2 = bt.k, bt.n1, bt.n2
+        n = bt.n
+        limbs1, limbs2, g1, g2, _, f_tmp, i_tmp = bt._buffers()
+        tw, tw_sh = self.tables()
+        p_int, p_f, inv_p = bt._mod_tables
+        # Step 2: Shoup twiddle multiply, still lazy in [0, 2q).
+        _shoup_mul(work, tw, tw_sh, p_int, i_tmp)
+        if n2 > 64:
+            # Above 64-point sub-transforms the lazy [0, 2q) bound would
+            # push gemm partial sums past 2^53; one conditional subtract
+            # restores canonical inputs (unsigned-view minimum trick).
+            np.subtract(work, p_int, out=i_tmp)
+            np.minimum(work.view(np.uint64), i_tmp.view(np.uint64),
+                       out=work.view(np.uint64))
+        # Step 3: transpose (one strided copy pass) into the output
+        # buffer, then step 4: the size-n2 sub-DFT of the transpose.
+        w2 = i_tmp.reshape(k, n2, n1)
+        np.copyto(w2, work.reshape(k, n1, n2).transpose(0, 2, 1))
+        self._split_into(w2, limbs2)
+        np.matmul(self.step2, limbs2, out=g2)
+        self._reduce_lazy(g2, p_f.reshape(g2.shape),
+                          inv_p.reshape(g2.shape),
+                          f_tmp.reshape(g2.shape), work.reshape(g2.shape))
+        # Final canonical reduction [0, 2q) -> [0, q), written straight
+        # into the caller's buffer. Reading the (k, n2, n1) result
+        # row-major is the natural-order transform (output index
+        # j = j2 * n1 + j1).
+        if lazy:
+            np.copyto(out.reshape(k, n), work)
+        else:
+            np.subtract(work, p_int, out=i_tmp)
+            np.minimum(work.view(np.uint64), i_tmp.view(np.uint64),
+                       out=out.reshape(k, n).view(np.uint64))
+
+
+def _shoup_mul(values: np.ndarray, table: np.ndarray,
+               table_shoup: np.ndarray, p_full: np.ndarray,
+               q_buf: np.ndarray) -> None:
+    """In-place ``values = values * table mod p``, lazily in [0, 2p).
+
+    ``values`` must be < 2^32. The uint64 views keep the 64-bit product
+    exact, and the *logical* right shift extracts the Shoup quotient
+    (an arithmetic shift would sign-extend products above 2^63).
+    """
+    np.multiply(values.view(np.uint64), table_shoup.view(np.uint64),
+                out=q_buf.view(np.uint64))
+    np.right_shift(q_buf.view(np.uint64), _SHOUP_SHIFT,
+                   out=q_buf.view(np.uint64))
+    np.multiply(values, table, out=values)
+    np.multiply(q_buf, p_full, out=q_buf)
+    np.subtract(values, q_buf, out=values)
+
+
+@lru_cache(maxsize=None)
+def basis_transformer(primes: tuple[int, ...], n: int) -> BasisTransformer:
+    """Shared, cached batched transformer for one ``(primes, n)`` basis."""
+    return BasisTransformer(tuple(primes), n)
+
+
+# -- dispatching entry points -----------------------------------------------------
+
+
+def _per_row_forward(primes: tuple[int, ...], matrix: np.ndarray) -> np.ndarray:
+    from ..poly.ring import ring_context
+
+    n = matrix.shape[-1]
+    rows = [
+        ring_context(n, p).transformer.forward(row)
+        for p, row in zip(primes, matrix)
+    ]
+    return np.stack(rows)
+
+
+def _per_row_inverse(primes: tuple[int, ...], matrix: np.ndarray) -> np.ndarray:
+    from ..poly.ring import ring_context
+
+    n = matrix.shape[-1]
+    rows = [
+        ring_context(n, p).transformer.inverse(row)
+        for p, row in zip(primes, matrix)
+    ]
+    return np.stack(rows)
+
+
+def ntt_rows(primes: tuple[int, ...], matrix: np.ndarray) -> np.ndarray:
+    """Forward-transform a residue matrix (or ``(j, k, n)`` stack).
+
+    The production entry point every limb-loop call site was rewired
+    onto: batched by default, per-row inside :func:`per_row_mode` (both
+    modes update the transform counters, so telemetry comparisons stay
+    meaningful).
+    """
+    if _PER_ROW_MODE or not batched_engine_ok(
+            primes, np.asarray(matrix).shape[-1]):
+        arr = np.asarray(matrix, dtype=np.int64)
+        if arr.ndim == 3:
+            out = np.stack([_per_row_forward(primes, a) for a in arr])
+        else:
+            out = _per_row_forward(primes, arr)
+        TRANSFORM_STATS.forward_rows += int(np.prod(out.shape[:-1]))
+        TRANSFORM_STATS.forward_calls += 1
+        return out
+    n = np.asarray(matrix).shape[-1]
+    return basis_transformer(tuple(primes), n).forward(matrix)
+
+
+def intt_rows_scaled(primes: tuple[int, ...], matrix: np.ndarray,
+                     constants: tuple[int, ...]) -> np.ndarray:
+    """Inverse-transform with per-channel constants folded in.
+
+    Equivalent to ``(intt_rows(primes, matrix) * col(constants)) %
+    col(primes)`` with the multiplies hidden inside the transform's
+    twiddle tables; falls back to exactly that composition when the
+    batched engine cannot run.
+    """
+    arr = np.asarray(matrix, dtype=np.int64)
+    n = arr.shape[-1]
+    if _PER_ROW_MODE or not batched_engine_ok(primes, n):
+        primes_col = np.array(primes, dtype=np.int64)[:, None]
+        consts_col = np.array(
+            [c % p for c, p in zip(constants, primes)], dtype=np.int64
+        )[:, None]
+        return (intt_rows(primes, arr) * consts_col) % primes_col
+    return basis_transformer(tuple(primes), n).inverse_scaled(
+        arr, tuple(int(c) for c in constants)
+    )
+
+
+def ntt_broadcast_rows(primes: tuple[int, ...], rows: np.ndarray,
+                       lazy: bool = False) -> np.ndarray:
+    """Forward NTT of raw digit rows under every prime of ``primes``.
+
+    The fused WordDecomp + NTT primitive: ``rows`` is ``(j, n)`` with
+    non-negative entries below 2^31, the result ``(j, k, n)`` —
+    bit-identical to broadcasting each row across the basis, reducing
+    per channel, and calling :func:`ntt_rows`. Falls back to exactly
+    that (per-row) recipe when the batched engine cannot run.
+    """
+    arr = np.asarray(rows, dtype=np.int64)
+    n = arr.shape[-1]
+    if _PER_ROW_MODE or not batched_engine_ok(primes, n):
+        primes_col = np.array(primes, dtype=np.int64)[:, None]
+        tiled = arr[:, None, :] % primes_col[None, :, :]
+        return ntt_rows(primes, tiled)
+    return basis_transformer(tuple(primes), n).forward_broadcast(
+        arr, lazy=lazy
+    )
+
+
+def intt_rows(primes: tuple[int, ...], matrix: np.ndarray) -> np.ndarray:
+    """Inverse-transform a residue matrix (or stack); see :func:`ntt_rows`."""
+    if _PER_ROW_MODE or not batched_engine_ok(
+            primes, np.asarray(matrix).shape[-1]):
+        arr = np.asarray(matrix, dtype=np.int64)
+        if arr.ndim == 3:
+            out = np.stack([_per_row_inverse(primes, a) for a in arr])
+        else:
+            out = _per_row_inverse(primes, arr)
+        TRANSFORM_STATS.inverse_rows += int(np.prod(out.shape[:-1]))
+        TRANSFORM_STATS.inverse_calls += 1
+        return out
+    n = np.asarray(matrix).shape[-1]
+    return basis_transformer(tuple(primes), n).inverse(matrix)

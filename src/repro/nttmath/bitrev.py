@@ -20,14 +20,29 @@ def bit_reverse_int(value: int, bits: int) -> int:
 
 
 @lru_cache(maxsize=None)
-def _bit_reverse_indices_cached(length: int) -> tuple[int, ...]:
-    bits = log2_exact(length)
-    return tuple(bit_reverse_int(i, bits) for i in range(length))
+def _bit_reverse_array_cached(length: int) -> np.ndarray:
+    """Read-only cached index array (vectorised doubling build).
+
+    The permutation for length 2L is ``[2*rev_L, 2*rev_L + 1]`` (an
+    extra low bit shifts every reversed value up and the new leading
+    bit selects the half), so the table for any power-of-two length is
+    built in log2(length) numpy passes.
+    """
+    log2_exact(length)
+    table = np.zeros(1, dtype=np.int64)
+    while len(table) < length:
+        table = np.concatenate([2 * table, 2 * table + 1])
+    table.flags.writeable = False
+    return table
 
 
 def bit_reverse_indices(length: int) -> np.ndarray:
-    """Index vector ``r`` with ``r[i] = bitreverse(i)`` for a power-of-two length."""
-    return np.array(_bit_reverse_indices_cached(length), dtype=np.int64)
+    """Index vector ``r`` with ``r[i] = bitreverse(i)`` for a power-of-two length.
+
+    The returned array is a shared read-only cache entry — index with it
+    freely, but copy before mutating.
+    """
+    return _bit_reverse_array_cached(length)
 
 
 def bit_reverse_permute(values):
@@ -40,7 +55,25 @@ def bit_reverse_permute(values):
     length = len(values)
     if length == 0 or length & (length - 1):
         raise ParameterError("bit reversal needs a power-of-two length")
-    indices = _bit_reverse_indices_cached(length)
+    indices = _bit_reverse_array_cached(length)
     if isinstance(values, np.ndarray):
-        return values[np.asarray(indices, dtype=np.int64)]
-    return [values[i] for i in indices]
+        return values[indices]
+    return [values[int(i)] for i in indices]
+
+
+@lru_cache(maxsize=None)
+def _bit_reverse_tuple_cached(length: int) -> tuple[int, ...]:
+    bits = log2_exact(length)
+    return tuple(bit_reverse_int(i, bits) for i in range(length))
+
+
+def bit_reverse_permute_legacy(values: np.ndarray) -> np.ndarray:
+    """The pre-caching permutation: re-derive the index array per call.
+
+    This is exactly what every transform paid before the per-``n``
+    index-array cache landed — the cached *tuple* was converted to a
+    fresh ndarray on each call. Kept verbatim so ``per_row_mode`` can
+    price the pre-batching hot path faithfully.
+    """
+    indices = _bit_reverse_tuple_cached(len(values))
+    return values[np.asarray(indices, dtype=np.int64)]

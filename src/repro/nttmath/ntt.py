@@ -23,11 +23,17 @@ import numpy as np
 
 from ..errors import ParameterError
 from ..utils import log2_exact
-from .bitrev import bit_reverse_permute
+from .bitrev import bit_reverse_permute, bit_reverse_permute_legacy
 from .modmath import modinv, modpow
 from .primes import root_of_unity
 
 _MAX_MODULUS_BITS = 31
+
+LEGACY_BITREV = False
+"""When True, the vectorised per-row transforms re-derive their
+bit-reversal index array per call, as the pre-caching code did.
+Toggled by :func:`repro.nttmath.batch.per_row_mode` so the benchmark
+baseline prices the complete pre-batching hot path."""
 
 
 def _check_modulus(modulus: int) -> None:
@@ -72,24 +78,40 @@ def intt_iterative(values: list[int], modulus: int, omega: int) -> list[int]:
     return [(value * inv_n) % modulus for value in transformed]
 
 
+def power_table(base: int, count: int, modulus: int) -> np.ndarray:
+    """``[base^0, base^1, ..., base^(count-1)] mod modulus`` in O(log count).
+
+    Doubling construction: each round appends ``table * base^len`` to the
+    existing table, so the whole ROM is built with log2(count) vectorised
+    passes instead of a scalar Python loop. Requires a modulus below 31
+    bits so the int64 products stay exact.
+    """
+    _check_modulus(modulus)
+    table = np.ones(1, dtype=np.int64)
+    table[0] = 1 % modulus
+    filled = 1
+    while filled < count:
+        step = modpow(base, filled, modulus)
+        take = min(filled, count - filled)
+        table = np.concatenate([table, (table[:take] * step) % modulus])
+        filled += take
+    return table
+
+
 def stage_twiddles(n: int, modulus: int, omega: int) -> list[np.ndarray]:
     """Per-stage twiddle factors ``w_m^j`` for stages m = 2, 4, ..., n.
 
     This is exactly the content of the twiddle-factor ROM the paper stores
     on-chip to avoid pipeline bubbles (Sec. V-A4); the hardware NTT unit
-    reads its twiddles from here.
+    reads its twiddles from here. Stage m's table is a strided read of
+    the omega power table: ``w_m^j = omega^(j * n/m)``.
     """
     log2_exact(n)
+    omega_pow = power_table(omega, max(n // 2, 1), modulus)
     tables = []
     m = 2
     while m <= n:
-        w_m = modpow(omega, n // m, modulus)
-        table = np.empty(m // 2, dtype=np.int64)
-        w = 1
-        for j in range(m // 2):
-            table[j] = w
-            w = (w * w_m) % modulus
-        tables.append(table)
+        tables.append(np.ascontiguousarray(omega_pow[:: n // m][: m // 2]))
         m *= 2
     return tables
 
@@ -98,7 +120,9 @@ def _ntt_vectorized(values: np.ndarray, modulus: int,
                     tables: list[np.ndarray]) -> np.ndarray:
     """Vectorised Cooley-Tukey NTT over a bit-reversed input copy."""
     n = values.shape[0]
-    work = bit_reverse_permute(values.astype(np.int64)) % modulus
+    permute = bit_reverse_permute_legacy if LEGACY_BITREV \
+        else bit_reverse_permute
+    work = permute(values.astype(np.int64)) % modulus
     for stage, twiddles in enumerate(tables):
         m = 2 << stage
         half = m // 2
@@ -163,19 +187,10 @@ class NegacyclicTransformer:
         self.inv_psi = modinv(self.psi, self.modulus)
         self.inv_omega = modinv(self.omega, self.modulus)
         self.inv_n = modinv(self.n, self.modulus)
-        indices = np.arange(self.n, dtype=np.int64)
-        self.psi_powers = self._power_table(self.psi, indices)
-        self.inv_psi_powers = self._power_table(self.inv_psi, indices)
+        self.psi_powers = power_table(self.psi, self.n, self.modulus)
+        self.inv_psi_powers = power_table(self.inv_psi, self.n, self.modulus)
         self.forward_tables = stage_twiddles(self.n, self.modulus, self.omega)
         self.inverse_tables = stage_twiddles(self.n, self.modulus, self.inv_omega)
-
-    def _power_table(self, base: int, indices: np.ndarray) -> np.ndarray:
-        table = np.empty(self.n, dtype=np.int64)
-        value = 1
-        for i in indices:
-            table[i] = value
-            value = (value * base) % self.modulus
-        return table
 
     def forward(self, coeffs: np.ndarray) -> np.ndarray:
         """Negacyclic forward transform: scale by ``psi^i`` then plain NTT."""

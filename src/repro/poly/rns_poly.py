@@ -15,6 +15,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ParameterError
+from ..nttmath import batch
+from ..nttmath.batch import intt_rows, ntt_rows
 from ..rns.basis import RnsBasis
 from .ring import RingContext, ring_context
 
@@ -44,13 +46,38 @@ class RnsPoly:
                 f"residue matrix rows ({self.residues.shape[0]}) do not "
                 f"match basis size ({self.basis.size})"
             )
-        self.residues %= self.basis.primes_col
+        # Reduce into a fresh array: ``%=`` would mutate the *caller's*
+        # array in place whenever ``np.asarray`` returned its input
+        # unchanged (the aliasing regression test pins this down).
+        self.residues = self.residues % self.basis.primes_col
 
     # -- constructors ---------------------------------------------------------
 
     @classmethod
+    def trusted(cls, basis: RnsBasis, residues: np.ndarray,
+                ntt_domain: bool = False) -> "RnsPoly":
+        """Adopt an already-reduced (size x n) int64 matrix without copying.
+
+        Hot-path constructor for internal call sites whose arithmetic
+        already produced canonical residues — it skips the defensive
+        reduction (and its allocation) of the public constructor. The
+        caller must guarantee shape, dtype, entries in [0, q_i), and
+        exclusive ownership of ``residues``. Inside
+        :func:`~repro.nttmath.batch.per_row_mode` it falls back to the
+        validating constructor, which is what every pre-batching call
+        site paid.
+        """
+        if batch._PER_ROW_MODE:
+            return cls(basis, residues, ntt_domain)
+        poly = object.__new__(cls)
+        poly.basis = basis
+        poly.residues = residues
+        poly.ntt_domain = ntt_domain
+        return poly
+
+    @classmethod
     def zero(cls, basis: RnsBasis, n: int) -> "RnsPoly":
-        return cls(basis, np.zeros((basis.size, n), dtype=np.int64))
+        return cls.trusted(basis, np.zeros((basis.size, n), dtype=np.int64))
 
     @classmethod
     def from_int_coeffs(cls, basis: RnsBasis, coeffs) -> "RnsPoly":
@@ -73,7 +100,8 @@ class RnsPoly:
         return ring_context(self.n, self.basis.primes[row])
 
     def copy(self) -> "RnsPoly":
-        return RnsPoly(self.basis, self.residues.copy(), self.ntt_domain)
+        return RnsPoly.trusted(self.basis, self.residues.copy(),
+                               self.ntt_domain)
 
     # -- conversions ------------------------------------------------------------
 
@@ -88,23 +116,21 @@ class RnsPoly:
         return self.basis.reconstruct_coeffs_centered(self.residues)
 
     def to_ntt(self) -> "RnsPoly":
-        """Forward NTT on every residue row."""
+        """Forward NTT on every residue row (batched over all limbs)."""
         self._require_coeff_domain("to_ntt")
-        rows = [
-            self.ring(i).ntt(self.residues[i])
-            for i in range(self.basis.size)
-        ]
-        return RnsPoly(self.basis, np.stack(rows), ntt_domain=True)
+        return RnsPoly.trusted(
+            self.basis, ntt_rows(self.basis.primes, self.residues),
+            ntt_domain=True,
+        )
 
     def to_coeff(self) -> "RnsPoly":
-        """Inverse NTT on every residue row."""
+        """Inverse NTT on every residue row (batched over all limbs)."""
         if not self.ntt_domain:
             return self.copy()
-        rows = [
-            self.ring(i).intt(self.residues[i])
-            for i in range(self.basis.size)
-        ]
-        return RnsPoly(self.basis, np.stack(rows), ntt_domain=False)
+        return RnsPoly.trusted(
+            self.basis, intt_rows(self.basis.primes, self.residues),
+            ntt_domain=False,
+        )
 
     # -- arithmetic --------------------------------------------------------------
 
@@ -124,7 +150,7 @@ class RnsPoly:
 
     def __add__(self, other: "RnsPoly") -> "RnsPoly":
         self._assert_compatible(other)
-        return RnsPoly(
+        return RnsPoly.trusted(
             self.basis,
             (self.residues + other.residues) % self.basis.primes_col,
             self.ntt_domain,
@@ -132,14 +158,14 @@ class RnsPoly:
 
     def __sub__(self, other: "RnsPoly") -> "RnsPoly":
         self._assert_compatible(other)
-        return RnsPoly(
+        return RnsPoly.trusted(
             self.basis,
             (self.residues - other.residues) % self.basis.primes_col,
             self.ntt_domain,
         )
 
     def __neg__(self) -> "RnsPoly":
-        return RnsPoly(
+        return RnsPoly.trusted(
             self.basis,
             (-self.residues) % self.basis.primes_col,
             self.ntt_domain,
@@ -150,27 +176,28 @@ class RnsPoly:
         self._assert_compatible(other)
         if not self.ntt_domain:
             raise ParameterError("pointwise_mul requires the NTT domain")
-        return RnsPoly(
+        return RnsPoly.trusted(
             self.basis,
             (self.residues * other.residues) % self.basis.primes_col,
             ntt_domain=True,
         )
 
     def multiply(self, other: "RnsPoly") -> "RnsPoly":
-        """Negacyclic product via per-row NTT (both in coefficient domain)."""
+        """Negacyclic product via batched NTT (both in coefficient domain)."""
         self._assert_compatible(other)
         self._require_coeff_domain("multiply")
-        rows = [
-            self.ring(i).multiply(self.residues[i], other.residues[i])
-            for i in range(self.basis.size)
-        ]
-        return RnsPoly(self.basis, np.stack(rows), ntt_domain=False)
+        primes = self.basis.primes
+        fa, fb = ntt_rows(primes, np.stack([self.residues, other.residues]))
+        product = (fa * fb) % self.basis.primes_col
+        return RnsPoly.trusted(
+            self.basis, intt_rows(primes, product), ntt_domain=False
+        )
 
     def scalar_mul(self, scalar: int) -> "RnsPoly":
         cols = np.array(
             [scalar % p for p in self.basis.primes], dtype=np.int64
         )[:, None]
-        return RnsPoly(
+        return RnsPoly.trusted(
             self.basis,
             (self.residues * cols) % self.basis.primes_col,
             self.ntt_domain,

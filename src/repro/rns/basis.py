@@ -155,6 +155,68 @@ class LiftContext:
             "target_col",
             np.array(self.target_primes, dtype=np.int64)[:, None],
         )
+        # When the target basis starts with the source primes (Lift
+        # q->Q), those output rows are *identical* to the input rows:
+        # every representative of x differs from x by a multiple of q,
+        # which vanishes modulo each source prime. The fast path then
+        # only computes the genuinely new channels.
+        object.__setattr__(
+            self,
+            "source_prefix",
+            len(self.source.primes)
+            if self.target_primes[: self.source.size] == self.source.primes
+            else 0,
+        )
+        # The gemm path carries the HPS reciprocals as four 15-bit
+        # limbs, i.e. 60 significant bits. Standard 30-bit bases fit
+        # (recip ~ 2^89 / 2^29.x < 2^60); narrower primes would
+        # truncate, so they keep the reference loop.
+        object.__setattr__(
+            self,
+            "gemm_safe",
+            all(r < (1 << 60) for r in self.source.recip),
+        )
+        object.__setattr__(self, "_gemm", None)
+
+    def gemm_tables(self) -> tuple[np.ndarray, ...]:
+        """Float64 tables for the limb-split Block 2 matrix product.
+
+        ``star_cat`` is ``[star * 2^15 mod t_j | star]`` so one dgemm
+        against the 15-bit limb split of x' computes the whole sum of
+        products exactly (see :func:`repro.rns.lift._lift_block2_gemm`).
+        Built lazily and cached on the (frozen) context.
+        """
+        if self._gemm is None:
+            # Rows for source-prefix targets are free (see above), so
+            # the gemm tables only cover the genuinely new channels.
+            skip = self.source_prefix
+            star = self.star_table[skip:]
+            t_col = self.target_col[skip:]
+            star15 = (star << 15) % t_col
+            star_cat = np.concatenate([star15, star], axis=1).astype(
+                np.float64
+            )
+            # Four extra output rows accumulate the HPS quotient's
+            # fixed-point reciprocals, 15 bits at a time: row L holds
+            # sum_i x'_i * ((recip_i >> 15L) & 0x7fff), assembled
+            # against the same [x' >> 15 | x' & 0x7fff] limb columns.
+            # Every partial sum stays below 2^50, so the dgemm is exact
+            # and hps_quotient's separate passes disappear.
+            recips = np.array(self.source.recip, dtype=np.int64)
+            limb_rows = []
+            for level in range(4):
+                limb = (recips >> (15 * level)) & 0x7FFF
+                limb_rows.append(
+                    np.concatenate([limb << 15, limb]).astype(np.float64)
+                )
+            full = np.concatenate([star_cat, np.stack(limb_rows)])
+            object.__setattr__(self, "_gemm", (
+                full,
+                t_col.astype(np.float64),
+                1.0 / t_col,
+                self.q_mod_target[skip:].astype(np.float64)[:, None],
+            ))
+        return self._gemm
 
 
 @dataclass(frozen=True)
@@ -243,6 +305,60 @@ class ScaleContext:
             "final_lift",
             LiftContext(self.p_basis, self.q_basis.primes),
         )
+        object.__setattr__(self, "_gemm", None)
+        object.__setattr__(self, "_gemm_pre", None)
+        object.__setattr__(
+            self,
+            "full_q_tilde",
+            tuple(int(c) for c in self.x_prime_mult_q[:, 0])
+            + tuple(int(c) for c in self.x_prime_mult_p[:, 0]),
+        )
+
+    def gemm_tables(self) -> tuple[np.ndarray, ...]:
+        """Float64 tables for the limb-split Blocks 2-4 matrix product.
+
+        The weight matrix concatenates ``[I * 2^15 mod p_j | I]`` for
+        the integer parts of ``t * p / q_i`` with a block-diagonal tail
+        carrying each p-channel's own term: channel j's combined
+        constant ``c_j = Q~_j * (t * p / p_j) mod p_j`` multiplies only
+        its own row's limbs, so Fig. 9's Blocks 2 *and* 3 come out of a
+        single dgemm (see :func:`repro.rns.scale._scale_sop_gemm`).
+        Built lazily and cached on the (frozen) context.
+        """
+        if self._gemm is None:
+            self._build_gemm_tables()
+        return self._gemm
+
+    def gemm_tables_prescaled(self) -> tuple[np.ndarray, ...]:
+        """Like :meth:`gemm_tables` but for inputs whose rows already
+        carry their ``Q~_k`` factor (the evaluator folds those into the
+        tensor step's inverse transforms): the own-term constants are
+        just ``t * p / p_j mod p_j``."""
+        if self._gemm_pre is None:
+            self._build_gemm_tables()
+        return self._gemm_pre
+
+    def _build_gemm_tables(self) -> None:
+        for prescaled in (False, True):
+            p_col = self.p_basis.primes_col
+            k_p = self.p_basis.size
+            int15 = (self.int_table << 15) % p_col
+            if prescaled:
+                own = self.p_term % p_col
+            else:
+                own = (self.x_prime_mult_p * self.p_term) % p_col
+            own15 = (own << 15) % p_col
+            diag_hi = np.zeros((k_p, k_p), dtype=np.int64)
+            diag_lo = np.zeros((k_p, k_p), dtype=np.int64)
+            np.fill_diagonal(diag_hi, own15[:, 0])
+            np.fill_diagonal(diag_lo, own[:, 0])
+            int_cat = np.concatenate(
+                [int15, self.int_table, diag_hi, diag_lo], axis=1
+            ).astype(np.float64)
+            object.__setattr__(
+                self, "_gemm_pre" if prescaled else "_gemm",
+                (int_cat, p_col.astype(np.float64), 1.0 / p_col),
+            )
 
 
 @lru_cache(maxsize=None)

@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ParameterError
+from ..nttmath import batch
 from .basis import RECIP_FRACTION_BITS, LiftContext, RnsBasis
 
 _MASK30 = (1 << 30) - 1
@@ -59,21 +60,42 @@ def hps_quotient(basis: RnsBasis, x_prime: np.ndarray) -> np.ndarray:
     return (s_hi + half + carry) >> (RECIP_FRACTION_BITS - 30)
 
 
-def lift_hps(context: LiftContext, residues: np.ndarray) -> np.ndarray:
+def lift_hps(context: LiftContext, residues: np.ndarray,
+             out: np.ndarray | None = None) -> np.ndarray:
     """HPS base extension (paper Eq. 2 / Fig. 6), fully vectorised.
 
     Returns the residues modulo ``context.target_primes`` of the centered
-    representative of the input.
+    representative of the input. The per-target-prime Block 2 loop is
+    one limb-split float64 matrix product (exact — see
+    :func:`_lift_block2_gemm`); :func:`~repro.nttmath.batch.per_row_mode`
+    reinstates the pre-batching loop so benchmarks can price the old
+    hot path.
     """
     basis = context.source
     matrix = _check_input(basis, residues)
     # Block 1: x'_i = x_i * q~_i mod q_i.
     x_prime = (matrix * basis.q_tilde_col) % basis.primes_col
-    # Block 3 (independent of block 2): quotient estimate.
-    v = hps_quotient(basis, x_prime)
-    # Block 2: a'_j = sum_i x'_i * (q*_i mod t_j) mod t_j. Products are
-    # reduced term-by-term before summation so any basis size is safe.
-    n = matrix.shape[1]
+    if batch._PER_ROW_MODE or not context.gemm_safe:
+        # Block 3 (independent of block 2): quotient estimate.
+        v = hps_quotient(basis, x_prime)
+        result = _lift_block2_loop(context, x_prime, v)
+        if out is not None:
+            out[...] = result
+            return out
+        return result
+    return _lift_block2_gemm(context, matrix, x_prime, out)
+
+
+def _lift_block2_loop(context: LiftContext, x_prime: np.ndarray,
+                      v: np.ndarray) -> np.ndarray:
+    """Pre-batching Block 2: one Python iteration per target prime.
+
+    Kept as the reference implementation (and the baseline the
+    throughput benchmark measures inside ``per_row_mode``): products
+    are reduced term-by-term before summation so any basis size is
+    safe, at the cost of ``k_target`` numpy round trips.
+    """
+    n = x_prime.shape[1]
     out = np.empty((len(context.target_primes), n), dtype=np.int64)
     for j, t_j in enumerate(context.target_primes):
         star_row = context.star_table[j][:, None]
@@ -83,6 +105,77 @@ def lift_hps(context: LiftContext, residues: np.ndarray) -> np.ndarray:
         correction = (v * int(context.q_mod_target[j])) % t_j
         out[j] = (sop - correction) % t_j
     return out
+
+
+def _lift_block2_gemm(context: LiftContext, matrix: np.ndarray,
+                      x_prime: np.ndarray,
+                      out: np.ndarray | None = None) -> np.ndarray:
+    """Blocks 2-4 as one exact float64 matrix product over all targets.
+
+    ``x_prime`` splits into 15-bit limbs and the star table is stored
+    as ``[star * 2^15 mod t_j | star]``, so every BLAS partial sum is
+    below ``2 * k_source * 2^45 < 2^53`` and therefore exact. The same
+    dgemm also emits the four 15-bit-limb accumulations of the HPS
+    quotient's fixed-point reciprocals (Fig. 6 Block 3), which
+    :func:`_quotient_from_limbs` reassembles into exactly the
+    :func:`hps_quotient` value. The quotient correction joins in float
+    (|v| < k_source, so the product is tiny) and a single rint-based
+    reduction lands every channel in canonical [0, t_j) — no integer
+    division anywhere.
+
+    Target channels whose prime is a source prime (the leading q rows
+    of Lift q->Q) are copied straight from the input: every lifted
+    representative is congruent to x modulo each source prime, so the
+    output rows equal the input rows exactly.
+    """
+    n = x_prime.shape[1]
+    k_s = x_prime.shape[0]
+    skip = context.source_prefix
+    star_cat, t_col_f, inv_t_col, q_mod_f = context.gemm_tables()
+    limbs = np.empty((2 * k_s, n), dtype=np.float64)
+    np.right_shift(x_prime, 15, out=limbs[:k_s], casting="unsafe")
+    np.bitwise_and(x_prime, (1 << 15) - 1, out=limbs[k_s:],
+                   casting="unsafe")
+    g = star_cat @ limbs
+    total = g[:-4]
+    v = _quotient_from_limbs(g[-4:])
+    # Blocks 4 and 5: subtract v * (q mod t_j) (exact: both factors are
+    # far below 2^26.5, the product far below 2^53).
+    total -= v.astype(np.float64)[None, :] * q_mod_f
+    # Exact reduction: quotients are below 2^23, so rint(total / t) is
+    # off by at most one and the remainder lands in (-t, t).
+    q = np.rint(total * inv_t_col)
+    total -= q * t_col_f
+    total += t_col_f
+    if out is None:
+        out = np.empty((len(context.target_primes), n), dtype=np.int64)
+    if skip:
+        out[:skip] = matrix
+    np.copyto(out[skip:], total, casting="unsafe")
+    tail = out[skip:]
+    reduced = tail - context.target_col[skip:]
+    np.minimum(tail.view(np.uint64), reduced.view(np.uint64),
+               out=tail.view(np.uint64))
+    return out
+
+
+def _quotient_from_limbs(limb_sums: np.ndarray) -> np.ndarray:
+    """Reassemble :func:`hps_quotient` from 15-bit limb accumulations.
+
+    Rows hold ``S_L = sum_i x'_i * ((recip_i >> 15L) & 0x7fff)`` as
+    exact float64 integers (< 2^50). ``S0 + S1 * 2^15`` and
+    ``S2 + S3 * 2^15`` are the low/high 30-bit-split sums of the
+    89-fractional-bit products (both below 2^63), so the rounding
+    matches the reference bit for bit.
+    """
+    s0 = limb_sums[0].astype(np.int64)
+    s1 = limb_sums[1].astype(np.int64)
+    s2 = limb_sums[2].astype(np.int64)
+    s3 = limb_sums[3].astype(np.int64)
+    s_lo = s0 + (s1 << 15)
+    s_hi = s2 + (s3 << 15)
+    half = 1 << (RECIP_FRACTION_BITS - 1 - 30)
+    return (s_hi + half + (s_lo >> 30)) >> (RECIP_FRACTION_BITS - 30)
 
 
 def lift_hps_reference(context: LiftContext,

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ParameterError
+from ..nttmath import batch
 from ..utils import round_half_away
 from .basis import SCALE_FRACTION_BITS, RnsBasis, ScaleContext
 from .lift import lift_hps
@@ -41,22 +42,51 @@ def _split_rows(context: ScaleContext, residues: np.ndarray) -> tuple:
     return matrix[: context.q_basis.size], matrix[context.q_basis.size:]
 
 
-def scale_hps(context: ScaleContext, residues: np.ndarray) -> np.ndarray:
+def scale_hps(context: ScaleContext, residues: np.ndarray,
+              prescaled: bool = False) -> np.ndarray:
     """HPS scale-and-round (Fig. 9), fully vectorised and bit-exact.
 
-    ``residues`` rows are ordered q-basis first then p-basis, matching how
-    the coprocessor stores an R_Q polynomial across its RPAUs.
+    ``residues`` rows are ordered q-basis first then p-basis, matching
+    how the coprocessor stores an R_Q polynomial across its RPAUs. The
+    per-output-channel integer sum of products is one limb-split
+    float64 matrix product (exact, same argument as the lift's Block 2);
+    :func:`~repro.nttmath.batch.per_row_mode` reinstates the
+    pre-batching loop for benchmarking the old hot path.
     """
     q_rows, p_rows = _split_rows(context, residues)
-    # Fig. 9 Block 1/2 prep: x'_i = x_i * Q~_i mod q_i for the q-basis part.
-    x_prime_q = (q_rows * context.x_prime_mult_q) % context.q_basis.primes_col
+    # Fig. 9 Block 1/2 prep: x'_i = x_i * Q~_i mod q_i for the q-basis
+    # part. ``prescaled=True`` means the caller already folded the Q~_i
+    # factors into its inverse transforms (see Evaluator.multiply_raw),
+    # so the rows arrive as x' directly.
+    if prescaled:
+        x_prime_q = q_rows
+    else:
+        x_prime_q = (q_rows * context.x_prime_mult_q) \
+            % context.q_basis.primes_col
     # Fractional accumulation sop_R = round(sum_i x'_i * R_i) via split
     # 30-bit limbs (exact; see rns.lift.hps_quotient for the argument).
     s_hi = (x_prime_q * context.frac_hi_col).sum(axis=0)
     s_lo = (x_prime_q * context.frac_lo_col).sum(axis=0)
     half = 1 << (SCALE_FRACTION_BITS - 1 - 30)
     rounded = (s_hi + half + (s_lo >> 30)) >> (SCALE_FRACTION_BITS - 30)
-    # Per-output-channel integer accumulation and own-channel term.
+    if batch._PER_ROW_MODE:
+        y_p = _scale_sop_loop(context, x_prime_q, p_rows, rounded)
+    else:
+        y_p = _scale_sop_gemm(context, x_prime_q, p_rows, rounded,
+                              prescaled)
+    # Fig. 9 Block 5: base-extend the p-basis result back to the q-basis
+    # re-using the lift datapath, exactly as the hardware does.
+    return lift_hps(context.final_lift, y_p)
+
+
+def _scale_sop_loop(context: ScaleContext, x_prime_q: np.ndarray,
+                    p_rows: np.ndarray,
+                    rounded: np.ndarray) -> np.ndarray:
+    """Pre-batching Blocks 2-4: one Python iteration per p-basis prime.
+
+    Kept as the reference implementation and the ``per_row_mode``
+    benchmark baseline.
+    """
     k_p, n = p_rows.shape
     y_p = np.empty((k_p, n), dtype=np.int64)
     for j in range(k_p):
@@ -68,9 +98,55 @@ def scale_hps(context: ScaleContext, residues: np.ndarray) -> np.ndarray:
         own = (x_prime_j * int(context.p_term[j, 0])) % p_j
         # Fig. 9 Block 4: combine integer SoP, rounded fraction, own term.
         y_p[j] = (sop_i + rounded + own) % p_j
-    # Fig. 9 Block 5: base-extend the p-basis result back to the q-basis
-    # re-using the lift datapath, exactly as the hardware does.
-    return lift_hps(context.final_lift, y_p)
+    return y_p
+
+
+def _scale_sop_gemm(context: ScaleContext, x_prime_q: np.ndarray,
+                    p_rows: np.ndarray, rounded: np.ndarray,
+                    prescaled: bool = False) -> np.ndarray:
+    """Blocks 2-4 as one exact float64 matrix product over all channels.
+
+    The limb matrix stacks the 15-bit splits of x' (q basis) and of the
+    raw p-basis rows; the weight matrix pairs them with
+    ``[I * 2^15 | I]`` and a block-diagonal own-term tail (see
+    :meth:`~repro.rns.basis.ScaleContext.gemm_tables`), so Fig. 9's
+    integer sum of products *and* own-channel term come out of one
+    dgemm. Every partial sum stays below 2^53, the rounded-fraction
+    term joins in float, and one rint-based reduction lands each
+    channel in canonical [0, p_j).
+
+    The own-term fold is exact modulo p_j even though the p rows are
+    unreduced: the gemm computes ``c_j * x_j`` with ``c_j`` already
+    reduced, and the final reduction takes the result mod p_j.
+    """
+    k_q = x_prime_q.shape[0]
+    k_p = p_rows.shape[0]
+    n = x_prime_q.shape[1]
+    if prescaled:
+        int_cat, p_col_f, inv_p_col = context.gemm_tables_prescaled()
+    else:
+        int_cat, p_col_f, inv_p_col = context.gemm_tables()
+    p_col = context.p_basis.primes_col
+    limbs = np.empty((2 * k_q + 2 * k_p, n), dtype=np.float64)
+    np.right_shift(x_prime_q, 15, out=limbs[:k_q], casting="unsafe")
+    np.bitwise_and(x_prime_q, (1 << 15) - 1,
+                   out=limbs[k_q: 2 * k_q], casting="unsafe")
+    np.right_shift(p_rows, 15, out=limbs[2 * k_q: 2 * k_q + k_p],
+                   casting="unsafe")
+    np.bitwise_and(p_rows, (1 << 15) - 1, out=limbs[2 * k_q + k_p:],
+                   casting="unsafe")
+    total = int_cat @ limbs
+    # Fig. 9 Block 4: add the rounded fraction in float (all addends
+    # below 2^52, exact), then reduce.
+    total += rounded.astype(np.float64)[None, :]
+    q = np.rint(total * inv_p_col)
+    total -= q * p_col_f
+    total += p_col_f
+    y_p = total.astype(np.int64)
+    reduced = y_p - p_col
+    np.minimum(y_p.view(np.uint64), reduced.view(np.uint64),
+               out=y_p.view(np.uint64))
+    return y_p
 
 
 def scale_traditional(context: ScaleContext,

@@ -1,0 +1,267 @@
+"""Batched NTT engine and NTT-resident executor properties.
+
+The invariants this PR rides on:
+
+* the gemm-based :class:`~repro.nttmath.batch.BasisTransformer` is
+  bit-exact against the per-row ``NegacyclicTransformer`` and the
+  paper-literal ``ntt_iterative`` across ring sizes and basis shapes;
+* the fused digit transform and the per-channel-scaled inverse equal
+  their compose-by-hand definitions;
+* ``per_row_mode`` changes performance, never results;
+* the NTT-resident ``LocalBackend`` produces the same ciphertexts as
+  the eager executor while performing strictly fewer transforms on
+  rotation-heavy programs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import LocalBackend, Session
+from repro.fv.galois import GaloisEngine
+from repro.nttmath.batch import (
+    basis_transformer,
+    intt_rows,
+    intt_rows_scaled,
+    ntt_broadcast_rows,
+    ntt_rows,
+    per_row_mode,
+)
+from repro.nttmath.ntt import NegacyclicTransformer, intt_iterative, ntt_iterative
+from repro.nttmath.primes import find_ntt_primes
+from repro.params import mini, toy
+from repro.poly.rns_poly import RnsPoly
+from repro.rns.basis import basis_for
+
+#: (n, k) shapes exercised by the equivalence tests: small/odd mixes of
+#: ring degree and basis size, including single-limb and non-square n.
+SHAPES = [(64, 1), (64, 3), (128, 2), (256, 5), (512, 4)]
+
+fast_settings = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _basis(n, k):
+    return tuple(find_ntt_primes(30, n, k))
+
+
+class TestBatchedTransformEquivalence:
+    @pytest.mark.parametrize("n,k", SHAPES)
+    def test_forward_matches_per_row_and_iterative(self, n, k):
+        primes = _basis(n, k)
+        bt = basis_transformer(primes, n)
+        rng = np.random.default_rng(n * k)
+        mat = rng.integers(0, bt.primes_col, size=(k, n))
+        got = bt.forward(mat)
+        for row, p in enumerate(primes):
+            tr = NegacyclicTransformer(n, p)
+            per_row = tr.forward(mat[row])
+            assert np.array_equal(got[row], per_row)
+            twisted = [
+                int(c) * int(psi) % p
+                for c, psi in zip(mat[row], tr.psi_powers)
+            ]
+            reference = ntt_iterative(twisted, p, tr.omega)
+            assert got[row].tolist() == reference
+
+    @pytest.mark.parametrize("n,k", SHAPES)
+    def test_inverse_matches_per_row_and_roundtrips(self, n, k):
+        primes = _basis(n, k)
+        bt = basis_transformer(primes, n)
+        rng = np.random.default_rng(n + k)
+        mat = rng.integers(0, bt.primes_col, size=(k, n))
+        values = bt.forward(mat)
+        back = bt.inverse(values)
+        assert np.array_equal(back, mat)
+        for row, p in enumerate(primes):
+            tr = NegacyclicTransformer(n, p)
+            assert np.array_equal(back[row], tr.inverse(values[row]))
+            # Plain (non-negacyclic) INTT agreement on the untwisted
+            # transform ties the engine to paper Algorithm 1's inverse.
+            plain = ntt_iterative(list(map(int, mat[row])), p, tr.omega)
+            assert intt_iterative(plain, p, tr.omega) == \
+                [int(v) for v in mat[row]]
+
+    @pytest.mark.parametrize("n,k", [(64, 3), (256, 4)])
+    def test_stacked_equals_individual(self, n, k):
+        primes = _basis(n, k)
+        bt = basis_transformer(primes, n)
+        rng = np.random.default_rng(5)
+        stack = rng.integers(0, bt.primes_col, size=(4, k, n))
+        fwd = bt.forward(stack)
+        inv = bt.inverse(fwd)
+        for j in range(4):
+            assert np.array_equal(fwd[j], bt.forward(stack[j]))
+        assert np.array_equal(inv, stack)
+
+    @fast_settings
+    @given(st.integers(0, 2**31 - 1), st.integers(0, 6))
+    def test_forward_property_random_rows(self, seed, shift):
+        n, k = 128, 3
+        primes = _basis(n, k)
+        bt = basis_transformer(primes, n)
+        rng = np.random.default_rng(seed)
+        mat = np.roll(rng.integers(0, bt.primes_col, size=(k, n)), shift,
+                      axis=1) % bt.primes_col
+        with per_row_mode():
+            reference = ntt_rows(primes, mat)
+        assert np.array_equal(bt.forward(mat), reference)
+
+    def test_lazy_forward_is_congruent(self):
+        params = mini()
+        primes = params.q_primes
+        bt = basis_transformer(primes, params.n)
+        rng = np.random.default_rng(9)
+        mat = rng.integers(0, bt.primes_col, size=(len(primes), params.n))
+        canon = bt.forward(mat)
+        lazy = bt.forward(mat, lazy=True)
+        assert lazy.max() < 2 * max(primes)
+        assert np.array_equal(lazy % bt.primes_col, canon)
+
+    def test_broadcast_rows_equals_reduce_then_transform(self):
+        params = mini()
+        primes = params.q_primes
+        rng = np.random.default_rng(11)
+        rows = rng.integers(0, 1 << 30, size=(5, params.n))
+        got = ntt_broadcast_rows(primes, rows)
+        primes_col = np.array(primes, dtype=np.int64)[:, None]
+        expected = ntt_rows(primes,
+                            rows[:, None, :] % primes_col[None, :, :])
+        assert np.array_equal(got, expected)
+
+    def test_scaled_inverse_equals_compose(self):
+        params = mini()
+        primes = params.q_primes + params.p_primes
+        bt = basis_transformer(primes, params.n)
+        rng = np.random.default_rng(13)
+        mat = rng.integers(0, bt.primes_col, size=(len(primes), params.n))
+        constants = tuple(int(c) for c in rng.integers(1, 1 << 30,
+                                                       len(primes)))
+        got = intt_rows_scaled(primes, mat, constants)
+        consts_col = np.array(
+            [c % p for c, p in zip(constants, primes)], dtype=np.int64
+        )[:, None]
+        expected = (intt_rows(primes, mat) * consts_col) % bt.primes_col
+        assert np.array_equal(got, expected)
+
+    def test_per_row_mode_changes_nothing_but_speed(self):
+        params = toy()
+        session = Session(params, seed=3, encoder="coeff")
+        a = session.encrypt([1, 2, 3])
+        b = session.encrypt([4, 5, 6])
+        batched = session.decrypt(a * b + a, size=4)
+        with per_row_mode():
+            session_slow = Session(params, seed=3, encoder="coeff")
+            a2 = session_slow.encrypt([1, 2, 3])
+            b2 = session_slow.encrypt([4, 5, 6])
+            per_row = session_slow.decrypt(a2 * b2 + a2, size=4)
+        assert np.array_equal(batched, per_row)
+
+
+class TestRnsPolyAliasing:
+    def test_constructor_does_not_mutate_caller_array(self):
+        """Regression: ``residues %= primes`` used to write through to
+        the caller's array whenever np.asarray returned it unchanged."""
+        params = toy()
+        basis = basis_for(params.q_primes)
+        original = np.full((basis.size, params.n),
+                           max(params.q_primes) + 5, dtype=np.int64)
+        snapshot = original.copy()
+        poly = RnsPoly(basis, original)
+        assert np.array_equal(original, snapshot)
+        assert poly.residues.max() < max(params.q_primes)
+
+    def test_trusted_adopts_without_copy(self):
+        params = toy()
+        basis = basis_for(params.q_primes)
+        rows = np.zeros((basis.size, params.n), dtype=np.int64)
+        poly = RnsPoly.trusted(basis, rows)
+        assert poly.residues is rows
+
+
+class TestNttResidentBackend:
+    def _rotation_heavy(self, session):
+        a = session.encrypt(list(range(1, 9)))
+        b = session.encrypt([2] * 8)
+        return session.compile((a * b).sum_slots() + a, name="rot-heavy")
+
+    def test_resident_matches_eager_and_saves_transforms(self):
+        params = mini(t=257)
+        eager_session = Session(params, seed=21)
+        resident_session = Session(params, seed=21)
+        eager = LocalBackend(eager_session, ntt_resident=False)
+        resident = LocalBackend(resident_session, ntt_resident=True)
+        eager_result = eager.run(self._rotation_heavy(eager_session))
+        resident_result = resident.run(
+            self._rotation_heavy(resident_session))
+        assert np.array_equal(eager_result.decrypt("out"),
+                              resident_result.decrypt("out"))
+        eager_rows = (eager.last_transform_counts["forward_rows"]
+                      + eager.last_transform_counts["inverse_rows"])
+        resident_rows = (resident.last_transform_counts["forward_rows"]
+                         + resident.last_transform_counts["inverse_rows"])
+        assert resident_rows < eager_rows
+        assert resident.telemetry["ntt_resident"] is True
+        assert resident.telemetry["total"]["forward_rows"] >= \
+            resident.last_transform_counts["forward_rows"]
+
+    def test_outputs_leave_in_coefficient_domain(self):
+        params = mini(t=257)
+        session = Session(params, seed=23)
+        a = session.encrypt([1, 2, 3])
+        program = session.compile(a.rotate(1) * 2, name="resident-out")
+        result = LocalBackend(session, ntt_resident=True).run(program)
+        ct = result.handle("out").ciphertext
+        assert not ct.ntt_resident
+        ct.to_bytes()  # serialisable without conversion
+
+    def test_plain_pool_caches_constant_transforms(self):
+        params = mini(t=257)
+        session = Session(params, seed=25)
+        plain = session.encode(7)
+        first = session.plain_ntt(plain)
+        assert session.plain_ntt(plain) is first
+        delta_first = session.plain_delta_ntt(plain)
+        assert session.plain_delta_ntt(plain) is delta_first
+
+    def test_resident_rotation_bit_exact(self):
+        params = mini(t=257)
+        session = Session(params, seed=27)
+        context = session.context
+        engine = GaloisEngine(context)
+        keys = session.keys
+        rot = engine.rotation_keygen(keys.secret, [2])
+        ct = session.encrypt([5, 6, 7]).ciphertext
+        eager = engine.apply(ct, rot[2])
+        resident = context.to_coeff_ct(
+            engine.apply_resident(context.to_ntt_ct(ct), rot[2])
+        )
+        assert np.array_equal(eager.c0.residues, resident.c0.residues)
+        assert np.array_equal(eager.c1.residues, resident.c1.residues)
+
+
+class TestNarrowPrimeFallbacks:
+    def test_lift_narrow_primes_stay_exact(self):
+        """Primes below 30 bits have >60-significant-bit reciprocals,
+        which the lift gemm's four 15-bit limbs cannot carry — the
+        context must route them to the reference loop (regression for
+        the gemm_safe guard)."""
+        from repro.nttmath.primes import find_ntt_primes
+        from repro.rns.basis import lift_context
+        from repro.rns.lift import lift_hps, lift_hps_reference
+
+        n = 64
+        source = tuple(find_ntt_primes(28, n, 3))
+        target = source + tuple(find_ntt_primes(29, n, 2))
+        ctx = lift_context(source, target)
+        assert not ctx.gemm_safe
+        rng = np.random.default_rng(31)
+        mat = rng.integers(
+            0, np.array(source, dtype=np.int64)[:, None], size=(3, n)
+        )
+        assert np.array_equal(lift_hps(ctx, mat),
+                              lift_hps_reference(ctx, mat))
