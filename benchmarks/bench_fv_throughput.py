@@ -17,21 +17,29 @@ Timing protocol: the machine is shared, so each quantity is measured
 as the minimum over several repetitions (the minimum estimates the
 deterministic cost; noise only ever adds time), in interleaved rounds,
 and the headline speedups take the best round — the round least
-disturbed by neighbours. Results are printed, written to
-``benchmarks/results/fv_throughput.txt``, and recorded as the first
-point of the tracked perf trajectory in
+disturbed by neighbours. Results are printed and written to
+``benchmarks/results/fv_throughput.txt``; each run also **appends**
+one record — the headline block plus a ring-degree sweep
+(n = 4096 ... 32768, full vs ``per_row_mode``) and run metadata (git
+sha, numpy version) — to the tracked perf trajectory in
 ``benchmarks/results/BENCH_fv_ops.json``.
 
 Set ``REPRO_BENCH_FAST=1`` (the CI bench-smoke job does) for a
-shortened run: same parameters and protocol, fewer repetitions, and
-conservative assertion floors — single-digit samples on a busy CI
-runner cannot gate the headline ratios reliably. The committed
-full-mode JSON records the headline >= 5x Mult/s and >= 3x Rotate/s.
+shortened run: same parameters and protocol, fewer repetitions, a
+sweep truncated at n = 8192, and conservative assertion floors —
+single-digit samples on a busy CI runner cannot gate the headline
+ratios reliably. Fast-mode records land in the separate
+``BENCH_fv_ops_fast.json`` so a local ``make bench-smoke`` can never
+pollute the committed full-mode trajectory. The committed full-mode
+record shows >= 4.7x Mult/s and >= 5.7x Rotate/s at n = 4096 and
+>= 3.6x Mult/s at n = 16384 and n = 32768 (the large-ring gemm
+engine's acceptance bar is 3x).
 """
 
 import gc
 import json
 import os
+import subprocess
 import time
 from pathlib import Path
 
@@ -43,8 +51,8 @@ from repro.fv.encoder import Plaintext
 from repro.fv.evaluator import Evaluator
 from repro.fv.galois import GaloisEngine
 from repro.fv.scheme import FvContext
-from repro.nttmath.batch import per_row_mode
-from repro.params import hpca19
+from repro.nttmath.batch import batched_engine_ok, per_row_mode
+from repro.params import hpca19, large_ring
 
 FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
 MIN_ROUNDS = 2 if FAST else 3
@@ -62,6 +70,55 @@ ROTATE_TARGET = 3.0
 MULT_FLOOR = 3.5 if FAST else 4.5
 ROTATE_FLOOR = 2.5 if FAST else 3.0
 MODE = "fast" if FAST else "full"
+
+#: Ring-degree sweep (satellite of the large-ring PR). Fast mode stops
+#: at 8192 so the CI smoke job stays quick; the nightly full-mode run
+#: covers the whole support matrix.
+SWEEP_NS = (4096, 8192) if FAST else (4096, 8192, 16384, 32768)
+#: Sweep gate: the large-ring acceptance bar is >= 3x Mult/s at
+#: n >= 16384; the asserted floor sits below the recorded headline so
+#: shared-runner noise cannot flake it.
+SWEEP_FLOOR = 2.0 if FAST else 2.5
+SWEEP_TARGET = 3.0
+SWEEP_BATCHED_REPS = 2 if FAST else 3
+SWEEP_PER_ROW_REPS = 1
+SWEEP_ROUNDS = 1 if FAST else 2
+
+
+def _git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).parent, capture_output=True, text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def run_metadata() -> dict:
+    """Provenance attached to every trajectory record."""
+    return {
+        "git_sha": _git_sha(),
+        "numpy_version": np.__version__,
+        "mode": MODE,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
+def append_trajectory_record(json_path: Path, record: dict) -> None:
+    """Append one record to the BENCH_fv_ops.json trajectory.
+
+    The file is a JSON list, newest record last; a pre-trajectory
+    single-object file (the PR 4 format) is adopted as the first
+    point.
+    """
+    records: list = []
+    if json_path.exists():
+        existing = json.loads(json_path.read_text())
+        records = existing if isinstance(existing, list) else [existing]
+    records.append(record)
+    json_path.write_text(json.dumps(records, indent=2) + "\n")
 
 
 def min_time(fn, reps):
@@ -102,6 +159,64 @@ def ratio_rounds(batched_fn, per_row_fn, target):
         if round_index + 1 >= MIN_ROUNDS and ratios[-1] >= target * 1.02:
             break
     return ratios[-1], best_batched * 1e3, best_per_row * 1e3, ratios
+
+
+def sweep_point(n: int) -> dict:
+    """Full-vs-per-row Mult/s at one ring degree of the support matrix.
+
+    Uses the same min/min interleaved protocol as the headline block,
+    with fewer repetitions (the per-row baseline costs seconds per
+    Mult at n = 32768). Results are bit-checked against the per-row
+    path before any timing.
+    """
+    params = large_ring(n)
+    assert batched_engine_ok(params.q_primes + params.p_primes, n), (
+        f"gemm engine must serve the full tensor basis at n={n}"
+    )
+    context = FvContext(params, seed=2019)
+    keys = context.keygen()
+    evaluator = Evaluator(context)
+    m1 = Plaintext.from_list([1, 1, 0, 1], params.n, params.t)
+    m2 = Plaintext.from_list([1, 0, 1], params.n, params.t)
+    ct1 = context.encrypt(m1, keys.public)
+    ct2 = context.encrypt(m2, keys.public)
+    batched_out = evaluator.multiply(ct1, ct2, keys.relin)
+    with per_row_mode():
+        per_row_out = evaluator.multiply(ct1, ct2, keys.relin)
+    assert np.array_equal(batched_out.c0.residues,
+                          per_row_out.c0.residues)
+    assert np.array_equal(batched_out.c1.residues,
+                          per_row_out.c1.residues)
+    best_batched = float("inf")
+    best_per_row = float("inf")
+    for _ in range(SWEEP_ROUNDS):
+        gc.disable()
+        try:
+            best_batched = min(best_batched, min_time(
+                lambda: evaluator.multiply(ct1, ct2, keys.relin),
+                SWEEP_BATCHED_REPS,
+            ))
+            with per_row_mode():
+                best_per_row = min(best_per_row, min_time(
+                    lambda: evaluator.multiply(ct1, ct2, keys.relin),
+                    SWEEP_PER_ROW_REPS,
+                ))
+        finally:
+            gc.enable()
+        if best_per_row / best_batched >= SWEEP_TARGET * 1.02:
+            break
+    return {
+        "n": n,
+        "params": params.name,
+        "k_q": params.k_q,
+        "k_p": params.k_p,
+        "log2_q": params.log2_q,
+        "mult_batched_ms": round(best_batched * 1e3, 3),
+        "mult_per_row_ms": round(best_per_row * 1e3, 3),
+        "mult_batched_ops_per_s": round(1.0 / best_batched, 2),
+        "mult_per_row_ops_per_s": round(1.0 / best_per_row, 2),
+        "mult_speedup": round(best_per_row / best_batched, 2),
+    }
 
 
 def test_fv_throughput():
@@ -178,9 +293,14 @@ def test_fv_throughput():
         f"({resident_rows} vs {eager_rows})"
     )
 
+    # Ring-degree sweep: the large-ring gemm engine against the
+    # per-row baseline at every supported n.
+    sweep = [sweep_point(n) for n in SWEEP_NS]
+
     results = {
         "bench": "fv_throughput",
         "mode": MODE,
+        "meta": run_metadata(),
         "params": {
             "name": params.name,
             "n": params.n,
@@ -217,10 +337,11 @@ def test_fv_throughput():
             "eager_row_transforms": eager_rows,
             "transforms_eliminated": eager_rows - resident_rows,
         },
+        "sweep": sweep,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
-    json_path = Path(RESULTS_DIR) / "BENCH_fv_ops.json"
-    json_path.write_text(json.dumps(results, indent=2) + "\n")
+    json_name = "BENCH_fv_ops_fast.json" if FAST else "BENCH_fv_ops.json"
+    append_trajectory_record(Path(RESULTS_DIR) / json_name, results)
 
     lines = [
         f"FV HOT-PATH THROUGHPUT — batched engine vs pre-PR per-row path "
@@ -242,9 +363,22 @@ def test_fv_throughput():
         f"{program_eager_ms:>12.1f}   (resident vs eager executor)",
         f"row transforms per program run: resident {resident_rows}, "
         f"eager {eager_rows} ({eager_rows - resident_rows} eliminated)",
-        "(per-row = pre-PR hot path via per_row_mode; min/min estimator "
-        "over interleaved rounds)",
+        "",
+        "RING-DEGREE SWEEP — full gemm engine vs per_row_mode, Mult/s",
+        f"{'n':>7}{'params':>14}{'log2 q':>8}{'batched':>11}"
+        f"{'per-row':>11}{'speedup':>9}",
     ]
+    for point in sweep:
+        lines.append(
+            f"{point['n']:>7}{point['params']:>14}{point['log2_q']:>8}"
+            f"{point['mult_batched_ms']:>9.1f}ms"
+            f"{point['mult_per_row_ms']:>9.0f}ms"
+            f"{point['mult_speedup']:>8.2f}x"
+        )
+    lines.append(
+        "(per-row = pre-PR hot path via per_row_mode; min/min estimator "
+        "over interleaved rounds)"
+    )
     save_result("fv_throughput", "\n".join(lines))
 
     assert mult_speedup >= MULT_FLOOR, (
@@ -254,3 +388,8 @@ def test_fv_throughput():
         f"Rotate/s speedup {rotate_speedup:.2f}x below the "
         f"{ROTATE_FLOOR}x floor"
     )
+    for point in sweep:
+        assert point["mult_speedup"] >= SWEEP_FLOOR, (
+            f"n={point['n']}: sweep Mult/s speedup "
+            f"{point['mult_speedup']:.2f}x below the {SWEEP_FLOOR}x floor"
+        )

@@ -81,7 +81,7 @@ from .fv import (
 )
 from .hw import Coprocessor, HardwareConfig, MultReport, Opcode
 from .hw.config import slow_coprocessor_config
-from .params import ParameterSet, hpca19, mini, toy
+from .params import ParameterSet, hpca19, hpca19_large, large_ring, mini, toy
 from .system import CloudServer, SoftwareBaseline
 
 __version__ = "1.1.0"
@@ -92,7 +92,7 @@ __all__ = [
     "Backend", "LocalBackend", "ProgramResult",
     "SimulatedBackend", "SimulatedRun", "ProgramFuture",
     # parameters
-    "ParameterSet", "hpca19", "mini", "toy",
+    "ParameterSet", "hpca19", "hpca19_large", "large_ring", "mini", "toy",
     # FV scheme
     "FvContext", "Evaluator", "Plaintext", "IntegerEncoder", "BatchEncoder",
     "Ciphertext", "KeySet", "SecretKey", "PublicKey", "RelinKey",

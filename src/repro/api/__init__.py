@@ -32,7 +32,10 @@ The modules:
 * :mod:`~repro.api.backends` — the :class:`Backend` protocol and the
   functional :class:`LocalBackend`;
 * :mod:`~repro.api.simulated` — :class:`SimulatedBackend` with
-  future-style request handles and latency telemetry.
+  future-style request handles and latency telemetry;
+* :mod:`~repro.api.resident` — the bounded cross-request
+  :class:`ResidentOperandCache` both executors key by ciphertext
+  handle.
 """
 
 from .backends import Backend, LocalBackend, ProgramResult
@@ -44,6 +47,7 @@ from .program import (
     rotate,
     sum_slots,
 )
+from .resident import ResidentOperandCache
 from .session import Session
 from .simulated import ProgramFuture, SimulatedBackend, SimulatedRun
 
@@ -58,6 +62,7 @@ __all__ = [
     "Backend",
     "LocalBackend",
     "ProgramResult",
+    "ResidentOperandCache",
     "SimulatedBackend",
     "SimulatedRun",
     "ProgramFuture",

@@ -17,6 +17,7 @@ from ..errors import NoiseBudgetExhausted, ParameterError
 from ..fv.ciphertext import Ciphertext
 from ..nttmath.batch import transform_counts
 from .program import CiphertextHandle, ExprNode, HEProgram, OpKind
+from .resident import ResidentOperandCache
 from .session import Session
 
 
@@ -46,6 +47,16 @@ class ProgramResult:
         """Decrypt one output into the session encoder's domain."""
         return self.session.decrypt(self.outputs[label], size)
 
+    def ciphertext(self, label: str = "out") -> Ciphertext:
+        """One output's ciphertext in its *current* domain.
+
+        Unlike :attr:`CiphertextHandle.ciphertext`, this does not force
+        a coefficient-domain conversion — with a resident-emitting
+        backend the result serialises straight into the NTT-domain wire
+        format.
+        """
+        return self.outputs[label].node.cached
+
     def noise_budget_bits(self, label: str = "out") -> float:
         return self.session.noise_budget_bits(self.outputs[label])
 
@@ -74,28 +85,54 @@ class LocalBackend:
     the eager coefficient-domain schedule; :attr:`telemetry` reports
     the forward/inverse transform counts of the last run so the saving
     is measurable (the property tests assert it).
+
+    Residency also spans *requests*. Born-resident inputs
+    (``Session.encrypt(..., resident=True)`` or an NTT-domain wire
+    load) are ingested without a coefficient round-trip; a bounded
+    :class:`~repro.api.resident.ResidentOperandCache` keyed by handle
+    remembers the resident form of every operand this backend has
+    materialised, so a handle reused by a later program is restored
+    from cache instead of re-transformed. ``resident_outputs=True``
+    additionally skips the output boundary's inverse transform — the
+    emit half of the resident pipeline, for results that will be
+    serialised in the NTT-domain wire format or fed to further
+    programs.
     """
 
     def __init__(self, session: Session, *, verify: bool = True,
-                 ntt_resident: bool = True) -> None:
+                 ntt_resident: bool = True,
+                 resident_outputs: bool = False,
+                 resident_cache: ResidentOperandCache | None = None,
+                 resident_cache_limit: int = 64) -> None:
         self.session = session
         self.verify = verify
         self.ntt_resident = ntt_resident
+        self.resident_outputs = resident_outputs
+        self.resident_cache = (
+            resident_cache if resident_cache is not None
+            else ResidentOperandCache(resident_cache_limit)
+        )
         #: Transform counts of the most recent :meth:`run`.
         self.last_transform_counts: dict[str, int] = {}
+        #: Cache restores performed by the most recent :meth:`run`.
+        self.last_cache_restores = 0
         #: Accumulated transform counts across all runs of this backend.
         self.total_transform_counts = {
-            "forward_rows": 0, "inverse_rows": 0,
-            "forward_calls": 0, "inverse_calls": 0,
+            key: 0 for key in transform_counts()
         }
 
     @property
     def telemetry(self) -> dict:
-        """Execution telemetry: transform counts and executor mode."""
+        """Execution telemetry: transform counts, cache, executor mode."""
         return {
             "ntt_resident": self.ntt_resident,
+            "resident_outputs": self.resident_outputs,
             "last_run": dict(self.last_transform_counts),
             "total": dict(self.total_transform_counts),
+            "resident_cache": {
+                **self.resident_cache.stats(),
+                "last_run_restores": self.last_cache_restores,
+            },
         }
 
     def run(self, program: HEProgram, **kwargs) -> ProgramResult:
@@ -112,16 +149,33 @@ class LocalBackend:
                 )
         before = transform_counts()
         wants = self._plan_domains(program) if self.ntt_resident else {}
+        self.last_cache_restores = self._restore_residents(program, wants)
         for node in program.nodes:
             if node.cached is None:
                 node.cached = self._execute(node, wants)
-        # Output boundary: results leave the executor in the coefficient
-        # domain (the representation the wire format and the rest of
-        # the system speak), mirroring the download DMA of the paper's
-        # server. Intermediate nodes stay resident in the graph cache.
+        # Remember the resident operands that cross request boundaries
+        # — program inputs and outputs. Intermediates are deliberately
+        # not cached: they are never boundary-converted (the graph
+        # cache keeps them resident as long as their handles live), and
+        # a single wide program would otherwise flush the bounded FIFO
+        # of every genuinely reusable entry.
+        if self.ntt_resident:
+            boundary = list(program.inputs) + list(
+                program.outputs.values()
+            )
+            for node in boundary:
+                if node.cached is not None and node.cached.ntt_resident:
+                    self.resident_cache.put(node, node.cached)
+        # Output boundary: by default results leave the executor in the
+        # coefficient domain (the legacy wire representation),
+        # mirroring the download DMA of the paper's server; with
+        # ``resident_outputs`` they stay in the evaluation domain for
+        # the NTT-domain wire format. Either way the resident form
+        # survives in the cache for cross-program reuse.
         context = self.session.context
-        for node in program.outputs.values():
-            node.cached = context.to_coeff_ct(node.cached)
+        if not self.resident_outputs:
+            for node in program.outputs.values():
+                node.cached = context.to_coeff_ct(node.cached)
         after = transform_counts()
         self.last_transform_counts = {
             key: after[key] - before[key] for key in after
@@ -141,6 +195,31 @@ class LocalBackend:
                         f"left ({budget:.1f} bits)"
                     )
         return ProgramResult(self.session, outputs)
+
+    def _restore_residents(self, program: HEProgram,
+                           wants: dict[int, bool]) -> int:
+        """Swap already-materialised coefficient-domain operands for
+        their cached resident forms where the domain plan wants them.
+
+        This is what makes residency *cross-request*: an output the
+        previous run converted at its boundary (or an input whose
+        handle access degraded it) re-enters the evaluation domain via
+        a cache hit instead of a fresh forward transform.
+        """
+        if not self.ntt_resident:
+            return 0
+        restores = 0
+        for node in program.nodes:
+            ct = node.cached
+            if ct is None or ct.ntt_resident:
+                continue
+            if not wants.get(id(node), False):
+                continue
+            resident = self.resident_cache.get(node)
+            if resident is not None:
+                node.cached = resident
+                restores += 1
+        return restores
 
     # -- domain planning -----------------------------------------------------------------
 

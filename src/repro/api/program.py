@@ -63,7 +63,10 @@ class ExprNode:
     recompute shared subexpressions.
     """
 
-    __slots__ = ("op", "args", "payload", "depth", "cached")
+    #: ``__weakref__`` lets the cross-request resident-operand caches
+    #: key entries on nodes without pinning the expression graph.
+    __slots__ = ("op", "args", "payload", "depth", "cached",
+                 "__weakref__")
 
     def __init__(self, op: OpKind, args: tuple["ExprNode", ...] = (),
                  payload=None) -> None:
@@ -231,14 +234,20 @@ class LoweredOp:
     ``polys_in`` counts only polynomial bursts the client actually
     uploads for this op (fresh INPUT operands and plaintext operands);
     operands produced by earlier ops stay resident in the server's DDR
-    and cost nothing to move again. ``polys_out`` is non-zero only for
-    program outputs — the reply the client downloads.
+    and cost nothing to move again — as do INPUT operands the server
+    already holds from a previous request (the cross-request
+    resident-operand cache), which lower with ``cached_inputs`` > 0
+    and zero transfer. ``polys_out`` is non-zero only for program
+    outputs — the reply the client downloads.
     """
 
     kind: JobKind
     polys_in: int
     polys_out: int
     source: OpKind
+    #: INPUT operands of this op that were served from the server's
+    #: cross-request resident cache (each saved one ciphertext upload).
+    cached_inputs: int = 0
 
 
 _JOB_KINDS = {
@@ -381,15 +390,21 @@ class HEProgram:
 
     # -- lowering --------------------------------------------------------------------------
 
-    def lower(self) -> list[LoweredOp]:
+    def lower(self, resident_inputs: Iterable[ExprNode] = ()
+              ) -> list[LoweredOp]:
         """Lower the graph to the serving runtime's job stream.
 
         SUM_SLOTS macro-expands into its log2(n/2) + 1 rotation +
         addition rounds so the simulated cost reflects what the
         hardware would actually execute. Transfer footprints follow the
-        resident-intermediate model documented on :class:`LoweredOp`.
+        resident-intermediate model documented on :class:`LoweredOp`;
+        INPUT nodes listed in ``resident_inputs`` are already held by
+        the server (a cross-request resident-operand cache hit) and
+        price at **zero** upload transfer, recorded per op in
+        ``cached_inputs``.
         """
         output_ids = {id(node) for node in self.outputs.values()}
+        resident_ids = {id(node) for node in resident_inputs}
         uploaded: set[int] = set()
         ops: list[LoweredOp] = []
         for node in self.nodes:
@@ -397,11 +412,16 @@ class HEProgram:
                 continue
             # Each fresh INPUT is uploaded once, at its first consumer;
             # after that it is just as resident as any intermediate.
+            # Server-cached inputs never upload at all.
             uploads = 0
+            cached = 0
             for arg in node.args:
                 if arg.op is OpKind.INPUT and id(arg) not in uploaded:
                     uploaded.add(id(arg))
-                    uploads += _POLYS_PER_CT
+                    if id(arg) in resident_ids:
+                        cached += 1
+                    else:
+                        uploads += _POLYS_PER_CT
             if node.op in (OpKind.ADD_PLAIN, OpKind.MUL_PLAIN):
                 uploads += _POLYS_PER_PLAIN
             downloads = _POLYS_PER_CT if id(node) in output_ids else 0
@@ -409,13 +429,17 @@ class HEProgram:
                 rounds = max((self.params.n // 2).bit_length() - 1, 0) + 1
                 for i in range(rounds):
                     last = i == rounds - 1
-                    ops.append(LoweredOp(JobKind.ROTATE, uploads if i == 0
-                                         else 0, 0, node.op))
+                    first = i == 0
+                    ops.append(LoweredOp(JobKind.ROTATE,
+                                         uploads if first else 0, 0,
+                                         node.op,
+                                         cached_inputs=cached if first
+                                         else 0))
                     ops.append(LoweredOp(JobKind.ADD, 0,
                                          downloads if last else 0, node.op))
                 continue
             ops.append(LoweredOp(_JOB_KINDS[node.op], uploads, downloads,
-                                 node.op))
+                                 node.op, cached_inputs=cached))
         return ops
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

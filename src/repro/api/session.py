@@ -181,9 +181,16 @@ class Session:
 
     # -- encrypt / decrypt ----------------------------------------------------------------
 
-    def encrypt(self, values) -> CiphertextHandle:
-        """Encode + encrypt; returns an opaque (lazy-capable) handle."""
-        ct = self.context.encrypt(self.encode(values), self.keys.public)
+    def encrypt(self, values, *, resident: bool = False) -> CiphertextHandle:
+        """Encode + encrypt; returns an opaque (lazy-capable) handle.
+
+        ``resident=True`` births the ciphertext NTT-resident (the
+        public-key products never leave the evaluation domain) — the
+        right choice when the handle feeds resident execution chains
+        or the NTT-domain wire format.
+        """
+        ct = self.context.encrypt(self.encode(values), self.keys.public,
+                                  resident=resident)
         return self.wrap(ct)
 
     def wrap(self, ciphertext: Ciphertext) -> CiphertextHandle:
@@ -191,6 +198,34 @@ class Session:
         return CiphertextHandle(
             ExprNode(OpKind.INPUT, payload=ciphertext), self
         )
+
+    def save_ciphertext(self, path, value) -> None:
+        """Serialise a handle or ciphertext, preserving its domain.
+
+        NTT-resident operands are written in the NTT-domain wire format
+        (no inverse transform), so a server can persist and reload
+        resident state without ever visiting the coefficient domain.
+        Lazy handles are materialised first — through a
+        resident-emitting executor, so a resident expression chain is
+        not degraded by the default output boundary on its way to disk.
+        """
+        from ..io import save_ciphertext
+
+        if isinstance(value, CiphertextHandle):
+            if value.node.cached is None:
+                from .backends import LocalBackend
+
+                LocalBackend(self, resident_outputs=True).run(
+                    self.compile(value, check=False)
+                )
+            value = value.node.cached
+        save_ciphertext(path, value)
+
+    def load_ciphertext(self, path) -> CiphertextHandle:
+        """Load a serialised ciphertext (either domain) as a handle."""
+        from ..io import load_ciphertext
+
+        return self.wrap(load_ciphertext(path, self.params))
 
     def decrypt(self, value, size: int | None = None):
         """Decrypt a handle (materialising it if lazy) or a ciphertext.
@@ -200,16 +235,24 @@ class Session:
         """
         return self.decode(self.decrypt_plaintext(value), size)
 
+    def _materialized(self, value) -> Ciphertext:
+        """A handle's ciphertext in its *current* domain (no forced
+        coefficient conversion — decrypting an NTT-resident result is
+        cheaper than degrading it first), or the ciphertext itself."""
+        if isinstance(value, CiphertextHandle):
+            if value.node.cached is None:
+                self.run(value)
+            return value.node.cached
+        return value
+
     def decrypt_plaintext(self, value) -> Plaintext:
-        ct = value.ciphertext if isinstance(value, CiphertextHandle) \
-            else value
-        return self.context.decrypt(ct, self.keys.secret)
+        return self.context.decrypt(self._materialized(value),
+                                    self.keys.secret)
 
     def noise_budget_bits(self, value) -> float:
         """Measured (not worst-case) remaining budget of a result."""
-        ct = value.ciphertext if isinstance(value, CiphertextHandle) \
-            else value
-        return noise_budget_bits(self.context, ct, self.keys.secret)
+        return noise_budget_bits(self.context, self._materialized(value),
+                                 self.keys.secret)
 
     # -- Galois key management --------------------------------------------------------
 

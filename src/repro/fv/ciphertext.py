@@ -43,11 +43,25 @@ class Ciphertext:
         """True when every part lives in the evaluation (NTT) domain.
 
         NTT-resident ciphertexts are what the resident executor passes
-        between operations; convert with
-        :meth:`~repro.fv.scheme.FvContext.to_coeff_ct` before
-        serialising.
+        between operations; serialise them with the versioned
+        NTT-domain wire format (:func:`repro.io.save_ciphertext`) or
+        convert with :meth:`~repro.fv.scheme.FvContext.to_coeff_ct`
+        for the legacy coefficient wire.
         """
         return all(part.ntt_domain for part in self.parts)
+
+    @property
+    def domain(self) -> str:
+        """Wire-format domain tag: ``"ntt"``, ``"coeff"``, or ``"mixed"``.
+
+        Mixed-domain ciphertexts are transient executor states and are
+        not serialisable.
+        """
+        if all(part.ntt_domain for part in self.parts):
+            return "ntt"
+        if not any(part.ntt_domain for part in self.parts):
+            return "coeff"
+        return "mixed"
 
     @property
     def c0(self) -> RnsPoly:
@@ -70,18 +84,47 @@ class Ciphertext:
     # -- wire format -------------------------------------------------------------
 
     def to_bytes(self) -> bytes:
-        """Pack every part as uint32 residues, row-major."""
-        blobs = []
-        for part in self.parts:
-            if part.ntt_domain:
-                raise ParameterError("serialise coefficient-domain parts only")
-            blobs.append(part.residues.astype(np.uint32).tobytes())
-        return b"".join(blobs)
+        """Pack every part as uint32 residues, row-major.
+
+        The legacy coefficient-domain wire: NTT-resident parts are
+        rejected so pre-versioned consumers can never mistake
+        evaluation-domain residues for coefficients. Use
+        :meth:`to_wire_bytes` for the domain-tagged format.
+        """
+        if self.domain != "coeff":
+            raise ParameterError("serialise coefficient-domain parts only")
+        return self.to_wire_bytes()
+
+    def to_wire_bytes(self) -> bytes:
+        """Pack the residue payload of either uniform domain.
+
+        The byte layout is identical in both domains (canonical 30-bit
+        residues in little-endian 32-bit words, coefficients contiguous
+        per residue row); the *domain* travels in the versioned header
+        :func:`repro.io.save_ciphertext` writes, so a server can
+        persist NTT-resident operands without an inverse transform.
+        Mixed-domain ciphertexts are rejected.
+        """
+        if self.domain == "mixed":
+            raise ParameterError(
+                "cannot serialise a mixed-domain ciphertext; convert "
+                "all parts to one domain first"
+            )
+        return b"".join(
+            part.residues.astype(np.uint32).tobytes()
+            for part in self.parts
+        )
 
     @classmethod
     def from_bytes(cls, blob: bytes, params: ParameterSet,
-                   basis: RnsBasis) -> "Ciphertext":
-        """Inverse of :meth:`to_bytes` (two- or three-part blobs)."""
+                   basis: RnsBasis,
+                   ntt_domain: bool = False) -> "Ciphertext":
+        """Inverse of :meth:`to_wire_bytes` (two- or three-part blobs).
+
+        ``ntt_domain=True`` marks every part as evaluation-domain —
+        what :func:`repro.io.load_ciphertext` passes when the versioned
+        header declares an NTT-resident payload.
+        """
         part_bytes = params.poly_bytes
         if len(blob) % part_bytes:
             raise ParameterError("ciphertext blob has a partial polynomial")
@@ -93,5 +136,5 @@ class Ciphertext:
             chunk = blob[index * part_bytes: (index + 1) * part_bytes]
             matrix = np.frombuffer(chunk, dtype=np.uint32).astype(np.int64)
             matrix = matrix.reshape(basis.size, params.n)
-            parts.append(RnsPoly(basis, matrix))
+            parts.append(RnsPoly(basis, matrix, ntt_domain=ntt_domain))
         return cls(tuple(parts), params)

@@ -215,37 +215,73 @@ class FvContext:
 
     # -- encryption / decryption --------------------------------------------------------
 
-    def encrypt(self, plain: Plaintext, public: PublicKey) -> Ciphertext:
-        """FV.Encrypt with fresh randomness from the context RNG."""
+    def encrypt(self, plain: Plaintext, public: PublicKey, *,
+                resident: bool = False) -> Ciphertext:
+        """FV.Encrypt with fresh randomness from the context RNG.
+
+        With ``resident=True`` the ciphertext is born NTT-resident (see
+        :meth:`encrypt_with`) — the entry point of the end-to-end
+        resident pipeline.
+        """
         params = self.params
         u = uniform_ternary(self.rng, params.n)
         e1 = discrete_gaussian(self.rng, params.n, params.sigma)
         e2 = discrete_gaussian(self.rng, params.n, params.sigma)
-        return self.encrypt_with(plain, public, u, e1, e2)
+        return self.encrypt_with(plain, public, u, e1, e2,
+                                 resident=resident)
 
     def encrypt_with(self, plain: Plaintext, public: PublicKey,
                      u: np.ndarray, e1: np.ndarray,
-                     e2: np.ndarray) -> Ciphertext:
+                     e2: np.ndarray, *,
+                     resident: bool = False) -> Ciphertext:
         """Deterministic encryption from caller-supplied randomness.
 
         Exposed so tests can feed identical randomness to this RNS path
         and to the textbook big-integer path and compare ciphertexts
         bit-for-bit.
+
+        ``resident=True`` keeps the public-key products in the
+        evaluation domain: the masks ``p0*u`` / ``p1*u`` stay as the
+        pointwise products the key material already lives in, and the
+        noise/message terms join them through one stacked forward
+        transform — so a fresh ciphertext is *born* NTT-resident with
+        no inverse transform at all (three forward row-sets in one
+        call, versus one forward plus two inverse on the legacy path).
+        Because every transform is exact, converting the resident
+        ciphertext back to the coefficient domain yields bit-for-bit
+        the legacy ciphertext for the same randomness.
         """
         params = self.params
         if plain.t != params.t or plain.n != params.n:
             raise ParameterError("plaintext does not match the parameter set")
         primes_col = self.q_basis.primes_col
-        u_ntt = self._ntt_rows(self._small_poly_rows(np.asarray(u)))
+        e1_rows = self._small_poly_rows(np.asarray(e1))
+        e2_rows = self._small_poly_rows(np.asarray(e2))
+        m_rows = plain.coeffs[None, :] % primes_col
+        delta_m = (self.delta_rows * m_rows) % primes_col
+        u_rows = self._small_poly_rows(np.asarray(u))
+        if resident:
+            # One stacked forward transform for the mask polynomial and
+            # both additive terms; the pk products never leave the
+            # evaluation domain.
+            u_ntt, x0_ntt, e2_ntt = self._ntt_rows(np.stack([
+                u_rows,
+                (e1_rows + delta_m) % primes_col,
+                e2_rows,
+            ]))
+            c0 = (public.p0_ntt * u_ntt + x0_ntt) % primes_col
+            c1 = (public.p1_ntt * u_ntt + e2_ntt) % primes_col
+            return Ciphertext(
+                (RnsPoly.trusted(self.q_basis, c0, ntt_domain=True),
+                 RnsPoly.trusted(self.q_basis, c1, ntt_domain=True)),
+                params,
+            )
+        u_ntt = self._ntt_rows(u_rows)
         # One stacked inverse transform for both mask polynomials.
         p0_u, p1_u = self._intt_rows(np.stack([
             (public.p0_ntt * u_ntt) % primes_col,
             (public.p1_ntt * u_ntt) % primes_col,
         ]))
-        e1_rows = self._small_poly_rows(np.asarray(e1))
-        e2_rows = self._small_poly_rows(np.asarray(e2))
-        m_rows = plain.coeffs[None, :] % primes_col
-        delta_m = (self.delta_rows * m_rows) % primes_col
         c0 = (p0_u + e1_rows + delta_m) % primes_col
         c1 = (p1_u + e2_rows) % primes_col
         return Ciphertext(
@@ -268,17 +304,25 @@ class FvContext:
         primes_col = self.q_basis.primes_col
         # w = c0 + c1*s (+ c2*s^2 for three-part ciphertexts), computed in
         # the NTT domain per residue. NTT-resident parts skip their
-        # forward transform — decrypting a resident result is cheaper
-        # than decrypting a coefficient-domain one.
-        def part_ntt(part: RnsPoly) -> np.ndarray:
-            if part.ntt_domain:
-                return part.residues
-            return self._ntt_rows(part.residues)
-
-        acc = part_ntt(ct.c0)
+        # forward transform entirely — decrypting a resident result is
+        # cheaper than decrypting a coefficient-domain one — and the
+        # remaining coefficient-domain parts share one stacked batched
+        # call (the same gemm flow encryption uses).
+        pending = [i for i, part in enumerate(ct.parts)
+                   if not part.ntt_domain]
+        parts_ntt: dict[int, np.ndarray] = {
+            i: ct.parts[i].residues for i in range(ct.size)
+            if ct.parts[i].ntt_domain
+        }
+        if pending:
+            transformed = self._ntt_rows(np.stack(
+                [ct.parts[i].residues for i in pending]
+            ))
+            parts_ntt.update(zip(pending, transformed))
+        acc = parts_ntt[0]
         s_power = secret.ntt_rows
-        for part in ct.parts[1:]:
-            acc = (acc + part_ntt(part) * s_power) % primes_col
+        for index in range(1, ct.size):
+            acc = (acc + parts_ntt[index] * s_power) % primes_col
             s_power = (s_power * secret.ntt_rows) % primes_col
         w_rows = self._intt_rows(acc)
         w_coeffs = self.q_basis.reconstruct_coeffs_centered(w_rows)

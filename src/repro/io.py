@@ -5,11 +5,21 @@ client and durable ciphertexts in flight. The wire formats here are
 deliberately simple and self-describing: a small JSON header (magic,
 version, parameter fingerprint, payload shapes) followed by raw
 little-endian arrays — the ciphertext payload is byte-identical to the
-DMA layout of :meth:`repro.fv.ciphertext.Ciphertext.to_bytes`.
+DMA layout of :meth:`repro.fv.ciphertext.Ciphertext.to_wire_bytes`.
+
+Ciphertext headers are versioned. Version 2 adds the **NTT-domain wire
+format**: a ``domain`` flag (``"coeff"`` or ``"ntt"``) plus a payload
+digest bound to that flag, so server-resident operands serialise
+without an inverse transform and reload straight into the evaluation
+domain — and a coefficient-domain payload whose header was mislabelled
+as resident (or vice versa) is rejected instead of silently decrypted
+as garbage. Version 1 files (no ``version`` field) remain loadable and
+are always coefficient-domain.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import struct
 from pathlib import Path
@@ -24,6 +34,25 @@ from .poly.rns_poly import RnsPoly
 from .rns.basis import basis_for
 
 MAGIC = b"REPROFV1"
+
+#: Current ciphertext header version (2 = domain-tagged wire format).
+CIPHERTEXT_WIRE_VERSION = 2
+
+_WIRE_DOMAINS = ("coeff", "ntt")
+
+
+def _payload_digest(domain: str, payload: bytes) -> str:
+    """Short digest binding the payload bytes to their declared domain.
+
+    Editing the header's domain flag without recomputing the digest —
+    the "mislabelled resident payload" corruption — therefore fails
+    closed at load time.
+    """
+    digest = hashlib.sha256()
+    digest.update(domain.encode())
+    digest.update(b":")
+    digest.update(payload)
+    return digest.hexdigest()[:16]
 
 
 def _params_fingerprint(params: ParameterSet) -> dict:
@@ -70,12 +99,24 @@ def _read(path: Path) -> tuple[dict, bytes]:
 
 
 def save_ciphertext(path, ct: Ciphertext) -> None:
+    """Persist a ciphertext in its *current* domain (version-2 wire).
+
+    NTT-resident ciphertexts serialise as-is — no inverse transform —
+    with ``domain: "ntt"`` in the header; coefficient-domain ones write
+    ``domain: "coeff"``. Mixed-domain ciphertexts are rejected by
+    :meth:`~repro.fv.ciphertext.Ciphertext.to_wire_bytes`.
+    """
+    payload = ct.to_wire_bytes()
+    domain = ct.domain
     header = {
         "kind": "ciphertext",
+        "version": CIPHERTEXT_WIRE_VERSION,
         "parts": ct.size,
+        "domain": domain,
+        "digest": _payload_digest(domain, payload),
         "params": _params_fingerprint(ct.params),
     }
-    _write(Path(path), header, ct.to_bytes())
+    _write(Path(path), header, payload)
 
 
 def load_ciphertext(path, params: ParameterSet) -> Ciphertext:
@@ -83,8 +124,32 @@ def load_ciphertext(path, params: ParameterSet) -> Ciphertext:
     if header.get("kind") != "ciphertext":
         raise EncodingError("file does not hold a ciphertext")
     _check_fingerprint(header, params)
+    version = header.get("version", 1)
+    if version > CIPHERTEXT_WIRE_VERSION:
+        raise EncodingError(
+            f"ciphertext wire version {version} is newer than this "
+            f"library understands (<= {CIPHERTEXT_WIRE_VERSION})"
+        )
+    if version >= 2:
+        domain = header.get("domain")
+        if domain not in _WIRE_DOMAINS:
+            raise EncodingError(
+                f"unknown ciphertext domain {domain!r}; expected one of "
+                f"{_WIRE_DOMAINS}"
+            )
+        declared_digest = header.get("digest")
+        if declared_digest != _payload_digest(domain, payload):
+            raise EncodingError(
+                f"ciphertext payload does not match its declared "
+                f"{domain!r}-domain digest — corrupted file or "
+                "mislabelled domain flag"
+            )
+    else:
+        # Version-1 files predate the domain flag: always coefficients.
+        domain = "coeff"
     basis = basis_for(params.q_primes)
-    ct = Ciphertext.from_bytes(payload, params, basis)
+    ct = Ciphertext.from_bytes(payload, params, basis,
+                               ntt_domain=domain == "ntt")
     # The header declares the part count; a truncated three-part blob
     # can still be a *valid* two-part length, so the payload-inferred
     # count alone cannot catch the corruption.

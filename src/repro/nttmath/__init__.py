@@ -7,10 +7,15 @@ contains no hardware modelling; everything here is plain number theory.
 
 from .batch import (
     BasisTransformer,
+    EngineFallback,
     basis_transformer,
+    batched_engine_ok,
+    engine_fallbacks,
+    engine_unsupported_reason,
     intt_rows,
     ntt_rows,
     per_row_mode,
+    reset_engine_fallbacks,
     reset_transform_counts,
     transform_counts,
 )
@@ -43,12 +48,17 @@ __all__ = [
     "bit_reverse_permute",
     "NegacyclicTransformer",
     "BasisTransformer",
+    "EngineFallback",
     "basis_transformer",
+    "batched_engine_ok",
+    "engine_fallbacks",
+    "engine_unsupported_reason",
     "ntt_rows",
     "intt_rows",
     "per_row_mode",
     "transform_counts",
     "reset_transform_counts",
+    "reset_engine_fallbacks",
     "power_table",
     "ntt_iterative",
     "intt_iterative",

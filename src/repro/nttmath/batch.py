@@ -12,20 +12,35 @@ factorisation the paper's pipelined NTT unit streams through its
 butterfly array): a size-n1 sub-NTT, an element-wise twiddle
 correction, a transpose, and a size-n2 sub-NTT. Because the
 sub-transforms are short, each one is evaluated as a *dense matrix
-product* in float64 — operands split into 15-bit limbs so every BLAS
+product* in float64 — operands split into narrow limbs so every BLAS
 partial sum stays below 2^53 and is therefore exact — which turns the
 NTT's many memory-bound element-wise passes into a handful of
 compute-dense dgemm calls. The remaining element-wise work per
-transform is two division-free reductions and one Shoup twiddle
-multiply. See :class:`BasisTransformer` for the detailed numerics.
+transform is the division-free reductions and Shoup twiddle
+multiplies between stages. See :class:`BasisTransformer` for the
+detailed numerics.
+
+Large rings generalise the recipe recursively: above n = 16384 — where
+a two-stage split would need a sub-DFT beyond 128 points and therefore
+a wider, costlier limb split — the planner factors ``n`` into *three*
+sub-DFTs of at most 128 points each (n = 32768 runs 32 x 32 x 32: 192
+gemm flops per element instead of the wide-limb four-step's 1024).
+Limb widths are still chosen per stage from a proved exactness bound
+(:func:`_limb_plan`), with three-limb splits kept as the escape hatch
+for bases the stage search cannot reshape.
+:func:`engine_unsupported_reason` is the single support predicate;
+every dispatcher that has to fall back to the per-row path outside
+:func:`per_row_mode` records a structured :class:`EngineFallback`
+diagnostic and logs a warning instead of degrading silently.
 
 All transforms are bit-exact against :func:`~repro.nttmath.ntt.ntt_iterative`
 and the per-row ``NegacyclicTransformer`` — the property tests enforce
-this across ring sizes and basis shapes.
+this across ring sizes (up to n = 32768) and basis shapes.
 """
 
 from __future__ import annotations
 
+import logging
 from contextlib import contextmanager
 from dataclasses import dataclass
 from functools import lru_cache
@@ -40,6 +55,16 @@ from .primes import root_of_unity
 
 _SHOUP_SHIFT = 32
 """Fixed-point shift of the precomputed Shoup twiddle quotients."""
+
+logger = logging.getLogger(__name__)
+
+MAX_ENGINE_N = 1 << 15
+"""Largest ring degree the gemm engine serves (the property-tested
+envelope; the limb-split machinery itself is exact well beyond it)."""
+
+#: Maximum value the engine accepts as a sub-transform input: canonical
+#: residues and raw 30-bit digits both satisfy it.
+_MAX_INPUT = (1 << 30) - 1
 
 
 # -- transform accounting ------------------------------------------------------
@@ -60,6 +85,7 @@ class TransformStats:
     inverse_rows: int = 0
     forward_calls: int = 0
     inverse_calls: int = 0
+    fallback_calls: int = 0
 
     def snapshot(self) -> tuple[int, int, int, int]:
         return (self.forward_rows, self.inverse_rows,
@@ -76,6 +102,7 @@ def transform_counts() -> dict[str, int]:
         "inverse_rows": TRANSFORM_STATS.inverse_rows,
         "forward_calls": TRANSFORM_STATS.forward_calls,
         "inverse_calls": TRANSFORM_STATS.inverse_calls,
+        "fallback_calls": TRANSFORM_STATS.fallback_calls,
     }
 
 
@@ -84,6 +111,61 @@ def reset_transform_counts() -> None:
     TRANSFORM_STATS.inverse_rows = 0
     TRANSFORM_STATS.forward_calls = 0
     TRANSFORM_STATS.inverse_calls = 0
+    TRANSFORM_STATS.fallback_calls = 0
+
+
+# -- fallback diagnostics ------------------------------------------------------
+
+_FALLBACK_LIMIT = 64
+
+
+@dataclass(frozen=True)
+class EngineFallback:
+    """One recorded per-row degradation of a batched dispatch.
+
+    Emitted whenever a dispatcher had to route a basis to the per-row
+    path *outside* :func:`per_row_mode` — the situation PR 4 used to
+    hide. The structured record (plus a rate-limited ``logging``
+    warning) makes the degradation observable: benchmarks that think
+    they measure the gemm engine, and servers that silently lost their
+    5x, now have something to assert on.
+    """
+
+    n: int
+    k: int
+    max_prime_bits: int
+    reason: str
+
+
+_FALLBACK_EVENTS: list[EngineFallback] = []
+_FALLBACK_LOGGED: set[tuple[int, int, int]] = set()
+
+
+def engine_fallbacks() -> tuple[EngineFallback, ...]:
+    """Structured per-row fallback diagnostics recorded so far."""
+    return tuple(_FALLBACK_EVENTS)
+
+
+def reset_engine_fallbacks() -> None:
+    _FALLBACK_EVENTS.clear()
+    _FALLBACK_LOGGED.clear()
+
+
+def _note_fallback(primes: tuple[int, ...], n: int, reason: str) -> None:
+    TRANSFORM_STATS.fallback_calls += 1
+    event = EngineFallback(n=n, k=len(primes),
+                           max_prime_bits=max(primes).bit_length(),
+                           reason=reason)
+    if len(_FALLBACK_EVENTS) < _FALLBACK_LIMIT:
+        _FALLBACK_EVENTS.append(event)
+    key = (event.n, event.k, event.max_prime_bits)
+    if key not in _FALLBACK_LOGGED:
+        _FALLBACK_LOGGED.add(key)
+        logger.warning(
+            "batched NTT engine cannot serve basis (k=%d, n=%d, "
+            "max prime %d bits): %s; degrading to the exact per-row "
+            "path", event.k, n, event.max_prime_bits, reason,
+        )
 
 
 # -- per-row fallback mode ------------------------------------------------------
@@ -120,18 +202,191 @@ def per_row_mode():
         _ntt.LEGACY_BITREV = previous_bitrev
 
 
-def batched_engine_ok(primes: tuple[int, ...], n: int) -> bool:
-    """Can the gemm engine run this basis (outside per_row_mode)?
+@dataclass(frozen=True)
+class _LimbSplit:
+    """One sub-transform's limb configuration (``count`` limbs of
+    ``bits`` bits each, most-significant block first)."""
 
-    Mirrors :class:`BasisTransformer`'s own constructor limits: primes
-    must leave 4q < 2^32 headroom and the sub-transforms must stay at
-    or below 128 points (n1 = 2^ceil(log2(n)/2) <= 128, i.e.
-    n <= 16384) so the limb-split float64 partial sums remain exact.
-    Every dispatcher consults this one predicate; ineligible bases take
-    the (slower, still exact) per-row path.
+    bits: int
+    count: int
+
+
+#: Candidate splits, cheapest first. Two 15-bit limbs carry 30-bit
+#: values through sub-DFTs up to 128 points — the widest sub-DFT the
+#: stage planner emits; three 11-bit limbs would reach 256-point
+#: sub-DFTs and four 8-bit limbs far beyond, kept as the proved
+#: escape hatch for shapes the stage search cannot serve.
+_SPLIT_CANDIDATES = (_LimbSplit(15, 2), _LimbSplit(11, 3), _LimbSplit(8, 4))
+
+
+def _limb_plan(length: int, max_value: int,
+               max_prime: int) -> _LimbSplit | None:
+    """Smallest limb split keeping a length-``length`` sub-DFT exact.
+
+    A gemm dot product sums ``count * length`` terms: for each limb
+    block, ``length`` products of a table entry (< max_prime) with a
+    limb of the input. Exactness requires every partial sum — and the
+    quotient-times-modulus product of the float reduction that follows,
+    which can overshoot by up to one modulus — to stay at or below
+    2^53, where float64 integer arithmetic is exact.
     """
-    return (max(primes).bit_length() < _MAX_MODULUS_BITS
-            and n <= 16384)
+    for split in _SPLIT_CANDIDATES:
+        # The top limb block is shift-only (no mask), so any value is
+        # carried — a wide top limb just tightens the sum bound below.
+        top_max = max_value >> (split.bits * (split.count - 1))
+        rest_max = (1 << split.bits) - 1
+        bound = length * (max_prime - 1) * (
+            top_max + (split.count - 1) * rest_max
+        )
+        if bound + max_prime <= 1 << 53:
+            return split
+    return None
+
+
+@dataclass(frozen=True)
+class _Stage:
+    """One sub-DFT stage of the decomposition.
+
+    ``canonical_in`` marks stages whose lazy [0, 2q) inputs must be
+    canonicalised by a conditional subtract before the limb split —
+    worth it exactly when the lazy bound would force a wider (more
+    expensive) split than the canonical bound.
+    """
+
+    length: int
+    split: _LimbSplit
+    canonical_in: bool
+
+
+@dataclass(frozen=True)
+class _Geometry:
+    """A feasible multi-stage factorisation ``n = prod(factors)``."""
+
+    factors: tuple[int, ...]
+    stages: tuple[_Stage, ...]
+
+
+#: Above this ring degree the planner considers three-stage splits: a
+#: two-stage split of n > 16384 needs a sub-DFT above 128 points and
+#: therefore a three-limb gemm, at which point a third 128-point-or-
+#: less stage is strictly fewer flops (n = 32768: 192 vs 1024 per
+#: element). At or below it the measured-good two-stage plans are kept.
+_MAX_TWO_STAGE_N = 1 << 14
+
+
+def _stage_for(length: int, max_prime: int,
+               first: bool) -> _Stage | None:
+    """The cheapest exact stage config for one sub-DFT length.
+
+    The first stage sees canonical residues / raw 30-bit digits; later
+    stages see lazy [0, 2q) values from the preceding twiddle multiply
+    and canonicalise them first only when that buys a narrower split.
+    """
+    canonical = _limb_plan(length, _MAX_INPUT, max_prime)
+    if canonical is None:
+        return None
+    if first:
+        return _Stage(length, canonical, False)
+    lazy = _limb_plan(length, 2 * max_prime - 1, max_prime)
+    if lazy is not None and lazy.count <= canonical.count:
+        return _Stage(length, lazy, False)
+    return _Stage(length, canonical, True)
+
+
+@lru_cache(maxsize=None)
+def _plan_geometry(n: int, max_prime: int) -> _Geometry | None:
+    """Cheapest exact factorisation of the gemm decomposition.
+
+    Scans every power-of-two split of ``n`` into two factors — and,
+    above ``_MAX_TWO_STAGE_N``, three factors (the recursive
+    generalisation of the four-step: sub-DFT, twiddle, sub-DFT,
+    twiddle, sub-DFT) — prices each stage by its gemm width
+    (``limb count x sub-transform length``, the flop count per output
+    element), and keeps the cheapest feasible plan (ties resolved
+    toward larger leading factors, matching the pre-generalisation
+    layout at n <= 16384).
+    """
+    stages_log = log2_exact(n)
+
+    def plan(exponents: tuple[int, ...]) -> tuple | None:
+        stages = []
+        for index, a in enumerate(exponents):
+            stage = _stage_for(1 << a, max_prime, first=index == 0)
+            if stage is None:
+                return None
+            stages.append(stage)
+        cost = sum(s.split.count * s.length for s in stages)
+        factors = tuple(1 << a for a in exponents)
+        key = (cost,) + tuple(-f for f in factors)
+        return key, _Geometry(factors, tuple(stages))
+
+    candidates = [
+        (a, stages_log - a) for a in range(stages_log + 1)
+    ]
+    if n > _MAX_TWO_STAGE_N:
+        candidates += [
+            (a, b, stages_log - a - b)
+            for a in range(1, stages_log - 1)
+            for b in range(1, stages_log - a)
+        ]
+    best: tuple | None = None
+    for exponents in candidates:
+        candidate = plan(exponents)
+        if candidate is not None and (best is None
+                                      or candidate[0] < best[0]):
+            best = candidate
+    return best[1] if best else None
+
+
+def engine_unsupported_reason(primes: tuple[int, ...],
+                              n: int) -> str | None:
+    """Why the gemm engine cannot serve this basis (None = it can).
+
+    The single support predicate every dispatcher consults. The
+    support matrix it encodes: primes below 31 bits (the lazy-reduction
+    datapath needs 4q < 2^32) and ring degrees up to
+    ``MAX_ENGINE_N`` = 32768 (the property-tested envelope of the
+    per-step limb-split search). Ineligible bases take the (slower,
+    still exact) per-row path, with a structured
+    :class:`EngineFallback` diagnostic recorded.
+    """
+    if not primes:
+        return "empty RNS basis"
+    if max(primes).bit_length() >= _MAX_MODULUS_BITS:
+        return (
+            f"max prime has {max(primes).bit_length()} bits; the "
+            "lazy-reduction datapath needs 4q < 2^32 (primes below "
+            f"{_MAX_MODULUS_BITS} bits)"
+        )
+    if n > MAX_ENGINE_N:
+        return (
+            f"ring degree {n} exceeds the engine's tested envelope "
+            f"(n <= {MAX_ENGINE_N})"
+        )
+    if _plan_geometry(n, max(primes)) is None:  # pragma: no cover
+        return f"no exact limb split exists for degree {n}"
+    return None
+
+
+def batched_engine_ok(primes: tuple[int, ...], n: int) -> bool:
+    """Can the gemm engine run this basis (outside per_row_mode)?"""
+    return engine_unsupported_reason(tuple(primes), n) is None
+
+
+def _use_per_row(primes: tuple[int, ...], n: int) -> bool:
+    """Dispatch decision shared by every entry point, with diagnostics.
+
+    Inside :func:`per_row_mode` the per-row path is the *requested*
+    baseline; outside it, a fallback is a degradation and is recorded
+    as an :class:`EngineFallback` plus a rate-limited log warning.
+    """
+    if _PER_ROW_MODE:
+        return True
+    reason = engine_unsupported_reason(tuple(primes), n)
+    if reason is None:
+        return False
+    _note_fallback(tuple(primes), n, reason)
+    return True
 
 
 def _shoup_table(table: np.ndarray, primes_col: np.ndarray) -> np.ndarray:
@@ -150,18 +405,23 @@ class BasisTransformer:
     paper's pipelined NTT unit is built around — a size-n1 NTT down the
     columns of the (n1, n2) coefficient matrix, an element-wise twiddle
     correction, a transpose, and a size-n2 NTT over the transposed
-    matrix — but computes both short sub-NTTs as *dense matrix
-    products* evaluated by BLAS in float64:
+    matrix — generalised recursively to *three* stages above n = 16384
+    (sub-DFT, twiddle, sub-DFT, twiddle, sub-DFT, every factor at most
+    128 points) — with every short sub-NTT computed as a *dense matrix
+    product* evaluated by BLAS in float64:
 
-    * each operand is split into a high and a low 15-bit limb, and the
-      sub-DFT matrix is stored as the (n1, 2*n1) block ``[W * 2^15 mod
-      q | W]``, so one dgemm per step computes the exact sub-transform
-      (every partial sum stays below 2^53, where float64 arithmetic on
-      integers is exact);
-    * the negacyclic psi^i pre-twist is folded into the step-1 matrix
-      and the four-step twiddle table, and the inverse transform's
-      ``psi^-i / n`` post-scale is folded into its twiddle and step-2
-      matrix, so neither costs a separate pass;
+    * each operand is split into narrow limbs (two 15-bit limbs for
+      every sub-DFT the stage planner actually emits; wider splits
+      remain as the proved escape hatch) and the sub-DFT matrix is
+      stored as the (L, c*L) block ``[W * 2^(b*(c-1)) mod q | ... |
+      W]``, so one dgemm per stage computes the exact sub-transform
+      (every partial sum stays at or below 2^53, where float64
+      arithmetic on integers is exact — :func:`_limb_plan` proves the
+      bound per stage);
+    * the negacyclic psi^i pre-twist is folded into the stage-1 matrix
+      and the twiddle tables, and the inverse transform's
+      ``psi^-j / n`` post-scale is folded into its twiddles and final
+      stage matrix, so neither costs a separate pass;
     * the post-gemm reductions run in float64 too (quotients are below
       2^23, so ``g - rint(g/q) * q`` is exact), leaving the Shoup
       twiddle multiply as the only integer element-wise stage;
@@ -183,10 +443,6 @@ class BasisTransformer:
         self.primes = tuple(int(p) for p in primes)
         self.n = n
         self.stages = log2_exact(n)
-        # n = n1 * n2, n1 >= n2. Exactness of the single-gemm step needs
-        # n1 * max_prime * 2^16 < 2^53, i.e. n1 <= 128 for 30-bit primes.
-        self.n1 = 1 << ((self.stages + 1) // 2)
-        self.n2 = n // self.n1
         for p in self.primes:
             if p.bit_length() > _MAX_MODULUS_BITS - 1:
                 raise ParameterError(
@@ -197,11 +453,14 @@ class BasisTransformer:
                 raise ParameterError(
                     f"modulus {p} is not NTT-friendly for degree {n}"
                 )
-        if self.n1 > 128:
+        geometry = _plan_geometry(n, max(self.primes))
+        if geometry is None:
             raise ParameterError(
-                f"degree {n} needs sub-transforms above 128 points; the "
-                "float64 gemm would lose exactness (use the per-row path)"
+                f"degree {n} admits no exact limb-split factorisation; "
+                "use the per-row path"
             )
+        self.geometry = geometry
+        self.factors = geometry.factors
         self.k = len(self.primes)
         self.primes_col = np.array(self.primes, dtype=np.int64)[:, None]
         # Modulus tables shared by both directions and the scratch pool.
@@ -213,29 +472,43 @@ class BasisTransformer:
         self._scratch: tuple[np.ndarray, ...] | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"BasisTransformer(k={self.k}, n={self.n})"
+        return (f"BasisTransformer(k={self.k}, n={self.n}, "
+                f"factors={self.factors})")
 
     # -- internals ---------------------------------------------------------------
 
-    def _buffers(self) -> tuple[np.ndarray, ...]:
+    def _buffers(self) -> tuple[list, list, tuple[np.ndarray, ...]]:
         """Preallocated scratch, shared by both transform directions.
 
         Kept cache-sized on purpose: stacks are processed one
         polynomial at a time (whole-stack buffers would spill the
         last-level cache and turn every pass memory-bound), and forward
         and inverse share one set so the hot loop keeps touching the
-        same few hundred kilobytes.
+        same buffers. Per stage: a float64 limb stack and a float64
+        gemm output; shared: two int64 ping-pong state planes and one
+        float64 temporary.
         """
         if self._scratch is None:
-            k, n, n1, n2 = self.k, self.n, self.n1, self.n2
+            k, n = self.k, self.n
+            limbs = []
+            gemm_out = []
+            for stage in self.geometry.stages:
+                length = stage.length
+                rest = n // length
+                limbs.append(np.empty(
+                    (k, stage.split.count * length, rest),
+                    dtype=np.float64,
+                ))
+                gemm_out.append(np.empty((k, length, rest),
+                                         dtype=np.float64))
             self._scratch = (
-                np.empty((k, 2 * n1, n2), dtype=np.float64),  # limbs 1
-                np.empty((k, 2 * n2, n1), dtype=np.float64),  # limbs 2
-                np.empty((k, n1, n2), dtype=np.float64),      # gemm out 1
-                np.empty((k, n2, n1), dtype=np.float64),      # gemm out 2
-                np.empty((k, n), dtype=np.int64),             # int work
-                np.empty((k, n), dtype=np.float64),           # float tmp
-                np.empty((k, n), dtype=np.int64),             # int tmp
+                limbs,
+                gemm_out,
+                (
+                    np.empty((k, n), dtype=np.int64),    # state A
+                    np.empty((k, n), dtype=np.int64),    # state B
+                    np.empty((k, n), dtype=np.float64),  # float tmp
+                ),
             )
         return self._scratch
 
@@ -322,7 +595,7 @@ class BasisTransformer:
         """Forward NTT of each raw digit row under every basis prime.
 
         ``rows`` is a ``(j, n)`` matrix of non-negative values below
-        2^31 (unreduced raw-residue digits); the result is ``(j, k, n)``
+        2^30 (unreduced raw-residue digits); the result is ``(j, k, n)``
         with channel ``c`` of output ``i`` equal to the NTT of
         ``rows[i] mod primes[c]`` — bit-identical to broadcasting,
         reducing, and transforming per channel, at a fraction of the
@@ -354,77 +627,150 @@ class BasisTransformer:
         return self.inverse(self.pointwise(fa, fb))
 
 
-_SPLIT_BITS = 15
-_SPLIT_MASK = (1 << _SPLIT_BITS) - 1
-
-
 class _GemmPlan:
     """Precomputed tables for one transform direction of a basis.
 
-    ``step1``/``step2`` hold the float64 ``(k, L, 2L)`` limb-split
-    sub-DFT matrices ``[W * 2^15 mod q | W]``; the four-step twiddle
-    correction is kept in int64 with its Shoup quotients. The psi
-    pre-twist (forward) and the ``psi^-i / n`` post-scale (inverse)
-    are folded into these tables, so :meth:`apply` runs no standalone
-    scaling passes. Per stack width ``j``, :meth:`tables` lazily
-    materialises column-tiled twiddle and modulus tables (real strides
-    everywhere — numpy's zero-stride broadcast loops are 3-4x slower).
+    The decomposition runs ``S`` sub-DFT stages (two for n <= 16384,
+    three beyond — the recursive generalisation of the four-step) with
+    a twiddle correction between consecutive stages. Per stage ``t``
+    the float64 ``(k, L, c*L)`` limb-split sub-DFT matrix
+    ``[W * 2^(b*(c-1)) mod q | ... | W * 2^b mod q | W]`` carries the
+    stage's ``c`` limbs of ``b`` bits; the twiddle tables are flat
+    int64 ``(k, n)`` planes (in the exact memory layout they are
+    applied in) with lazily-built Shoup quotients. The psi pre-twist
+    (forward) and the ``psi^-j / n`` post-scale (inverse) are folded
+    into these tables, so :meth:`apply` runs no standalone scaling
+    passes.
+
+    Index algebra (the generalisation the tables implement): with
+    ``n = f_0 * ... * f_{S-1}``, input index
+    ``i = sum_t i_t * (n / P_t)`` and output index
+    ``j = sum_t j_t * P_{t-1}`` (``P_t`` the prefix products),
+
+    * stage ``t`` applies ``w_{f_t}^{i_t j_t}`` — the gemm matrix;
+    * twiddle ``u`` (after stage ``u``) applies
+      ``w_{P_{u+1}}^{i_{u+1} * (j mod P_u)}`` — everything that couples
+      the next input axis to the outputs produced so far;
+    * between stages the produced axis rotates behind the remaining
+      input axes, so stage ``S-1``'s gemm emits the flat natural-order
+      result with no final permutation.
+
+    Setting ``S = 2`` reproduces the original four-step tables
+    bit for bit.
     """
 
     def __init__(self, bt: BasisTransformer, inverse: bool,
                  channel_scale: tuple[int, ...] | None = None) -> None:
-        k, n, n1, n2 = bt.k, bt.n, bt.n1, bt.n2
-        step1 = np.empty((k, n1, 2 * n1), dtype=np.float64)
-        step2 = np.empty((k, n2, 2 * n2), dtype=np.float64)
-        twiddle = np.empty((k, n1, n2), dtype=np.int64)
+        k, n = bt.k, bt.n
+        factors = bt.geometry.factors
+        num = len(factors)
+        prefix = []
+        acc = 1
+        for f in factors:
+            acc *= f
+            prefix.append(acc)   # P_t = f_0 * ... * f_t
+        steps = [
+            np.empty((k, stage.length,
+                      stage.split.count * stage.length),
+                     dtype=np.float64)
+            for stage in bt.geometry.stages
+        ]
+        twiddles = [
+            np.empty((k, n), dtype=np.int64) for _ in range(num - 1)
+        ]
+        order = 2 * n
         for ki, p in enumerate(bt.primes):
-            psi = root_of_unity(2 * n, p)
+            psi = root_of_unity(order, p)
             if inverse:
                 psi = modinv(psi, p)
-            # psi powers over exponents mod 2n (omega = psi^2).
-            psi_pow = power_table(psi, 2 * n, p)
-            j1 = np.arange(n1, dtype=np.int64)[:, None]
-            i1 = np.arange(n1, dtype=np.int64)[None, :]
-            i2 = np.arange(n2, dtype=np.int64)[None, :]
-            j2 = np.arange(n2, dtype=np.int64)[:, None]
-            if not inverse:
-                # W1[j1, i1] = omega^(n2 i1 j1) * psi^(n2 i1): the
-                # psi^i twist contributes psi^(i1 n2) here and psi^(i2)
-                # to the twiddle below.
-                w1 = psi_pow[(2 * n2 * j1 * i1 + n2 * i1) % (2 * n)]
-                tw = psi_pow[(2 * j1 * i2 + i2) % (2 * n)]
-                w2 = psi_pow[(2 * n1 * j2 * i2) % (2 * n)]
-            else:
-                # Inverse: plain DFT over psi^-2, with psi^-j1 / n in
-                # the twiddle and psi^-(n1 j2) in the step-2 rows (the
-                # output index is j = j2 n1 + j1).
-                inv_n = modinv(n, p)
-                w1 = psi_pow[(2 * n2 * j1 * i1) % (2 * n)]
-                tw = (psi_pow[(2 * j1 * i2 + j1) % (2 * n)]
-                      * inv_n) % p
-                w2 = psi_pow[(2 * n1 * j2 * i2 + n1 * j2) % (2 * n)]
-            if channel_scale is not None:
-                # Per-channel constant folded into the mid twiddle
-                # (linearity: it scales the whole channel's output).
-                tw = (tw * (channel_scale[ki] % p)) % p
-            step1[ki, :, :n1] = (w1 << _SPLIT_BITS) % p
-            step1[ki, :, n1:] = w1
-            step2[ki, :, :n2] = (w2 << _SPLIT_BITS) % p
-            step2[ki, :, n2:] = w2
-            twiddle[ki] = tw
-        self.step1 = step1
-        self.step2 = step2
-        self._twiddle = twiddle
+            psi_pow = power_table(psi, order, p)
+            inv_n = modinv(n, p) if inverse else 1
+            for t, stage in enumerate(bt.geometry.stages):
+                f = stage.length
+                j = np.arange(f, dtype=np.int64)[:, None]
+                i = np.arange(f, dtype=np.int64)[None, :]
+                exp = 2 * (n // f) * j * i
+                if not inverse and t == 0:
+                    # psi^i pre-twist, i_0 part.
+                    exp = exp + (n // factors[0]) * i
+                if inverse and t == num - 1:
+                    # psi^-j post-scale, j_{S-1} part.
+                    exp = exp + (prefix[-2] if num > 1 else 1) * j
+                w = psi_pow[exp % order]
+                split = stage.split
+                for block in range(split.count):
+                    shift = split.bits * (split.count - 1 - block)
+                    steps[t][ki, :, block * f: (block + 1) * f] = \
+                        (w << shift) % p
+            for u in range(num - 1):
+                twiddles[u][ki] = self._twiddle_plane(
+                    factors, prefix, u, psi_pow, order, p,
+                    inverse=inverse,
+                    inv_n=inv_n if u == 0 else 1,
+                    channel_scale=(channel_scale[ki]
+                                   if channel_scale is not None
+                                   and u == 0 else 1),
+                )
+        self.steps = steps
+        self._twiddles = twiddles
         self._primes_col = bt.primes_col
-        self._flat: tuple[np.ndarray, np.ndarray] | None = None
+        self._flat: list[tuple[np.ndarray, np.ndarray]] | None = None
 
-    def tables(self) -> tuple[np.ndarray, np.ndarray]:
-        """Flat (k, n) twiddle tables, materialised with real strides
-        (numpy's zero-stride broadcast loops are 3-4x slower)."""
+    @staticmethod
+    def _twiddle_plane(factors, prefix, u, psi_pow, order, p, *,
+                       inverse, inv_n, channel_scale) -> np.ndarray:
+        """One channel's flat twiddle table after stage ``u``.
+
+        Built directly in the application layout
+        ``(j_u, i_{u+1}, ..., i_{S-1}, j_{u-1}, ..., j_0)``:
+        ``w_{P_{u+1}}^{i_{u+1} * Jsum}`` with
+        ``Jsum = sum_{w<=u} j_w P_{w-1}``, plus the folded-in psi
+        twist (forward: ``psi^{i_{u+1} * n/P_{u+1}}``) or post-scale
+        (inverse: ``psi^{-j_u P_{u-1}}`` and ``1/n`` on the first
+        twiddle), and the per-channel constant of scaled inverses.
+        """
+        num = len(factors)
+        n = prefix[-1]
+        shape = ([factors[u]] + list(factors[u + 1:])
+                 + list(reversed(factors[:u])))
+        axes = len(shape)
+
+        def along(values: np.ndarray, axis: int) -> np.ndarray:
+            view = [1] * axes
+            view[axis] = len(values)
+            return values.reshape(view)
+
+        j_u = np.arange(factors[u], dtype=np.int64)
+        i_next = np.arange(factors[u + 1], dtype=np.int64)
+        weight_u = prefix[u - 1] if u > 0 else 1
+        jsum = along(j_u * weight_u, 0)
+        for w in range(u):
+            # Axis of j_w in the layout: after the remaining inputs,
+            # reversed (j_{u-1} first).
+            axis = 1 + (num - 1 - u) + (u - 1 - w)
+            weight = prefix[w - 1] if w > 0 else 1
+            jsum = jsum + along(
+                np.arange(factors[w], dtype=np.int64) * weight, axis
+            )
+        stride = 2 * (n // prefix[u + 1])
+        exp = along(i_next, 1) * (stride * jsum)
+        if not inverse:
+            exp = exp + along((n // prefix[u + 1]) * i_next, 1)
+        else:
+            exp = exp + along(j_u * weight_u, 0)
+        plane = psi_pow[np.broadcast_to(exp % order, shape)]
+        scale = (inv_n * (channel_scale % p)) % p
+        if scale != 1:
+            plane = (plane * scale) % p
+        return plane.reshape(-1)
+
+    def tables(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Per-twiddle (table, Shoup quotients), lazily materialised."""
         if self._flat is None:
-            k, n1, n2 = self._twiddle.shape
-            tw = self._twiddle.reshape(k, n1 * n2)
-            self._flat = (tw, _shoup_table(tw, self._primes_col))
+            self._flat = [
+                (tw, _shoup_table(tw, self._primes_col))
+                for tw in self._twiddles
+            ]
         return self._flat
 
     @staticmethod
@@ -432,11 +778,13 @@ class _GemmPlan:
                      q_f: np.ndarray, out: np.ndarray) -> None:
         """Cast the exact float64 gemm output into lazy int64 [0, 2q).
 
-        ``g`` holds exact integers below 2^53, so the float quotient
-        ``rint(g / q)`` is off by at most one and ``g - rint(g/q) * q``
-        lands in (-q, q) — still exact, because every intermediate is
-        an integer of magnitude below 2^53. Adding q gives the lazy
-        representative with no integer division anywhere.
+        ``g`` holds exact integers at or below 2^53, so the float
+        quotient ``rint(g / q)`` is off by at most one and
+        ``g - rint(g/q) * q`` lands in (-q, q) — still exact, because
+        every intermediate is an integer of magnitude at most 2^53
+        (the limb plans reserve one modulus of overshoot headroom).
+        Adding q gives the lazy representative with no integer
+        division anywhere.
         """
         np.multiply(g, inv_p, out=q_f)
         np.rint(q_f, out=q_f)
@@ -445,102 +793,141 @@ class _GemmPlan:
         np.add(g, p_f, out=out, casting="unsafe")
 
     @staticmethod
-    def _split_into(values: np.ndarray, limbs: np.ndarray) -> None:
-        """Write the high/low 15-bit limb stack of one (k, L, c) block.
+    def _split_into(values: np.ndarray, limbs: np.ndarray,
+                    split: _LimbSplit, scratch: np.ndarray) -> None:
+        """Write the limb stack of one (B, L, C) block, top limb first.
 
         The ufuncs cast straight into the float64 limb buffer (exact:
-        both limbs are below 2^16), one pass per limb.
+        every limb is far below 2^53); middle limbs need a shift *and*
+        a mask, staged through the int64 ``scratch`` (same shape as
+        ``values``). For the classic two-limb split this is exactly the
+        old shift + mask pair.
         """
         rows = values.shape[1]
-        np.right_shift(values, _SPLIT_BITS, out=limbs[:, :rows, :],
-                       casting="unsafe")
-        np.bitwise_and(values, _SPLIT_MASK, out=limbs[:, rows:, :],
-                       casting="unsafe")
+        np.right_shift(values, split.bits * (split.count - 1),
+                       out=limbs[:, :rows, :], casting="unsafe")
+        mask = (1 << split.bits) - 1
+        for block in range(1, split.count):
+            dest = limbs[:, block * rows: (block + 1) * rows, :]
+            shift = split.bits * (split.count - 1 - block)
+            if shift:
+                np.right_shift(values, shift, out=scratch)
+                np.bitwise_and(scratch, mask, out=dest,
+                               casting="unsafe")
+            else:
+                np.bitwise_and(values, mask, out=dest, casting="unsafe")
+
+    def _transpose_axes(self, num: int, t: int) -> tuple[int, ...]:
+        """Axis permutation moving stage ``t``'s output axis behind the
+        remaining input axes (layout invariant of the stage loop)."""
+        remaining = num - 1 - t
+        return ((0,) + tuple(range(2, 2 + remaining)) + (1,)
+                + tuple(range(2 + remaining, num + 1)))
+
+    def _stage_shape(self, bt: BasisTransformer, t: int) -> tuple:
+        """(k, j_t, i_{t+1}, ..., i_{S-1}, j_{t-1}, ..., j_0)."""
+        factors = bt.geometry.factors
+        return ((bt.k, factors[t]) + tuple(factors[t + 1:])
+                + tuple(reversed(factors[:t])))
 
     def apply(self, bt: BasisTransformer, x: np.ndarray,
               out: np.ndarray, lazy: bool = False) -> None:
         """Transform one (k, n) matrix into ``out`` (natural order).
 
-        Entries of ``x`` must be non-negative and below 2^31 (canonical
-        residues always are); ``out`` receives canonical [0, q) values
-        (or lazy [0, 2q) ones when ``lazy`` is set).
+        Entries of ``x`` must be non-negative and below 2^30 (canonical
+        residues and raw 30-bit digits always are — the bound the limb
+        plans are proved exact against); ``out`` receives canonical
+        [0, q) values (or lazy [0, 2q) ones when ``lazy`` is set).
         """
-        k, n1, n2 = bt.k, bt.n1, bt.n2
-        limbs1, limbs2, g1, g2, work, f_tmp, i_tmp = bt._buffers()
-        p_f, inv_p = bt._mod_tables[1], bt._mod_tables[2]
-        # Step 1: exact size-n1 sub-DFT down the columns (one dgemm),
-        # then the float reduction into lazy [0, 2q).
-        self._split_into(x.reshape(k, n1, n2), limbs1)
-        np.matmul(self.step1, limbs1, out=g1)
-        self._reduce_lazy(g1, p_f.reshape(g1.shape),
-                          inv_p.reshape(g1.shape),
-                          f_tmp.reshape(g1.shape), work.reshape(g1.shape))
-        self._tail(bt, work, out, lazy)
+        f0 = bt.geometry.factors[0]
+        self._run(bt, x.reshape(bt.k, f0, bt.n // f0), out, lazy,
+                  broadcast=False)
 
     def apply_broadcast(self, bt: BasisTransformer, row: np.ndarray,
                         out: np.ndarray, lazy: bool = False) -> None:
         """Transform one raw digit row under *every* basis prime.
 
-        ``row`` is a length-n vector of non-negative values below 2^31
+        ``row`` is a length-n vector of non-negative values below 2^30
         — typically an unreduced raw-residue digit. Because
         ``NTT_k(v) ≡ NTT_k(v mod q_k)`` and the engine's reductions are
         exact, ``out`` (shape (k, n)) is bit-identical to broadcasting
         the row across the basis, reducing per channel, and
         transforming each channel — but the shared source means one
-        limb split and a single tall dgemm cover step 1 of all k
+        limb split and a single tall dgemm cover stage 1 of all k
         channels at once (the paper's fused WordDecomp + NTT digit
         pipeline).
         """
-        k, n1, n2 = bt.k, bt.n1, bt.n2
-        limbs1, limbs2, g1, g2, work, f_tmp, i_tmp = bt._buffers()
-        p_f, inv_p = bt._mod_tables[1], bt._mod_tables[2]
-        shared = limbs1.reshape(k * 2 * n1, n2)[: 2 * n1]
-        self._split_into(row.reshape(1, n1, n2),
-                         shared.reshape(1, 2 * n1, n2))
-        np.matmul(self.step1.reshape(k * n1, 2 * n1), shared,
-                  out=g1.reshape(k * n1, n2))
-        self._reduce_lazy(g1, p_f.reshape(g1.shape),
-                          inv_p.reshape(g1.shape),
-                          f_tmp.reshape(g1.shape), work.reshape(g1.shape))
-        self._tail(bt, work, out, lazy)
+        f0 = bt.geometry.factors[0]
+        self._run(bt, row.reshape(1, f0, bt.n // f0), out, lazy,
+                  broadcast=True)
 
-    def _tail(self, bt: BasisTransformer, work: np.ndarray,
-              out: np.ndarray, lazy: bool = False) -> None:
-        """Steps 2-4: twiddle, transpose, second sub-DFT, canonicalise
-        (or stop at the lazy [0, 2q) representative)."""
-        k, n1, n2 = bt.k, bt.n1, bt.n2
-        n = bt.n
-        limbs1, limbs2, g1, g2, _, f_tmp, i_tmp = bt._buffers()
-        tw, tw_sh = self.tables()
+    def _run(self, bt: BasisTransformer, x: np.ndarray,
+             out: np.ndarray, lazy: bool, broadcast: bool) -> None:
+        """The stage loop shared by :meth:`apply` and
+        :meth:`apply_broadcast`: per stage — optional canonicalise,
+        limb split, one dgemm, float reduction — with a Shoup twiddle
+        multiply and an axis rotation between stages."""
+        k, n = bt.k, bt.n
+        stages = bt.geometry.stages
+        num = len(stages)
+        limbs, gemm_out, (cur, alt, f_tmp) = bt._buffers()
         p_int, p_f, inv_p = bt._mod_tables
-        # Step 2: Shoup twiddle multiply, still lazy in [0, 2q).
-        _shoup_mul(work, tw, tw_sh, p_int, i_tmp)
-        if n2 > 64:
-            # Above 64-point sub-transforms the lazy [0, 2q) bound would
-            # push gemm partial sums past 2^53; one conditional subtract
-            # restores canonical inputs (unsigned-view minimum trick).
-            np.subtract(work, p_int, out=i_tmp)
-            np.minimum(work.view(np.uint64), i_tmp.view(np.uint64),
-                       out=work.view(np.uint64))
-        # Step 3: transpose (one strided copy pass) into the output
-        # buffer, then step 4: the size-n2 sub-DFT of the transpose.
-        w2 = i_tmp.reshape(k, n2, n1)
-        np.copyto(w2, work.reshape(k, n1, n2).transpose(0, 2, 1))
-        self._split_into(w2, limbs2)
-        np.matmul(self.step2, limbs2, out=g2)
-        self._reduce_lazy(g2, p_f.reshape(g2.shape),
-                          inv_p.reshape(g2.shape),
-                          f_tmp.reshape(g2.shape), work.reshape(g2.shape))
-        # Final canonical reduction [0, 2q) -> [0, q), written straight
-        # into the caller's buffer. Reading the (k, n2, n1) result
-        # row-major is the natural-order transform (output index
-        # j = j2 * n1 + j1).
+        twiddle_tables = self.tables()
+        for t, stage in enumerate(stages):
+            f = stage.length
+            rest = n // f
+            source = x if t == 0 else cur.reshape(k, f, rest)
+            g = gemm_out[t]
+            if t == 0 and broadcast:
+                c0 = stage.split.count
+                shared = limbs[0].reshape(k * c0 * f, rest)[: c0 * f]
+                self._split_into(x, shared.reshape(1, c0 * f, rest),
+                                 stage.split,
+                                 alt.reshape(k, f, rest)[:1])
+                np.matmul(self.steps[t].reshape(k * f, c0 * f), shared,
+                          out=g.reshape(k * f, rest))
+            else:
+                if stage.canonical_in:
+                    # The lazy [0, 2q) bound would force a wider limb
+                    # split; one conditional subtract restores
+                    # canonical inputs (unsigned-minimum trick).
+                    np.subtract(cur, p_int, out=alt)
+                    np.minimum(cur.view(np.uint64), alt.view(np.uint64),
+                               out=cur.view(np.uint64))
+                self._split_into(source, limbs[t], stage.split,
+                                 alt.reshape(k, f, rest))
+                np.matmul(self.steps[t], limbs[t], out=g)
+            self._reduce_lazy(g, p_f.reshape(g.shape),
+                              inv_p.reshape(g.shape),
+                              f_tmp.reshape(g.shape),
+                              cur.reshape(g.shape))
+            if t < num - 1:
+                tw, tw_sh = twiddle_tables[t]
+                _shoup_mul(cur, tw, tw_sh, p_int, alt)
+                # Rotate the produced axis behind the remaining input
+                # axes (one strided copy), ping-ponging the state
+                # planes.
+                shape = self._stage_shape(bt, t)
+                np.copyto(
+                    alt.reshape(
+                        tuple(shape[axis]
+                              for axis in self._transpose_axes(num, t))
+                    ),
+                    cur.reshape(shape).transpose(
+                        self._transpose_axes(num, t)
+                    ),
+                )
+                cur, alt = alt, cur
+        # The last stage's gemm emits the natural-order result: final
+        # canonical reduction [0, 2q) -> [0, q) straight into the
+        # caller's buffer (or the lazy copy).
         if lazy:
-            np.copyto(out.reshape(k, n), work)
+            np.copyto(out.reshape(k, n), cur)
         else:
-            np.subtract(work, p_int, out=i_tmp)
-            np.minimum(work.view(np.uint64), i_tmp.view(np.uint64),
+            np.subtract(cur, p_int, out=alt)
+            np.minimum(cur.view(np.uint64), alt.view(np.uint64),
                        out=out.reshape(k, n).view(np.uint64))
+
 
 
 def _shoup_mul(values: np.ndarray, table: np.ndarray,
@@ -600,8 +987,7 @@ def ntt_rows(primes: tuple[int, ...], matrix: np.ndarray) -> np.ndarray:
     modes update the transform counters, so telemetry comparisons stay
     meaningful).
     """
-    if _PER_ROW_MODE or not batched_engine_ok(
-            primes, np.asarray(matrix).shape[-1]):
+    if _use_per_row(primes, np.asarray(matrix).shape[-1]):
         arr = np.asarray(matrix, dtype=np.int64)
         if arr.ndim == 3:
             out = np.stack([_per_row_forward(primes, a) for a in arr])
@@ -625,7 +1011,7 @@ def intt_rows_scaled(primes: tuple[int, ...], matrix: np.ndarray,
     """
     arr = np.asarray(matrix, dtype=np.int64)
     n = arr.shape[-1]
-    if _PER_ROW_MODE or not batched_engine_ok(primes, n):
+    if _use_per_row(primes, n):
         primes_col = np.array(primes, dtype=np.int64)[:, None]
         consts_col = np.array(
             [c % p for c, p in zip(constants, primes)], dtype=np.int64
@@ -641,14 +1027,14 @@ def ntt_broadcast_rows(primes: tuple[int, ...], rows: np.ndarray,
     """Forward NTT of raw digit rows under every prime of ``primes``.
 
     The fused WordDecomp + NTT primitive: ``rows`` is ``(j, n)`` with
-    non-negative entries below 2^31, the result ``(j, k, n)`` —
+    non-negative entries below 2^30, the result ``(j, k, n)`` —
     bit-identical to broadcasting each row across the basis, reducing
     per channel, and calling :func:`ntt_rows`. Falls back to exactly
     that (per-row) recipe when the batched engine cannot run.
     """
     arr = np.asarray(rows, dtype=np.int64)
     n = arr.shape[-1]
-    if _PER_ROW_MODE or not batched_engine_ok(primes, n):
+    if _use_per_row(primes, n):
         primes_col = np.array(primes, dtype=np.int64)[:, None]
         tiled = arr[:, None, :] % primes_col[None, :, :]
         return ntt_rows(primes, tiled)
@@ -659,8 +1045,7 @@ def ntt_broadcast_rows(primes: tuple[int, ...], rows: np.ndarray,
 
 def intt_rows(primes: tuple[int, ...], matrix: np.ndarray) -> np.ndarray:
     """Inverse-transform a residue matrix (or stack); see :func:`ntt_rows`."""
-    if _PER_ROW_MODE or not batched_engine_ok(
-            primes, np.asarray(matrix).shape[-1]):
+    if _use_per_row(primes, np.asarray(matrix).shape[-1]):
         arr = np.asarray(matrix, dtype=np.int64)
         if arr.ndim == 3:
             out = np.stack([_per_row_inverse(primes, a) for a in arr])

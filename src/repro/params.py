@@ -215,6 +215,66 @@ def toy(t: int = 2) -> ParameterSet:
     return params
 
 
+@lru_cache(maxsize=None)
+def large16k(t: int = 2) -> ParameterSet:
+    """n = 16384 with a 360-bit q — the sweep point between the Table V
+    extrapolations.
+
+    Same basis shape as :func:`table5_large` (twelve q primes, thirteen
+    extension primes: Q = 750 bits comfortably holds the ~733-bit
+    tensor bound, and p > q * t * n / 4 keeps the HPS scale's p-basis
+    representative exact), one ring doubling up. Heuristic security
+    ~155 bits classical (3.41 * 16384 / 360 + log2(102 / 3.2)).
+    """
+    params = _build("large16k", n=16384, k_q=12, k_p=13, t=t, sigma=102.0)
+    params.validate_tensor_capacity()
+    return params
+
+
+@lru_cache(maxsize=None)
+def hpca19_large(t: int = 2) -> ParameterSet:
+    """The large-ring production set: n = 32768, 360-bit q.
+
+    The ring the paper's architecture (and the accelerators it
+    inspired — HEAX, Medha) is sized against for deep circuits. Twelve
+    30-bit q primes (360 bits) and thirteen extension primes (Q = 750
+    bits) satisfy both exactness obligations: the tensor bound
+    (log2(2 n (q/2)^2) ~ 734 bits < 750) and the HPS scale's p-basis
+    bound (p ~ 2^390 > q * t * n / 4 ~ 2^375).
+
+    Security: under the same calibrated heuristic as
+    :meth:`ParameterSet.estimated_security_bits` (linear in
+    n / log2 q, sigma credit ~5 bits), n = 32768 with a 360-bit q and
+    sigma = 102 lands at ~315 bits classical — far above the paper's
+    80-bit floor. The ring is sized for the large-ring NTT engine and
+    deep SIMD workloads, not for minimal security: growing q (more
+    depth) trades that headroom down, staying >= 128-bit until
+    log2 q ~ 870.
+    """
+    params = _build("hpca19_large", n=32768, k_q=12, k_p=13, t=t,
+                    sigma=102.0)
+    params.validate_tensor_capacity()
+    return params
+
+
+def large_ring(n: int, t: int = 2) -> ParameterSet:
+    """The benchmark-sweep parameter set for one ring degree.
+
+    Maps each degree of the throughput sweep (n = 4096 ... 32768) to
+    its named set: the paper's production set at n = 4096, the Table V
+    instantiation at n = 8192, and the 360-bit-q large-ring sets above
+    it. Raises for degrees outside the sweep.
+    """
+    sets = {4096: hpca19, 8192: table5_large, 16384: large16k,
+            32768: hpca19_large}
+    if n not in sets:
+        raise ParameterError(
+            f"no sweep parameter set for ring degree {n}; "
+            f"pick one of {sorted(sets)}"
+        )
+    return sets[n](t=t)
+
+
 def table5_parameter_points() -> list[tuple[int, int]]:
     """(n, log2 q) points of the paper's Table V scaling study."""
     return [(2 ** 12, 180), (2 ** 13, 360), (2 ** 14, 720), (2 ** 15, 1440)]

@@ -23,7 +23,7 @@ from repro.api import (
 )
 from repro.cluster.report import ClusterReport
 from repro.cluster.routing import TenantAffinityRouter
-from repro.errors import NoiseBudgetExhausted, ParameterError
+from repro.errors import EncodingError, NoiseBudgetExhausted, ParameterError
 from repro.fv.evaluator import Evaluator
 from repro.fv.galois import GaloisEngine
 from repro.params import mini
@@ -49,7 +49,7 @@ class TestSession:
         assert bit_session.encoder_kind == "coeff"   # t=2 cannot batch
 
     def test_forced_batch_encoder_rejects_bad_modulus(self):
-        with pytest.raises(Exception):
+        with pytest.raises((ParameterError, EncodingError)):
             Session(mini(), encoder="batch")
 
     def test_unknown_encoder_rejected(self):

@@ -21,12 +21,20 @@ from hypothesis import strategies as st
 from repro.api import LocalBackend, Session
 from repro.fv.galois import GaloisEngine
 from repro.nttmath.batch import (
+    MAX_ENGINE_N,
+    _limb_plan,
+    _plan_geometry,
     basis_transformer,
+    batched_engine_ok,
+    engine_fallbacks,
+    engine_unsupported_reason,
     intt_rows,
     intt_rows_scaled,
     ntt_broadcast_rows,
     ntt_rows,
     per_row_mode,
+    reset_engine_fallbacks,
+    transform_counts,
 )
 from repro.nttmath.ntt import NegacyclicTransformer, intt_iterative, ntt_iterative
 from repro.nttmath.primes import find_ntt_primes
@@ -160,6 +168,137 @@ class TestBatchedTransformEquivalence:
             b2 = session_slow.encrypt([4, 5, 6])
             per_row = session_slow.decrypt(a2 * b2 + a2, size=4)
         assert np.array_equal(batched, per_row)
+
+
+class TestLargeRingEngine:
+    """The generalised engine covers every supported n up to 32768.
+
+    The acceptance bar of the large-ring PR: batched transforms stay
+    bit-identical to the paper-literal ``ntt_iterative`` and the
+    per-row ``NegacyclicTransformer`` at n = 8192, 16384, and 32768
+    with 30-bit primes — the degrees the old four-step split either
+    served with no headroom or silently refused.
+    """
+
+    @pytest.mark.parametrize("n", [8192, 16384, 32768])
+    def test_large_n_matches_per_row_and_iterative(self, n):
+        primes = _basis(n, 2)
+        assert batched_engine_ok(primes, n)
+        bt = basis_transformer(primes, n)
+        rng = np.random.default_rng(n)
+        mat = rng.integers(0, bt.primes_col, size=(2, n))
+        got = bt.forward(mat)
+        assert np.array_equal(bt.inverse(got), mat)
+        lazy = bt.forward(mat, lazy=True)
+        assert lazy.max() < 2 * max(primes)
+        assert np.array_equal(lazy % bt.primes_col, got)
+        for row, p in enumerate(primes):
+            tr = NegacyclicTransformer(n, p)
+            assert np.array_equal(got[row], tr.forward(mat[row]))
+        # Paper Algorithm 1, pure-Python, on one row: the ground truth.
+        p = primes[0]
+        tr = NegacyclicTransformer(n, p)
+        twisted = [
+            int(c) * int(psi) % p
+            for c, psi in zip(mat[0], tr.psi_powers)
+        ]
+        assert got[0].tolist() == ntt_iterative(twisted, p, tr.omega)
+
+    @pytest.mark.parametrize("n", [8192, 32768])
+    def test_large_n_broadcast_and_scaled_inverse(self, n):
+        primes = _basis(n, 3)
+        bt = basis_transformer(primes, n)
+        rng = np.random.default_rng(n + 1)
+        rows = rng.integers(0, 1 << 30, size=(2, n))
+        got = ntt_broadcast_rows(primes, rows)
+        primes_col = bt.primes_col
+        expected = ntt_rows(primes, rows[:, None, :] % primes_col[None])
+        assert np.array_equal(got, expected)
+        mat = rng.integers(0, primes_col, size=(3, n))
+        constants = tuple(int(c) for c in rng.integers(1, 1 << 30, 3))
+        scaled = intt_rows_scaled(primes, mat, constants)
+        consts_col = np.array(
+            [c % p for c, p in zip(constants, primes)], dtype=np.int64
+        )[:, None]
+        assert np.array_equal(
+            scaled, (intt_rows(primes, mat) * consts_col) % primes_col
+        )
+
+    def test_limb_plans_stay_exact_by_construction(self):
+        """The per-step limb plans prove their own bound: the worst
+        partial sum (plus the reduction's one-modulus overshoot) stays
+        at or below 2^53."""
+        max_prime = (1 << 30) - 35
+        for length, max_value in [(128, (1 << 30) - 1),
+                                  (256, (1 << 30) - 1),
+                                  (64, 2 * max_prime - 1),
+                                  (4096, (1 << 30) - 1)]:
+            split = _limb_plan(length, max_value, max_prime)
+            assert split is not None
+            top = max_value >> (split.bits * (split.count - 1))
+            rest = (1 << split.bits) - 1
+            worst = length * (max_prime - 1) * (
+                top + (split.count - 1) * rest
+            )
+            assert worst + max_prime <= 1 << 53
+
+    def test_geometry_matches_pre_generalisation_layouts(self):
+        """n <= 16384 keeps the exact pre-PR four-step factorisation
+        (two stages of two 15-bit limbs, n1 = 2^ceil(log2(n)/2));
+        n = 32768 opens the three-stage split, whose balanced 32-point
+        sub-DFTs cost 192 gemm flops per element instead of the
+        wide-limb four-step's 1024."""
+        max_prime = max(_basis(4096, 1))
+        for n, n1 in [(4096, 64), (8192, 128), (16384, 128)]:
+            g = _plan_geometry(n, max_prime)
+            assert g.factors == (n1, n // n1)
+            assert all(s.split.count == 2 for s in g.stages)
+        g = _plan_geometry(32768, max_prime)
+        assert len(g.factors) == 3
+        assert np.prod(g.factors) == 32768
+        assert all(f <= 128 for f in g.factors)
+        assert all(s.split.count == 2 for s in g.stages)
+
+    def test_unsupported_reasons(self):
+        primes = _basis(64, 2)
+        assert engine_unsupported_reason(primes, 64) is None
+        assert "envelope" in engine_unsupported_reason(
+            primes, MAX_ENGINE_N * 2
+        )
+        wide = tuple(find_ntt_primes(31, 64, 1))
+        assert "4q < 2^32" in engine_unsupported_reason(wide, 64)
+
+
+class TestFallbackDiagnostics:
+    """Satellite: the large-ring fallback is no longer silent."""
+
+    def test_fallback_records_diagnostic_and_logs(self, caplog):
+        reset_engine_fallbacks()
+        # A 31-bit NTT-friendly prime: the per-row path serves it, the
+        # gemm engine's lazy-reduction headroom does not.
+        primes = tuple(find_ntt_primes(31, 64, 1))
+        mat = np.arange(64, dtype=np.int64)[None, :] % primes[0]
+        before = transform_counts()["fallback_calls"]
+        with caplog.at_level("WARNING", logger="repro.nttmath.batch"):
+            out = ntt_rows(primes, mat)
+        assert np.array_equal(
+            intt_rows(primes, out), mat
+        )  # per-row path is still exact
+        events = engine_fallbacks()
+        assert events and events[-1].max_prime_bits == 31
+        assert "4q < 2^32" in events[-1].reason
+        assert transform_counts()["fallback_calls"] >= before + 2
+        assert any("per-row" in record.message
+                   for record in caplog.records)
+        reset_engine_fallbacks()
+
+    def test_per_row_mode_is_not_a_fallback(self):
+        reset_engine_fallbacks()
+        primes = _basis(64, 2)
+        mat = np.ones((2, 64), dtype=np.int64)
+        with per_row_mode():
+            ntt_rows(primes, mat)
+        assert engine_fallbacks() == ()
 
 
 class TestRnsPolyAliasing:

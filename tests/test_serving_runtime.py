@@ -74,7 +74,7 @@ def check_invariants(report, offered_jobs):
         )
     for intervals in per_coproc.values():
         ordered = sorted(intervals)
-        for (s0, f0), (s1, f1) in zip(ordered, ordered[1:]):
+        for (_s0, f0), (s1, _f1) in zip(ordered, ordered[1:]):
             assert s1 >= f0 - 1e-12
 
 
