@@ -52,6 +52,7 @@ from repro.fv.evaluator import Evaluator
 from repro.fv.galois import GaloisEngine
 from repro.fv.scheme import FvContext
 from repro.nttmath.batch import batched_engine_ok, per_row_mode
+from repro.obs import current_registry, diff_snapshots
 from repro.params import hpca19, large_ring
 
 FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
@@ -221,6 +222,7 @@ def sweep_point(n: int) -> dict:
 
 def test_fv_throughput():
     params = hpca19()
+    metrics_before = current_registry().snapshot()
     context = FvContext(params, seed=2019)
 
     # Keygen: one timed run per path (it is seconds on the per-row path).
@@ -338,6 +340,13 @@ def test_fv_throughput():
             "transforms_eliminated": eager_rows - resident_rows,
         },
         "sweep": sweep,
+        # What the run cost in registry terms: every counter delta
+        # (engine transforms, fallbacks, resident-cache events) the
+        # measurement produced, straight from the repro.obs registry.
+        "metrics": {
+            series: delta for series, delta in sorted(diff_snapshots(
+                metrics_before, current_registry().snapshot()).items())
+        },
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     json_name = "BENCH_fv_ops_fast.json" if FAST else "BENCH_fv_ops.json"

@@ -32,7 +32,7 @@ def test_table3_transfer_techniques(benchmark):
         f"{'technique':<34} {'measured':>14} {'paper':>14} {'delta':>8}"
         "   (Arm cycles)",
     ]
-    for (label, _, paper_cycles, _), ours in zip(PAPER_ROWS, measured):
+    for (label, _, paper_cycles, _), ours in zip(PAPER_ROWS, measured, strict=True):
         lines.append(format_row(label, ours, paper_cycles))
     save_result("table3_dma", "\n".join(lines))
 

@@ -1,0 +1,75 @@
+"""Render the BENCH_fv_ops.json trajectory as a markdown table.
+
+The nightly bench workflow appends one record per run to the
+trajectory file (see ``bench_fv_throughput.py``); this script reduces
+the chain to a speedup-over-time table for the workflow summary::
+
+    python benchmarks/render_trajectory.py \
+        benchmarks/results/BENCH_fv_ops.json >> "$GITHUB_STEP_SUMMARY"
+
+One row per record (oldest first): when it was measured, at which
+commit, the headline Mult/Rotate speedups over ``per_row_mode``, and
+the per-ring-degree Mult speedups of the sweep. Sweep columns union
+over every record so old records (measured before a ring size was
+supported) render blank cells instead of breaking the table. Exits
+non-zero on a missing file; an empty trajectory renders a note, not
+an empty table.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def render(records: list[dict]) -> str:
+    lines = ["## FV hot-path speedup trajectory", ""]
+    if not records:
+        lines.append("_No trajectory records yet._")
+        return "\n".join(lines) + "\n"
+    sweep_ns = sorted({point["n"] for record in records
+                       for point in record.get("sweep", [])})
+    header = (["date", "sha", "mode", "Mult", "Rotate"]
+              + [f"Mult n={n}" for n in sweep_ns])
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "---|" * len(header))
+    for record in records:
+        meta = record.get("meta", {})
+        by_n = {point["n"]: point for point in record.get("sweep", [])}
+        row = [
+            str(meta.get("recorded_at", "?")).split("T")[0],
+            str(meta.get("git_sha", "?")),
+            str(record.get("mode", "?")),
+            _speedup(record.get("mult", {}).get("speedup")),
+            _speedup(record.get("rotate", {}).get("speedup")),
+        ] + [_speedup(by_n[n]["mult_speedup"]) if n in by_n else ""
+             for n in sweep_ns]
+        lines.append("| " + " | ".join(row) + " |")
+    latest = records[-1]
+    eliminated = latest.get("program", {}).get("transforms_eliminated")
+    if eliminated is not None:
+        lines += ["", f"Latest record: NTT-resident executor eliminated "
+                      f"{eliminated} row transforms on the benchmark "
+                      f"program graph."]
+    return "\n".join(lines) + "\n"
+
+
+def _speedup(value) -> str:
+    return f"{value:.2f}x" if isinstance(value, (int, float)) else ""
+
+
+def main(argv: list[str]) -> int:
+    path = Path(argv[1] if len(argv) > 1
+                else "benchmarks/results/BENCH_fv_ops.json")
+    if not path.is_file():
+        print(f"trajectory file not found: {path}", file=sys.stderr)
+        return 1
+    loaded = json.loads(path.read_text())
+    records = loaded if isinstance(loaded, list) else [loaded]
+    print(render(records), end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -16,9 +16,16 @@ from typing import Protocol, runtime_checkable
 from ..errors import NoiseBudgetExhausted, ParameterError
 from ..fv.ciphertext import Ciphertext
 from ..nttmath.batch import transform_counts
+from ..obs import TraceReport, Tracer
 from .program import CiphertextHandle, ExprNode, HEProgram, OpKind
 from .resident import ResidentOperandCache
 from .session import Session
+
+
+def _count_diff(before: dict[str, int],
+                after: dict[str, int]) -> dict[str, int]:
+    return {key: after[key] - before[key] for key in after
+            if after[key] != before[key]}
 
 
 @runtime_checkable
@@ -33,9 +40,12 @@ class ProgramResult:
     """Outputs of one functional execution, addressable by label."""
 
     def __init__(self, session: Session,
-                 outputs: dict[str, CiphertextHandle]) -> None:
+                 outputs: dict[str, CiphertextHandle],
+                 trace: TraceReport | None = None) -> None:
         self.session = session
         self.outputs = outputs
+        #: Wall-clock trace of the run that produced these outputs.
+        self.trace = trace
 
     def __getitem__(self, label: str) -> CiphertextHandle:
         return self.outputs[label]
@@ -110,12 +120,16 @@ class LocalBackend:
         self.resident_outputs = resident_outputs
         self.resident_cache = (
             resident_cache if resident_cache is not None
-            else ResidentOperandCache(resident_cache_limit)
+            else ResidentOperandCache(resident_cache_limit, name="local")
         )
         #: Transform counts of the most recent :meth:`run`.
         self.last_transform_counts: dict[str, int] = {}
         #: Cache restores performed by the most recent :meth:`run`.
         self.last_cache_restores = 0
+        #: Wall-clock trace of the most recent :meth:`run` — per-op
+        #: spans (with transform-count diffs and nested engine
+        #: transform spans) reducible to rollups and a critical path.
+        self.last_trace: TraceReport | None = None
         #: Accumulated transform counts across all runs of this backend.
         self.total_transform_counts = {
             key: 0 for key in transform_counts()
@@ -148,53 +162,95 @@ class LocalBackend:
                     "program was compiled for different parameters"
                 )
         before = transform_counts()
-        wants = self._plan_domains(program) if self.ntt_resident else {}
-        self.last_cache_restores = self._restore_residents(program, wants)
-        for node in program.nodes:
-            if node.cached is None:
-                node.cached = self._execute(node, wants)
-        # Remember the resident operands that cross request boundaries
-        # — program inputs and outputs. Intermediates are deliberately
-        # not cached: they are never boundary-converted (the graph
-        # cache keeps them resident as long as their handles live), and
-        # a single wide program would otherwise flush the bounded FIFO
-        # of every genuinely reusable entry.
-        if self.ntt_resident:
-            boundary = list(program.inputs) + list(
-                program.outputs.values()
-            )
-            for node in boundary:
-                if node.cached is not None and node.cached.ntt_resident:
-                    self.resident_cache.put(node, node.cached)
-        # Output boundary: by default results leave the executor in the
-        # coefficient domain (the legacy wire representation),
-        # mirroring the download DMA of the paper's server; with
-        # ``resident_outputs`` they stay in the evaluation domain for
-        # the NTT-domain wire format. Either way the resident form
-        # survives in the cache for cross-program reuse.
-        context = self.session.context
-        if not self.resident_outputs:
-            for node in program.outputs.values():
-                node.cached = context.to_coeff_ct(node.cached)
+        tracer = Tracer("heprogram.run", kind="program")
+        order = {id(node): i for i, node in enumerate(program.nodes)}
+        poly_bytes = program.params.poly_bytes
+        # Spans measure per-op wall clock; each op span also records
+        # the transform-counter diff across its execution, so the
+        # TraceReport's totals reconcile exactly with the run-level
+        # registry diff (the tests assert the equality).
+        with tracer.activate():
+            wants = (self._plan_domains(program)
+                     if self.ntt_resident else {})
+            with tracer.span("restore_residents", kind="phase") as sp:
+                self.last_cache_restores = self._restore_residents(
+                    program, wants
+                )
+                sp.attrs["restores"] = self.last_cache_restores
+            for node in program.nodes:
+                if node.cached is not None:
+                    continue
+                with tracer.span(
+                    node.op.name.lower(), kind="op", op=node.op.name,
+                    node=order[id(node)],
+                    deps=tuple(order[id(a)] for a in node.args),
+                    bytes_moved=(2 * len(node.args) + 2) * poly_bytes,
+                ) as sp:
+                    op_before = transform_counts()
+                    node.cached = self._execute(node, wants)
+                    sp.attrs["transforms"] = _count_diff(
+                        op_before, transform_counts()
+                    )
+            # Remember the resident operands that cross request
+            # boundaries — program inputs and outputs. Intermediates
+            # are deliberately not cached: they are never
+            # boundary-converted (the graph cache keeps them resident
+            # as long as their handles live), and a single wide program
+            # would otherwise flush the bounded FIFO of every genuinely
+            # reusable entry.
+            if self.ntt_resident:
+                boundary = list(program.inputs) + list(
+                    program.outputs.values()
+                )
+                for node in boundary:
+                    if (node.cached is not None
+                            and node.cached.ntt_resident):
+                        self.resident_cache.put(node, node.cached)
+            # Output boundary: by default results leave the executor in
+            # the coefficient domain (the legacy wire representation),
+            # mirroring the download DMA of the paper's server; with
+            # ``resident_outputs`` they stay in the evaluation domain
+            # for the NTT-domain wire format. Either way the resident
+            # form survives in the cache for cross-program reuse.
+            context = self.session.context
+            if not self.resident_outputs:
+                with tracer.span("output_boundary", kind="phase") as sp:
+                    bnd_before = transform_counts()
+                    for node in program.outputs.values():
+                        node.cached = context.to_coeff_ct(node.cached)
+                    sp.attrs["transforms"] = _count_diff(
+                        bnd_before, transform_counts()
+                    )
+            outputs = {
+                label: CiphertextHandle(node, self.session)
+                for label, node in program.outputs.items()
+            }
+            if self.verify:
+                # Noise measurement can itself transform (resident
+                # outputs decrypt through a conversion); tracing it as
+                # a phase keeps the trace totals equal to the run-level
+                # registry diff even with verification on.
+                with tracer.span("verify_outputs", kind="phase") as sp:
+                    ver_before = transform_counts()
+                    for label, handle in outputs.items():
+                        budget = self.session.noise_budget_bits(handle)
+                        if budget <= 0:
+                            raise NoiseBudgetExhausted(
+                                f"output {label!r} decrypts with no "
+                                f"noise budget left ({budget:.1f} bits)"
+                            )
+                    sp.attrs["transforms"] = _count_diff(
+                        ver_before, transform_counts()
+                    )
         after = transform_counts()
+        self.last_trace = tracer.report()
         self.last_transform_counts = {
             key: after[key] - before[key] for key in after
         }
         for key, value in self.last_transform_counts.items():
             self.total_transform_counts[key] += value
-        outputs = {
-            label: CiphertextHandle(node, self.session)
-            for label, node in program.outputs.items()
-        }
-        if self.verify:
-            for label, handle in outputs.items():
-                budget = self.session.noise_budget_bits(handle)
-                if budget <= 0:
-                    raise NoiseBudgetExhausted(
-                        f"output {label!r} decrypts with no noise budget "
-                        f"left ({budget:.1f} bits)"
-                    )
-        return ProgramResult(self.session, outputs)
+        return ProgramResult(self.session, outputs,
+                             trace=self.last_trace)
 
     def _restore_residents(self, program: HEProgram,
                            wants: dict[int, bool]) -> int:
@@ -277,7 +333,7 @@ class LocalBackend:
                 # coefficient domain instead of transforming forward.
                 # Converted operands are written back to their nodes so
                 # a shared subexpression never converts twice.
-                for arg_node, ct in zip(node.args, args):
+                for arg_node, ct in zip(node.args, args, strict=True):
                     if ct.c0.ntt_domain:
                         arg_node.cached = context.to_coeff_ct(ct)
                 args = [arg.cached for arg in node.args]
@@ -311,7 +367,7 @@ class LocalBackend:
             # MULTIPLY is a coefficient-domain boundary: the base
             # extension needs coefficient residues. Convert with
             # write-back so shared resident operands convert once.
-            for arg_node, ct in zip(node.args, args):
+            for arg_node, ct in zip(node.args, args, strict=True):
                 if ct.c0.ntt_domain:
                     arg_node.cached = context.to_coeff_ct(ct)
             args = [arg.cached for arg in node.args]

@@ -29,6 +29,14 @@ from __future__ import annotations
 import weakref
 from typing import Any
 
+from ..obs import counter as _obs_counter
+
+_CACHE_EVENTS = _obs_counter(
+    "repro_resident_cache_events_total",
+    "Resident-operand cache outcomes (hit/miss/eviction) per cache.",
+    labels=("cache", "event"),
+)
+
 
 class ResidentOperandCache:
     """Bounded FIFO cache of server-resident operands, with telemetry.
@@ -36,14 +44,19 @@ class ResidentOperandCache:
     ``hits``/``misses`` count :meth:`get` outcomes; ``evictions``
     counts entries dropped at the bound. :meth:`stats` snapshots all
     three plus the live entry count — the numbers both backends expose
-    through their telemetry. Keys are weak: the cache never keeps an
-    operand's expression graph alive on its own.
+    through their telemetry, and every event is mirrored to the
+    ``repro_resident_cache_events_total`` instrument on the scoped
+    :mod:`repro.obs` registry (labelled by the cache's ``name``), so
+    registry snapshots embedded in reports carry the cache story too.
+    Keys are weak: the cache never keeps an operand's expression graph
+    alive on its own.
     """
 
-    def __init__(self, limit: int = 64) -> None:
+    def __init__(self, limit: int = 64, name: str = "resident") -> None:
         if limit < 1:
             raise ValueError("cache limit must be at least 1")
         self.limit = limit
+        self.name = name
         self._entries: dict[int, tuple[weakref.ref, Any]] = {}
         self.hits = 0
         self.misses = 0
@@ -61,8 +74,10 @@ class ResidentOperandCache:
         entry = self._entries.get(id(node))
         if entry is None or entry[0]() is not node:
             self.misses += 1
+            _CACHE_EVENTS.inc(cache=self.name, event="miss")
             return None
         self.hits += 1
+        _CACHE_EVENTS.inc(cache=self.name, event="hit")
         return entry[1]
 
     def put(self, node: object, value: Any) -> None:
@@ -74,6 +89,7 @@ class ResidentOperandCache:
         if len(self._entries) >= self.limit:
             self._entries.pop(next(iter(self._entries)))
             self.evictions += 1
+            _CACHE_EVENTS.inc(cache=self.name, event="eviction")
         # The callback removes the entry the moment the node is
         # collected, so a recycled id can never alias a dead entry and
         # the cached ciphertext is freed with its operand.

@@ -23,6 +23,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..hw.config import HardwareConfig
+from ..obs import Span, TraceReport, cluster_timeline, runtime_timeline
 from ..params import ParameterSet
 from ..serve.engine import ServingRuntime
 from ..serve.telemetry import LatencySummary
@@ -43,6 +44,10 @@ class ProgramFuture:
     completed_ops: int = 0
     rejected_ops: int = 0
     finish_seconds: float = field(default=0.0)
+    #: This request's simulated-clock span (arrival to last-op
+    #: completion, one child per lowered job), attached when the
+    #: owning :meth:`SimulatedRun.trace` is built.
+    trace: Span | None = None
 
     @property
     def done(self) -> bool:
@@ -106,6 +111,61 @@ class SimulatedRun:
         span = last - first
         return len(done) / span if span > 0 else 0.0
 
+    # -- observability handles ---------------------------------------------------------
+
+    def trace(self) -> TraceReport:
+        """Simulated-clock span tree of this run.
+
+        The priced twin of :attr:`ProgramResult.trace
+        <repro.api.backends.ProgramResult>`: one "request" span per
+        program execution (arrival to last-op completion) containing
+        one "op" span per lowered job with its simulated service
+        interval, coprocessor and tenant. All timestamps are simulated
+        seconds (``clock="sim"``).
+        """
+        results = getattr(self.report, "results", [])
+        end = max((r.finish_seconds for r in results), default=0.0)
+        root = Span(name="simulated.run", kind="program", clock="sim",
+                    start=0.0, end=end,
+                    attrs={"requests": len(self.futures),
+                           "num_ops": self.program.num_ops})
+        by_request: dict[int, list] = {}
+        for result in results:
+            by_request.setdefault(result.job.request, []).append(result)
+        for future in self.futures:
+            jobs = by_request.get(future.request, [])
+            req = Span(
+                name=f"request#{future.request}", kind="request",
+                clock="sim", start=future.arrival_seconds,
+                end=max((r.finish_seconds for r in jobs),
+                        default=future.arrival_seconds),
+                attrs={"tenant": future.tenant,
+                       "rejected_ops": future.rejected_ops},
+            )
+            for result in jobs:
+                req.children.append(Span(
+                    name=result.job.kind.name.lower(), kind="op",
+                    clock="sim", start=result.start_seconds,
+                    end=result.finish_seconds,
+                    attrs={"op": result.job.kind.name,
+                           "coprocessor": result.coprocessor,
+                           "tenant": result.job.tenant},
+                ))
+            future.trace = req
+            root.children.append(req)
+        return TraceReport(root)
+
+    def timeline(self) -> list[dict]:
+        """This run's event heap as Chrome trace events.
+
+        Per-coprocessor lanes (one trace *process* per shard for
+        cluster runs), one slice per job, and queue-depth counter
+        tracks — load the JSON in Perfetto to see the DMA trains.
+        """
+        if hasattr(self.report, "shard_reports"):
+            return cluster_timeline(self.report)
+        return runtime_timeline(self.report)
+
 
 class SimulatedBackend:
     """Execute programs against the serving runtime or the cluster.
@@ -132,7 +192,8 @@ class SimulatedBackend:
         #: later program reusing them uploads nothing (the
         #: :meth:`HEProgram.lower` zero-transfer pricing). Bounded FIFO,
         #: like the board's operand memory.
-        self.resident_cache = ResidentOperandCache(resident_cache_limit)
+        self.resident_cache = ResidentOperandCache(resident_cache_limit,
+                                                   name="simulated")
 
     @property
     def telemetry(self) -> dict:

@@ -123,7 +123,7 @@ class EncryptedComparator:
         """
         sel = self._lift(select)
         out = []
-        for one_bit, zero_bit in zip(when_one, when_zero):
+        for one_bit, zero_bit in zip(when_one, when_zero, strict=True):
             diff = self._lift(one_bit) - self._lift(zero_bit)
             out.append(
                 unwrap(self._lift(zero_bit) + sel * diff, self._legacy)

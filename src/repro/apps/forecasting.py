@@ -75,7 +75,7 @@ class SmartGridAggregator:
         if len(lagged_cts) != len(weights):
             raise ParameterError("one weight per lagged ciphertext required")
         acc = None
-        for ct, weight in zip(lagged_cts, weights):
+        for ct, weight in zip(lagged_cts, weights, strict=True):
             term = as_handle(self.session, ct) * int(weight)
             acc = term if acc is None else acc + term
         return unwrap(acc, self._legacy)

@@ -59,7 +59,7 @@ class RastaLikeCipher:
         state = np.asarray(bits, dtype=np.int64) % 2
         if state.shape != (self.width,):
             raise ParameterError(f"state must have {self.width} bits")
-        for matrix, constant in zip(self.matrices, self.constants):
+        for matrix, constant in zip(self.matrices, self.constants, strict=True):
             state = (matrix @ state + constant) % 2
             state = self._chi(state)
         return state
@@ -81,7 +81,7 @@ class RastaLikeCipher:
         if bit_cts is None or len(bit_cts) != self.width:
             raise ParameterError(f"need {self.width} encrypted state bits")
         state = [as_handle(session, ct) for ct in bit_cts]
-        for matrix, constant in zip(self.matrices, self.constants):
+        for matrix, constant in zip(self.matrices, self.constants, strict=True):
             # Affine layer: XOR of selected bits plus a public constant.
             new_state = []
             for row in range(self.width):

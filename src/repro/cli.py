@@ -14,6 +14,7 @@ Usage (installed as ``python -m repro``):
     python -m repro serve                # multi-tenant serving runtime
     python -m repro cluster --shards 8   # multi-FPGA shard layer
     python -m repro program              # HE program on both executors
+    python -m repro trace lookup         # Perfetto timelines + metrics
     python -m repro all                  # everything above
 """
 
@@ -396,6 +397,84 @@ def cmd_program(args: argparse.Namespace) -> None:
           "stream on the shard cluster.)")
 
 
+def cmd_trace(args: argparse.Namespace) -> None:
+    _print_header("Observability — request traces, timelines, registry")
+    from pathlib import Path
+
+    from .api import LocalBackend, Session, SimulatedBackend
+    from .obs import (
+        render_prometheus,
+        scoped_metrics,
+        spans_to_chrome,
+        write_chrome_trace,
+    )
+    from .params import mini
+
+    app = args.app or "lookup"
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    params = mini(t=257)
+    session = Session(params, seed=13)
+    if app == "lookup":
+        from .apps.lookup import EncryptedLookupTable
+
+        table = [13, 42, 7, 99, 1, 64, 250, 8,
+                 77, 31, 5, 190, 2, 120, 55, 86]
+        server = EncryptedLookupTable(session, table)
+        program = server.lookup_program(server.encrypt_index(6))
+    else:  # a Mult-heavy balanced product tree
+        leaves = [session.encrypt([i + 1, i + 2, i + 3, i + 4])
+                  for i in range(4)]
+        t0 = leaves[0] * leaves[1]
+        t1 = leaves[2] * leaves[3]
+        program = session.compile(t0 * t1 + t0, name="mult-tree")
+    print(f"app {app!r}: {program.num_ops} ops, depth {program.depth}")
+
+    # The scoped registry isolates this command's counters, so the
+    # exposition below shows exactly what these two runs recorded.
+    with scoped_metrics() as registry:
+        backend = LocalBackend(session)
+        trace = backend.run(program).trace
+        functional = write_chrome_trace(
+            out_dir / f"{app}_functional.json",
+            spans_to_chrome(trace.root,
+                            process_name=f"{app} (functional)"),
+        )
+        simulated = SimulatedBackend.over_runtime(params)
+        run = simulated.run(program, requests=args.requests, seed=args.seed)
+        priced = write_chrome_trace(out_dir / f"{app}_simulated.json",
+                                    run.timeline())
+
+    print("\nper-op rollup (functional path, wall clock):")
+    print(f"{'op':<12}{'count':>6}{'ms':>9}{'t-rows':>8}{'t-calls':>8}"
+          f"{'bytes':>12}")
+    for op, row in sorted(trace.rollup().items()):
+        print(f"{op:<12}{row['count']:>6.0f}{row['seconds'] * 1e3:>9.2f}"
+              f"{row['transform_rows']:>8.0f}"
+              f"{row['transform_calls']:>8.0f}"
+              f"{row['bytes_moved']:>12,.0f}")
+    path = trace.critical_path()
+    print(f"critical path: {len(path)} of {len(trace.spans('op'))} ops, "
+          f"{trace.critical_path_seconds() * 1e3:.2f} ms of "
+          f"{trace.total_seconds * 1e3:.2f} ms wall")
+    totals = trace.transform_totals()
+    run_diff = {k: v for k, v in backend.last_transform_counts.items()
+                if v}
+    check = "OK" if totals == run_diff else f"MISMATCH vs {run_diff}"
+    print(f"transform totals from op spans: {totals} ({check})")
+
+    latency = run.latency_summary()
+    print(f"\nsimulated path: {len(run.completed)} requests, "
+          f"p50 {latency.p50 * 1e3:.2f} ms, "
+          f"p99 {latency.p99 * 1e3:.2f} ms "
+          f"(simulated clock, {len(run.trace().spans('op'))} op spans)")
+    print(f"\nChrome trace JSON (load in Perfetto / chrome://tracing):")
+    print(f"  functional: {functional}")
+    print(f"  simulated:  {priced}")
+    print("\nPrometheus exposition of the run's metrics registry:")
+    print(render_prometheus(registry).rstrip())
+
+
 def cmd_security(args: argparse.Namespace) -> None:
     _print_header("Security placement (paper Sec. III-A, ref. [26])")
     from .params import mini, table5_large
@@ -474,6 +553,7 @@ COMMANDS = {
     "serve": cmd_serve,
     "cluster": cmd_cluster,
     "program": cmd_program,
+    "trace": cmd_trace,
     "verify": cmd_verify,
     "sweep": cmd_sweep,
     "security": cmd_security,
@@ -497,6 +577,15 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         choices=sorted(COMMANDS) + ["all", "list"],
         help="which experiment to regenerate",
+    )
+    parser.add_argument(
+        "app", nargs="?", choices=["lookup", "mult"],
+        help="application to trace (`trace` command only; "
+             "default lookup)",
+    )
+    parser.add_argument(
+        "--out", default="traces",
+        help="directory for exported Chrome trace JSON (default traces/)",
     )
     cluster_group = parser.add_argument_group(
         "cluster options",

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Callable, Sequence
 
 from ..hw.config import HardwareConfig
+from ..obs import current_registry
 from ..params import ParameterSet
 from ..serve.batching import BatchPolicy
 from ..serve.schedulers import Scheduler
@@ -215,6 +216,7 @@ class FpgaCluster:
             router_name=self.router.name,
             overflow_rejected=self._overflow,
             reroutes=self._reroutes,
+            registry_snapshot=current_registry().snapshot(),
         )
 
     def run(self, jobs: Sequence[Job]) -> ClusterReport:

@@ -32,6 +32,11 @@ class ClusterReport:
     overflow_rejected: list[Rejection] = field(default_factory=list)
     #: Arrivals whose primary shard was full but a sibling took them.
     reroutes: int = 0
+    #: Snapshot of the active :mod:`repro.obs` metrics registry taken
+    #: at drain time (flat series-name → value mapping), so the merged
+    #: report carries the process-level counters — engine transforms,
+    #: resident-cache events — alongside the queueing telemetry.
+    registry_snapshot: dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if len(self.shard_names) != len(self.shard_reports):
@@ -118,7 +123,7 @@ class ClusterReport:
     def shard_latency_summaries(self) -> dict[str, LatencySummary]:
         return {name: report.latency_summary()
                 for name, report in zip(self.shard_names,
-                                        self.shard_reports)}
+                                        self.shard_reports, strict=True)}
 
     @property
     def sla_violations(self) -> int:

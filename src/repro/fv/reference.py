@@ -125,7 +125,7 @@ class TextbookFv:
             b: tuple[IntPoly, ...]) -> tuple[IntPoly, ...]:
         if len(a) != len(b):
             raise ParameterError("size mismatch")
-        return tuple(pa + pb for pa, pb in zip(a, b))
+        return tuple(pa + pb for pa, pb in zip(a, b, strict=True))
 
     def multiply_raw(self, a: tuple[IntPoly, IntPoly],
                      b: tuple[IntPoly, IntPoly]) -> tuple[IntPoly, ...]:
@@ -151,7 +151,7 @@ class TextbookFv:
             list(parts[2].coeffs), q, base, rlk.num_components
         )
         c0, c1 = parts[0], parts[1]
-        for digits, (b, a) in zip(digit_polys, rlk.pairs):
+        for digits, (b, a) in zip(digit_polys, rlk.pairs, strict=True):
             d_poly = IntPoly(tuple(digits), q)
             c0 = c0 + d_poly * b
             c1 = c1 + d_poly * a

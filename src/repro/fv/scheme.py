@@ -318,7 +318,7 @@ class FvContext:
             transformed = self._ntt_rows(np.stack(
                 [ct.parts[i].residues for i in pending]
             ))
-            parts_ntt.update(zip(pending, transformed))
+            parts_ntt.update(zip(pending, transformed, strict=True))
         acc = parts_ntt[0]
         s_power = secret.ntt_rows
         for index in range(1, ct.size):
@@ -331,7 +331,7 @@ class FvContext:
         plain = Plaintext(np.array(m_coeffs, dtype=np.int64), t)
         delta = params.delta
         noise = 0
-        for w, m in zip(w_coeffs, m_coeffs):
+        for w, m in zip(w_coeffs, m_coeffs, strict=True):
             diff = (w - delta * m) % q
             if diff > q // 2:
                 diff = q - diff
@@ -365,14 +365,14 @@ class FvContext:
         if a.size != b.size:
             raise ParameterError("cannot add ciphertexts of different sizes")
         a, b = self._align_domains(a, b)
-        parts = tuple(pa + pb for pa, pb in zip(a.parts, b.parts))
+        parts = tuple(pa + pb for pa, pb in zip(a.parts, b.parts, strict=True))
         return Ciphertext(parts, self.params)
 
     def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
         if a.size != b.size:
             raise ParameterError("cannot subtract ciphertexts of different sizes")
         a, b = self._align_domains(a, b)
-        parts = tuple(pa - pb for pa, pb in zip(a.parts, b.parts))
+        parts = tuple(pa - pb for pa, pb in zip(a.parts, b.parts, strict=True))
         return Ciphertext(parts, self.params)
 
     def negate(self, a: Ciphertext) -> Ciphertext:

@@ -94,7 +94,7 @@ def run_campaign(params: ParameterSet | None = None,
 
         bit_exact = all(
             np.array_equal(h.residues, s.residues)
-            for h, s in zip(hw_ct.parts, sw_ct.parts)
+            for h, s in zip(hw_ct.parts, sw_ct.parts, strict=True)
         )
         if bit_exact:
             result.bit_exact_matches += 1

@@ -36,6 +36,13 @@ diagnostic and logs a warning instead of degrading silently.
 All transforms are bit-exact against :func:`~repro.nttmath.ntt.ntt_iterative`
 and the per-row ``NegacyclicTransformer`` — the property tests enforce
 this across ring sizes (up to n = 32768) and basis shapes.
+
+Transform accounting reports through :mod:`repro.obs`: the row/call
+counters are registered instruments on the scoped metrics registry
+(see :data:`TRANSFORM_COUNTER`), and when a tracer is active each
+batched invocation also emits a nested "transform" span via
+:func:`repro.obs.maybe_span`, so a :class:`~repro.obs.TraceReport`
+can attribute engine time to individual program ops.
 """
 
 from __future__ import annotations
@@ -48,6 +55,8 @@ from functools import lru_cache
 import numpy as np
 
 from ..errors import ParameterError
+from ..obs import counter as _obs_counter
+from ..obs import current_registry, maybe_span
 from ..utils import log2_exact
 from .modmath import modinv
 from .ntt import _MAX_MODULUS_BITS, power_table
@@ -70,48 +79,43 @@ _MAX_INPUT = (1 << 30) - 1
 # -- transform accounting ------------------------------------------------------
 
 
-@dataclass
-class TransformStats:
-    """Global forward/inverse transform counters.
+TRANSFORM_COUNTER = _obs_counter(
+    "repro_ntt_transforms_total",
+    "NTT engine transform work: rows = single-polynomial row "
+    "transforms (the unit one RPAU performs), calls = batched engine "
+    "invocations, fallback = per-row degradations.",
+    labels=("kind",),
+)
+"""The transform instrument, registered in :mod:`repro.obs`.
 
-    ``*_rows`` count single-polynomial row transforms (the unit one RPAU
-    performs); ``*_calls`` count batched engine invocations. The
-    counters drive :class:`~repro.api.backends.LocalBackend` telemetry,
-    which is how the tests prove the NTT-resident executor really does
-    eliminate redundant transforms.
-    """
+Values live in whichever :class:`~repro.obs.MetricsRegistry` is
+active — the :func:`~repro.obs.scoped_metrics` context gives each test
+or concurrent backend its own counter plane, which is what makes
+:func:`reset_transform_counts` safe to call without corrupting a
+sibling's telemetry (the pre-registry global counter hazard). The
+counters drive :class:`~repro.api.backends.LocalBackend` telemetry,
+which is how the tests prove the NTT-resident executor really does
+eliminate redundant transforms.
+"""
 
-    forward_rows: int = 0
-    inverse_rows: int = 0
-    forward_calls: int = 0
-    inverse_calls: int = 0
-    fallback_calls: int = 0
-
-    def snapshot(self) -> tuple[int, int, int, int]:
-        return (self.forward_rows, self.inverse_rows,
-                self.forward_calls, self.inverse_calls)
+_TRANSFORM_KEYS = ("forward_rows", "inverse_rows", "forward_calls",
+                   "inverse_calls", "fallback_calls")
 
 
-TRANSFORM_STATS = TransformStats()
+def _count_transform(direction: str, rows: int) -> None:
+    TRANSFORM_COUNTER.inc(rows, kind=f"{direction}_rows")
+    TRANSFORM_COUNTER.inc(1, kind=f"{direction}_calls")
 
 
 def transform_counts() -> dict[str, int]:
-    """Current global transform counters as a plain dict."""
-    return {
-        "forward_rows": TRANSFORM_STATS.forward_rows,
-        "inverse_rows": TRANSFORM_STATS.inverse_rows,
-        "forward_calls": TRANSFORM_STATS.forward_calls,
-        "inverse_calls": TRANSFORM_STATS.inverse_calls,
-        "fallback_calls": TRANSFORM_STATS.fallback_calls,
-    }
+    """Current transform counters (of the active registry) as a dict."""
+    return {key: int(TRANSFORM_COUNTER.value(kind=key))
+            for key in _TRANSFORM_KEYS}
 
 
 def reset_transform_counts() -> None:
-    TRANSFORM_STATS.forward_rows = 0
-    TRANSFORM_STATS.inverse_rows = 0
-    TRANSFORM_STATS.forward_calls = 0
-    TRANSFORM_STATS.inverse_calls = 0
-    TRANSFORM_STATS.fallback_calls = 0
+    """Zero the transform counters *in the active registry only*."""
+    current_registry().reset_instrument(TRANSFORM_COUNTER.spec.name)
 
 
 # -- fallback diagnostics ------------------------------------------------------
@@ -152,7 +156,7 @@ def reset_engine_fallbacks() -> None:
 
 
 def _note_fallback(primes: tuple[int, ...], n: int, reason: str) -> None:
-    TRANSFORM_STATS.fallback_calls += 1
+    TRANSFORM_COUNTER.inc(1, kind="fallback_calls")
     event = EngineFallback(n=n, k=len(primes),
                            max_prime_bits=max(primes).bit_length(),
                            reason=reason)
@@ -547,20 +551,22 @@ class BasisTransformer:
         """
         arr, stacked = self._check(matrix)
         out = np.empty_like(arr)
-        for idx in range(arr.shape[0]):
-            self._fwd.apply(self, arr[idx], out[idx], lazy=lazy)
-        TRANSFORM_STATS.forward_rows += arr.shape[0] * self.k
-        TRANSFORM_STATS.forward_calls += 1
+        with maybe_span("ntt.forward", rows=arr.shape[0] * self.k,
+                        n=self.n):
+            for idx in range(arr.shape[0]):
+                self._fwd.apply(self, arr[idx], out[idx], lazy=lazy)
+        _count_transform("forward", arr.shape[0] * self.k)
         return out if stacked else out[0]
 
     def inverse(self, matrix: np.ndarray) -> np.ndarray:
         """Negacyclic inverse NTT of every residue row, batched."""
         arr, stacked = self._check(matrix)
         out = np.empty_like(arr)
-        for idx in range(arr.shape[0]):
-            self._inv.apply(self, arr[idx], out[idx])
-        TRANSFORM_STATS.inverse_rows += arr.shape[0] * self.k
-        TRANSFORM_STATS.inverse_calls += 1
+        with maybe_span("ntt.inverse", rows=arr.shape[0] * self.k,
+                        n=self.n):
+            for idx in range(arr.shape[0]):
+                self._inv.apply(self, arr[idx], out[idx])
+        _count_transform("inverse", arr.shape[0] * self.k)
         return out if stacked else out[0]
 
     def inverse_scaled(self, matrix: np.ndarray,
@@ -584,10 +590,11 @@ class BasisTransformer:
             self._scaled_inv[constants] = plan
         arr, stacked = self._check(matrix)
         out = np.empty_like(arr)
-        for idx in range(arr.shape[0]):
-            plan.apply(self, arr[idx], out[idx])
-        TRANSFORM_STATS.inverse_rows += arr.shape[0] * self.k
-        TRANSFORM_STATS.inverse_calls += 1
+        with maybe_span("ntt.inverse_scaled", rows=arr.shape[0] * self.k,
+                        n=self.n):
+            for idx in range(arr.shape[0]):
+                plan.apply(self, arr[idx], out[idx])
+        _count_transform("inverse", arr.shape[0] * self.k)
         return out if stacked else out[0]
 
     def forward_broadcast(self, rows: np.ndarray,
@@ -608,10 +615,12 @@ class BasisTransformer:
             )
         j = arr.shape[0]
         out = np.empty((j, self.k, self.n), dtype=np.int64)
-        for idx in range(j):
-            self._fwd.apply_broadcast(self, arr[idx], out[idx], lazy=lazy)
-        TRANSFORM_STATS.forward_rows += j * self.k
-        TRANSFORM_STATS.forward_calls += 1
+        with maybe_span("ntt.forward_broadcast", rows=j * self.k,
+                        n=self.n):
+            for idx in range(j):
+                self._fwd.apply_broadcast(self, arr[idx], out[idx],
+                                          lazy=lazy)
+        _count_transform("forward", j * self.k)
         return out
 
     def pointwise(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
@@ -963,7 +972,7 @@ def _per_row_forward(primes: tuple[int, ...], matrix: np.ndarray) -> np.ndarray:
     n = matrix.shape[-1]
     rows = [
         ring_context(n, p).transformer.forward(row)
-        for p, row in zip(primes, matrix)
+        for p, row in zip(primes, matrix, strict=True)
     ]
     return np.stack(rows)
 
@@ -974,7 +983,7 @@ def _per_row_inverse(primes: tuple[int, ...], matrix: np.ndarray) -> np.ndarray:
     n = matrix.shape[-1]
     rows = [
         ring_context(n, p).transformer.inverse(row)
-        for p, row in zip(primes, matrix)
+        for p, row in zip(primes, matrix, strict=True)
     ]
     return np.stack(rows)
 
@@ -993,8 +1002,7 @@ def ntt_rows(primes: tuple[int, ...], matrix: np.ndarray) -> np.ndarray:
             out = np.stack([_per_row_forward(primes, a) for a in arr])
         else:
             out = _per_row_forward(primes, arr)
-        TRANSFORM_STATS.forward_rows += int(np.prod(out.shape[:-1]))
-        TRANSFORM_STATS.forward_calls += 1
+        _count_transform("forward", int(np.prod(out.shape[:-1])))
         return out
     n = np.asarray(matrix).shape[-1]
     return basis_transformer(tuple(primes), n).forward(matrix)
@@ -1014,7 +1022,7 @@ def intt_rows_scaled(primes: tuple[int, ...], matrix: np.ndarray,
     if _use_per_row(primes, n):
         primes_col = np.array(primes, dtype=np.int64)[:, None]
         consts_col = np.array(
-            [c % p for c, p in zip(constants, primes)], dtype=np.int64
+            [c % p for c, p in zip(constants, primes, strict=True)], dtype=np.int64
         )[:, None]
         return (intt_rows(primes, arr) * consts_col) % primes_col
     return basis_transformer(tuple(primes), n).inverse_scaled(
@@ -1051,8 +1059,7 @@ def intt_rows(primes: tuple[int, ...], matrix: np.ndarray) -> np.ndarray:
             out = np.stack([_per_row_inverse(primes, a) for a in arr])
         else:
             out = _per_row_inverse(primes, arr)
-        TRANSFORM_STATS.inverse_rows += int(np.prod(out.shape[:-1]))
-        TRANSFORM_STATS.inverse_calls += 1
+        _count_transform("inverse", int(np.prod(out.shape[:-1])))
         return out
     n = np.asarray(matrix).shape[-1]
     return basis_transformer(tuple(primes), n).inverse(matrix)

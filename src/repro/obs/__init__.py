@@ -1,0 +1,80 @@
+"""Unified observability: metrics registry, request tracing, timelines.
+
+The serving stack grew signals in four unrelated shapes — the global
+transform counters in :mod:`repro.nttmath.batch`, per-runtime
+:class:`~repro.serve.telemetry.Telemetry` collectors, the cluster
+merge in :mod:`repro.cluster.report`, and backend-private cache
+counters in :mod:`repro.api.resident`. This package is the one
+substrate they all report through:
+
+* :mod:`~repro.obs.registry` — a process-wide **metrics registry**
+  (counters, gauges, histograms with labels) with snapshot/diff/reset
+  semantics, a Prometheus-style text exposition, and
+  :func:`scoped_metrics`, the context manager that gives each test or
+  concurrent backend its own counter plane instead of a shared
+  mutable global;
+* :mod:`~repro.obs.trace` — **request tracing**: a :class:`Span` tree
+  propagated from ``Session`` / ``HEProgram`` execution through both
+  backends down to individual engine transform calls, reduced by
+  :class:`TraceReport` into per-op rollups and a critical path over
+  the program DAG;
+* :mod:`~repro.obs.timeline` — **timeline export**: spans and
+  simulated runtime/cluster reports serialised to Chrome trace-event
+  JSON (loadable in Perfetto / ``chrome://tracing``) plus a validator
+  the tests gate exports on.
+
+Everything here is dependency-free (stdlib only) so the hot paths in
+:mod:`repro.nttmath` can import it without cycles.
+"""
+
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    current_registry,
+    diff_snapshots,
+    gauge,
+    histogram,
+    render_prometheus,
+    scoped_metrics,
+)
+from .timeline import (
+    cluster_timeline,
+    runtime_timeline,
+    spans_to_chrome,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .trace import (
+    Span,
+    TraceReport,
+    Tracer,
+    active_tracer,
+    maybe_span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "histogram",
+    "current_registry",
+    "scoped_metrics",
+    "diff_snapshots",
+    "render_prometheus",
+    "Span",
+    "Tracer",
+    "TraceReport",
+    "active_tracer",
+    "maybe_span",
+    "spans_to_chrome",
+    "runtime_timeline",
+    "cluster_timeline",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -77,7 +77,7 @@ class IntPoly:
         self._assert_compatible(other)
         return IntPoly(
             tuple((a + b) % self.modulus
-                  for a, b in zip(self.coeffs, other.coeffs)),
+                  for a, b in zip(self.coeffs, other.coeffs, strict=True)),
             self.modulus,
         )
 
@@ -85,7 +85,7 @@ class IntPoly:
         self._assert_compatible(other)
         return IntPoly(
             tuple((a - b) % self.modulus
-                  for a, b in zip(self.coeffs, other.coeffs)),
+                  for a, b in zip(self.coeffs, other.coeffs, strict=True)),
             self.modulus,
         )
 

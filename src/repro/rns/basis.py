@@ -47,7 +47,8 @@ class RnsBasis:
         self.size = len(self.primes)
         self.q_star = tuple(self.modulus // p for p in self.primes)
         self.q_tilde = tuple(
-            modinv(star % p, p) for star, p in zip(self.q_star, self.primes)
+            modinv(star % p, p)
+            for star, p in zip(self.q_star, self.primes, strict=True)
         )
         # The garbled-free constants as numpy columns for vectorised use.
         self.primes_col = np.array(self.primes, dtype=np.int64)[:, None]
@@ -83,7 +84,7 @@ class RnsBasis:
         """Exact CRT reconstruction of one residue vector into [0, modulus)."""
         total = 0
         for value, star, tilde, p in zip(
-            residues, self.q_star, self.q_tilde, self.primes
+            residues, self.q_star, self.q_tilde, self.primes, strict=True
         ):
             total += (int(value) * tilde % p) * star
         return total % self.modulus

@@ -168,7 +168,7 @@ def grouped_rns_digits(basis: RnsBasis, residues: np.ndarray,
         # Exact reconstruction of each coefficient's digit.
         columns = matrix[list(group)].T.tolist()
         digits = [
-            sum(int(r) * w for r, w in zip(column, weights)) % modulus
+            sum(int(r) * w for r, w in zip(column, weights, strict=True)) % modulus
             for column in columns
         ]
         for channel, p in enumerate(basis.primes):

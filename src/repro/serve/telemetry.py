@@ -7,6 +7,12 @@ latency. The engine feeds every state change through a
 per-coprocessor busy time against the simulated clock) and reduces
 them to the numbers operators actually watch: p50/p95/p99 latency,
 mean/max queue depth, utilisation, and SLA violations.
+
+This collector is runtime-local and sample-exact; the process-wide
+counter plane (engine transform counts, resident-cache events) lives
+in the :mod:`repro.obs` metrics registry, and the per-job schedule a
+collector summarises can be exported as a Perfetto-loadable timeline
+via :func:`repro.obs.runtime_timeline`.
 """
 
 from __future__ import annotations
@@ -117,7 +123,7 @@ class Telemetry:
         if len(trace) < 2:
             return float(trace[0][1]) if trace else 0.0
         area = 0.0
-        for (t0, d0), (t1, _) in zip(trace, trace[1:]):
+        for (t0, d0), (t1, _) in zip(trace, trace[1:], strict=False):
             area += d0 * (t1 - t0)
         span = trace[-1][0] - trace[0][0]
         return area / span if span > 0 else float(trace[-1][1])

@@ -210,7 +210,7 @@ def cluster_trace(num_tenants: int, total_rate_per_second: float,
     rng = np.random.default_rng(seed + 0x5EED)
     flips = rng.random(len(jobs)) < add_fraction
     return [replace(j, kind=JobKind.ADD) if flip else j
-            for j, flip in zip(jobs, flips)]
+            for j, flip in zip(jobs, flips, strict=True)]
 
 
 def saturated_tenant_jobs(num_tenants: int, jobs_per_tenant: int,

@@ -10,7 +10,20 @@ import numpy as np
 import pytest
 
 from repro.fv.scheme import FvContext
+from repro.obs import scoped_metrics
 from repro.params import hpca19, mini, toy
+
+
+@pytest.fixture(autouse=True)
+def _isolated_metrics():
+    """Give every test its own metrics registry plane.
+
+    Transform counters, cache events and any other registered
+    instrument land in a per-test registry, so tests can assert on (or
+    reset) counters without observing — or corrupting — each other.
+    """
+    with scoped_metrics() as registry:
+        yield registry
 
 
 @pytest.fixture(scope="session")

@@ -165,7 +165,7 @@ class TestHEProgram:
         assert all(drop > 0 for drop in drops)
         # Per-level cost is roughly constant (mult-dominated): each
         # subsequent level within 3x of the previous.
-        for before, after in zip(drops[1:], drops[2:]):
+        for before, after in zip(drops[1:], drops[2:], strict=False):
             assert after < 3 * before
         # The static worst case must be conservative: lower budget than
         # measured, but still positive at depth 4.
@@ -193,7 +193,7 @@ class TestHEProgram:
         for label, expected in (("out", expected_out),
                                 ("rot", expected_rot)):
             got = result[label].ciphertext
-            for got_part, want_part in zip(got.parts, expected.parts):
+            for got_part, want_part in zip(got.parts, expected.parts, strict=True):
                 assert np.array_equal(got_part.residues,
                                       want_part.residues)
 

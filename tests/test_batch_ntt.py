@@ -71,7 +71,7 @@ class TestBatchedTransformEquivalence:
             assert np.array_equal(got[row], per_row)
             twisted = [
                 int(c) * int(psi) % p
-                for c, psi in zip(mat[row], tr.psi_powers)
+                for c, psi in zip(mat[row], tr.psi_powers, strict=True)
             ]
             reference = ntt_iterative(twisted, p, tr.omega)
             assert got[row].tolist() == reference
@@ -151,7 +151,7 @@ class TestBatchedTransformEquivalence:
                                                        len(primes)))
         got = intt_rows_scaled(primes, mat, constants)
         consts_col = np.array(
-            [c % p for c, p in zip(constants, primes)], dtype=np.int64
+            [c % p for c, p in zip(constants, primes, strict=True)], dtype=np.int64
         )[:, None]
         expected = (intt_rows(primes, mat) * consts_col) % bt.primes_col
         assert np.array_equal(got, expected)
@@ -200,7 +200,7 @@ class TestLargeRingEngine:
         tr = NegacyclicTransformer(n, p)
         twisted = [
             int(c) * int(psi) % p
-            for c, psi in zip(mat[0], tr.psi_powers)
+            for c, psi in zip(mat[0], tr.psi_powers, strict=True)
         ]
         assert got[0].tolist() == ntt_iterative(twisted, p, tr.omega)
 
@@ -218,7 +218,7 @@ class TestLargeRingEngine:
         constants = tuple(int(c) for c in rng.integers(1, 1 << 30, 3))
         scaled = intt_rows_scaled(primes, mat, constants)
         consts_col = np.array(
-            [c % p for c, p in zip(constants, primes)], dtype=np.int64
+            [c % p for c, p in zip(constants, primes, strict=True)], dtype=np.int64
         )[:, None]
         assert np.array_equal(
             scaled, (intt_rows(primes, mat) * consts_col) % primes_col

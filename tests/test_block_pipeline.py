@@ -19,7 +19,7 @@ class TestSimulation:
     def test_steady_state_rate_is_bottleneck(self):
         finish = simulate_block_pipeline(10, (6, 7, 7, 7, 7))
         ends = [row[-1] for row in finish]
-        gaps = [b - a for a, b in zip(ends, ends[1:])]
+        gaps = [b - a for a, b in zip(ends, ends[1:], strict=False)]
         # After the fill, one result every 7 cycles.
         assert all(gap == 7 for gap in gaps[2:])
 
@@ -32,7 +32,7 @@ class TestSimulation:
         """A block never accepts faster than its initiation interval."""
         finish = simulate_block_pipeline(6, (4, 4), intervals=(4, 4))
         starts_block0 = [row[0] - 4 for row in finish]
-        gaps = [b - a for a, b in zip(starts_block0, starts_block0[1:])]
+        gaps = [b - a for a, b in zip(starts_block0, starts_block0[1:], strict=False)]
         assert all(gap >= 4 for gap in gaps)
 
     def test_rejects_empty(self):

@@ -249,7 +249,7 @@ class TestDepth:
             budgets.append(
                 noise_budget_bits(mini_context, ct, mini_keys.secret)
             )
-        assert all(b1 > b2 for b1, b2 in zip(budgets, budgets[1:]))
+        assert all(b1 > b2 for b1, b2 in zip(budgets, budgets[1:], strict=False))
         assert budgets[-1] > 0
 
     def test_depth_estimator(self):

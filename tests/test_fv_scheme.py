@@ -51,7 +51,7 @@ class TestSamplers:
     def test_uniform_rns_rows_shape(self, rng, toy_params):
         rows = uniform_rns_rows(rng, toy_params.n, toy_params.q_primes)
         assert rows.shape == (toy_params.k_q, toy_params.n)
-        for row, prime in zip(rows, toy_params.q_primes):
+        for row, prime in zip(rows, toy_params.q_primes, strict=True):
             assert row.max() < prime
 
     def test_determinism(self):

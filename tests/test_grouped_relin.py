@@ -49,7 +49,7 @@ class TestGroupedDecomposition:
         for _ in range(50):
             value = int.from_bytes(rng.bytes(16), "little") % basis.modulus
             total = 0
-            for group, weight in zip(groups, weights):
+            for group, weight in zip(groups, weights, strict=True):
                 modulus = 1
                 for i in group:
                     modulus *= basis.primes[i]

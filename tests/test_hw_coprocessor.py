@@ -96,7 +96,7 @@ class TestCoprocessorFunctional:
         hw_result, _ = coprocessor.mult(ct_a, ct_b, mini_keys.relin)
         sw_result = Evaluator(mini_context).multiply(ct_a, ct_b,
                                                      mini_keys.relin)
-        for hw_part, sw_part in zip(hw_result.parts, sw_result.parts):
+        for hw_part, sw_part in zip(hw_result.parts, sw_result.parts, strict=True):
             assert np.array_equal(hw_part.residues, sw_part.residues)
 
     def test_mult_decrypts_to_product(self, mini_context, mini_keys, setup,
@@ -116,7 +116,7 @@ class TestCoprocessorFunctional:
         coprocessor = Coprocessor(mini_params)
         hw_result, _ = coprocessor.add(ct_a, ct_b)
         sw_result = mini_context.add(ct_a, ct_b)
-        for hw_part, sw_part in zip(hw_result.parts, sw_result.parts):
+        for hw_part, sw_part in zip(hw_result.parts, sw_result.parts, strict=True):
             assert np.array_equal(hw_part.residues, sw_part.residues)
 
     def test_slow_coprocessor_decrypts_correctly(self, mini_context,
@@ -202,7 +202,7 @@ class TestCoprocessorFunctional:
         hw_result, _ = coprocessor.mult(ct_a, ct_b, toy_keys.relin)
         sw_result = Evaluator(toy_context).multiply(ct_a, ct_b,
                                                     toy_keys.relin)
-        for hw_part, sw_part in zip(hw_result.parts, sw_result.parts):
+        for hw_part, sw_part in zip(hw_result.parts, sw_result.parts, strict=True):
             assert np.array_equal(hw_part.residues, sw_part.residues)
 
 

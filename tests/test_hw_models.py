@@ -209,27 +209,27 @@ class TestScalingModel:
     def test_compute_growth_matches_paper(self, table):
         """Paper Table V compute column: 4.46 -> 9.68 -> 21.0 -> 45.6."""
         paper = [4.46e-3, 9.68e-3, 21.0e-3, 45.6e-3]
-        for point, expected in zip(table, paper):
+        for point, expected in zip(table, paper, strict=True):
             assert abs(point.compute_seconds - expected) / expected < 0.02
 
     def test_comm_growth_matches_paper(self, table):
         """Paper Table V comm column: 0.54 -> 2.16 -> 8.64 -> 34.6."""
         paper = [0.54e-3, 2.16e-3, 8.64e-3, 34.6e-3]
-        for point, expected in zip(table, paper):
+        for point, expected in zip(table, paper, strict=True):
             assert abs(point.comm_seconds - expected) / expected < 0.02
 
     def test_total_matches_paper(self, table):
         """Paper Table V totals: 5.0 / 11.9 / 29.6 / 80.2 ms."""
         paper = [5.0e-3, 11.9e-3, 29.6e-3, 80.2e-3]
-        for point, expected in zip(table, paper):
+        for point, expected in zip(table, paper, strict=True):
             assert abs(point.total_seconds - expected) / expected < 0.03
 
     def test_bram_quadruples(self, table):
-        for prev, curr in zip(table, table[1:]):
+        for prev, curr in zip(table, table[1:], strict=False):
             assert curr.resources.bram36 == 4 * prev.resources.bram36
 
     def test_logic_doubles(self, table):
-        for prev, curr in zip(table, table[1:]):
+        for prev, curr in zip(table, table[1:], strict=False):
             assert curr.resources.luts == 2 * prev.resources.luts
             assert curr.resources.dsps == 2 * prev.resources.dsps
 

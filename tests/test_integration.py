@@ -65,7 +65,7 @@ class TestSerialisationRoundtrip:
         restored = Ciphertext.from_bytes(blob, params,
                                          mini_context.q_basis)
         assert restored.size == 3
-        for part, original in zip(restored.parts, raw.parts):
+        for part, original in zip(restored.parts, raw.parts, strict=True):
             assert np.array_equal(part.residues, original.residues)
         relin = evaluator.relinearize(restored, mini_keys.relin)
         expected = evaluator.relinearize(raw, mini_keys.relin)

@@ -148,12 +148,12 @@ class TestIterativeNtt:
         a = rng.integers(0, PRIME, n).tolist()
         b = rng.integers(0, PRIME, n).tolist()
         sum_transform = ntt_iterative(
-            [(x + y) % PRIME for x, y in zip(a, b)], PRIME, w
+            [(x + y) % PRIME for x, y in zip(a, b, strict=True)], PRIME, w
         )
         transform_sum = [
             (x + y) % PRIME
             for x, y in zip(ntt_iterative(a, PRIME, w),
-                            ntt_iterative(b, PRIME, w))
+                            ntt_iterative(b, PRIME, w), strict=True)
         ]
         assert sum_transform == transform_sum
 
@@ -165,7 +165,7 @@ class TestIterativeNtt:
         pointwise = [
             (x * y) % PRIME
             for x, y in zip(ntt_iterative(a, PRIME, w),
-                            ntt_iterative(b, PRIME, w))
+                            ntt_iterative(b, PRIME, w), strict=True)
         ]
         via_ntt = intt_iterative(pointwise, PRIME, w)
         # Cyclic (not negacyclic) convolution reference.
@@ -226,7 +226,7 @@ class TestNegacyclicTransformer:
         tr = NegacyclicTransformer(n, prime)
         values = rng.integers(0, prime, n)
         scaled = [(int(v) * int(p)) % prime
-                  for v, p in zip(values, tr.psi_powers)]
+                  for v, p in zip(values, tr.psi_powers, strict=True)]
         reference = ntt_iterative(scaled, prime, tr.omega)
         assert tr.forward(values).tolist() == reference
 

@@ -164,7 +164,8 @@ class TestRnsPoly:
         b_ints = [int(x) for x in rng.integers(0, 2**60, toy_params.n)]
         a = RnsPoly.from_int_coeffs(basis, a_ints)
         b = RnsPoly.from_int_coeffs(basis, b_ints)
-        expected = [(x + y) % basis.modulus for x, y in zip(a_ints, b_ints)]
+        expected = [(x + y) % basis.modulus
+                    for x, y in zip(a_ints, b_ints, strict=True)]
         assert (a + b).to_int_coeffs() == expected
 
     def test_multiply_matches_bigint(self, basis, toy_params, rng):

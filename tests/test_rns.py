@@ -45,7 +45,7 @@ def full_basis(mini_params):
 class TestRnsBasis:
     def test_constants_satisfy_crt_identity(self, q_basis):
         for star, tilde, prime in zip(q_basis.q_star, q_basis.q_tilde,
-                                      q_basis.primes):
+                                      q_basis.primes, strict=True):
             assert (star * tilde) % prime == 1
             assert q_basis.modulus == star * prime
 
@@ -70,7 +70,7 @@ class TestRnsBasis:
 
     def test_reciprocal_precision(self, q_basis):
         """recip_i = round(2^89 / q_i): |recip*q - 2^89| <= q/2."""
-        for recip, prime in zip(q_basis.recip, q_basis.primes):
+        for recip, prime in zip(q_basis.recip, q_basis.primes, strict=True):
             assert abs(recip * prime - (1 << RECIP_FRACTION_BITS)) \
                 <= prime // 2
 

@@ -74,7 +74,7 @@ def check_invariants(report, offered_jobs):
         )
     for intervals in per_coproc.values():
         ordered = sorted(intervals)
-        for (_s0, f0), (s1, _f1) in zip(ordered, ordered[1:]):
+        for (_s0, f0), (s1, _f1) in zip(ordered, ordered[1:], strict=False):
             assert s1 >= f0 - 1e-12
 
 
@@ -558,7 +558,7 @@ class TestClosedLoopClients:
         service = server.job_seconds(JobKind.ADD)
         for results in per_client.values():
             times = sorted(r.job.arrival_seconds for r in results)
-            gaps = [b - a for a, b in zip(times, times[1:])]
+            gaps = [b - a for a, b in zip(times, times[1:], strict=False)]
             assert all(gap >= service * 0.999 for gap in gaps)
 
     def test_validation(self):
