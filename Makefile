@@ -18,7 +18,7 @@ lint:
 
 coverage:
 	$(PYTHON) -m pytest -q --cov=repro --cov-report=term \
-		--cov-fail-under=76
+		--cov-fail-under=77
 
 # Fast-mode benches: regenerate the serving + cluster result files the
 # CI bench-smoke job uploads as artifacts (REPRO_BENCH_FAST shrinks

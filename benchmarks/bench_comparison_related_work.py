@@ -35,7 +35,8 @@ def test_headline_throughput_and_speedup(benchmark, paper_params):
         "HEADLINE — THROUGHPUT AND SPEEDUP",
         f"mults per second (2 coprocessors): {throughput:7.0f}   "
         "(paper: 400)",
-        f"software baseline Mult:            {baseline.mult_seconds() * 1e3:7.1f} ms (paper: 33 ms)",
+        f"software baseline Mult:            "
+        f"{baseline.mult_seconds() * 1e3:7.1f} ms (paper: 33 ms)",
         f"speedup over software:             {speedup:7.1f}x  (paper: >13x)",
     ]
     save_result("headline_speedup", "\n".join(lines))

@@ -24,6 +24,11 @@ one record — the headline block plus a ring-degree sweep
 sha, numpy version) — to the tracked perf trajectory in
 ``benchmarks/results/BENCH_fv_ops.json``.
 
+``test_cores_vs_throughput`` appends a second record type to the same
+trajectory: Mult/s under the thread and process executors at 1/2/4/8
+workers (the cores-vs-throughput curve of the parallel-executor PR),
+with each parallel cell bit-checked against the serial product first.
+
 Set ``REPRO_BENCH_FAST=1`` (the CI bench-smoke job does) for a
 shortened run: same parameters and protocol, fewer repetitions, a
 sweep truncated at n = 8192, and conservative assertion floors —
@@ -53,6 +58,7 @@ from repro.fv.galois import GaloisEngine
 from repro.fv.scheme import FvContext
 from repro.nttmath.batch import batched_engine_ok, per_row_mode
 from repro.obs import current_registry, diff_snapshots
+from repro.parallel import available_cores, use_executor
 from repro.params import hpca19, large_ring
 
 FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
@@ -84,6 +90,20 @@ SWEEP_TARGET = 3.0
 SWEEP_BATCHED_REPS = 2 if FAST else 3
 SWEEP_PER_ROW_REPS = 1
 SWEEP_ROUNDS = 1 if FAST else 2
+
+#: Cores-vs-throughput sweep (satellite of the parallel-executor PR):
+#: Mult/s at each worker count for the thread and process executors,
+#: against the serial executor on the same ring. Fast mode trims the
+#: matrix; the nightly full run records the whole trajectory.
+CORES_NS = (8192,) if FAST else (8192, 32768)
+CORES_WORKERS = (1, 2, 4) if FAST else (1, 2, 4, 8)
+CORES_EXECUTORS = ("threads", "processes")
+CORES_REPS = 2 if FAST else 3
+#: The acceptance bar — ThreadPool@4 at >= 2x serial Mult/s on the
+#: largest ring — is a statement about a machine with cores to spend;
+#: it is asserted only where the affinity mask has at least this many.
+CORES_FOR_SCALING_GATE = 4
+CORES_SCALING_FLOOR = 2.0
 
 
 def _git_sha() -> str:
@@ -401,4 +421,117 @@ def test_fv_throughput():
         assert point["mult_speedup"] >= SWEEP_FLOOR, (
             f"n={point['n']}: sweep Mult/s speedup "
             f"{point['mult_speedup']:.2f}x below the {SWEEP_FLOOR}x floor"
+        )
+
+
+def _cores_points(n: int) -> list[dict]:
+    """Mult/s for every (executor, workers) cell at one ring degree.
+
+    The serial baseline and every parallel cell multiply the same
+    ciphertexts with the same keys; each parallel cell is bit-checked
+    against the serial product before it is timed, so a scheduling bug
+    can never hide inside a throughput number.
+    """
+    params = large_ring(n)
+    context = FvContext(params, seed=2019)
+    keys = context.keygen()
+    evaluator = Evaluator(context)
+    m1 = Plaintext.from_list([1, 1, 0, 1], params.n, params.t)
+    m2 = Plaintext.from_list([1, 0, 1], params.n, params.t)
+    ct1 = context.encrypt(m1, keys.public)
+    ct2 = context.encrypt(m2, keys.public)
+
+    def mult():
+        return evaluator.multiply(ct1, ct2, keys.relin)
+
+    with use_executor("serial"):
+        reference = mult()
+        gc.disable()
+        try:
+            serial_s = min_time(mult, CORES_REPS)
+        finally:
+            gc.enable()
+    points = [{
+        "n": n, "executor": "serial", "workers": 1,
+        "mult_ms": round(serial_s * 1e3, 3),
+        "mult_ops_per_s": round(1.0 / serial_s, 2),
+        "speedup_vs_serial": 1.0,
+    }]
+    registry = current_registry()
+    for mode in CORES_EXECUTORS:
+        for workers in CORES_WORKERS:
+            if workers < 2:
+                continue  # one worker is the serial baseline
+            with use_executor(mode, workers) as executor:
+                if executor.name != mode:
+                    # Construction fell back (recorded by the executor
+                    # layer); an absent cell beats a mislabelled one.
+                    continue
+                got = mult()
+                assert np.array_equal(reference.c0.residues,
+                                      got.c0.residues)
+                assert np.array_equal(reference.c1.residues,
+                                      got.c1.residues)
+                gc.disable()
+                try:
+                    best = min_time(mult, CORES_REPS)
+                finally:
+                    gc.enable()
+                points.append({
+                    "n": n, "executor": mode, "workers": workers,
+                    "mult_ms": round(best * 1e3, 3),
+                    "mult_ops_per_s": round(1.0 / best, 2),
+                    "speedup_vs_serial": round(serial_s / best, 2),
+                    "worker_utilisation": round(registry.value(
+                        "parallel_worker_utilisation", executor=mode), 3),
+                })
+    return points
+
+
+def test_cores_vs_throughput():
+    """Workers-vs-Mult/s trajectory for the parallel executors.
+
+    Appends a ``cores`` record to the same BENCH_fv_ops.json chain the
+    headline bench feeds, and renders a table alongside it. The 2x
+    scaling gate for ThreadPool@4 on the largest ring only arms on
+    machines whose affinity mask has >= 4 cores — a single-core runner
+    still measures and records the (honest, flat) trajectory, it just
+    cannot manufacture parallel speedup to assert on.
+    """
+    cores = available_cores()
+    points = [p for n in CORES_NS for p in _cores_points(n)]
+    record = {
+        "bench": "fv_cores",
+        "mode": MODE,
+        "meta": run_metadata(),
+        "available_cores": cores,
+        "cores": points,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    json_name = "BENCH_fv_ops_fast.json" if FAST else "BENCH_fv_ops.json"
+    append_trajectory_record(Path(RESULTS_DIR) / json_name, record)
+
+    lines = [
+        f"CORES VS THROUGHPUT — Mult/s by executor and worker count "
+        f"({MODE} mode, {cores} core(s) available)",
+        f"{'n':>7}{'executor':>12}{'workers':>9}{'Mult (ms)':>11}"
+        f"{'Mult/s':>9}{'vs serial':>11}",
+    ]
+    for p in points:
+        lines.append(
+            f"{p['n']:>7}{p['executor']:>12}{p['workers']:>9}"
+            f"{p['mult_ms']:>11.1f}{p['mult_ops_per_s']:>9.2f}"
+            f"{p['speedup_vs_serial']:>10.2f}x"
+        )
+    save_result("fv_cores", "\n".join(lines))
+
+    if cores >= CORES_FOR_SCALING_GATE:
+        n_max = max(CORES_NS)
+        (gate,) = [p for p in points
+                   if p["n"] == n_max and p["executor"] == "threads"
+                   and p["workers"] == 4]
+        assert gate["speedup_vs_serial"] >= CORES_SCALING_FLOOR, (
+            f"ThreadPool@4 Mult/s at n={n_max} is "
+            f"{gate['speedup_vs_serial']:.2f}x serial, below the "
+            f"{CORES_SCALING_FLOOR}x scaling floor"
         )

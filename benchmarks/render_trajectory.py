@@ -14,6 +14,11 @@ over every record so old records (measured before a ring size was
 supported) render blank cells instead of breaking the table. Exits
 non-zero on a missing file; an empty trajectory renders a note, not
 an empty table.
+
+``fv_cores`` records (the cores-vs-throughput sweep) render as a
+second, workers-vs-speedup table: one column per
+``executor@workers n=...`` cell, values are Mult/s speedup over the
+serial executor measured in the same run.
 """
 
 from __future__ import annotations
@@ -24,8 +29,10 @@ from pathlib import Path
 
 
 def render(records: list[dict]) -> str:
+    cores_records = [r for r in records if "cores" in r]
+    records = [r for r in records if "cores" not in r]
     lines = ["## FV hot-path speedup trajectory", ""]
-    if not records:
+    if not records and not cores_records:
         lines.append("_No trajectory records yet._")
         return "\n".join(lines) + "\n"
     sweep_ns = sorted({point["n"] for record in records
@@ -46,12 +53,36 @@ def render(records: list[dict]) -> str:
         ] + [_speedup(by_n[n]["mult_speedup"]) if n in by_n else ""
              for n in sweep_ns]
         lines.append("| " + " | ".join(row) + " |")
-    latest = records[-1]
-    eliminated = latest.get("program", {}).get("transforms_eliminated")
-    if eliminated is not None:
-        lines += ["", f"Latest record: NTT-resident executor eliminated "
-                      f"{eliminated} row transforms on the benchmark "
-                      f"program graph."]
+    if records:
+        latest = records[-1]
+        eliminated = latest.get("program", {}).get("transforms_eliminated")
+        if eliminated is not None:
+            lines += ["", f"Latest record: NTT-resident executor "
+                          f"eliminated {eliminated} row transforms on "
+                          f"the benchmark program graph."]
+    if cores_records:
+        lines += ["", "### Workers vs speedup (Mult/s over serial)", ""]
+        cells = sorted(
+            {(p["executor"], p["workers"], p["n"])
+             for record in cores_records for p in record["cores"]
+             if p["executor"] != "serial"},
+            key=lambda c: (c[0], c[1], c[2]),
+        )
+        header = (["date", "sha", "cores"]
+                  + [f"{ex}@{w} n={n}" for ex, w, n in cells])
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "---|" * len(header))
+        for record in cores_records:
+            meta = record.get("meta", {})
+            by_cell = {(p["executor"], p["workers"], p["n"]):
+                       p["speedup_vs_serial"] for p in record["cores"]}
+            row = [
+                str(meta.get("recorded_at", "?")).split("T")[0],
+                str(meta.get("git_sha", "?")),
+                str(record.get("available_cores", "?")),
+            ] + [_speedup(by_cell[c]) if c in by_cell else ""
+                 for c in cells]
+            lines.append("| " + " | ".join(row) + " |")
     return "\n".join(lines) + "\n"
 
 

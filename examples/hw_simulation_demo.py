@@ -70,10 +70,12 @@ def main() -> None:
         print(f"{op.value:<18}{stat.calls:>6}{arm:>14,}{paper_s:>10}"
               f"{delta:>8}")
     print("-" * len(header))
+    mult_delta = ((report.arm_cycles - PAPER_MULT_ARM_CYCLES)
+                  / PAPER_MULT_ARM_CYCLES * 100)
     print(f"Mult total: {report.arm_cycles:,} Arm cycles = "
           f"{report.seconds * 1e3:.3f} ms "
           f"(paper: {PAPER_MULT_ARM_CYCLES:,} = {PAPER_MULT_MS} ms, "
-          f"delta {(report.arm_cycles - PAPER_MULT_ARM_CYCLES) / PAPER_MULT_ARM_CYCLES * 100:+.1f}%)")
+          f"delta {mult_delta:+.1f}%)")
     print(f"relinearisation key streaming share: "
           f"{report.transfer_cycles / report.total_cycles * 100:.0f}% "
           f"(paper: ~30%)")

@@ -1,7 +1,14 @@
-"""``python -m repro`` entry point."""
+"""``python -m repro`` entry point.
+
+The ``__name__`` guard is load-bearing: the process executor's
+``spawn`` workers re-import the parent's main module (as
+``__mp_main__``), and an unguarded ``sys.exit(main())`` would make
+every worker re-run the CLI command instead of reporting for duty.
+"""
 
 import sys
 
 from .cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,10 +13,13 @@ from __future__ import annotations
 
 from typing import Protocol, runtime_checkable
 
+from contextlib import nullcontext
+
 from ..errors import NoiseBudgetExhausted, ParameterError
 from ..fv.ciphertext import Ciphertext
 from ..nttmath.batch import transform_counts
 from ..obs import TraceReport, Tracer
+from ..parallel import Executor, ExecutionConfig, build_executor, use_executor
 from .program import CiphertextHandle, ExprNode, HEProgram, OpKind
 from .resident import ResidentOperandCache
 from .session import Session
@@ -113,11 +116,22 @@ class LocalBackend:
                  ntt_resident: bool = True,
                  resident_outputs: bool = False,
                  resident_cache: ResidentOperandCache | None = None,
-                 resident_cache_limit: int = 64) -> None:
+                 resident_cache_limit: int = 64,
+                 executor: Executor | ExecutionConfig | str | None
+                 = None) -> None:
         self.session = session
         self.verify = verify
         self.ntt_resident = ntt_resident
         self.resident_outputs = resident_outputs
+        # Executor selection: None defers to the ambient scope / env
+        # default at run time; a mode string or ExecutionConfig is
+        # built once here (degrading loudly to serial on failure); a
+        # live Executor is used as-is (caller keeps ownership).
+        if isinstance(executor, str):
+            executor = ExecutionConfig(mode=executor.strip().lower())
+        if isinstance(executor, ExecutionConfig):
+            executor = build_executor(executor)
+        self.executor: Executor | None = executor
         self.resident_cache = (
             resident_cache if resident_cache is not None
             else ResidentOperandCache(resident_cache_limit, name="local")
@@ -141,6 +155,10 @@ class LocalBackend:
         return {
             "ntt_resident": self.ntt_resident,
             "resident_outputs": self.resident_outputs,
+            "executor": ("ambient" if self.executor is None
+                         else self.executor.name),
+            "workers": (0 if self.executor is None
+                        else self.executor.workers),
             "last_run": dict(self.last_transform_counts),
             "total": dict(self.total_transform_counts),
             "resident_cache": {
@@ -169,7 +187,9 @@ class LocalBackend:
         # the transform-counter diff across its execution, so the
         # TraceReport's totals reconcile exactly with the run-level
         # registry diff (the tests assert the equality).
-        with tracer.activate():
+        scope = (use_executor(self.executor)
+                 if self.executor is not None else nullcontext())
+        with scope, tracer.activate():
             wants = (self._plan_domains(program)
                      if self.ntt_resident else {})
             with tracer.span("restore_residents", kind="phase") as sp:
@@ -277,7 +297,7 @@ class LocalBackend:
                 restores += 1
         return restores
 
-    # -- domain planning -----------------------------------------------------------------
+    # -- domain planning ---------------------------------------------------------------
 
     #: Ops that compute naturally in the evaluation domain — a node
     #: feeding one of these benefits from arriving NTT-resident.
@@ -314,7 +334,7 @@ class LocalBackend:
             )
         return wants
 
-    # -- node dispatch -------------------------------------------------------------------
+    # -- node dispatch -----------------------------------------------------------------
 
     def _execute(self, node: ExprNode, wants: dict[int, bool]) -> Ciphertext:
         session = self.session

@@ -19,9 +19,10 @@ a program that cannot decrypt is rejected before any backend runs it.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
 from enum import Enum
-from typing import TYPE_CHECKING, Iterable, Mapping
+from typing import TYPE_CHECKING
 
 from ..errors import NoiseBudgetExhausted, ParameterError
 from ..fv.ciphertext import Ciphertext
@@ -68,7 +69,7 @@ class ExprNode:
     __slots__ = ("op", "args", "payload", "depth", "cached",
                  "__weakref__")
 
-    def __init__(self, op: OpKind, args: tuple["ExprNode", ...] = (),
+    def __init__(self, op: OpKind, args: tuple[ExprNode, ...] = (),
                  payload=None) -> None:
         self.op = op
         self.args = args
@@ -100,7 +101,7 @@ class CiphertextHandle:
 
     __slots__ = ("node", "session")
 
-    def __init__(self, node: ExprNode, session: "Session") -> None:
+    def __init__(self, node: ExprNode, session: Session) -> None:
         self.node = node
         self.session = session
 
@@ -134,12 +135,12 @@ class CiphertextHandle:
 
     # -- graph-building helpers ------------------------------------------------------
 
-    def _derive(self, op: OpKind, *args: "CiphertextHandle",
-                payload=None) -> "CiphertextHandle":
+    def _derive(self, op: OpKind, *args: CiphertextHandle,
+                payload=None) -> CiphertextHandle:
         nodes = (self.node,) + tuple(a.node for a in args)
         return CiphertextHandle(ExprNode(op, nodes, payload), self.session)
 
-    def _coerce(self, other) -> "CiphertextHandle | Plaintext | None":
+    def _coerce(self, other) -> CiphertextHandle | Plaintext | None:
         """Classify an operand: handle, plaintext, or encodable value."""
         if isinstance(other, CiphertextHandle):
             if other.session is not self.session:
@@ -200,11 +201,11 @@ class CiphertextHandle:
 
     __rmul__ = __mul__
 
-    def rotate(self, steps: int) -> "CiphertextHandle":
+    def rotate(self, steps: int) -> CiphertextHandle:
         """Rotate the batching slots by ``steps`` (Galois automorphism)."""
         return self._derive(OpKind.ROTATE, payload=int(steps))
 
-    def sum_slots(self) -> "CiphertextHandle":
+    def sum_slots(self) -> CiphertextHandle:
         """Rotate-and-add: every slot ends up holding the slot total."""
         return self._derive(OpKind.SUM_SLOTS)
 
@@ -224,7 +225,7 @@ def sum_slots(handle: CiphertextHandle) -> CiphertextHandle:
     return handle.sum_slots()
 
 
-# -- lowering to the job stream ----------------------------------------------------------
+# -- lowering to the job stream --------------------------------------------------------
 
 
 @dataclass(frozen=True)
@@ -312,7 +313,7 @@ class HEProgram:
                         stack.append((arg, False))
         return order
 
-    # -- static accounting ---------------------------------------------------------------
+    # -- static accounting -------------------------------------------------------------
 
     @property
     def depth(self) -> int:
@@ -388,7 +389,7 @@ class HEProgram:
                     f"{bits:.1f} bits) — shrink the depth or grow q"
                 )
 
-    # -- lowering --------------------------------------------------------------------------
+    # -- lowering ----------------------------------------------------------------------
 
     def lower(self, resident_inputs: Iterable[ExprNode] = ()
               ) -> list[LoweredOp]:

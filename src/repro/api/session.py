@@ -70,7 +70,7 @@ class Session:
 
     @classmethod
     def from_parts(cls, context: FvContext, keys: KeySet, *,
-                   encoder: str = "auto") -> "Session":
+                   encoder: str = "auto") -> Session:
         """Adopt an existing context + key set (the migration shim).
 
         Code that used to hand-wire ``FvContext``/``keygen`` wraps those
@@ -89,7 +89,7 @@ class Session:
             return "integer", IntegerEncoder(self.params)
         return "coeff", None
 
-    # -- encoding ------------------------------------------------------------------------
+    # -- encoding ----------------------------------------------------------------------
 
     @property
     def slot_count(self) -> int:
@@ -179,7 +179,7 @@ class Session:
             decoded = plain.coeffs
         return decoded if size is None else decoded[:size]
 
-    # -- encrypt / decrypt ----------------------------------------------------------------
+    # -- encrypt / decrypt -------------------------------------------------------------
 
     def encrypt(self, values, *, resident: bool = False) -> CiphertextHandle:
         """Encode + encrypt; returns an opaque (lazy-capable) handle.
@@ -277,7 +277,7 @@ class Session:
         """Adopt externally generated summation keys (seeds the cache)."""
         self._summation_keys = keys
 
-    # -- programs -------------------------------------------------------------------------
+    # -- programs ----------------------------------------------------------------------
 
     def compile(self, outputs, *, name: str = "program",
                 check: bool = True) -> HEProgram:

@@ -17,8 +17,8 @@ arrival to the completion of the request's last op.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
 
 import numpy as np
 
@@ -200,7 +200,7 @@ class SimulatedBackend:
         """Cross-run telemetry: the resident-operand cache counters."""
         return {"resident_cache": self.resident_cache.stats()}
 
-    # -- constructors --------------------------------------------------------------------
+    # -- constructors ------------------------------------------------------------------
 
     @classmethod
     def over_runtime(cls, params: ParameterSet, *,
@@ -208,7 +208,7 @@ class SimulatedBackend:
                      scheduler_factory: Callable[[], object] | None = None,
                      batching=None, tenants=None,
                      num_coprocessors: int | None = None,
-                     ) -> "SimulatedBackend":
+                     ) -> SimulatedBackend:
         """One Arm+FPGA board (the paper's Fig. 11 server)."""
         cost = CostModel(params, config)
 
@@ -228,7 +228,7 @@ class SimulatedBackend:
                      scheduler_factory: Callable[[], object] | None = None,
                      batching=None, tenants=None,
                      max_backlog_seconds: float | None = None,
-                     ) -> "SimulatedBackend":
+                     ) -> SimulatedBackend:
         """A multi-FPGA shard cluster behind a placement router."""
         from ..cluster.cluster import FpgaCluster
 
@@ -243,7 +243,7 @@ class SimulatedBackend:
         return cls(params, factory,
                    description=f"{num_shards}-shard cluster")
 
-    # -- execution ----------------------------------------------------------------------
+    # -- execution ---------------------------------------------------------------------
 
     def lower_jobs(self, ops: Sequence[LoweredOp], *, requests: int,
                    rate_per_second: float | None, num_tenants: int,

@@ -108,7 +108,7 @@ class SmartGridAggregator:
         total = as_handle(self.session, self.total(handles))
         return unwrap(total.sum_slots(), self._legacy)
 
-    # -- authority side -----------------------------------------------------------------
+    # -- authority side ----------------------------------------------------------------
 
     def decrypt_slots(self, ct, count: int) -> np.ndarray:
         return self.session.decrypt(ct, size=count)

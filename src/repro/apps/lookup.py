@@ -119,7 +119,7 @@ class EncryptedLookupTable:
         return self.session.compile(self.reply_expr(index_bits),
                                     name="encrypted-lookup", check=check)
 
-    # -- client side again --------------------------------------------------------------
+    # -- client side again -------------------------------------------------------------
 
     def decrypt_reply(self, reply) -> int:
         return int(self.session.decrypt(reply)[0])

@@ -47,7 +47,7 @@ class RastaLikeCipher:
             for _ in range(rounds)
         ]
 
-    # -- plaintext reference ------------------------------------------------------------
+    # -- plaintext reference -----------------------------------------------------------
 
     def _chi(self, state: np.ndarray) -> np.ndarray:
         rot1 = np.roll(state, -1)
@@ -64,7 +64,7 @@ class RastaLikeCipher:
             state = self._chi(state)
         return state
 
-    # -- homomorphic evaluation ------------------------------------------------------------
+    # -- homomorphic evaluation --------------------------------------------------------
 
     def evaluate_encrypted(self, session, keys_or_bits,
                            bit_cts=None) -> list:

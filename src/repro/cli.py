@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 
 from .fv.noise_model import NoiseModel
 from .hw.config import HardwareConfig
@@ -32,6 +33,7 @@ from .hw.power import PowerModel
 from .hw.resources import ResourceEstimator
 from .hw.scaling import scaling_table
 from .hw.trace import render_fig3
+from .parallel import EXECUTOR_MODES, available_cores, use_executor
 from .params import hpca19
 from .system.arm import ArmCoreModel
 from .system.baseline import SoftwareBaseline
@@ -139,10 +141,13 @@ def cmd_headline(args: argparse.Namespace) -> None:
     power = PowerModel(config)
     throughput = server.mult_throughput_per_second()
     print(f"Mult/s with two coprocessors: {throughput:6.0f}  (paper: 400)")
-    print(f"software baseline:            {baseline.mult_seconds() * 1e3:6.1f} ms/Mult (paper: 33)")
-    print(f"speedup:                      {baseline.mult_seconds() * throughput:6.1f}x (paper: >13x)")
+    print(f"software baseline:            "
+          f"{baseline.mult_seconds() * 1e3:6.1f} ms/Mult (paper: 33)")
+    print(f"speedup:                      "
+          f"{baseline.mult_seconds() * throughput:6.1f}x (paper: >13x)")
     print(f"peak power:                   {power.peak_watts():6.1f} W  (paper: 8.7 W)")
-    print(f"add speedup over Arm SW:      {server.add_speedup_over_sw():6.0f}x (paper: 80x)")
+    print(f"add speedup over Arm SW:      "
+          f"{server.add_speedup_over_sw():6.0f}x (paper: 80x)")
 
 
 def cmd_noise(args: argparse.Namespace) -> None:
@@ -606,17 +611,38 @@ def main(argv: list[str] | None = None) -> int:
                                help="alternate 2- and 1-butterfly-core "
                                     "boards")
     cluster_group.add_argument("--seed", type=int, default=0)
+    executor_group = parser.add_argument_group(
+        "executor options",
+        "multi-core execution of the functional engine (overrides the "
+        "REPRO_EXECUTOR / REPRO_WORKERS environment for this run)")
+    executor_group.add_argument(
+        "--executor", choices=list(EXECUTOR_MODES), default=None,
+        help="execution strategy for functional FV math "
+             "(default: environment, else serial)")
+    executor_group.add_argument(
+        "--workers", type=_positive_int, default=None,
+        help="worker pool size for --executor threads/processes "
+             "(default: available cores, capped)")
     args = parser.parse_args(argv)
     if args.experiment == "list":
         for name in sorted(COMMANDS):
             print(name)
         return 0
-    if args.experiment == "all":
-        for name in ("table1", "table2", "table3", "table4", "table5",
-                     "fig3", "headline", "noise"):
-            COMMANDS[name](args)
-        return 0
-    COMMANDS[args.experiment](args)
+    scope = nullcontext()
+    if args.executor is not None:
+        workers = args.workers
+        if workers is None and args.executor != "serial":
+            workers = min(8, available_cores())
+        scope = use_executor(args.executor, workers)
+    with scope as executor:
+        if executor is not None:
+            print(f"executor: {executor.name} x{executor.workers}")
+        if args.experiment == "all":
+            for name in ("table1", "table2", "table3", "table4",
+                         "table5", "fig3", "headline", "noise"):
+                COMMANDS[name](args)
+            return 0
+        COMMANDS[args.experiment](args)
     return 0
 
 

@@ -18,7 +18,7 @@ near-linear Mult/s to eight boards under tenant-affinity routing.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from ..hw.config import HardwareConfig
 from ..obs import current_registry
@@ -60,7 +60,7 @@ class FpgaCluster:
                     batching: BatchPolicy | None = None,
                     tenants: TenantSet | None = None,
                     max_backlog_seconds: float | None = None,
-                    ) -> "FpgaCluster":
+                    ) -> FpgaCluster:
         """N identical boards sharing one cached :class:`CostModel`.
 
         The cost model (instruction cycle model and per-op latencies)
@@ -86,7 +86,7 @@ class FpgaCluster:
                       batching: BatchPolicy | None = None,
                       tenants: TenantSet | None = None,
                       max_backlog_seconds: float | None = None,
-                      ) -> "FpgaCluster":
+                      ) -> FpgaCluster:
         """One board per config — mixed design points in one cluster.
 
         Real deployments accrete hardware: a rack may mix two-butterfly

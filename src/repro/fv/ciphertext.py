@@ -118,7 +118,7 @@ class Ciphertext:
     @classmethod
     def from_bytes(cls, blob: bytes, params: ParameterSet,
                    basis: RnsBasis,
-                   ntt_domain: bool = False) -> "Ciphertext":
+                   ntt_domain: bool = False) -> Ciphertext:
         """Inverse of :meth:`to_wire_bytes` (two- or three-part blobs).
 
         ``ntt_domain=True`` marks every part as evaluation-domain —

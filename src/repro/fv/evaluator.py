@@ -19,6 +19,7 @@ import numpy as np
 from ..errors import ParameterError
 from ..nttmath import batch
 from ..nttmath.batch import intt_rows, ntt_rows
+from ..parallel import inproc_executor, split_range
 from ..poly.rns_poly import RnsPoly
 from ..rns.lift import lift_hps, lift_traditional
 from ..rns.scale import scale_hps, scale_traditional
@@ -131,21 +132,41 @@ class Evaluator:
             ]))
             return t0, t1, t2
         lifted = np.empty((4, k_total, n), dtype=np.int64)
-        for idx, part in enumerate((a.c0, a.c1, b.c0, b.c1)):
-            self._lift(part, lifted[idx])
+        parts = (a.c0, a.c1, b.c0, b.c1)
+        executor = inproc_executor()
+        if executor is not None and self.use_hps:
+            # The four lifts are independent gemms over shared
+            # read-only tables; materialise the tables once here so
+            # worker threads only ever read them.
+            self.context.lift_ctx.gemm_tables()
+            executor.map(lambda idx: self._lift(parts[idx], lifted[idx]),
+                         range(4))
+        else:
+            for idx, part in enumerate(parts):
+                self._lift(part, lifted[idx])
         # Lazy forward transforms: entries land in [0, 2q), which the
         # point-wise reductions below absorb (products stay under 2^62
         # and the cross pair under 2^63).
         a0, a1, b0, b1 = self._full_ntt_lazy(lifted)
         prods = lifted  # reuse: the forwards no longer need it
-        np.multiply(a0, b0, out=prods[0])
-        prods[0] %= full_col
-        np.multiply(a0, b1, out=prods[1])
-        np.multiply(a1, b0, out=prods[3])
-        prods[1] += prods[3]
-        prods[1] %= full_col
-        np.multiply(a1, b1, out=prods[2])
-        prods[2] %= full_col
+
+        def products(c0: int, c1: int) -> None:
+            # Pure element-wise passes on one channel band; any tile
+            # split yields the exact same entries as one full pass.
+            np.multiply(a0[c0:c1], b0[c0:c1], out=prods[0][c0:c1])
+            prods[0][c0:c1] %= full_col[c0:c1]
+            np.multiply(a0[c0:c1], b1[c0:c1], out=prods[1][c0:c1])
+            np.multiply(a1[c0:c1], b0[c0:c1], out=prods[3][c0:c1])
+            prods[1][c0:c1] += prods[3][c0:c1]
+            prods[1][c0:c1] %= full_col[c0:c1]
+            np.multiply(a1[c0:c1], b1[c0:c1], out=prods[2][c0:c1])
+            prods[2][c0:c1] %= full_col[c0:c1]
+
+        if executor is None:
+            products(0, k_total)
+        else:
+            executor.map(lambda band: products(*band),
+                         split_range(k_total, 2 * executor.workers))
         if prescaled:
             t0, t1, t2 = batch.intt_rows_scaled(
                 self._full_primes, prods[:3],
@@ -216,21 +237,34 @@ class Evaluator:
             # accumulation window (4 * 2 * q^2 still fits int64).
             window = self._LAZY_TERMS // 2 if lazy_digits \
                 else self._LAZY_TERMS
-            pending = 0
-            tmp = np.empty_like(acc0)
-            for i, (b_ntt, a_ntt) in enumerate(pairs):
-                np.multiply(d_ntt[i], b_ntt, out=tmp)
-                acc0 += tmp
-                np.multiply(d_ntt[i], a_ntt, out=tmp)
-                acc1 += tmp
-                pending += 1
-                if pending == window:
-                    acc0 %= primes_col
-                    acc1 %= primes_col
-                    pending = 0
-            if pending:
-                acc0 %= primes_col
-                acc1 %= primes_col
+
+            def fold(c0: int, c1: int) -> None:
+                # One channel band of the digit-pair accumulation: the
+                # digit order and reduction window per channel are the
+                # serial schedule exactly, so banding is bit-invisible.
+                pending = 0
+                tmp = np.empty_like(acc0[c0:c1])
+                for i, (b_ntt, a_ntt) in enumerate(pairs):
+                    np.multiply(d_ntt[i][c0:c1], b_ntt[c0:c1], out=tmp)
+                    acc0[c0:c1] += tmp
+                    np.multiply(d_ntt[i][c0:c1], a_ntt[c0:c1], out=tmp)
+                    acc1[c0:c1] += tmp
+                    pending += 1
+                    if pending == window:
+                        acc0[c0:c1] %= primes_col[c0:c1]
+                        acc1[c0:c1] %= primes_col[c0:c1]
+                        pending = 0
+                if pending:
+                    acc0[c0:c1] %= primes_col[c0:c1]
+                    acc1[c0:c1] %= primes_col[c0:c1]
+
+            executor = inproc_executor()
+            if executor is None:
+                fold(0, acc0.shape[0])
+            else:
+                executor.map(lambda band: fold(*band),
+                             split_range(acc0.shape[0],
+                                         2 * executor.workers))
         delta0, delta1 = context._intt_rows(np.stack([acc0, acc1]))
         if batch._PER_ROW_MODE:
             c0_rows = (ct.c0.residues + delta0) % primes_col

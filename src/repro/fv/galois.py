@@ -27,6 +27,7 @@ from functools import lru_cache
 import numpy as np
 
 from ..errors import ParameterError
+from ..parallel import inproc_executor, split_range
 from ..poly.rns_poly import RnsPoly
 from .ciphertext import Ciphertext
 from .keys import SecretKey
@@ -198,18 +199,28 @@ class GaloisEngine:
                 acc0 = (acc0 + d_ntt[i] * b_ntt) % primes_col
                 acc1 = (acc1 + d_ntt[i] * a_ntt) % primes_col
             return acc0, acc1
-        pending = 0
-        for i, (b_ntt, a_ntt) in enumerate(key.pairs):
-            acc0 += d_ntt[i] * b_ntt
-            acc1 += d_ntt[i] * a_ntt
-            pending += 1
-            if pending == 8:
-                acc0 %= primes_col
-                acc1 %= primes_col
-                pending = 0
-        if pending:
-            acc0 %= primes_col
-            acc1 %= primes_col
+        def fold(c0: int, c1: int) -> None:
+            # One channel band, same digit order and reduction window
+            # as the serial loop — banding cannot change the result.
+            pending = 0
+            for i, (b_ntt, a_ntt) in enumerate(key.pairs):
+                acc0[c0:c1] += d_ntt[i][c0:c1] * b_ntt[c0:c1]
+                acc1[c0:c1] += d_ntt[i][c0:c1] * a_ntt[c0:c1]
+                pending += 1
+                if pending == 8:
+                    acc0[c0:c1] %= primes_col[c0:c1]
+                    acc1[c0:c1] %= primes_col[c0:c1]
+                    pending = 0
+            if pending:
+                acc0[c0:c1] %= primes_col[c0:c1]
+                acc1[c0:c1] %= primes_col[c0:c1]
+
+        executor = inproc_executor()
+        if executor is None:
+            fold(0, acc0.shape[0])
+        else:
+            executor.map(lambda band: fold(*band),
+                         split_range(acc0.shape[0], 2 * executor.workers))
         return acc0, acc1
 
     def apply(self, ct: Ciphertext, key: GaloisKey) -> Ciphertext:

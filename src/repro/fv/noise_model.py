@@ -80,7 +80,7 @@ class NoiseModel:
     def mult_relin_bound(self, noise_a: float, noise_b: float) -> float:
         return self.relin_bound(self.mult_bound(noise_a, noise_b))
 
-    # -- depth prediction ----------------------------------------------------------------
+    # -- depth prediction --------------------------------------------------------------
 
     def noise_after_depth(self, depth: int) -> float:
         """Worst-case noise after a balanced square-and-relinearise tree."""

@@ -119,7 +119,7 @@ class TextbookFv:
         ]
         return Plaintext(np.array(m, dtype=np.int64), t)
 
-    # -- homomorphic operations -----------------------------------------------------------
+    # -- homomorphic operations --------------------------------------------------------
 
     def add(self, a: tuple[IntPoly, ...],
             b: tuple[IntPoly, ...]) -> tuple[IntPoly, ...]:

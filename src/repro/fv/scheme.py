@@ -146,7 +146,7 @@ class FvContext:
         return RelinKey(pairs=pairs)
 
     def relin_keygen_grouped(self, secret: SecretKey,
-                             group_size: int) -> "GroupedRelinKey":
+                             group_size: int) -> GroupedRelinKey:
         """Grouped RNS relinearisation key (HPS digit grouping).
 
         Component j encrypts ``w_j * s^2`` with ``w_j = q~_j q*_j`` for
@@ -181,7 +181,7 @@ class FvContext:
         return GroupedRelinKey(pairs=pairs, group_size=group_size)
 
     def relin_keygen_digit(self, secret: SecretKey,
-                           base_bits: int) -> "DigitRelinKey":
+                           base_bits: int) -> DigitRelinKey:
         """Signed base-2^base_bits relinearisation key (Sec. II-B form).
 
         This is the variant the paper's slower, traditional-CRT
@@ -213,7 +213,7 @@ class FvContext:
             w_power = (w_power << base_bits) % params.q
         return DigitRelinKey(pairs=pairs, base_bits=base_bits)
 
-    # -- encryption / decryption --------------------------------------------------------
+    # -- encryption / decryption -------------------------------------------------------
 
     def encrypt(self, plain: Plaintext, public: PublicKey, *,
                 resident: bool = False) -> Ciphertext:
@@ -338,7 +338,7 @@ class FvContext:
             noise = max(noise, diff)
         return plain, noise
 
-    # -- additive homomorphic operations ---------------------------------------------------
+    # -- additive homomorphic operations -----------------------------------------------
 
     def _align_domains(self, a: Ciphertext,
                        b: Ciphertext) -> tuple[Ciphertext, Ciphertext]:

@@ -359,7 +359,7 @@ class Coprocessor:
         cycles = round(seconds * self.config.fpga_clock_hz)
         report.charge(Opcode.LOAD_RLK, cycles, is_transfer=True)
 
-    # -- high-level operations ----------------------------------------------------------
+    # -- high-level operations ---------------------------------------------------------
 
     def mult(self, ct_a: Ciphertext, ct_b: Ciphertext,
              relin_key) -> tuple[Ciphertext, MultReport]:
@@ -413,7 +413,7 @@ class Coprocessor:
         c1 = RnsPoly(self.q_basis, self._reg(name1)[:k_q].copy())
         return Ciphertext((c0, c1), self.params)
 
-    # -- Table II model (per-instruction costs without running a program) ---------------
+    # -- Table II model (per-instruction costs without running a program) --------------
 
     def instruction_cycle_model(self) -> dict[Opcode, int]:
         """FPGA cycles per instruction call for this configuration."""

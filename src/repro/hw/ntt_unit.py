@@ -112,7 +112,7 @@ class NttSchedule:
         i0, _ = self.butterfly_indices(word, stage)
         return i0 & ((1 << (stage - 1)) - 1)
 
-    # -- stage classification ------------------------------------------------------------
+    # -- stage classification ----------------------------------------------------------
 
     def is_interleave_stage(self, stage: int) -> bool:
         """The one stage whose re-pairing partner crosses the block split."""
@@ -125,7 +125,7 @@ class NttSchedule:
             return 1
         return 1 << (stage - 1)
 
-    # -- read/write orders -----------------------------------------------------------------
+    # -- read/write orders -------------------------------------------------------------
 
     def read_order(self, stage: int) -> list[list[int]]:
         """Per-core word address sequence (one address per issue cycle)."""
@@ -254,7 +254,7 @@ class DualCoreNttUnit:
         issue = self.n // self.cores
         return issue + self._depth + self.config.stage_sync_overhead
 
-    # -- strict executor ------------------------------------------------------------------
+    # -- strict executor ---------------------------------------------------------------
 
     def run_strict(self, coeffs: np.ndarray,
                    inverse: bool = False) -> tuple[np.ndarray, int]:
@@ -354,7 +354,7 @@ class DualCoreNttUnit:
             )
         return span
 
-    # -- fast executor ---------------------------------------------------------------------
+    # -- fast executor -----------------------------------------------------------------
 
     def run_fast(self, coeffs: np.ndarray,
                  inverse: bool = False) -> tuple[np.ndarray, int]:

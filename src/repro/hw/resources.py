@@ -67,13 +67,13 @@ class Utilization:
             "dsps": 100.0 * self.dsps / ZCU102_DSPS,
         }
 
-    def __add__(self, other: "Utilization") -> "Utilization":
+    def __add__(self, other: Utilization) -> Utilization:
         return Utilization(
             self.luts + other.luts, self.regs + other.regs,
             self.bram36 + other.bram36, self.dsps + other.dsps,
         )
 
-    def scaled(self, factor: int) -> "Utilization":
+    def scaled(self, factor: int) -> Utilization:
         return Utilization(self.luts * factor, self.regs * factor,
                            self.bram36 * factor, self.dsps * factor)
 

@@ -41,7 +41,7 @@ class NttTrace:
 
     @classmethod
     def capture(cls, n: int, cores: int = 2,
-                pipeline_depth: int = 11) -> "NttTrace":
+                pipeline_depth: int = 11) -> NttTrace:
         schedule = NttSchedule(n, cores)
         trace = cls(n=n, cores=cores)
         for stage in range(1, schedule.log_n + 1):

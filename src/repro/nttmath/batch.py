@@ -48,6 +48,8 @@ can attribute engine time to individual program ops.
 from __future__ import annotations
 
 import logging
+import os
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from functools import lru_cache
@@ -55,8 +57,10 @@ from functools import lru_cache
 import numpy as np
 
 from ..errors import ParameterError
+from ..obs import active_tracer
 from ..obs import counter as _obs_counter
 from ..obs import current_registry, maybe_span
+from ..parallel import active_executor, split_range
 from ..utils import log2_exact
 from .modmath import modinv
 from .ntt import _MAX_MODULUS_BITS, power_table
@@ -74,6 +78,13 @@ envelope; the limb-split machinery itself is exact well beyond it)."""
 #: Maximum value the engine accepts as a sub-transform input: canonical
 #: residues and raw 30-bit digits both satisfy it.
 _MAX_INPUT = (1 << 30) - 1
+
+PARALLEL_MIN_WORK = int(os.environ.get("REPRO_PARALLEL_MIN_WORK",
+                                       1 << 14))
+"""Smallest batched-transform size (total rows x n) worth tiling over
+the active executor. Below it thread dispatch overhead beats the gemm
+time; the parallel CI leg sets ``REPRO_PARALLEL_MIN_WORK=1`` to force
+every transform in the suite through the tiled path."""
 
 
 # -- transform accounting ------------------------------------------------------
@@ -443,7 +454,8 @@ class BasisTransformer:
     :func:`basis_transformer`.
     """
 
-    def __init__(self, primes: tuple[int, ...], n: int) -> None:
+    def __init__(self, primes: tuple[int, ...], n: int,
+                 geometry: _Geometry | None = None) -> None:
         self.primes = tuple(int(p) for p in primes)
         self.n = n
         self.stages = log2_exact(n)
@@ -457,7 +469,8 @@ class BasisTransformer:
                 raise ParameterError(
                     f"modulus {p} is not NTT-friendly for degree {n}"
                 )
-        geometry = _plan_geometry(n, max(self.primes))
+        if geometry is None:
+            geometry = _plan_geometry(n, max(self.primes))
         if geometry is None:
             raise ParameterError(
                 f"degree {n} admits no exact limb-split factorisation; "
@@ -473,7 +486,11 @@ class BasisTransformer:
         self._fwd = _GemmPlan(self, inverse=False)
         self._inv = _GemmPlan(self, inverse=True)
         self._scaled_inv: dict[tuple[int, ...], _GemmPlan] = {}
-        self._scratch: tuple[np.ndarray, ...] | None = None
+        # Scratch is per thread: tile tasks running on pool workers each
+        # get their own buffers, so concurrent tiles never alias.
+        self._scratch = threading.local()
+        # Channel-subset transformers for tiled dispatch, keyed (c0, c1).
+        self._subsets: dict[tuple[int, int], BasisTransformer] = {}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"BasisTransformer(k={self.k}, n={self.n}, "
@@ -490,9 +507,11 @@ class BasisTransformer:
         and inverse share one set so the hot loop keeps touching the
         same buffers. Per stage: a float64 limb stack and a float64
         gemm output; shared: two int64 ping-pong state planes and one
-        float64 temporary.
+        float64 temporary. The set is thread-local, so tile tasks
+        executing on pool worker threads never share mutable state.
         """
-        if self._scratch is None:
+        bufs = getattr(self._scratch, "bufs", None)
+        if bufs is None:
             k, n = self.k, self.n
             limbs = []
             gemm_out = []
@@ -505,7 +524,7 @@ class BasisTransformer:
                 ))
                 gemm_out.append(np.empty((k, length, rest),
                                          dtype=np.float64))
-            self._scratch = (
+            bufs = self._scratch.bufs = (
                 limbs,
                 gemm_out,
                 (
@@ -514,7 +533,7 @@ class BasisTransformer:
                     np.empty((k, n), dtype=np.float64),  # float tmp
                 ),
             )
-        return self._scratch
+        return bufs
 
     def _check(self, matrix: np.ndarray) -> tuple[np.ndarray, bool]:
         arr = np.asarray(matrix, dtype=np.int64)
@@ -535,6 +554,104 @@ class BasisTransformer:
             )
         return arr, stacked
 
+    # -- tiled dispatch ------------------------------------------------------------
+
+    def subset(self, c0: int, c1: int) -> BasisTransformer:
+        """A transformer for channels ``[c0, c1)`` of this basis.
+
+        Built with *this* transformer's stage geometry forced, not the
+        geometry the subset's own maximum prime would plan: the limb
+        bound is monotone in the modulus, so the parent's proof covers
+        every subset, and identical geometry means identical limb
+        plans — tile output (lazy representatives included) is
+        bit-for-bit the serial engine's. Cached per range; the cache
+        is populated by the dispatching thread before fan-out, so
+        worker threads only ever read it.
+        """
+        if c0 == 0 and c1 == self.k:
+            return self
+        sub = self._subsets.get((c0, c1))
+        if sub is None:
+            sub = BasisTransformer(self.primes[c0:c1], self.n,
+                                   geometry=self.geometry)
+            self._subsets[(c0, c1)] = sub
+        return sub
+
+    def scaled_plan(self, constants: tuple[int, ...]) -> _GemmPlan:
+        """The cached scaled-inverse plan for one constants tuple."""
+        plan = self._scaled_inv.get(constants)
+        if plan is None:
+            plan = _GemmPlan(self, inverse=True, channel_scale=constants)
+            self._scaled_inv[constants] = plan
+        return plan
+
+    def _tile_plan(self, j: int, target: int) -> list[tuple[int, int, int]]:
+        """Deterministic (poly, c0, c1) tiles, about ``target`` of them.
+
+        Polynomials split first (free: no subset transformers needed),
+        then channels, evenly per polynomial — the limb x channel
+        decomposition the paper's residue-parallel datapath is built
+        around.
+        """
+        chunks = split_range(self.k, max(1, -(-target // j)))
+        return [(jdx, c0, c1) for jdx in range(j)
+                for c0, c1 in chunks]
+
+    def _dispatch(self, op: str, plan: _GemmPlan, arr: np.ndarray,
+                  out: np.ndarray, lazy: bool = False,
+                  constants: tuple[int, ...] | None = None) -> None:
+        """Run one batched transform serially or tiled over the executor.
+
+        The tiled path is taken only when the active executor has
+        real workers and the batch clears :data:`PARALLEL_MIN_WORK`;
+        it produces bit-identical output (disjoint tiles, inherited
+        geometry), so the choice is invisible to every caller — and to
+        the transform counters, which count at this dispatcher level
+        either way.
+        """
+        j = arr.shape[0]
+        executor = active_executor()
+        tiles: list[tuple[int, int, int]] = []
+        if (executor.workers > 1
+                and j * self.k * self.n >= PARALLEL_MIN_WORK):
+            tiles = self._tile_plan(j, 2 * executor.workers)
+        if len(tiles) < 2:
+            broadcast = op == "forward_broadcast"
+            for idx in range(j):
+                if broadcast:
+                    plan.apply_broadcast(self, arr[idx], out[idx],
+                                         lazy=lazy)
+                else:
+                    plan.apply(self, arr[idx], out[idx], lazy=lazy)
+            return
+        # Prebuild everything worker threads would otherwise race to
+        # create lazily: subset transformers, their scaled plans, and
+        # the Shoup twiddle tables. Process workers rebuild these in
+        # their own interpreters, so only address-space-sharing
+        # executors need the warm-up.
+        if executor.shares_address_space:
+            for c0, c1 in {(t[1], t[2]) for t in tiles}:
+                sub = self.subset(c0, c1)
+                if op == "inverse_scaled":
+                    assert constants is not None
+                    sub.scaled_plan(tuple(constants[c0:c1])).tables()
+                elif op == "inverse":
+                    sub._inv.tables()
+                else:
+                    sub._fwd.tables()
+        common = (op, self.primes, self.n, bool(lazy), constants)
+        timings = executor.map_array_tiles("ntt_tile", arr, out, tiles,
+                                           common)
+        tracer = active_tracer()
+        if tracer is not None:
+            # Real (possibly overlapping) per-tile intervals; the
+            # timeline exporter spreads them over per-worker lanes.
+            for timing in timings:
+                jdx, c0, c1 = timing.tile
+                tracer.add(f"{op}.tile", "tile", timing.start,
+                           timing.end, clock="wall", worker=timing.worker,
+                           poly=jdx, channels=[c0, c1])
+
     # -- public API ----------------------------------------------------------------
 
     def forward(self, matrix: np.ndarray,
@@ -553,8 +670,7 @@ class BasisTransformer:
         out = np.empty_like(arr)
         with maybe_span("ntt.forward", rows=arr.shape[0] * self.k,
                         n=self.n):
-            for idx in range(arr.shape[0]):
-                self._fwd.apply(self, arr[idx], out[idx], lazy=lazy)
+            self._dispatch("forward", self._fwd, arr, out, lazy=lazy)
         _count_transform("forward", arr.shape[0] * self.k)
         return out if stacked else out[0]
 
@@ -564,8 +680,7 @@ class BasisTransformer:
         out = np.empty_like(arr)
         with maybe_span("ntt.inverse", rows=arr.shape[0] * self.k,
                         n=self.n):
-            for idx in range(arr.shape[0]):
-                self._inv.apply(self, arr[idx], out[idx])
+            self._dispatch("inverse", self._inv, arr, out)
         _count_transform("inverse", arr.shape[0] * self.k)
         return out if stacked else out[0]
 
@@ -584,16 +699,14 @@ class BasisTransformer:
             raise ParameterError(
                 f"need {self.k} channel constants, got {len(constants)}"
             )
-        plan = self._scaled_inv.get(constants)
-        if plan is None:
-            plan = _GemmPlan(self, inverse=True, channel_scale=constants)
-            self._scaled_inv[constants] = plan
+        constants = tuple(int(c) for c in constants)
+        plan = self.scaled_plan(constants)
         arr, stacked = self._check(matrix)
         out = np.empty_like(arr)
         with maybe_span("ntt.inverse_scaled", rows=arr.shape[0] * self.k,
                         n=self.n):
-            for idx in range(arr.shape[0]):
-                plan.apply(self, arr[idx], out[idx])
+            self._dispatch("inverse_scaled", plan, arr, out,
+                           constants=constants)
         _count_transform("inverse", arr.shape[0] * self.k)
         return out if stacked else out[0]
 
@@ -617,9 +730,8 @@ class BasisTransformer:
         out = np.empty((j, self.k, self.n), dtype=np.int64)
         with maybe_span("ntt.forward_broadcast", rows=j * self.k,
                         n=self.n):
-            for idx in range(j):
-                self._fwd.apply_broadcast(self, arr[idx], out[idx],
-                                          lazy=lazy)
+            self._dispatch("forward_broadcast", self._fwd, arr, out,
+                           lazy=lazy)
         _count_transform("forward", j * self.k)
         return out
 

@@ -70,11 +70,28 @@ def spans_to_chrome(root: Span, pid: int = 0, tid: int = 0,
     simulated runs (overlapping requests, parallel coprocessors) are
     exported with :func:`runtime_timeline` / :func:`cluster_timeline`
     instead, which spread jobs over per-coprocessor lanes.
+
+    The one sanctioned source of concurrency in a functional trace is
+    the parallel executor: tile spans carry a ``worker`` attribute and
+    overlap each other across workers. Each distinct worker gets its
+    own thread lane (named after the worker) so the main lane stays
+    sequential and every worker lane is sequential by construction —
+    a pool worker runs its tiles one at a time.
     """
     base = root.start
     events = _meta(pid, process_name or root.name, tid,
                    f"{root.clock} clock")
+    worker_tids: dict[str, int] = {}
     for span in root.walk():
+        lane = tid
+        worker = span.attrs.get("worker")
+        if worker is not None:
+            label = str(worker)
+            if label not in worker_tids:
+                worker_tids[label] = tid + 1 + len(worker_tids)
+                events.extend(_meta(pid, process_name or root.name,
+                                    worker_tids[label], label)[1:])
+            lane = worker_tids[label]
         events.append({
             "ph": "X",
             "name": span.name,
@@ -82,7 +99,7 @@ def spans_to_chrome(root: Span, pid: int = 0, tid: int = 0,
             "ts": max(0.0, (span.start - base) * _US),
             "dur": span.duration * _US,
             "pid": pid,
-            "tid": tid,
+            "tid": lane,
             "args": _json_safe(span.attrs),
         })
     return events
@@ -92,7 +109,7 @@ def _json_safe(attrs: dict[str, Any]) -> dict[str, Any]:
     return json.loads(json.dumps(attrs, default=str))
 
 
-def runtime_timeline(report: "RuntimeReport | Any", pid: int = 0,
+def runtime_timeline(report: RuntimeReport | Any, pid: int = 0,
                      name: str = "runtime") -> list[dict[str, Any]]:
     """A simulated run as per-coprocessor lanes plus a queue counter.
 
@@ -138,7 +155,7 @@ def runtime_timeline(report: "RuntimeReport | Any", pid: int = 0,
     return events
 
 
-def cluster_timeline(report: "ClusterReport") -> list[dict[str, Any]]:
+def cluster_timeline(report: ClusterReport) -> list[dict[str, Any]]:
     """A multi-shard run: one trace process per shard."""
     events: list[dict[str, Any]] = []
     for pid, (shard_name, shard_report) in enumerate(
@@ -148,7 +165,7 @@ def cluster_timeline(report: "ClusterReport") -> list[dict[str, Any]]:
     return events
 
 
-def validate_chrome_trace(events: "list[dict[str, Any]] | dict[str, Any]",
+def validate_chrome_trace(events: list[dict[str, Any]] | dict[str, Any],
                           ) -> bool:
     """Check an export against the trace-event schema; raise on failure.
 
@@ -206,7 +223,7 @@ def validate_chrome_trace(events: "list[dict[str, Any]] | dict[str, Any]",
     return True
 
 
-def write_chrome_trace(path: "str | Path",
+def write_chrome_trace(path: str | Path,
                        events: list[dict[str, Any]]) -> Path:
     """Validate and write one export as a Perfetto-loadable JSON file."""
     validate_chrome_trace(events)

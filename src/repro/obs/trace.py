@@ -26,10 +26,11 @@ through the program DAG.
 from __future__ import annotations
 
 import time
+from collections.abc import Iterator
 from contextlib import contextmanager, nullcontext
 from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any
 
 __all__ = [
     "Span",
@@ -59,13 +60,13 @@ class Span:
     start: float = 0.0
     end: float = 0.0
     attrs: dict[str, Any] = field(default_factory=dict)
-    children: list["Span"] = field(default_factory=list)
+    children: list[Span] = field(default_factory=list)
 
     @property
     def duration(self) -> float:
         return max(0.0, self.end - self.start)
 
-    def walk(self) -> Iterator["Span"]:
+    def walk(self) -> Iterator[Span]:
         """This span, then every descendant, depth-first preorder."""
         yield self
         for child in self.children:
@@ -84,12 +85,12 @@ class Span:
         }
 
 
-_ACTIVE: ContextVar["Tracer | None"] = ContextVar(
+_ACTIVE: ContextVar[Tracer | None] = ContextVar(
     "repro_active_tracer", default=None
 )
 
 
-def active_tracer() -> "Tracer | None":
+def active_tracer() -> Tracer | None:
     """The tracer published by the innermost :meth:`Tracer.activate`."""
     return _ACTIVE.get()
 
@@ -142,7 +143,7 @@ class Tracer:
         return child
 
     @contextmanager
-    def activate(self) -> Iterator["Tracer"]:
+    def activate(self) -> Iterator[Tracer]:
         """Publish this tracer to :func:`active_tracer` for the block."""
         token = _ACTIVE.set(self)
         try:
@@ -150,7 +151,7 @@ class Tracer:
         finally:
             _ACTIVE.reset(token)
 
-    def report(self) -> "TraceReport":
+    def report(self) -> TraceReport:
         return TraceReport(self.finish())
 
 

@@ -1,0 +1,78 @@
+"""Executor selection: one small config object, sourced from the env.
+
+The functional engine picks its execution strategy from an
+:class:`ExecutionConfig` — ``mode`` names the executor family
+(``serial`` | ``threads`` | ``processes``) and ``workers`` sizes the
+pool. The default comes from the environment (``REPRO_EXECUTOR``,
+``REPRO_WORKERS``) so the CI parallel leg, the bench sweep, and a
+user shell can switch the whole stack without touching call sites;
+`LocalBackend` / the CLI override it per run.
+
+Parsing here is deliberately forgiving: an unknown mode or a garbled
+worker count is *kept* in the config and rejected loudly later by
+:func:`repro.parallel.executors.build_executor`, which records a
+structured :class:`~repro.parallel.executors.ExecutorFallback` and
+degrades to serial — a typo in an env var must never crash a run,
+and must never silently change the numbers either.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["EXECUTOR_MODES", "ExecutionConfig", "available_cores"]
+
+#: The executor families :func:`build_executor` knows how to build.
+EXECUTOR_MODES = ("serial", "threads", "processes")
+
+#: Pool-size ceiling when ``REPRO_WORKERS`` is unset: enough to cover
+#: the limb/channel tiling sweet spot without oversubscribing small
+#: CI runners.
+_DEFAULT_WORKER_CAP = 8
+
+
+def available_cores() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How the functional engine should spread its work.
+
+    ``mode`` is one of :data:`EXECUTOR_MODES` (anything else survives
+    parsing and triggers the loud serial fallback at build time);
+    ``workers`` is the pool size — ``serial`` ignores it, and the
+    parallel executors treat it as the number of concurrently running
+    tiles.
+    """
+
+    mode: str = "serial"
+    workers: int = 1
+
+    @classmethod
+    def from_env(cls, env: dict[str, str] | None = None) -> ExecutionConfig:
+        """Read ``REPRO_EXECUTOR`` / ``REPRO_WORKERS``.
+
+        An absent ``REPRO_WORKERS`` sizes the pool to the affinity
+        mask (capped); a malformed one is carried through as
+        ``workers=0`` so the builder can report it instead of raising
+        mid-parse.
+        """
+        env = os.environ if env is None else env
+        mode = env.get("REPRO_EXECUTOR", "serial").strip().lower() or "serial"
+        raw_workers = env.get("REPRO_WORKERS")
+        if raw_workers is None:
+            workers = 1 if mode == "serial" else min(
+                _DEFAULT_WORKER_CAP, available_cores()
+            )
+        else:
+            try:
+                workers = int(raw_workers)
+            except ValueError:
+                workers = 0  # flagged by build_executor
+        return cls(mode=mode, workers=workers)

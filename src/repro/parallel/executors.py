@@ -1,0 +1,337 @@
+"""Pluggable executors: serial, GIL-releasing threads, processes.
+
+One :class:`Executor` protocol, three implementations:
+
+* :class:`SerialExecutor` — the do-nothing baseline; ``workers == 1``
+  makes every dispatcher take its untiled fast path, so default runs
+  are byte-identical to the pre-parallel engine.
+* :class:`ThreadPoolExecutor` — worker threads over the tile tasks.
+  The engine's hot loops are dgemms and wide numpy ufuncs, which drop
+  the GIL for the duration of the kernel, so threads buy real
+  multi-core wall-clock on the dominant cost without any pickling or
+  copying.
+* :class:`~repro.parallel.shmem.SharedMemoryProcessExecutor`
+  (built here, defined in :mod:`.shmem`) — spawn-based workers over
+  preallocated shared-memory arenas, for the fully GIL-free regime.
+
+Executors never decide *what* is parallel — the engine plans disjoint
+(polynomial, channel) tiles and hands them over — and they never
+change results: tiles write disjoint slices and each tile's
+arithmetic is bit-identical to its serial counterpart, so scheduling
+order is unobservable. Every dispatch records utilisation and
+tile-shape instruments in the active metrics registry, and returns
+per-tile timings the engine turns into per-worker trace spans.
+
+:func:`build_executor` is the only constructor call sites use: when a
+requested executor cannot be built (unknown mode, bad worker count,
+process pool failure) it records a structured :class:`ExecutorFallback`,
+warns once through the module logger, bumps the fallback counter, and
+returns a serial executor — loud degradation, never a crash and never
+a silent behaviour change.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from collections.abc import Callable, Iterable, Sequence
+from concurrent import futures
+from dataclasses import dataclass
+from typing import Any, Protocol
+
+from ..obs import counter as _obs_counter
+from ..obs import gauge as _obs_gauge
+from ..obs import histogram as _obs_histogram
+from .config import EXECUTOR_MODES, ExecutionConfig
+
+__all__ = [
+    "Executor",
+    "ExecutorFallback",
+    "SerialExecutor",
+    "ThreadPoolExecutor",
+    "TileTiming",
+    "build_executor",
+    "executor_fallbacks",
+    "in_worker",
+    "reset_executor_fallbacks",
+    "split_range",
+]
+
+logger = logging.getLogger(__name__)
+
+PARALLEL_DISPATCHES = _obs_counter(
+    "parallel_dispatch_total",
+    "Tile fan-outs dispatched by the functional engine.",
+    labels=("executor",),
+)
+PARALLEL_TILE_QUEUE = _obs_histogram(
+    "parallel_tiles_per_dispatch",
+    "Tile-queue length of each engine fan-out.",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+)
+WORKER_UTILISATION = _obs_gauge(
+    "parallel_worker_utilisation",
+    "Busy fraction of the worker pool over the last dispatch.",
+    labels=("executor",),
+)
+EXECUTOR_FALLBACK_COUNTER = _obs_counter(
+    "executor_fallback_total",
+    "Executor requests that degraded to the serial executor.",
+)
+
+
+@dataclass(frozen=True)
+class TileTiming:
+    """One tile's execution record: who ran it and when (wall clock)."""
+
+    tile: tuple
+    worker: str
+    start: float
+    end: float
+
+    @property
+    def busy_seconds(self) -> float:
+        return max(0.0, self.end - self.start)
+
+
+@dataclass(frozen=True)
+class ExecutorFallback:
+    """Structured record of one executor request that went serial."""
+
+    mode: str
+    workers: int
+    reason: str
+
+
+_FALLBACKS: list[ExecutorFallback] = []
+_FALLBACK_LIMIT = 64
+_WARNED_FALLBACKS: set[tuple[str, int]] = set()
+
+
+def executor_fallbacks() -> tuple[ExecutorFallback, ...]:
+    """Every recorded degrade-to-serial event (bounded, process-wide)."""
+    return tuple(_FALLBACKS)
+
+
+def reset_executor_fallbacks() -> None:
+    _FALLBACKS.clear()
+    _WARNED_FALLBACKS.clear()
+
+
+def _note_fallback(mode: str, workers: int, reason: str) -> None:
+    EXECUTOR_FALLBACK_COUNTER.inc()
+    if len(_FALLBACKS) < _FALLBACK_LIMIT:
+        _FALLBACKS.append(ExecutorFallback(mode, workers, reason))
+    key = (mode, workers)
+    if key not in _WARNED_FALLBACKS:
+        _WARNED_FALLBACKS.add(key)
+        logger.warning(
+            "executor %r (workers=%d) unavailable, degrading to serial: %s",
+            mode, workers, reason,
+        )
+
+
+class Executor(Protocol):
+    """What the engine needs from an execution strategy."""
+
+    #: Human-readable family name ("serial" | "threads" | "processes").
+    name: str
+    #: Concurrently running tiles; 1 means dispatchers skip tiling.
+    workers: int
+    #: Whether tasks see the caller's arrays directly (threads) or
+    #: through a copied shared-memory arena (processes). Fan-outs that
+    #: rely on closures over caller state require this.
+    shares_address_space: bool
+
+    def map(self, fn: Callable[[Any], Any],
+            items: Iterable[Any]) -> list[Any]:
+        """Apply ``fn`` to every item, results in input order."""
+        ...  # pragma: no cover - protocol
+
+    def map_array_tiles(self, kind: str, src: Any, dst: Any,
+                        tiles: Sequence[tuple], common: tuple,
+                        ) -> list[TileTiming]:
+        """Run registered task ``kind`` over disjoint tiles of dst."""
+        ...  # pragma: no cover - protocol
+
+    def close(self) -> None:
+        """Release pool resources; the executor is dead afterwards."""
+        ...  # pragma: no cover - protocol
+
+
+#: Set while a pool worker is executing a task, so nested engine calls
+#: made from inside a task resolve to the serial executor instead of
+#: re-entering (and deadlocking or forking) the pool.
+_IN_WORKER = threading.local()
+
+
+def in_worker() -> bool:
+    return getattr(_IN_WORKER, "flag", False)
+
+
+def _run_as_worker(fn: Callable[..., Any], *args: Any) -> Any:
+    _IN_WORKER.flag = True
+    try:
+        return fn(*args)
+    finally:
+        _IN_WORKER.flag = False
+
+
+def split_range(size: int, parts: int) -> list[tuple[int, int]]:
+    """``size`` positions as ``min(parts, size)`` contiguous chunks.
+
+    Deterministic and as even as possible (remainder spread over the
+    leading chunks) — the channel-tiling primitive shared by the NTT
+    dispatcher and the evaluator's element-wise fan-outs.
+    """
+    parts = max(1, min(parts, size))
+    base, rem = divmod(size, parts)
+    bounds: list[tuple[int, int]] = []
+    lo = 0
+    for i in range(parts):
+        hi = lo + base + (1 if i < rem else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+class _InstrumentedExecutor:
+    """Shared dispatch accounting for every executor implementation."""
+
+    name = "base"
+    workers = 1
+    shares_address_space = True
+
+    def _run_tiles(self, kind: str, src: Any, dst: Any,
+                   tiles: Sequence[tuple], common: tuple,
+                   ) -> list[TileTiming]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def map_array_tiles(self, kind: str, src: Any, dst: Any,
+                        tiles: Sequence[tuple], common: tuple,
+                        ) -> list[TileTiming]:
+        started = time.perf_counter()
+        timings = self._run_tiles(kind, src, dst, tiles, common)
+        wall = time.perf_counter() - started
+        PARALLEL_DISPATCHES.inc(executor=self.name)
+        PARALLEL_TILE_QUEUE.observe(len(tiles))
+        capacity = wall * max(1, self.workers)
+        if capacity > 0:
+            busy = sum(t.busy_seconds for t in timings)
+            WORKER_UTILISATION.set(min(1.0, busy / capacity),
+                                   executor=self.name)
+        return timings
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class SerialExecutor(_InstrumentedExecutor):
+    """In-thread execution; the engine's untiled default."""
+
+    name = "serial"
+    workers = 1
+    shares_address_space = True
+
+    def map(self, fn: Callable[[Any], Any],
+            items: Iterable[Any]) -> list[Any]:
+        return [fn(item) for item in items]
+
+    def _run_tiles(self, kind: str, src: Any, dst: Any,
+                   tiles: Sequence[tuple], common: tuple,
+                   ) -> list[TileTiming]:
+        from .tasks import TASKS
+
+        fn = TASKS[kind]
+        timings = []
+        for tile in tiles:
+            t0 = time.perf_counter()
+            fn(src, dst, tile, common)
+            timings.append(TileTiming(tile, "main", t0,
+                                      time.perf_counter()))
+        return timings
+
+
+class ThreadPoolExecutor(_InstrumentedExecutor):
+    """Worker threads that release the GIL into BLAS gemms.
+
+    The engine tiles are dominated by dgemm and wide int64/float64
+    ufunc passes; numpy releases the GIL for both, so a thread pool
+    gets real concurrency on the expensive part while sharing the
+    caller's arrays (no copies, no pickling). Tasks run with the
+    in-worker flag set, so any engine call a task makes internally is
+    forced serial rather than re-entering this pool.
+    """
+
+    name = "threads"
+    shares_address_space = True
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.workers = workers
+        self._pool = futures.ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-w"
+        )
+
+    def map(self, fn: Callable[[Any], Any],
+            items: Iterable[Any]) -> list[Any]:
+        jobs = [self._pool.submit(_run_as_worker, fn, item)
+                for item in items]
+        return [job.result() for job in jobs]
+
+    def _run_tiles(self, kind: str, src: Any, dst: Any,
+                   tiles: Sequence[tuple], common: tuple,
+                   ) -> list[TileTiming]:
+        from .tasks import TASKS
+
+        fn = TASKS[kind]
+
+        def run(tile: tuple) -> TileTiming:
+            t0 = time.perf_counter()
+            fn(src, dst, tile, common)
+            return TileTiming(tile, threading.current_thread().name,
+                              t0, time.perf_counter())
+
+        jobs = [self._pool.submit(_run_as_worker, run, tile)
+                for tile in tiles]
+        return [job.result() for job in jobs]
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+def build_executor(config: ExecutionConfig) -> Executor:
+    """Construct the configured executor, degrading loudly to serial.
+
+    Every failure path — unknown mode, non-positive worker count,
+    pool construction raising — records an :class:`ExecutorFallback`
+    (plus a rate-limited warning and a counter increment) and returns
+    a :class:`SerialExecutor`, so a bad ``REPRO_EXECUTOR`` env or a
+    container without shared-memory support costs throughput, never
+    correctness or a crash.
+    """
+    mode = config.mode
+    if mode == "serial":
+        return SerialExecutor()
+    if mode not in EXECUTOR_MODES:
+        _note_fallback(mode, config.workers,
+                       f"unknown executor mode (expected one of "
+                       f"{', '.join(EXECUTOR_MODES)})")
+        return SerialExecutor()
+    if config.workers < 1:
+        _note_fallback(mode, config.workers,
+                       "worker count must be a positive integer "
+                       "(check REPRO_WORKERS)")
+        return SerialExecutor()
+    try:
+        if mode == "threads":
+            return ThreadPoolExecutor(config.workers)
+        from .shmem import SharedMemoryProcessExecutor
+
+        return SharedMemoryProcessExecutor(config.workers)
+    except Exception as exc:  # noqa: BLE001 - any failure degrades
+        _note_fallback(mode, config.workers,
+                       f"{type(exc).__name__}: {exc}")
+        return SerialExecutor()

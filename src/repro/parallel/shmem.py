@@ -1,0 +1,307 @@
+"""Shared-memory process executor: spawn workers over float64 arenas.
+
+The fully GIL-free strategy: persistent spawned worker processes pull
+tile batches from per-worker queues and execute them against two
+preallocated :class:`SharedArena` blocks — the dispatcher copies the
+stacked input into the input arena, workers write their disjoint
+tile slices into the output arena, and the dispatcher copies the
+result back out. Copies are O(data) while the tile work is
+O(data * limbs * sub-DFT length), so the trade wins exactly where
+parallelism matters: the large-ring gemm transforms.
+
+Design constraints this implementation answers:
+
+* **Determinism** — tiles write disjoint slices of the output arena
+  and each tile is bit-identical to its serial counterpart, so the
+  assembled result does not depend on worker scheduling.
+* **No fork bombs** — workers pin ``REPRO_EXECUTOR=serial`` in their
+  own environment before importing the engine, and run tasks with the
+  in-worker flag set, so an engine call inside a tile can never
+  recursively build another process pool.
+* **Spawn correctness** — the ``spawn`` start method is used
+  unconditionally (fork would duplicate BLAS thread state and the
+  metrics ContextVars); workers import :mod:`repro.parallel.tasks`
+  lazily, and the dispatcher ships ``sys.path`` so the spawned
+  interpreter can resolve the package regardless of how the parent
+  was launched.
+* **Comparable clocks** — tile timings are taken with
+  ``time.perf_counter`` inside the workers; on Linux that is
+  CLOCK_MONOTONIC, which is system-wide, so the per-worker spans the
+  engine emits line up with the dispatcher's wall clock.
+
+Construction failures (no /dev/shm, sandboxed semaphores, dead
+spawn) are raised to :func:`~repro.parallel.executors.build_executor`,
+which converts them into the structured serial fallback.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import sys
+import time
+import traceback
+from collections.abc import Callable, Iterable, Sequence
+from multiprocessing import get_context
+from multiprocessing import shared_memory as _shm
+from typing import Any
+
+import numpy as np
+
+from .executors import TileTiming, _InstrumentedExecutor, _run_as_worker
+
+__all__ = ["SharedArena", "SharedMemoryProcessExecutor"]
+
+#: Generous ceiling on one worker round trip: the first dispatch pays
+#: for a cold interpreter + numpy + engine import in every worker.
+_RESULT_TIMEOUT_SECONDS = 300.0
+
+#: Construction handshake budget: a spawned interpreter only has to
+#: import the stdlib before reporting ready, so a silence this long
+#: means the spawn is broken (unimportable ``__main__``, dead fd) and
+#: the pool must fail construction — loudly, into the serial fallback.
+_START_TIMEOUT_SECONDS = 60.0
+
+_MIN_ARENA_BYTES = 1 << 20
+
+
+class SharedArena:
+    """One resizable shared-memory block with ndarray views.
+
+    Grows by powers of two and only ever forward — reallocation swaps
+    in a fresh uniquely-named segment, and workers attach by name per
+    dispatch, so a grown arena is picked up automatically.
+    """
+
+    def __init__(self, tag: str, nbytes: int = _MIN_ARENA_BYTES) -> None:
+        self.tag = tag
+        self._shm: _shm.SharedMemory | None = None
+        self._generation = 0
+        self.ensure(nbytes)
+
+    @property
+    def name(self) -> str:
+        assert self._shm is not None
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return 0 if self._shm is None else self._shm.size
+
+    def ensure(self, nbytes: int) -> None:
+        """Guarantee capacity for ``nbytes`` (amortised doubling)."""
+        if self._shm is not None and self._shm.size >= nbytes:
+            return
+        size = _MIN_ARENA_BYTES
+        while size < nbytes:
+            size *= 2
+        self.close()
+        self._generation += 1
+        self._shm = _shm.SharedMemory(
+            create=True, size=size,
+            name=f"repro-{self.tag}-{os.getpid()}-{self._generation}",
+        )
+
+    def asarray(self, shape: tuple[int, ...], dtype: Any) -> np.ndarray:
+        assert self._shm is not None
+        return np.ndarray(shape, dtype=dtype, buffer=self._shm.buf)
+
+    def close(self) -> None:
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        try:
+            shm.close()
+            shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover
+            pass
+
+
+def _attach(cache: dict[str, tuple[str, _shm.SharedMemory]],
+            name: str) -> _shm.SharedMemory:
+    """Worker-side segment attachment, cached per arena *tag*.
+
+    Names look like ``repro-<tag>-<pid>-<generation>``; a new
+    generation of one tag (the dispatcher grew that arena) replaces —
+    and closes — only the stale segment of the same tag, never the
+    other arenas referenced by the same message.
+    """
+    tag = name.split("-")[1] if name.count("-") >= 2 else name
+    cached = cache.get(tag)
+    if cached is not None:
+        cached_name, seg = cached
+        if cached_name == name:
+            return seg
+        seg.close()
+    seg = _shm.SharedMemory(name=name)
+    cache[tag] = (name, seg)
+    return seg
+
+
+def _worker_main(worker_id: int, sys_path: list[str],
+                 task_queue: Any, result_queue: Any) -> None:
+    """Worker loop: attach arenas, run tile batches, report timings."""
+    os.environ["REPRO_EXECUTOR"] = "serial"  # no nested pools, ever
+    for entry in sys_path:
+        if entry not in sys.path:
+            sys.path.append(entry)
+    label = f"proc-w{worker_id}"
+    segments: dict[str, tuple[str, _shm.SharedMemory]] = {}
+    result_queue.put((worker_id, "ready", None))
+    while True:
+        message = task_queue.get()
+        if message is None:
+            break
+        (kind, in_name, in_shape, in_dtype, out_name, out_shape,
+         out_dtype, tiles, common) = message
+        try:
+            from .tasks import TASKS
+
+            fn = TASKS[kind]
+            src = np.ndarray(in_shape, dtype=np.dtype(in_dtype),
+                             buffer=_attach(segments, in_name).buf)
+            dst = np.ndarray(out_shape, dtype=np.dtype(out_dtype),
+                             buffer=_attach(segments, out_name).buf)
+            timings = []
+            for tile in tiles:
+                t0 = time.perf_counter()
+                _run_as_worker(fn, src, dst, tile, common)
+                timings.append((tile, label, t0, time.perf_counter()))
+            result_queue.put((worker_id, "ok", timings))
+        except Exception:  # noqa: BLE001 - report, don't die silently
+            result_queue.put((worker_id, "error",
+                              traceback.format_exc(limit=20)))
+
+
+class SharedMemoryProcessExecutor(_InstrumentedExecutor):
+    """Persistent spawned workers over shared float64/int64 arenas."""
+
+    name = "processes"
+    shares_address_space = False
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.workers = workers
+        ctx = get_context("spawn")
+        self._closed = False
+        self._arena_in = SharedArena("in")
+        self._arena_out = SharedArena("out")
+        self._task_queues = [ctx.SimpleQueue() for _ in range(workers)]
+        self._results = ctx.Queue()
+        sys_path = list(sys.path)
+        self._procs = [
+            ctx.Process(target=_worker_main,
+                        args=(i, sys_path, self._task_queues[i],
+                              self._results),
+                        daemon=True, name=f"repro-proc-w{i}")
+            for i in range(workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+        atexit.register(self.close)
+        try:
+            ready: set[int] = set()
+            deadline = time.monotonic() + _START_TIMEOUT_SECONDS
+            while len(ready) < workers:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise RuntimeError(
+                        f"worker handshake timed out after "
+                        f"{_START_TIMEOUT_SECONDS:.0f}s "
+                        f"({len(ready)}/{workers} ready)"
+                    )
+                if any(not proc.is_alive() for proc in self._procs):
+                    raise RuntimeError(
+                        "worker process died during startup (spawn "
+                        "could not re-import the parent __main__?)"
+                    )
+                try:
+                    worker_id, status, _ = self._results.get(
+                        timeout=min(remaining, 0.25))
+                except Exception:
+                    continue
+                if status == "ready":
+                    ready.add(worker_id)
+        except Exception:
+            self.close()
+            raise
+
+    def map(self, fn: Callable[[Any], Any],
+            items: Iterable[Any]) -> list[Any]:
+        """Arbitrary callables stay in-process (closures don't pickle);
+        only the named array-tile tasks cross the process boundary."""
+        return [fn(item) for item in items]
+
+    def _run_tiles(self, kind: str, src: Any, dst: Any,
+                   tiles: Sequence[tuple], common: tuple,
+                   ) -> list[TileTiming]:
+        if self._closed:
+            raise RuntimeError("executor already closed")
+        src = np.ascontiguousarray(src)
+        dst_np = np.asarray(dst)
+        self._arena_in.ensure(src.nbytes)
+        self._arena_out.ensure(dst_np.nbytes)
+        shared_src = self._arena_in.asarray(src.shape, src.dtype)
+        shared_dst = self._arena_out.asarray(dst_np.shape, dst_np.dtype)
+        shared_src[...] = src
+        assignments = [list(tiles[i::self.workers])
+                       for i in range(self.workers)]
+        live = 0
+        for worker_id, chunk in enumerate(assignments):
+            if not chunk:
+                continue
+            self._task_queues[worker_id].put((
+                kind, self._arena_in.name, src.shape, src.dtype.str,
+                self._arena_out.name, dst_np.shape, dst_np.dtype.str,
+                chunk, common,
+            ))
+            live += 1
+        timings: list[TileTiming] = []
+        for _ in range(live):
+            deadline = time.monotonic() + _RESULT_TIMEOUT_SECONDS
+            while True:
+                if any(not proc.is_alive() for proc in self._procs):
+                    self.close()
+                    raise RuntimeError(
+                        "process executor worker died mid-dispatch"
+                    )
+                try:
+                    worker_id, status, payload = self._results.get(
+                        timeout=min(1.0, max(0.01,
+                                             deadline - time.monotonic())))
+                    break
+                except Exception as exc:
+                    if time.monotonic() >= deadline:
+                        self.close()
+                        raise RuntimeError(
+                            "process executor worker did not respond "
+                            f"within {_RESULT_TIMEOUT_SECONDS:.0f}s"
+                        ) from exc
+            if status != "ok":
+                self.close()
+                raise RuntimeError(
+                    f"process executor worker {worker_id} failed:\n"
+                    f"{payload}"
+                )
+            timings.extend(TileTiming(tuple(tile), label, t0, t1)
+                           for tile, label, t0, t1 in payload)
+        dst_np[...] = shared_dst
+        return timings
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for queue in self._task_queues:
+            try:
+                queue.put(None)
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+        self._results.close()
+        self._arena_in.close()
+        self._arena_out.close()

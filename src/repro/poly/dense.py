@@ -38,15 +38,15 @@ class IntPoly:
     # -- constructors --------------------------------------------------------
 
     @classmethod
-    def zero(cls, n: int, modulus: int) -> "IntPoly":
+    def zero(cls, n: int, modulus: int) -> IntPoly:
         return cls((0,) * n, modulus)
 
     @classmethod
-    def constant(cls, value: int, n: int, modulus: int) -> "IntPoly":
+    def constant(cls, value: int, n: int, modulus: int) -> IntPoly:
         return cls((value,) + (0,) * (n - 1), modulus)
 
     @classmethod
-    def from_list(cls, coeffs: list[int], modulus: int) -> "IntPoly":
+    def from_list(cls, coeffs: list[int], modulus: int) -> IntPoly:
         return cls(tuple(coeffs), modulus)
 
     # -- basic properties ----------------------------------------------------
@@ -69,11 +69,11 @@ class IntPoly:
 
     # -- ring arithmetic -----------------------------------------------------
 
-    def _assert_compatible(self, other: "IntPoly") -> None:
+    def _assert_compatible(self, other: IntPoly) -> None:
         if self.n != other.n or self.modulus != other.modulus:
             raise ParameterError("polynomials live in different rings")
 
-    def __add__(self, other: "IntPoly") -> "IntPoly":
+    def __add__(self, other: IntPoly) -> IntPoly:
         self._assert_compatible(other)
         return IntPoly(
             tuple((a + b) % self.modulus
@@ -81,7 +81,7 @@ class IntPoly:
             self.modulus,
         )
 
-    def __sub__(self, other: "IntPoly") -> "IntPoly":
+    def __sub__(self, other: IntPoly) -> IntPoly:
         self._assert_compatible(other)
         return IntPoly(
             tuple((a - b) % self.modulus
@@ -89,18 +89,18 @@ class IntPoly:
             self.modulus,
         )
 
-    def __neg__(self) -> "IntPoly":
+    def __neg__(self) -> IntPoly:
         return IntPoly(tuple(-c % self.modulus for c in self.coeffs),
                        self.modulus)
 
-    def __mul__(self, other: "IntPoly") -> "IntPoly":
+    def __mul__(self, other: IntPoly) -> IntPoly:
         self._assert_compatible(other)
         product = negacyclic_convolution(
             list(self.coeffs), list(other.coeffs), self.modulus
         )
         return IntPoly(tuple(product), self.modulus)
 
-    def scalar_mul(self, scalar: int) -> "IntPoly":
+    def scalar_mul(self, scalar: int) -> IntPoly:
         return IntPoly(
             tuple((c * scalar) % self.modulus for c in self.coeffs),
             self.modulus,
@@ -108,7 +108,7 @@ class IntPoly:
 
     # -- modulus switching ---------------------------------------------------
 
-    def lift_to(self, new_modulus: int) -> "IntPoly":
+    def lift_to(self, new_modulus: int) -> IntPoly:
         """Re-interpret the centered coefficients modulo a larger modulus.
 
         This is the exact (non-RNS) form of the paper's Lift q->Q: a
@@ -121,7 +121,7 @@ class IntPoly:
         )
 
     def scale_round(self, numerator: int, denominator: int,
-                    new_modulus: int) -> "IntPoly":
+                    new_modulus: int) -> IntPoly:
         """Compute round(numerator * x / denominator) mod new_modulus.
 
         The exact (non-RNS) form of the paper's Scale Q->q with
@@ -134,7 +134,7 @@ class IntPoly:
         ]
         return IntPoly(tuple(v % new_modulus for v in scaled), new_modulus)
 
-    def mod_switch(self, new_modulus: int) -> "IntPoly":
+    def mod_switch(self, new_modulus: int) -> IntPoly:
         """Reduce the centered coefficients into a (possibly smaller) ring."""
         return IntPoly(
             tuple(c % new_modulus for c in self.centered()), new_modulus

@@ -55,7 +55,7 @@ class RnsPoly:
 
     @classmethod
     def trusted(cls, basis: RnsBasis, residues: np.ndarray,
-                ntt_domain: bool = False) -> "RnsPoly":
+                ntt_domain: bool = False) -> RnsPoly:
         """Adopt an already-reduced (size x n) int64 matrix without copying.
 
         Hot-path constructor for internal call sites whose arithmetic
@@ -76,16 +76,16 @@ class RnsPoly:
         return poly
 
     @classmethod
-    def zero(cls, basis: RnsBasis, n: int) -> "RnsPoly":
+    def zero(cls, basis: RnsBasis, n: int) -> RnsPoly:
         return cls.trusted(basis, np.zeros((basis.size, n), dtype=np.int64))
 
     @classmethod
-    def from_int_coeffs(cls, basis: RnsBasis, coeffs) -> "RnsPoly":
+    def from_int_coeffs(cls, basis: RnsBasis, coeffs) -> RnsPoly:
         """Build from big-integer coefficients (exact residue reduction)."""
         return cls(basis, basis.residues_of_coeffs(list(coeffs)))
 
     @classmethod
-    def from_small_coeffs(cls, basis: RnsBasis, coeffs) -> "RnsPoly":
+    def from_small_coeffs(cls, basis: RnsBasis, coeffs) -> RnsPoly:
         """Build from machine-int coefficients (fast path, e.g. samples)."""
         arr = np.asarray(coeffs, dtype=np.int64)[None, :]
         return cls(basis, arr % basis.primes_col)
@@ -99,7 +99,7 @@ class RnsPoly:
     def ring(self, row: int) -> RingContext:
         return ring_context(self.n, self.basis.primes[row])
 
-    def copy(self) -> "RnsPoly":
+    def copy(self) -> RnsPoly:
         return RnsPoly.trusted(self.basis, self.residues.copy(),
                                self.ntt_domain)
 
@@ -115,7 +115,7 @@ class RnsPoly:
         self._require_coeff_domain("to_centered_coeffs")
         return self.basis.reconstruct_coeffs_centered(self.residues)
 
-    def to_ntt(self) -> "RnsPoly":
+    def to_ntt(self) -> RnsPoly:
         """Forward NTT on every residue row (batched over all limbs)."""
         self._require_coeff_domain("to_ntt")
         return RnsPoly.trusted(
@@ -123,7 +123,7 @@ class RnsPoly:
             ntt_domain=True,
         )
 
-    def to_coeff(self) -> "RnsPoly":
+    def to_coeff(self) -> RnsPoly:
         """Inverse NTT on every residue row (batched over all limbs)."""
         if not self.ntt_domain:
             return self.copy()
@@ -134,7 +134,7 @@ class RnsPoly:
 
     # -- arithmetic --------------------------------------------------------------
 
-    def _assert_compatible(self, other: "RnsPoly") -> None:
+    def _assert_compatible(self, other: RnsPoly) -> None:
         if self.basis is not other.basis and (
             self.basis.primes != other.basis.primes
         ):
@@ -148,7 +148,7 @@ class RnsPoly:
         if self.ntt_domain:
             raise ParameterError(f"{op} requires the coefficient domain")
 
-    def __add__(self, other: "RnsPoly") -> "RnsPoly":
+    def __add__(self, other: RnsPoly) -> RnsPoly:
         self._assert_compatible(other)
         return RnsPoly.trusted(
             self.basis,
@@ -156,7 +156,7 @@ class RnsPoly:
             self.ntt_domain,
         )
 
-    def __sub__(self, other: "RnsPoly") -> "RnsPoly":
+    def __sub__(self, other: RnsPoly) -> RnsPoly:
         self._assert_compatible(other)
         return RnsPoly.trusted(
             self.basis,
@@ -164,14 +164,14 @@ class RnsPoly:
             self.ntt_domain,
         )
 
-    def __neg__(self) -> "RnsPoly":
+    def __neg__(self) -> RnsPoly:
         return RnsPoly.trusted(
             self.basis,
             (-self.residues) % self.basis.primes_col,
             self.ntt_domain,
         )
 
-    def pointwise_mul(self, other: "RnsPoly") -> "RnsPoly":
+    def pointwise_mul(self, other: RnsPoly) -> RnsPoly:
         """Coefficient-wise product (requires both operands in NTT domain)."""
         self._assert_compatible(other)
         if not self.ntt_domain:
@@ -182,7 +182,7 @@ class RnsPoly:
             ntt_domain=True,
         )
 
-    def multiply(self, other: "RnsPoly") -> "RnsPoly":
+    def multiply(self, other: RnsPoly) -> RnsPoly:
         """Negacyclic product via batched NTT (both in coefficient domain)."""
         self._assert_compatible(other)
         self._require_coeff_domain("multiply")
@@ -193,7 +193,7 @@ class RnsPoly:
             self.basis, intt_rows(primes, product), ntt_domain=False
         )
 
-    def scalar_mul(self, scalar: int) -> "RnsPoly":
+    def scalar_mul(self, scalar: int) -> RnsPoly:
         cols = np.array(
             [scalar % p for p in self.basis.primes], dtype=np.int64
         )[:, None]

@@ -13,8 +13,9 @@ the operands of many operations, and one DMA train moves them to BRAM.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING
 
 from ..system.network import NetworkModel
 
@@ -41,7 +42,7 @@ class BatchPolicy:
             raise ValueError("max_jobs must be at least 1")
 
     @classmethod
-    def none(cls) -> "BatchPolicy":
+    def none(cls) -> BatchPolicy:
         return cls(max_jobs=1)
 
 
@@ -53,7 +54,7 @@ class DmaBatcher:
     POLYS_IN_PER_JOB = 4
     POLYS_OUT_PER_JOB = 2
 
-    def __init__(self, cost: "CostModel",
+    def __init__(self, cost: CostModel,
                  policy: BatchPolicy | None = None) -> None:
         self.cost = cost
         self.policy = BatchPolicy.none() if policy is None else policy
@@ -78,7 +79,7 @@ class DmaBatcher:
         bursts = num_jobs * self.POLYS_OUT_PER_JOB
         return bursts * self._burst_seconds + self._setup_seconds
 
-    def service_seconds(self, entries: Sequence["QueueEntry"]) -> float:
+    def service_seconds(self, entries: Sequence[QueueEntry]) -> float:
         """Coprocessor occupancy of one dispatched batch.
 
         A single-job "train" prices exactly as the unbatched job —

@@ -123,14 +123,14 @@ class ServingRuntime:
         self._free: list[bool] = []
         self._busy_until: list[float] = []
         self._queued_per_tenant: dict[str, int] = {}
-        self._seq: "itertools.count[int]" = itertools.count()
+        self._seq: itertools.count[int] = itertools.count()
         self._now = 0.0
         self._pending_seconds = 0.0
         self._pending_jobs = 0
         self._in_flight_jobs = 0
 
     @classmethod
-    def for_server(cls, server: CloudServer, **kwargs) -> "ServingRuntime":
+    def for_server(cls, server: CloudServer, **kwargs) -> ServingRuntime:
         return cls(server.cost, **kwargs)
 
     # -- the stepping API --------------------------------------------------------------

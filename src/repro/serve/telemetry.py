@@ -17,8 +17,8 @@ via :func:`repro.obs.runtime_timeline`.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Sequence
 
 import numpy as np
 
@@ -44,7 +44,7 @@ class LatencySummary:
     max: float
 
     @classmethod
-    def of(cls, latencies: list[float]) -> "LatencySummary":
+    def of(cls, latencies: list[float]) -> LatencySummary:
         if not latencies:
             return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0,
                        max=0.0)
@@ -136,7 +136,7 @@ class Telemetry:
     # -- merging (multi-shard aggregation) ---------------------------------------------
 
     @classmethod
-    def merged(cls, parts: Sequence["Telemetry"]) -> "Telemetry":
+    def merged(cls, parts: Sequence[Telemetry]) -> Telemetry:
         """Combine per-shard collectors into one cluster-wide view.
 
         Telemetry keeps the raw sample series (not just digests), so

@@ -42,7 +42,7 @@ class TenantSet:
     tenants: dict[str, Tenant] = field(default_factory=dict)
 
     @classmethod
-    def of(cls, *tenants: Tenant) -> "TenantSet":
+    def of(cls, *tenants: Tenant) -> TenantSet:
         return cls({t.name: t for t in tenants})
 
     def get(self, name: str) -> Tenant:

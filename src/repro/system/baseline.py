@@ -40,11 +40,11 @@ class OperationCounts:
     modmuls: int
     modadds: int
 
-    def __add__(self, other: "OperationCounts") -> "OperationCounts":
+    def __add__(self, other: OperationCounts) -> OperationCounts:
         return OperationCounts(self.modmuls + other.modmuls,
                                self.modadds + other.modadds)
 
-    def scaled(self, factor: int) -> "OperationCounts":
+    def scaled(self, factor: int) -> OperationCounts:
         return OperationCounts(self.modmuls * factor,
                                self.modadds * factor)
 

@@ -279,7 +279,7 @@ class CloudServer:
             )
         return report
 
-    # -- headline numbers ----------------------------------------------------------------
+    # -- headline numbers --------------------------------------------------------------
 
     def mult_throughput_per_second(self) -> float:
         """The paper's 400-Mult/s claim (both coprocessors busy)."""
