@@ -18,7 +18,7 @@ lint:
 
 coverage:
 	$(PYTHON) -m pytest -q --cov=repro --cov-report=term \
-		--cov-fail-under=77
+		--cov-fail-under=78
 
 # Fast-mode benches: regenerate the serving + cluster result files the
 # CI bench-smoke job uploads as artifacts (REPRO_BENCH_FAST shrinks
@@ -27,13 +27,15 @@ bench-smoke:
 	REPRO_BENCH_FAST=1 $(PYTHON) -m pytest -q \
 		benchmarks/bench_serving_runtime.py \
 		benchmarks/bench_cluster_scaling.py \
-		benchmarks/bench_fv_throughput.py
+		benchmarks/bench_fv_throughput.py \
+		benchmarks/bench_optimizer.py
 
 bench-full:
 	$(PYTHON) -m pytest -q \
 		benchmarks/bench_serving_runtime.py \
 		benchmarks/bench_cluster_scaling.py \
-		benchmarks/bench_fv_throughput.py
+		benchmarks/bench_fv_throughput.py \
+		benchmarks/bench_optimizer.py
 
 # Nightly CI job: the full-mode FV throughput run (headline block +
 # the n = 4096..32768 ring sweep), appending one record with run

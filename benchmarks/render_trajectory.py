@@ -30,7 +30,9 @@ from pathlib import Path
 
 def render(records: list[dict]) -> str:
     cores_records = [r for r in records if "cores" in r]
-    records = [r for r in records if "cores" not in r]
+    optim_records = [r for r in records if "optim" in r]
+    records = [r for r in records
+               if "cores" not in r and "optim" not in r]
     lines = ["## FV hot-path speedup trajectory", ""]
     if not records and not cores_records:
         lines.append("_No trajectory records yet._")
@@ -83,7 +85,37 @@ def render(records: list[dict]) -> str:
             ] + [_speedup(by_cell[c]) if c in by_cell else ""
                  for c in cells]
             lines.append("| " + " | ".join(row) + " |")
+    if optim_records:
+        lines += ["", "### Optimiser pass stack "
+                      "(keyswitches saved, makespan speedup)", ""]
+        programs = sorted({p["program"] for record in optim_records
+                           for p in record["optim"]})
+        header = (["date", "sha"]
+                  + [f"{name} ks" for name in programs]
+                  + [f"{name} makespan" for name in programs])
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "---|" * len(header))
+        for record in optim_records:
+            meta = record.get("meta", {})
+            by_program = {p["program"]: p for p in record["optim"]}
+            row = [
+                str(meta.get("recorded_at", "?")).split("T")[0],
+                str(meta.get("git_sha", "?")),
+            ]
+            for name in programs:
+                point = by_program.get(name)
+                row.append(_percent(point["keyswitch_reduction"])
+                           if point else "")
+            for name in programs:
+                point = by_program.get(name)
+                row.append(_speedup(point["makespan_speedup"])
+                           if point else "")
+            lines.append("| " + " | ".join(row) + " |")
     return "\n".join(lines) + "\n"
+
+
+def _percent(value) -> str:
+    return f"{value:.0%}" if isinstance(value, (int, float)) else ""
 
 
 def _speedup(value) -> str:

@@ -49,6 +49,7 @@ from .api import (
     ProgramFuture,
     ProgramResult,
     Session,
+    LoweredProgram,
     SimulatedBackend,
     SimulatedRun,
     rotate,
@@ -91,6 +92,7 @@ __all__ = [
     "Session", "CiphertextHandle", "HEProgram", "rotate", "sum_slots",
     "Backend", "LocalBackend", "ProgramResult",
     "SimulatedBackend", "SimulatedRun", "ProgramFuture",
+    "LoweredProgram",
     # parameters
     "ParameterSet", "hpca19", "hpca19_large", "large_ring", "mini", "toy",
     # FV scheme

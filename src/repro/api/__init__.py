@@ -49,7 +49,12 @@ from .program import (
 )
 from .resident import ResidentOperandCache
 from .session import Session
-from .simulated import ProgramFuture, SimulatedBackend, SimulatedRun
+from .simulated import (
+    LoweredProgram,
+    ProgramFuture,
+    SimulatedBackend,
+    SimulatedRun,
+)
 
 __all__ = [
     "Session",
@@ -57,6 +62,7 @@ __all__ = [
     "HEProgram",
     "OpKind",
     "LoweredOp",
+    "LoweredProgram",
     "rotate",
     "sum_slots",
     "Backend",

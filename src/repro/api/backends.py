@@ -172,13 +172,13 @@ class LocalBackend:
             raise TypeError(
                 f"LocalBackend.run got unknown options {sorted(kwargs)}"
             )
-        if program.params is not self.session.params:
-            # Identity is the cheap check; equal parameter sets from
-            # two constructions are fine too.
-            if program.params != self.session.params:
-                raise ParameterError(
-                    "program was compiled for different parameters"
-                )
+        # Identity is the cheap check; equal parameter sets from
+        # two constructions are fine too.
+        if (program.params is not self.session.params
+                and program.params != self.session.params):
+            raise ParameterError(
+                "program was compiled for different parameters"
+            )
         before = transform_counts()
         tracer = Tracer("heprogram.run", kind="program")
         order = {id(node): i for i, node in enumerate(program.nodes)}
@@ -197,6 +197,30 @@ class LocalBackend:
                     program, wants
                 )
                 sp.attrs["restores"] = self.last_cache_restores
+            steps = program.rotation_steps()
+            if steps or program.uses_sum_slots:
+                # Program-wide Galois key prefetch: one deduped keygen
+                # batch up front instead of per-op cache probes.
+                with tracer.span("prefetch_galois", kind="phase") as sp:
+                    pre_before = transform_counts()
+                    sp.attrs["steps"] = len(steps)
+                    sp.attrs["generated"] = (
+                        self.session.prefetch_rotation_keys(steps)
+                        if steps else 0
+                    )
+                    if program.uses_sum_slots:
+                        self.session.summation_keys()
+                    sp.attrs["transforms"] = _count_diff(
+                        pre_before, transform_counts()
+                    )
+            # Hoisted rotation groups (optimiser analysis): executing
+            # the first member computes every member off one shared
+            # digit transform; later members hit the graph cache.
+            hoisted: dict[int, tuple[ExprNode, ...]] = {}
+            if self.ntt_resident:
+                for group in program.hoist_groups:
+                    for member in group:
+                        hoisted[id(member)] = group
             for node in program.nodes:
                 if node.cached is not None:
                     continue
@@ -207,7 +231,11 @@ class LocalBackend:
                     bytes_moved=(2 * len(node.args) + 2) * poly_bytes,
                 ) as sp:
                     op_before = transform_counts()
-                    node.cached = self._execute(node, wants)
+                    group = hoisted.get(id(node))
+                    if group is not None:
+                        sp.attrs["hoisted"] = self._execute_hoisted(group)
+                    if node.cached is None:
+                        node.cached = self._execute(node, wants)
                     sp.attrs["transforms"] = _count_diff(
                         op_before, transform_counts()
                     )
@@ -336,6 +364,26 @@ class LocalBackend:
 
     # -- node dispatch -----------------------------------------------------------------
 
+    def _execute_hoisted(self, group: tuple[ExprNode, ...]) -> int:
+        """Materialise a hoisted rotation group off one digit transform.
+
+        All pending members share their source's digit-decomposition
+        NTT via :meth:`~repro.fv.galois.GaloisEngine.apply_many_resident`;
+        results land in each member's graph cache, so the normal node
+        loop sees them as already computed.
+        """
+        session = self.session
+        source = group[0].args[0]
+        pending = [m for m in group if m.cached is None]
+        keys = {
+            int(m.payload): session.rotation_key(m.payload)
+            for m in pending
+        }
+        results = session.galois.apply_many_resident(source.cached, keys)
+        for member in pending:
+            member.cached = results[int(member.payload)]
+        return len(pending)
+
     def _execute(self, node: ExprNode, wants: dict[int, bool]) -> Ciphertext:
         session = self.session
         context = session.context
@@ -383,7 +431,7 @@ class LocalBackend:
                     m_ntt=session.plain_ntt(node.payload),
                 )
             return context.mul_plain(args[0], node.payload)
-        if node.op is OpKind.MULTIPLY:
+        if node.op in (OpKind.MULTIPLY, OpKind.MULTIPLY_RAW):
             # MULTIPLY is a coefficient-domain boundary: the base
             # extension needs coefficient residues. Convert with
             # write-back so shared resident operands convert once.
@@ -391,8 +439,19 @@ class LocalBackend:
                 if ct.c0.ntt_domain:
                     arg_node.cached = context.to_coeff_ct(ct)
             args = [arg.cached for arg in node.args]
+            if node.op is OpKind.MULTIPLY_RAW:
+                # Lazy-relin placement: the three-part tensor result
+                # flows into an ADD tree; the deferred RELINEARIZE at
+                # its root folds back to two parts.
+                return session.evaluator.multiply_raw(args[0], args[1])
             return session.evaluator.multiply(args[0], args[1],
                                               session.keys.relin)
+        if node.op is OpKind.RELINEARIZE:
+            ct = args[0]
+            if ct.c0.ntt_domain:
+                node.args[0].cached = context.to_coeff_ct(ct)
+                ct = node.args[0].cached
+            return session.evaluator.relinearize(ct, session.keys.relin)
         if node.op is OpKind.ROTATE:
             key = session.rotation_key(node.payload)
             if self.ntt_resident and (args[0].c0.ntt_domain

@@ -47,10 +47,22 @@ class OpKind(Enum):
     MUL_PLAIN = "mul_plain"
     ROTATE = "rotate"
     SUM_SLOTS = "sum_slots"
+    #: FV.Mult *without* relinearisation — a three-part intermediate.
+    #: Only the optimiser emits these (lazy-relin placement); handle
+    #: arithmetic always builds MULTIPLY.
+    MULTIPLY_RAW = "multiply_raw"
+    #: Fold a three-part ciphertext back to two parts (one keyswitch).
+    RELINEARIZE = "relinearize"
 
 
 #: Node ops that consume one level of multiplicative depth.
-_DEPTH_OPS = frozenset({OpKind.MULTIPLY})
+_DEPTH_OPS = frozenset({OpKind.MULTIPLY, OpKind.MULTIPLY_RAW})
+
+
+def sum_slots_rounds(n: int) -> int:
+    """Rotate-and-add rounds one SUM_SLOTS expands to: log2(n/2)
+    power-of-two row rotations plus the row-folding conjugation."""
+    return max((n // 2).bit_length() - 1, 0) + 1
 
 
 class ExprNode:
@@ -249,6 +261,11 @@ class LoweredOp:
     #: INPUT operands of this op that were served from the server's
     #: cross-request resident cache (each saved one ciphertext upload).
     cached_inputs: int = 0
+    #: Indices (into the lowered op list) of the ops producing this
+    #: op's operands — the intra-request dependency edges program-aware
+    #: pricing walks for critical paths. INPUT operands have no
+    #: producing op and do not appear.
+    deps: tuple[int, ...] = ()
 
 
 _JOB_KINDS = {
@@ -259,6 +276,8 @@ _JOB_KINDS = {
     OpKind.MULTIPLY: JobKind.MULT,
     OpKind.MUL_PLAIN: JobKind.MUL_PLAIN,
     OpKind.ROTATE: JobKind.ROTATE,
+    OpKind.MULTIPLY_RAW: JobKind.MULT_RAW,
+    OpKind.RELINEARIZE: JobKind.RELIN,
 }
 
 #: Polynomials per fresh two-part ciphertext on the wire.
@@ -287,6 +306,14 @@ class HEProgram:
         self.outputs = dict(outputs)
         self.nodes = self._topo_sort(self.outputs.values())
         self.inputs = [n for n in self.nodes if n.op is OpKind.INPUT]
+        #: Rotation-hoisting groups (tuples of ROTATE nodes sharing one
+        #: source), attached by the optimiser's hoist analysis; the
+        #: resident executor computes each group's shared digit
+        #: transform once.
+        self.hoist_groups: list[tuple[ExprNode, ...]] = []
+        #: The :class:`~repro.optim.OptimizationReport` that produced
+        #: this program, when it came out of the pass stack.
+        self.optimization = None
         if check:
             self.check_noise()
 
@@ -332,6 +359,19 @@ class HEProgram:
                 counts[node.op] = counts.get(node.op, 0) + 1
         return counts
 
+    def rotation_steps(self) -> list[int]:
+        """Distinct rotation amounts the program needs, normalised the
+        way the session's Galois-key cache keys them (mod n)."""
+        steps = {
+            int(node.payload) % self.params.n
+            for node in self.nodes if node.op is OpKind.ROTATE
+        }
+        return sorted(steps)
+
+    @property
+    def uses_sum_slots(self) -> bool:
+        return any(n.op is OpKind.SUM_SLOTS for n in self.nodes)
+
     def static_noise_bits(self) -> dict[str, float]:
         """Worst-case remaining noise budget (bits) of every output.
 
@@ -362,12 +402,13 @@ class HEProgram:
                 value = model.mul_plain_bound(args[0])
             elif node.op is OpKind.MULTIPLY:
                 value = model.mult_relin_bound(args[0], args[1])
-            elif node.op is OpKind.ROTATE:
+            elif node.op is OpKind.MULTIPLY_RAW:
+                value = model.mult_bound(args[0], args[1])
+            elif node.op in (OpKind.RELINEARIZE, OpKind.ROTATE):
                 value = model.relin_bound(args[0])
             else:  # SUM_SLOTS: log2(n/2) rotation levels + conjugation
                 value = args[0]
-                rounds = max((self.params.n // 2).bit_length() - 1, 0) + 1
-                for _ in range(rounds):
+                for _ in range(sum_slots_rounds(self.params.n)):
                     value = keyswitch_round(value)
             noise[id(node)] = value
         return {
@@ -408,6 +449,10 @@ class HEProgram:
         resident_ids = {id(node) for node in resident_inputs}
         uploaded: set[int] = set()
         ops: list[LoweredOp] = []
+        #: Node id -> index of the lowered op producing its value (for
+        #: SUM_SLOTS, the final ADD of its expansion). INPUT operands
+        #: have no producer and contribute no dependency edge.
+        producer: dict[int, int] = {}
         for node in self.nodes:
             if node.op is OpKind.INPUT:
                 continue
@@ -426,8 +471,16 @@ class HEProgram:
             if node.op in (OpKind.ADD_PLAIN, OpKind.MUL_PLAIN):
                 uploads += _POLYS_PER_PLAIN
             downloads = _POLYS_PER_CT if id(node) in output_ids else 0
+            deps = tuple(
+                producer[id(arg)] for arg in node.args
+                if id(arg) in producer
+            )
             if node.op is OpKind.SUM_SLOTS:
-                rounds = max((self.params.n // 2).bit_length() - 1, 0) + 1
+                rounds = sum_slots_rounds(self.params.n)
+                # result = arg; per round: result += rotate(result) —
+                # each rotation depends on the running accumulator, the
+                # addition on both accumulator and rotation.
+                acc: tuple[int, ...] = deps
                 for i in range(rounds):
                     last = i == rounds - 1
                     first = i == 0
@@ -435,12 +488,18 @@ class HEProgram:
                                          uploads if first else 0, 0,
                                          node.op,
                                          cached_inputs=cached if first
-                                         else 0))
+                                         else 0,
+                                         deps=acc))
+                    rot = len(ops) - 1
                     ops.append(LoweredOp(JobKind.ADD, 0,
-                                         downloads if last else 0, node.op))
+                                         downloads if last else 0, node.op,
+                                         deps=acc + (rot,)))
+                    acc = (len(ops) - 1,)
+                producer[id(node)] = len(ops) - 1
                 continue
             ops.append(LoweredOp(_JOB_KINDS[node.op], uploads, downloads,
-                                 node.op, cached_inputs=cached))
+                                 node.op, cached_inputs=cached, deps=deps))
+            producer[id(node)] = len(ops) - 1
         return ops
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

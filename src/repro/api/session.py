@@ -265,6 +265,23 @@ class Session:
             )
         return self._rotation_keys[steps]
 
+    def prefetch_rotation_keys(self, steps_list) -> int:
+        """Derive every missing rotation key in one batch (deduped).
+
+        Program executors call this with
+        :meth:`HEProgram.rotation_steps` before walking the graph, so
+        Galois keygen happens once per distinct step per session
+        instead of per-op cache probes mid-run. Returns the number of
+        keys actually generated.
+        """
+        wanted = {int(steps) % self.params.n for steps in steps_list}
+        missing = sorted(wanted - self._rotation_keys.keys())
+        if missing:
+            self._rotation_keys.update(
+                self.galois.rotation_keygen(self.keys.secret, missing)
+            )
+        return len(missing)
+
     def summation_keys(self) -> dict:
         """Every key :meth:`GaloisEngine.sum_all_slots` needs (cached)."""
         if self._summation_keys is None:
@@ -280,14 +297,17 @@ class Session:
     # -- programs ----------------------------------------------------------------------
 
     def compile(self, outputs, *, name: str = "program",
-                check: bool = True) -> HEProgram:
+                check: bool = True, optimize: bool = False) -> HEProgram:
         """Capture handles into an :class:`HEProgram`.
 
         ``outputs`` may be one handle, a list (labelled ``out0..``), or
         a dict of label -> handle. ``check=True`` runs the static
         depth/noise validation and raises
         :class:`~repro.errors.NoiseBudgetExhausted` for programs that
-        could fail to decrypt in the worst case.
+        could fail to decrypt in the worst case. ``optimize=True``
+        additionally runs the captured graph through the
+        :mod:`repro.optim` pass stack; the returned program carries its
+        :class:`~repro.optim.OptimizationReport` as ``.optimization``.
         """
         if isinstance(outputs, CiphertextHandle):
             mapping = {"out": outputs}
@@ -302,8 +322,15 @@ class Session:
                 raise ParameterError(
                     "cannot compile handles from another session"
                 )
-        return HEProgram({label: h.node for label, h in mapping.items()},
-                         self.params, name=name, check=check)
+        program = HEProgram(
+            {label: h.node for label, h in mapping.items()},
+            self.params, name=name, check=check,
+        )
+        if optimize:
+            from ..optim import optimize_program
+
+            program, _ = optimize_program(program)
+        return program
 
     def run(self, outputs):
         """Materialise handle(s) through the local backend.

@@ -28,9 +28,111 @@ from ..params import ParameterSet
 from ..serve.engine import ServingRuntime
 from ..serve.telemetry import LatencySummary
 from ..system.server import CostModel
-from ..system.workloads import Job, tenant_name
+from ..system.workloads import Job, JobKind, tenant_name
 from .program import HEProgram, LoweredOp
 from .resident import ResidentOperandCache
+
+#: Lowered job kinds that spend a keyswitch (digit-decomposed key
+#: multiply-accumulate) on the coprocessor — the ops the optimiser
+#: pass stack exists to eliminate.
+_KEYSWITCH_JOB_KINDS = frozenset(
+    {JobKind.MULT, JobKind.ROTATE, JobKind.RELIN}
+)
+
+
+@dataclass
+class LoweredProgram:
+    """A program priced against one concrete cost model.
+
+    :meth:`SimulatedBackend.lower` produces this: the (optionally
+    optimised) program's job stream plus everything a scheduler or a
+    capacity planner wants to know about it before any request arrives
+    — the batched-DMA train time, the intra-request critical path over
+    the :attr:`~repro.api.program.LoweredOp.deps` edges, and how many
+    keyswitch ops survived optimisation.
+    """
+
+    program: HEProgram
+    ops: list[LoweredOp]
+    cost: CostModel
+    #: The optimiser's report when :attr:`SimulatedBackend.optimize`
+    #: rewrote the program before lowering; ``None`` for raw lowering.
+    optimization: object | None = None
+
+    def keyswitch_ops(self) -> int:
+        """Lowered ops that pay a keyswitch on the coprocessor."""
+        return sum(op.kind in _KEYSWITCH_JOB_KINDS for op in self.ops)
+
+    def compute_seconds(self) -> float:
+        """Pure FPGA compute across the stream, no transfers."""
+        return sum(self.cost.compute_seconds(op.kind) for op in self.ops)
+
+    def train_seconds(self) -> float:
+        """One request as a single batched DMA train.
+
+        The program-aware pricing: every fresh upload burst rides one
+        Arm-setup DMA train (one descriptor-setup cost amortised over
+        the whole train, as :class:`~repro.serve.batching.DmaBatcher`
+        does at runtime), compute runs back to back, and the output
+        bursts share one download train — versus pricing each op's
+        transfers independently (:meth:`independent_seconds`).
+        """
+        return (self._train(sum(op.polys_in for op in self.ops))
+                + self.compute_seconds()
+                + self._train(sum(op.polys_out for op in self.ops)))
+
+    def _train(self, polys: int) -> float:
+        """One DMA train of `polys` bursts: one Arm setup, per-burst
+        wire time."""
+        if not polys:
+            return 0.0
+        dma = self.cost.dma
+        return (dma.arm_setup_seconds
+                + polys * dma.transfer_seconds(self.cost.params.poly_bytes))
+
+    def independent_seconds(self) -> float:
+        """The per-op pricing baseline: every op moves its own data."""
+        poly_bytes = self.cost.params.poly_bytes
+        total = 0.0
+        for op in self.ops:
+            if op.polys_in:
+                total += self.cost.dma.polynomial_job_seconds(
+                    poly_bytes, op.polys_in)
+            total += self.cost.compute_seconds(op.kind)
+            if op.polys_out:
+                total += self.cost.dma.polynomial_job_seconds(
+                    poly_bytes, op.polys_out)
+        return total
+
+    def critical_path_seconds(self) -> float:
+        """Longest compute chain through the dependency edges.
+
+        The floor on request latency however many coprocessors the
+        server has — schedulers can hide everything except this.
+        """
+        finish = self._finish_seconds()
+        return max(finish, default=0.0)
+
+    def remaining_critical_seconds(self) -> list[float]:
+        """Per-op remaining critical path (own compute plus the longest
+        dependent chain), the stamp :class:`CriticalPathScheduler`
+        dispatches on."""
+        compute = [self.cost.compute_seconds(op.kind) for op in self.ops]
+        remaining = list(compute)
+        # Ops are topologically ordered (deps point backwards), so one
+        # reverse sweep propagates the longest downstream chain.
+        for i in range(len(self.ops) - 1, -1, -1):
+            for dep in self.ops[i].deps:
+                remaining[dep] = max(remaining[dep],
+                                     compute[dep] + remaining[i])
+        return remaining
+
+    def _finish_seconds(self) -> list[float]:
+        finish: list[float] = []
+        for op in self.ops:
+            ready = max((finish[d] for d in op.deps), default=0.0)
+            finish.append(ready + self.cost.compute_seconds(op.kind))
+        return finish
 
 
 @dataclass
@@ -86,6 +188,15 @@ class SimulatedRun:
     cache_hits: int = 0
     #: INPUT operands the server had to ingest fresh this run.
     cache_misses: int = 0
+    #: The priced lowering this run executed (optimised when the
+    #: backend's ``optimize`` knob is on).
+    lowered: LoweredProgram | None = None
+
+    @property
+    def critical_path_seconds(self) -> float:
+        """Intra-request compute critical path of the executed program."""
+        return (self.lowered.critical_path_seconds()
+                if self.lowered is not None else 0.0)
 
     @property
     def completed(self) -> list[ProgramFuture]:
@@ -183,10 +294,20 @@ class SimulatedBackend:
     def __init__(self, params: ParameterSet,
                  target_factory: Callable[[], object], *,
                  description: str = "",
-                 resident_cache_limit: int = 64) -> None:
+                 resident_cache_limit: int = 64,
+                 cost: CostModel | None = None,
+                 optimize: bool = False) -> None:
         self.params = params
         self.target_factory = target_factory
         self.description = description
+        #: Cost model used for program-aware pricing (batched DMA
+        #: trains, critical-path stamps); the factories pass the same
+        #: model their serving target charges with.
+        self.cost = cost if cost is not None else CostModel(params)
+        #: Run every program through the optimiser pass stack before
+        #: lowering (``repro.optim``); the resulting
+        #: :class:`LoweredProgram` carries the optimiser's report.
+        self.optimize = optimize
         #: Cross-request resident-operand cache: INPUT handles the
         #: simulated server has already ingested stay in its DDR, so a
         #: later program reusing them uploads nothing (the
@@ -208,6 +329,7 @@ class SimulatedBackend:
                      scheduler_factory: Callable[[], object] | None = None,
                      batching=None, tenants=None,
                      num_coprocessors: int | None = None,
+                     optimize: bool = False,
                      ) -> SimulatedBackend:
         """One Arm+FPGA board (the paper's Fig. 11 server)."""
         cost = CostModel(params, config)
@@ -219,7 +341,8 @@ class SimulatedBackend:
                 tenants=tenants, num_coprocessors=num_coprocessors,
             )
 
-        return cls(params, factory, description="single board")
+        return cls(params, factory, description="single board",
+                   cost=cost, optimize=optimize)
 
     @classmethod
     def over_cluster(cls, params: ParameterSet, num_shards: int, *,
@@ -228,6 +351,7 @@ class SimulatedBackend:
                      scheduler_factory: Callable[[], object] | None = None,
                      batching=None, tenants=None,
                      max_backlog_seconds: float | None = None,
+                     optimize: bool = False,
                      ) -> SimulatedBackend:
         """A multi-FPGA shard cluster behind a placement router."""
         from ..cluster.cluster import FpgaCluster
@@ -241,14 +365,45 @@ class SimulatedBackend:
             )
 
         return cls(params, factory,
-                   description=f"{num_shards}-shard cluster")
+                   description=f"{num_shards}-shard cluster",
+                   cost=CostModel(params, config), optimize=optimize)
 
     # -- execution ---------------------------------------------------------------------
 
-    def lower_jobs(self, ops: Sequence[LoweredOp], *, requests: int,
-                   rate_per_second: float | None, num_tenants: int,
-                   seed: int) -> tuple[list[Job], list[ProgramFuture]]:
-        """The job stream for `requests` executions of one lowered program."""
+    def lower(self, program: HEProgram,
+              resident_inputs: Sequence[object] = ()) -> LoweredProgram:
+        """Price one program against this backend's cost model.
+
+        With :attr:`optimize` on, the program first runs through the
+        optimiser pass stack and the returned
+        :class:`LoweredProgram` prices the *optimised* job stream —
+        fewer keyswitches, one batched DMA train, and a critical path
+        the schedulers can dispatch against.
+        """
+        optimization = None
+        if self.optimize:
+            from ..optim import optimize_program
+
+            program, optimization = optimize_program(program)
+        ops = program.lower(resident_inputs=resident_inputs)
+        return LoweredProgram(program=program, ops=ops, cost=self.cost,
+                              optimization=optimization)
+
+    def lower_jobs(self, ops: Sequence[LoweredOp] | LoweredProgram, *,
+                   requests: int, rate_per_second: float | None,
+                   num_tenants: int, seed: int
+                   ) -> tuple[list[Job], list[ProgramFuture]]:
+        """The job stream for `requests` executions of one lowered program.
+
+        Passing a :class:`LoweredProgram` (rather than a bare op list)
+        additionally stamps every job with its remaining critical-path
+        seconds so :class:`~repro.serve.CriticalPathScheduler` can
+        prioritise the chains that bound request latency.
+        """
+        critical: list[float] | None = None
+        if isinstance(ops, LoweredProgram):
+            critical = ops.remaining_critical_seconds()
+            ops = ops.ops
         if requests < 1:
             raise ValueError("need at least one request")
         if num_tenants < 1:
@@ -272,11 +427,13 @@ class SimulatedBackend:
                 request=r, tenant=tenant, arrival_seconds=at,
                 num_ops=len(ops),
             ))
-            for op in ops:
+            for i, op in enumerate(ops):
                 jobs.append(Job(
                     index=index, kind=op.kind, arrival_seconds=at,
                     tenant=tenant, polys_in=op.polys_in,
                     polys_out=op.polys_out, request=r,
+                    critical_seconds=(critical[i] if critical is not None
+                                      else None),
                 ))
                 index += 1
         return jobs, futures
@@ -299,11 +456,11 @@ class SimulatedBackend:
         """
         resident = [node for node in program.inputs
                     if self.resident_cache.get(node) is not None]
-        ops = program.lower(resident_inputs=resident)
+        lowered = self.lower(program, resident_inputs=resident)
         for node in program.inputs:
             self.resident_cache.put(node, True)
         jobs, futures = self.lower_jobs(
-            ops, requests=requests, rate_per_second=rate_per_second,
+            lowered, requests=requests, rate_per_second=rate_per_second,
             num_tenants=num_tenants, seed=seed,
         )
         target = self.target_factory()
@@ -321,8 +478,9 @@ class SimulatedBackend:
             if future is None:      # pragma: no cover - foreign job
                 continue
             future.rejected_ops += 1
-        return SimulatedRun(program=program, futures=futures,
+        return SimulatedRun(program=lowered.program, futures=futures,
                             report=report,
                             cache_hits=len(resident),
                             cache_misses=len(program.inputs)
-                            - len(resident))
+                            - len(resident),
+                            lowered=lowered)

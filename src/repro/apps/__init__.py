@@ -11,11 +11,13 @@ FV API, with plaintext reference computations for verification.
 from .comparator import EncryptedComparator
 from .forecasting import SmartGridAggregator
 from .lookup import EncryptedLookupTable
+from .matmul import EncryptedMatmul
 from .rasta_like import RastaLikeCipher
 
 __all__ = [
     "SmartGridAggregator",
     "EncryptedLookupTable",
+    "EncryptedMatmul",
     "RastaLikeCipher",
     "EncryptedComparator",
 ]

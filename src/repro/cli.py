@@ -15,7 +15,12 @@ Usage (installed as ``python -m repro``):
     python -m repro cluster --shards 8   # multi-FPGA shard layer
     python -m repro program              # HE program on both executors
     python -m repro trace lookup         # Perfetto timelines + metrics
+    python -m repro trace matmul         # encrypted matmul, optimised
     python -m repro all                  # everything above
+
+``program`` and ``trace`` run captured graphs through the
+:mod:`repro.optim` pass stack and print its report; pass
+``--no-optimize`` for raw lowering.
 """
 
 from __future__ import annotations
@@ -401,6 +406,50 @@ def cmd_program(args: argparse.Namespace) -> None:
           "whether a graph\n becomes ciphertext math or a priced job "
           "stream on the shard cluster.)")
 
+    if not args.optimize:
+        return
+    from .optim import optimize_program
+
+    _, lookup_report = optimize_program(program)
+    print()
+    print(lookup_report.render())
+
+    # -- the optimiser's motivating workload: encrypted matmul ---------
+    _print_header("Encrypted matmul — the optimiser pass stack")
+    from .apps.matmul import EncryptedMatmul
+
+    bparams = mini(t=65537)         # t = 1 mod 2n: slot batching
+    msession = Session(bparams, seed=29)
+    matmul = EncryptedMatmul(msession, block_slots=4)
+    a = [[1, 2, 3, 4, 5, 6, 7, 8], [2, 0, 1, 3, 5, 2, 4, 1]]
+    b = [[1, 2], [0, 1], [3, 1], [1, 0],
+         [2, 2], [1, 1], [0, 3], [2, 1]]
+    mprogram = matmul.matmul_program(matmul.encrypt_rows(a),
+                                     matmul.encrypt_cols(b))
+    optimized, report = optimize_program(mprogram)
+    print(f"2x8 @ 8x2, blocks of {matmul.block_slots} slots: "
+          f"{mprogram.num_ops} ops, depth {mprogram.depth}")
+    print()
+    print(report.render())
+    mresult = LocalBackend(msession).run(optimized)
+    reference = EncryptedMatmul.reference(a, b, bparams.t)
+    got = [
+        [matmul.decrypt_entry(mresult.handle(f"c{i}_{j}"))
+         for j in range(len(reference[0]))]
+        for i in range(len(reference))
+    ]
+    status = "OK" if got == reference else f"WRONG (expected {reference})"
+    print(f"LocalBackend (optimised program): C = {got} ({status})")
+    raw = SimulatedBackend.over_runtime(bparams).lower(mprogram)
+    opt = SimulatedBackend.over_runtime(bparams,
+                                        optimize=True).lower(mprogram)
+    saved = 1 - opt.keyswitch_ops() / raw.keyswitch_ops()
+    print(f"SimulatedBackend: keyswitch ops {raw.keyswitch_ops()} -> "
+          f"{opt.keyswitch_ops()} ({saved:.0%} saved), DMA train "
+          f"{raw.train_seconds() * 1e3:.2f} -> "
+          f"{opt.train_seconds() * 1e3:.2f} ms, critical path "
+          f"{opt.critical_path_seconds() * 1e3:.2f} ms")
+
 
 def cmd_trace(args: argparse.Namespace) -> None:
     _print_header("Observability — request traces, timelines, registry")
@@ -418,7 +467,9 @@ def cmd_trace(args: argparse.Namespace) -> None:
     app = args.app or "lookup"
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
-    params = mini(t=257)
+    # Matmul packs values element-wise into slots, so it needs a
+    # batching plaintext modulus (t = 1 mod 2n).
+    params = mini(t=65537) if app == "matmul" else mini(t=257)
     session = Session(params, seed=13)
     if app == "lookup":
         from .apps.lookup import EncryptedLookupTable
@@ -427,6 +478,15 @@ def cmd_trace(args: argparse.Namespace) -> None:
                  77, 31, 5, 190, 2, 120, 55, 86]
         server = EncryptedLookupTable(session, table)
         program = server.lookup_program(server.encrypt_index(6))
+    elif app == "matmul":
+        from .apps.matmul import EncryptedMatmul
+
+        matmul = EncryptedMatmul(session, block_slots=4)
+        a = [[1, 2, 3, 4, 5, 6, 7, 8], [2, 0, 1, 3, 5, 2, 4, 1]]
+        b = [[1, 2], [0, 1], [3, 1], [1, 0],
+             [2, 2], [1, 1], [0, 3], [2, 1]]
+        program = matmul.matmul_program(matmul.encrypt_rows(a),
+                                        matmul.encrypt_cols(b))
     else:  # a Mult-heavy balanced product tree
         leaves = [session.encrypt([i + 1, i + 2, i + 3, i + 4])
                   for i in range(4)]
@@ -434,6 +494,12 @@ def cmd_trace(args: argparse.Namespace) -> None:
         t1 = leaves[2] * leaves[3]
         program = session.compile(t0 * t1 + t0, name="mult-tree")
     print(f"app {app!r}: {program.num_ops} ops, depth {program.depth}")
+    if args.optimize:
+        from .optim import optimize_program
+
+        program, opt_report = optimize_program(program)
+        print()
+        print(opt_report.render())
 
     # The scoped registry isolates this command's counters, so the
     # exposition below shows exactly what these two runs recorded.
@@ -584,9 +650,16 @@ def main(argv: list[str] | None = None) -> int:
         help="which experiment to regenerate",
     )
     parser.add_argument(
-        "app", nargs="?", choices=["lookup", "mult"],
+        "app", nargs="?", choices=["lookup", "mult", "matmul"],
         help="application to trace (`trace` command only; "
              "default lookup)",
+    )
+    parser.add_argument(
+        "--optimize", action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run HE programs through the optimiser pass stack and "
+             "print its report (`program`/`trace` commands; "
+             "--no-optimize lowers the raw graph)",
     )
     parser.add_argument(
         "--out", default="traces",

@@ -67,10 +67,9 @@ class Evaluator:
 
     def _scale(self, residues: np.ndarray) -> RnsPoly:
         """Scale Q->q: returns an R_q polynomial."""
-        if self.use_hps:
-            rows = scale_hps(self.context.scale_ctx, residues)
-        else:
-            rows = scale_traditional(self.context.scale_ctx, residues)
+        rows = (scale_hps(self.context.scale_ctx, residues)
+                if self.use_hps
+                else scale_traditional(self.context.scale_ctx, residues))
         # Both scale routes produce canonical residues.
         return RnsPoly.trusted(self.context.q_basis, rows)
 
@@ -167,13 +166,11 @@ class Evaluator:
         else:
             executor.map(lambda band: products(*band),
                          split_range(k_total, 2 * executor.workers))
-        if prescaled:
-            t0, t1, t2 = batch.intt_rows_scaled(
-                self._full_primes, prods[:3],
-                self.context.scale_ctx.full_q_tilde,
-            )
-        else:
-            t0, t1, t2 = self._full_intt(prods[:3])
+        t0, t1, t2 = (
+            batch.intt_rows_scaled(self._full_primes, prods[:3],
+                                   self.context.scale_ctx.full_q_tilde)
+            if prescaled else self._full_intt(prods[:3])
+        )
         return t0, t1, t2
 
     def multiply_raw(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:

@@ -167,6 +167,25 @@ class GaloisEngine:
 
     # -- homomorphic application -----------------------------------------------------
 
+    def _digit_ntt_rows(self, c1_rows: np.ndarray) -> np.ndarray:
+        """Stacked forward NTT of the raw-residue digit decomposition.
+
+        This is the expensive half of every keyswitch — and a function
+        of the ciphertext alone, not of the Galois key, which is what
+        :meth:`apply_many_resident` exploits to share it across a
+        hoisted rotation group.
+        """
+        from ..nttmath import batch
+        from ..rns.decompose import broadcast_digit_rows
+
+        context = self.context
+        if batch._PER_ROW_MODE:
+            return context._ntt_rows(
+                broadcast_digit_rows(c1_rows, context.q_basis)
+            )
+        # Fused WordDecomp + NTT on the raw coefficient rows.
+        return batch.ntt_broadcast_rows(context.params.q_primes, c1_rows)
+
     def _key_switch_accumulators(self, tau_c1: np.ndarray,
                                  key: GaloisKey) -> tuple[np.ndarray,
                                                           np.ndarray]:
@@ -178,21 +197,18 @@ class GaloisEngine:
         whole q basis of at most eight primes sums within int64) and
         are reduced once.
         """
+        return self._fold_digit_pairs(self._digit_ntt_rows(tau_c1), key)
+
+    def _fold_digit_pairs(self, d_ntt: np.ndarray,
+                          key: GaloisKey) -> tuple[np.ndarray,
+                                                   np.ndarray]:
+        """Fold NTT-domain digits against one key's (b, a) pairs."""
         from ..nttmath import batch
-        from ..rns.decompose import broadcast_digit_rows
 
         context = self.context
         primes_col = context.q_basis.primes_col
-        if batch._PER_ROW_MODE:
-            d_ntt = context._ntt_rows(
-                broadcast_digit_rows(tau_c1, context.q_basis)
-            )
-        else:
-            # Fused WordDecomp + NTT on the raw tau(c1) rows.
-            d_ntt = batch.ntt_broadcast_rows(context.params.q_primes,
-                                             tau_c1)
-        acc0 = np.zeros_like(tau_c1)
-        acc1 = np.zeros_like(tau_c1)
+        acc0 = np.zeros_like(d_ntt[0])
+        acc1 = np.zeros_like(d_ntt[0])
         if batch._PER_ROW_MODE:
             # Pre-batching accumulation: reduce after every product.
             for i, (b_ntt, a_ntt) in enumerate(key.pairs):
@@ -262,17 +278,16 @@ class GaloisEngine:
         primes_col = context.q_basis.primes_col
         n = params.n
         g = key.element
-        if ct.c1.ntt_domain:
-            c1_coeff = context._intt_rows(ct.c1.residues)
-        else:
-            c1_coeff = ct.c1.residues
+        c1_coeff = (context._intt_rows(ct.c1.residues)
+                    if ct.c1.ntt_domain else ct.c1.residues)
         tau_c1 = apply_galois_rows(c1_coeff, primes_col, n, g)
-        if ct.c0.ntt_domain:
-            tau_c0_ntt = ct.c0.residues[:, slot_permutation(n, g)]
-        else:
-            tau_c0_ntt = context._ntt_rows(
+        tau_c0_ntt = (
+            ct.c0.residues[:, slot_permutation(n, g)]
+            if ct.c0.ntt_domain
+            else context._ntt_rows(
                 apply_galois_rows(ct.c0.residues, primes_col, n, g)
             )
+        )
         acc0, acc1 = self._key_switch_accumulators(tau_c1, key)
         c0 = RnsPoly.trusted(
             context.q_basis,
@@ -281,6 +296,51 @@ class GaloisEngine:
         )
         c1 = RnsPoly.trusted(context.q_basis, acc1, ntt_domain=True)
         return Ciphertext((c0, c1), params)
+
+    def apply_many_resident(self, ct: Ciphertext,
+                            keys_by_step: dict[int, GaloisKey]
+                            ) -> dict[int, Ciphertext]:
+        """Hoisted rotations: one digit transform shared by every key.
+
+        Halevi–Shoup hoisting: the digit decomposition's stacked
+        forward NTT depends only on c1, so it runs **once**; each
+        rotation then costs a free column permutation of the shared
+        digit evaluations (NTT(tau_g(x)) is NTT(x) gathered through
+        :func:`slot_permutation`) plus the cheap multiply-accumulate
+        fold against its own key. Results are NTT-resident.
+
+        The permuted digits represent tau_g of each digit polynomial
+        with *signed* coefficients — congruent mod every q_i to the
+        non-negative digits :meth:`apply_resident` decomposes, with the
+        same (centred, slightly tighter) noise bound, so results are
+        decrypt-equivalent to per-rotation application but not
+        bit-identical to it.
+        """
+        if ct.size != 2:
+            raise ParameterError("apply_galois expects a 2-part ciphertext")
+        context = self.context
+        params = context.params
+        primes_col = context.q_basis.primes_col
+        n = params.n
+        c1_coeff = (context._intt_rows(ct.c1.residues)
+                    if ct.c1.ntt_domain else ct.c1.residues)
+        c0_ntt = (ct.c0.residues if ct.c0.ntt_domain
+                  else context._ntt_rows(ct.c0.residues))
+        d_ntt = self._digit_ntt_rows(c1_coeff)
+        results: dict[int, Ciphertext] = {}
+        for steps, key in keys_by_step.items():
+            perm = slot_permutation(n, key.element)
+            acc0, acc1 = self._fold_digit_pairs(
+                np.ascontiguousarray(d_ntt[:, :, perm]), key
+            )
+            c0 = RnsPoly.trusted(
+                context.q_basis,
+                (c0_ntt[:, perm] + acc0) % primes_col,
+                ntt_domain=True,
+            )
+            c1 = RnsPoly.trusted(context.q_basis, acc1, ntt_domain=True)
+            results[steps] = Ciphertext((c0, c1), params)
+        return results
 
     def rotate(self, ct: Ciphertext, steps: int,
                keys: dict[int, GaloisKey]) -> Ciphertext:

@@ -428,12 +428,8 @@ class FvContext:
         if m_ntt is None:
             m_ntt = self.plain_ntt_rows(plain)
         resident = a.c0.ntt_domain
-        if resident:
-            parts_ntt = np.stack([part.residues for part in a.parts])
-        else:
-            parts_ntt = self._ntt_rows(
-                np.stack([part.residues for part in a.parts])
-            )
+        stacked = np.stack([part.residues for part in a.parts])
+        parts_ntt = stacked if resident else self._ntt_rows(stacked)
         products = (parts_ntt * m_ntt) % primes_col
         if resident:
             return Ciphertext(

@@ -875,10 +875,8 @@ class _GemmPlan:
             )
         stride = 2 * (n // prefix[u + 1])
         exp = along(i_next, 1) * (stride * jsum)
-        if not inverse:
-            exp = exp + along((n // prefix[u + 1]) * i_next, 1)
-        else:
-            exp = exp + along(j_u * weight_u, 0)
+        exp = exp + (along(j_u * weight_u, 0) if inverse
+                     else along((n // prefix[u + 1]) * i_next, 1))
         plane = psi_pow[np.broadcast_to(exp % order, shape)]
         scale = (inv_n * (channel_scale % p)) % p
         if scale != 1:
@@ -1110,10 +1108,8 @@ def ntt_rows(primes: tuple[int, ...], matrix: np.ndarray) -> np.ndarray:
     """
     if _use_per_row(primes, np.asarray(matrix).shape[-1]):
         arr = np.asarray(matrix, dtype=np.int64)
-        if arr.ndim == 3:
-            out = np.stack([_per_row_forward(primes, a) for a in arr])
-        else:
-            out = _per_row_forward(primes, arr)
+        out = (np.stack([_per_row_forward(primes, a) for a in arr])
+               if arr.ndim == 3 else _per_row_forward(primes, arr))
         _count_transform("forward", int(np.prod(out.shape[:-1])))
         return out
     n = np.asarray(matrix).shape[-1]
@@ -1167,10 +1163,8 @@ def intt_rows(primes: tuple[int, ...], matrix: np.ndarray) -> np.ndarray:
     """Inverse-transform a residue matrix (or stack); see :func:`ntt_rows`."""
     if _use_per_row(primes, np.asarray(matrix).shape[-1]):
         arr = np.asarray(matrix, dtype=np.int64)
-        if arr.ndim == 3:
-            out = np.stack([_per_row_inverse(primes, a) for a in arr])
-        else:
-            out = _per_row_inverse(primes, arr)
+        out = (np.stack([_per_row_inverse(primes, a) for a in arr])
+               if arr.ndim == 3 else _per_row_inverse(primes, arr))
         _count_transform("inverse", int(np.prod(out.shape[:-1])))
         return out
     n = np.asarray(matrix).shape[-1]

@@ -1,0 +1,117 @@
+"""The pass manager: run the stack, measure every pass, re-emit a program.
+
+``optimize_program(program)`` is the one call the rest of the system
+uses (``Session.compile(optimize=True)``, ``SimulatedBackend.lower``,
+the CLI). It returns a *new* :class:`HEProgram` — sharing every
+unchanged node with the original, so materialised ciphertexts and
+resident-cache entries survive — plus an
+:class:`~repro.optim.stats.OptimizationReport` with per-pass
+before/after stats. The same numbers feed the obs registry (pass run /
+rewrite / keyswitches-saved counters) and a wall-clock span tree.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..api.program import HEProgram
+from ..obs import Tracer, counter
+from .passes import (
+    CsePass,
+    Pass,
+    PassContext,
+    RelinPlacementPass,
+    RotationCanonicalizePass,
+    RotationFoldPass,
+    RotationHoistPass,
+)
+from .stats import GraphStats, OptimizationReport, PassStats
+
+PASS_RUNS = counter(
+    "repro_optim_pass_runs_total",
+    "Optimiser pass executions", labels=("pass",),
+)
+PASS_REWRITES = counter(
+    "repro_optim_rewrites_total",
+    "Graph rewrites applied, by pass", labels=("pass",),
+)
+KEYSWITCHES_SAVED = counter(
+    "repro_optim_keyswitches_saved_total",
+    "Lowered keyswitch ops removed by optimisation",
+)
+
+
+def default_passes() -> list[Pass]:
+    """The standard stack, in dependency order: canonical rotations
+    first (so CSE hashes agree), folding before relin placement (folds
+    create the product sums lazy relin merges), hoist analysis last
+    (its groups must reference the final nodes)."""
+    return [
+        RotationCanonicalizePass(),
+        CsePass(),
+        RotationFoldPass(),
+        RelinPlacementPass(),
+        RotationHoistPass(),
+    ]
+
+
+class PassManager:
+    """Run a pass pipeline over programs, with per-pass accounting."""
+
+    def __init__(self, passes: Sequence[Pass] | None = None) -> None:
+        self.passes = list(passes) if passes is not None \
+            else default_passes()
+
+    def optimize(self, program: HEProgram
+                 ) -> tuple[HEProgram, OptimizationReport]:
+        """Rewrite one program through the stack.
+
+        The optimised program is built with ``check=False``: every pass
+        preserves or improves the worst-case noise walk, so a program
+        that passed compilation still passes, and one deliberately
+        compiled unchecked stays unchecked.
+        """
+        outputs = dict(program.outputs)
+        ctx = PassContext(params=program.params)
+        stats: list[PassStats] = []
+        before_all = GraphStats.of(outputs, program.params)
+        tracer = Tracer(f"optimize.{program.name}", kind="optimize")
+        with tracer.activate():
+            for p in self.passes:
+                before = GraphStats.of(outputs, program.params)
+                with tracer.span(p.name, kind="pass") as span:
+                    outputs, rewrites, details = p.run(outputs, ctx)
+                    after = GraphStats.of(outputs, program.params)
+                    span.attrs.update(
+                        rewrites=rewrites,
+                        ops_before=before.num_ops,
+                        ops_after=after.num_ops,
+                    )
+                PASS_RUNS.inc(1, **{"pass": p.name})
+                if rewrites:
+                    PASS_REWRITES.inc(rewrites, **{"pass": p.name})
+                stats.append(PassStats(p.name, before, after, rewrites,
+                                       details))
+        after_all = GraphStats.of(outputs, program.params)
+        saved = before_all.keyswitches - after_all.keyswitches
+        if saved > 0:
+            KEYSWITCHES_SAVED.inc(saved)
+        optimized = HEProgram(outputs, program.params,
+                              name=f"{program.name}+opt", check=False)
+        optimized.hoist_groups = list(ctx.hoist_groups)
+        report = OptimizationReport(
+            program_name=program.name, passes=stats,
+            before=before_all, after=after_all,
+            hoist_groups=len(ctx.hoist_groups),
+            trace=tracer.report(),
+        )
+        optimized.optimization = report
+        return optimized, report
+
+
+def optimize_program(program: HEProgram,
+                     passes: Sequence[Pass] | None = None
+                     ) -> tuple[HEProgram, OptimizationReport]:
+    """Convenience wrapper: one program through (by default) the
+    standard stack."""
+    return PassManager(passes).optimize(program)

@@ -37,6 +37,7 @@ which converts them into the structured serial fallback.
 from __future__ import annotations
 
 import atexit
+import contextlib
 import os
 import sys
 import time
@@ -110,11 +111,9 @@ class SharedArena:
         if self._shm is None:
             return
         shm, self._shm = self._shm, None
-        try:
+        with contextlib.suppress(FileNotFoundError, OSError):
             shm.close()
             shm.unlink()
-        except (FileNotFoundError, OSError):  # pragma: no cover
-            pass
 
 
 def _attach(cache: dict[str, tuple[str, _shm.SharedMemory]],
@@ -294,10 +293,8 @@ class SharedMemoryProcessExecutor(_InstrumentedExecutor):
             return
         self._closed = True
         for queue in self._task_queues:
-            try:
+            with contextlib.suppress(OSError, ValueError):
                 queue.put(None)
-            except (OSError, ValueError):  # pragma: no cover
-                pass
         for proc in self._procs:
             proc.join(timeout=5.0)
             if proc.is_alive():  # pragma: no cover - stuck worker

@@ -344,10 +344,8 @@ class ScaleContext:
             p_col = self.p_basis.primes_col
             k_p = self.p_basis.size
             int15 = (self.int_table << 15) % p_col
-            if prescaled:
-                own = self.p_term % p_col
-            else:
-                own = (self.x_prime_mult_p * self.p_term) % p_col
+            own = (self.p_term % p_col if prescaled
+                   else (self.x_prime_mult_p * self.p_term) % p_col)
             own15 = (own << 15) % p_col
             diag_hi = np.zeros((k_p, k_p), dtype=np.int64)
             diag_lo = np.zeros((k_p, k_p), dtype=np.int64)

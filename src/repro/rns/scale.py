@@ -58,22 +58,19 @@ def scale_hps(context: ScaleContext, residues: np.ndarray,
     # part. ``prescaled=True`` means the caller already folded the Q~_i
     # factors into its inverse transforms (see Evaluator.multiply_raw),
     # so the rows arrive as x' directly.
-    if prescaled:
-        x_prime_q = q_rows
-    else:
-        x_prime_q = (q_rows * context.x_prime_mult_q) \
-            % context.q_basis.primes_col
+    x_prime_q = (q_rows if prescaled
+                 else (q_rows * context.x_prime_mult_q)
+                 % context.q_basis.primes_col)
     # Fractional accumulation sop_R = round(sum_i x'_i * R_i) via split
     # 30-bit limbs (exact; see rns.lift.hps_quotient for the argument).
     s_hi = (x_prime_q * context.frac_hi_col).sum(axis=0)
     s_lo = (x_prime_q * context.frac_lo_col).sum(axis=0)
     half = 1 << (SCALE_FRACTION_BITS - 1 - 30)
     rounded = (s_hi + half + (s_lo >> 30)) >> (SCALE_FRACTION_BITS - 30)
-    if batch._PER_ROW_MODE:
-        y_p = _scale_sop_loop(context, x_prime_q, p_rows, rounded)
-    else:
-        y_p = _scale_sop_gemm(context, x_prime_q, p_rows, rounded,
-                              prescaled)
+    y_p = (_scale_sop_loop(context, x_prime_q, p_rows, rounded)
+           if batch._PER_ROW_MODE
+           else _scale_sop_gemm(context, x_prime_q, p_rows, rounded,
+                                prescaled))
     # Fig. 9 Block 5: base-extend the p-basis result back to the q-basis
     # re-using the lift datapath, exactly as the hardware does.
     return lift_hps(context.final_lift, y_p)
@@ -122,10 +119,9 @@ def _scale_sop_gemm(context: ScaleContext, x_prime_q: np.ndarray,
     k_q = x_prime_q.shape[0]
     k_p = p_rows.shape[0]
     n = x_prime_q.shape[1]
-    if prescaled:
-        int_cat, p_col_f, inv_p_col = context.gemm_tables_prescaled()
-    else:
-        int_cat, p_col_f, inv_p_col = context.gemm_tables()
+    int_cat, p_col_f, inv_p_col = (context.gemm_tables_prescaled()
+                                   if prescaled
+                                   else context.gemm_tables())
     p_col = context.p_basis.primes_col
     limbs = np.empty((2 * k_q + 2 * k_p, n), dtype=np.float64)
     np.right_shift(x_prime_q, 15, out=limbs[:k_q], casting="unsafe")

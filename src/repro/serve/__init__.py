@@ -19,6 +19,7 @@ from .batching import BatchPolicy, DmaBatcher
 from .engine import RuntimeReport, ServingRuntime, simulate
 from .events import Event, EventHeap, EventKind
 from .schedulers import (
+    CriticalPathScheduler,
     FifoScheduler,
     Scheduler,
     ShortestJobFirstScheduler,
@@ -39,6 +40,7 @@ __all__ = [
     "EventHeap",
     "EventKind",
     "Scheduler",
+    "CriticalPathScheduler",
     "FifoScheduler",
     "ShortestJobFirstScheduler",
     "WeightedFairScheduler",

@@ -139,6 +139,47 @@ class CostModel:
             )
         return self._compute_cache[JobKind.MUL_PLAIN]
 
+    def relin_compute_seconds(self) -> float:
+        """The relinearisation keyswitch on its own (deferred ReLin).
+
+        Same digit structure as the rotation keyswitch — k_q digit
+        NTTs, 2 k_q multiply/accumulates, two inverse transforms and
+        the key streaming — without the rotation's two memory-rearrange
+        passes.
+        """
+        if JobKind.RELIN not in self._compute_cache:
+            model = self.instruction_cycle_model()
+            k = self.params.k_q
+            cycles = (k * model[Opcode.NTT]
+                      + 2 * model[Opcode.INTT]
+                      + 2 * k * (model[Opcode.CMUL] + model[Opcode.CADD]))
+            cycles += k * (self.params.n // 2
+                           + self.config.stage_sync_overhead)
+            seconds = cycles / self.config.fpga_clock_hz
+            if not self.config.relin_key_on_chip:
+                per_component = 2 * (
+                    self.dma.transfer_seconds(self.params.poly_bytes)
+                    + self.dma.arm_setup_seconds
+                )
+                seconds += k * per_component
+            self._compute_cache[JobKind.RELIN] = seconds
+        return self._compute_cache[JobKind.RELIN]
+
+    def mult_raw_compute_seconds(self) -> float:
+        """Mult without its relinearisation tail (tensor + scale only).
+
+        Modelled as the full Mult minus the deferred-ReLin keyswitch it
+        no longer performs, floored at the Add cost so an aggressive
+        config cannot price it negative.
+        """
+        if JobKind.MULT_RAW not in self._compute_cache:
+            self._compute_cache[JobKind.MULT_RAW] = max(
+                self.mult_compute_seconds()
+                - self.relin_compute_seconds(),
+                self.add_compute_seconds(),
+            )
+        return self._compute_cache[JobKind.MULT_RAW]
+
     def compute_seconds(self, kind: JobKind) -> float:
         if kind is JobKind.MULT:
             return self.mult_compute_seconds()
@@ -146,6 +187,10 @@ class CostModel:
             return self.rotate_compute_seconds()
         if kind is JobKind.MUL_PLAIN:
             return self.mul_plain_compute_seconds()
+        if kind is JobKind.MULT_RAW:
+            return self.mult_raw_compute_seconds()
+        if kind is JobKind.RELIN:
+            return self.relin_compute_seconds()
         return self.add_compute_seconds()
 
     def job_seconds(self, kind: JobKind) -> float:

@@ -25,6 +25,11 @@ class JobKind(Enum):
     ADD = "add"
     ROTATE = "rotate"
     MUL_PLAIN = "mul_plain"
+    #: Tensor + scale without the relinearisation keyswitch (the
+    #: optimiser's lazy-relin placement defers the fold).
+    MULT_RAW = "mult_raw"
+    #: The deferred relinearisation keyswitch on its own.
+    RELIN = "relin"
 
 
 @dataclass(frozen=True)
@@ -47,6 +52,10 @@ class Job:
     polys_in: int | None = None
     polys_out: int | None = None
     request: int | None = None
+    #: Remaining critical-path seconds of this job's request (this op's
+    #: service time plus the longest dependent chain behind it), stamped
+    #: by program-aware lowering; ``None`` for jobs outside a program.
+    critical_seconds: float | None = None
 
 
 def mult_stream(count: int) -> list[Job]:

@@ -170,9 +170,9 @@ class TestRegistry:
 class TestTracer:
     def test_span_nesting_and_walk_order(self):
         tracer = Tracer("run")
-        with tracer.span("outer", kind="op"):
-            with tracer.span("inner", kind="transform"):
-                pass
+        with tracer.span("outer", kind="op"), \
+                tracer.span("inner", kind="transform"):
+            pass
         root = tracer.finish()
         names = [s.name for s in root.walk()]
         assert names == ["run", "outer", "inner"]
@@ -270,9 +270,9 @@ class TestTracer:
 class TestTimeline:
     def test_tracer_tree_exports_and_validates(self):
         tracer = Tracer("run")
-        with tracer.span("op", kind="op", op="MULTIPLY"):
-            with tracer.span("ntt.forward", kind="transform"):
-                pass
+        with tracer.span("op", kind="op", op="MULTIPLY"), \
+                tracer.span("ntt.forward", kind="transform"):
+            pass
         events = spans_to_chrome(tracer.finish())
         assert validate_chrome_trace(events)
         slices = [e for e in events if e["ph"] == "X"]

@@ -288,9 +288,9 @@ class TestInstrumentsAndSpans:
     def test_tile_spans_on_per_worker_lanes(self, primes, stack):
         bt = basis_transformer(primes, N)
         tracer = Tracer()
-        with use_executor("threads", 2), tracer.activate():
-            with tracer.span("root", kind="op"):
-                bt.forward(stack)
+        with use_executor("threads", 2), tracer.activate(), \
+                tracer.span("root", kind="op"):
+            bt.forward(stack)
         report = tracer.report()
         tiles = [s for s in report.root.walk() if s.kind == "tile"]
         assert tiles, "tiled dispatch emitted no tile spans"
