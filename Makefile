@@ -8,7 +8,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint coverage bench-smoke bench-full bench-nightly \
-	cluster-demo clean
+	cluster-demo chaos-smoke clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -18,7 +18,7 @@ lint:
 
 coverage:
 	$(PYTHON) -m pytest -q --cov=repro --cov-report=term \
-		--cov-fail-under=78
+		--cov-fail-under=79
 
 # Fast-mode benches: regenerate the serving + cluster result files the
 # CI bench-smoke job uploads as artifacts (REPRO_BENCH_FAST shrinks
@@ -45,6 +45,15 @@ bench-nightly:
 
 cluster-demo:
 	$(PYTHON) -m repro cluster --shards 8
+
+# CI test-faults job: the fault-injection suite on fixed FaultPlan
+# seeds plus the fast-mode chaos bench (mid-run board kill with the
+# zero-loss / <3x-p99 gates).
+chaos-smoke:
+	$(PYTHON) -m pytest -x -q tests/test_faults.py
+	REPRO_BENCH_FAST=1 $(PYTHON) -m pytest -q \
+		benchmarks/bench_fault_tolerance.py
+	$(PYTHON) -m repro cluster --shards 8 --faults 2019 --replicas 2
 
 clean:
 	rm -rf .pytest_cache .ruff_cache .coverage htmlcov

@@ -31,8 +31,10 @@ from pathlib import Path
 def render(records: list[dict]) -> str:
     cores_records = [r for r in records if "cores" in r]
     optim_records = [r for r in records if "optim" in r]
+    fault_records = [r for r in records if "fault" in r]
     records = [r for r in records
-               if "cores" not in r and "optim" not in r]
+               if "cores" not in r and "optim" not in r
+               and "fault" not in r]
     lines = ["## FV hot-path speedup trajectory", ""]
     if not records and not cores_records:
         lines.append("_No trajectory records yet._")
@@ -110,6 +112,28 @@ def render(records: list[dict]) -> str:
                 point = by_program.get(name)
                 row.append(_speedup(point["makespan_speedup"])
                            if point else "")
+            lines.append("| " + " | ".join(row) + " |")
+    if fault_records:
+        lines += ["", "### Fault tolerance (mid-run board kill)", ""]
+        header = ["date", "sha", "fleet", "lost", "spilled", "retried",
+                  "failovers", "availability", "p99 inflation"]
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "---|" * len(header))
+        for record in fault_records:
+            meta = record.get("meta", {})
+            fault = record["fault"]
+            row = [
+                str(meta.get("recorded_at", "?")).split("T")[0],
+                str(meta.get("git_sha", "?")),
+                f"{fault.get('shards', '?')} boards / "
+                f"R={fault.get('replicas', '?')}",
+                str(fault.get("jobs_lost", "?")),
+                str(fault.get("jobs_spilled", "?")),
+                str(fault.get("jobs_retried", "?")),
+                str(fault.get("failovers", "?")),
+                _percent(fault.get("availability")),
+                _speedup(fault.get("p99_inflation")),
+            ]
             lines.append("| " + " | ".join(row) + " |")
     return "\n".join(lines) + "\n"
 

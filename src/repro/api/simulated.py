@@ -199,6 +199,12 @@ class SimulatedRun:
                 if self.lowered is not None else 0.0)
 
     @property
+    def failure_report(self):
+        """The cluster's fault ledger, or ``None`` for fault-free runs
+        (and for single-board runtime targets, which cannot crash)."""
+        return getattr(self.report, "failure", None)
+
+    @property
     def completed(self) -> list[ProgramFuture]:
         return [f for f in self.futures if f.succeeded]
 
@@ -352,8 +358,17 @@ class SimulatedBackend:
                      batching=None, tenants=None,
                      max_backlog_seconds: float | None = None,
                      optimize: bool = False,
+                     fault_plan=None, retry=None,
+                     replicas: int | None = None,
                      ) -> SimulatedBackend:
-        """A multi-FPGA shard cluster behind a placement router."""
+        """A multi-FPGA shard cluster behind a placement router.
+
+        ``fault_plan`` / ``retry`` / ``replicas`` thread straight
+        through to :meth:`FpgaCluster.homogeneous`, so a client program
+        can run against a chaos scenario (board kills, retries,
+        replica failover) and read the outcome from
+        :attr:`SimulatedRun.failure_report`.
+        """
         from ..cluster.cluster import FpgaCluster
 
         def factory() -> FpgaCluster:
@@ -362,6 +377,7 @@ class SimulatedBackend:
                 params, num_shards, config=config, router=router,
                 scheduler_factory=scheduler_factory, batching=batching,
                 tenants=tenants, max_backlog_seconds=max_backlog_seconds,
+                fault_plan=fault_plan, retry=retry, replicas=replicas,
             )
 
         return cls(params, factory,

@@ -251,6 +251,34 @@ def cmd_cluster(args: argparse.Namespace) -> None:
     single_capacity = FpgaCluster.homogeneous(
         params, 1).capacity_mults_per_second()
 
+    # -- chaos mode: seeded fault plan + replicated tenants ------------
+    if args.faults is not None:
+        from .cluster import FaultPlan, RetryPolicy
+
+        replicas = 2 if args.replicas is None else args.replicas
+        capacity = shards * single_capacity
+        trace = cluster_trace(args.tenants, 0.6 * capacity,
+                              args.duration, skew=1.1, seed=seed)
+        plan = FaultPlan.seeded(args.faults, shards, args.duration,
+                                crashes=min(2, shards - 1) if shards > 1
+                                else 0,
+                                transient_failures=8, dma_stalls=2)
+        cluster = FpgaCluster.homogeneous(
+            params, shards, router=TenantAffinityRouter(),
+            fault_plan=plan, retry=RetryPolicy(seed=seed),
+            replicas=replicas)
+        report = cluster.run(trace)
+        latency = report.latency_summary()
+        print(f"chaos run: {shards} boards, R={replicas} replication, "
+              f"fault seed {args.faults}, {len(trace)} jobs at 60% "
+              f"capacity over {args.duration:.1f} s")
+        print(f"  completed {report.completed}, "
+              f"rejected {len(report.rejected)}, "
+              f"availability {report.availability * 100:.2f}%, "
+              f"p99 {latency.p99 * 1e3:.2f} ms\n")
+        print(report.failure.render())
+        return
+
     # -- saturated throughput scaling under tenant-affinity routing --
     print(f"one board: {single_capacity:.0f} Mult/s "
           f"({HardwareConfig().num_coprocessors} coprocessors)\n")
@@ -684,6 +712,16 @@ def main(argv: list[str] | None = None) -> int:
                                help="alternate 2- and 1-butterfly-core "
                                     "boards")
     cluster_group.add_argument("--seed", type=int, default=0)
+    cluster_group.add_argument("--faults", type=int, default=None,
+                               metavar="SEED",
+                               help="run the chaos scenario: a seeded "
+                                    "fault plan (board kills, transient "
+                                    "job failures, DMA stalls) and the "
+                                    "failure report it produced")
+    cluster_group.add_argument("--replicas", type=_positive_int,
+                               default=None,
+                               help="tenant key-state replication factor "
+                                    "for the chaos scenario (default 2)")
     executor_group = parser.add_argument_group(
         "executor options",
         "multi-core execution of the functional engine (overrides the "

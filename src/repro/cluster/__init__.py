@@ -4,18 +4,25 @@ Scales the single Arm+FPGA board of the paper (and the PR 1 serving
 runtime that simulates it) out to a cluster: N per-board runtimes
 behind a placement router on one shared simulated clock —
 
-* :mod:`~repro.cluster.shard` — one board: a steppable runtime plus
-  the load signals routing reads;
+* :mod:`~repro.cluster.shard` — one board: a steppable runtime with an
+  UP/DRAINING/DOWN lifecycle plus the load signals routing reads;
 * :mod:`~repro.cluster.routing` — round-robin, least-outstanding-work,
   tenant-affinity (rendezvous hashing, optionally bounded-load), and
   power-of-two-choices placement;
+* :mod:`~repro.cluster.placement` — replicated tenant key-state
+  placement (R boards per tenant, rendezvous-pinned, warmth-tracked);
 * :mod:`~repro.cluster.cluster` — the shared-clock run loop with
-  per-shard admission backpressure and overflow re-routing;
+  per-shard admission backpressure, overflow re-routing, and the
+  fault/retry interleaving driven by :mod:`repro.faults` plans;
 * :mod:`~repro.cluster.report` — merged cluster telemetry: cluster and
-  per-shard percentiles, throughput, utilization imbalance.
+  per-shard percentiles, throughput, utilization imbalance, and the
+  :class:`~repro.faults.FailureReport` ledger of any chaos run.
 """
 
+from ..faults import FailureReport, FaultEvent, FaultKind, FaultPlan, \
+    RetryPolicy
 from .cluster import FpgaCluster
+from .placement import ReplicatedPlacement
 from .report import ClusterReport
 from .routing import (
     LeastOutstandingWorkRouter,
@@ -25,12 +32,19 @@ from .routing import (
     TenantAffinityRouter,
     default_routers,
 )
-from .shard import Shard
+from .shard import Shard, ShardState
 
 __all__ = [
     "FpgaCluster",
     "ClusterReport",
+    "FailureReport",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "ReplicatedPlacement",
+    "RetryPolicy",
     "Shard",
+    "ShardState",
     "Router",
     "RoundRobinRouter",
     "LeastOutstandingWorkRouter",

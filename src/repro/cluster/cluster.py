@@ -18,37 +18,84 @@ near-linear Mult/s to eight boards under tenant-affinity routing.
 
 from __future__ import annotations
 
+import heapq
+import itertools
+from collections import deque
 from collections.abc import Callable, Sequence
+from dataclasses import replace
 
+from ..faults import (
+    FAULT_EVENTS_COUNTER,
+    FAULT_FAILOVERS_COUNTER,
+    FAULT_JOBS_LOST_COUNTER,
+    FAULT_REHYDRATIONS_COUNTER,
+    FAULT_RETRIES_COUNTER,
+    FailureReport,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    RetryPolicy,
+)
 from ..hw.config import HardwareConfig
-from ..obs import current_registry
+from ..obs import active_tracer, current_registry
 from ..params import ParameterSet
 from ..serve.batching import BatchPolicy
 from ..serve.schedulers import Scheduler
 from ..serve.tenants import Rejection, TenantSet
 from ..system.server import CostModel
 from ..system.workloads import Job
+from .placement import ReplicatedPlacement
 from .report import ClusterReport
 from .routing import RoundRobinRouter, Router
-from .shard import Shard
+from .shard import Shard, ShardState
 
 SchedulerFactory = Callable[[], Scheduler]
+
+#: Canonical Table I input-transfer shape (two operand ciphertexts).
+_DEFAULT_POLYS_IN = 4
 
 
 class FpgaCluster:
     """N Arm+FPGA boards serving one job stream (single-use)."""
 
     def __init__(self, shards: Sequence[Shard],
-                 router: Router | None = None) -> None:
+                 router: Router | None = None, *,
+                 fault_plan: FaultPlan | None = None,
+                 retry: RetryPolicy | None = None,
+                 replicas: int | None = None) -> None:
         if not shards:
             raise ValueError("a cluster needs at least one shard")
         if len({shard.name for shard in shards}) != len(shards):
             raise ValueError("shard names must be unique")
         self.shards = list(shards)
         self.router = RoundRobinRouter() if router is None else router
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            for event in fault_plan:
+                if event.shard >= len(self.shards):
+                    raise ValueError(
+                        f"fault plan names shard {event.shard} but the "
+                        f"cluster has {len(self.shards)}"
+                    )
+        self.retry = (RetryPolicy() if retry is None
+                      and fault_plan is not None else retry)
+        self.placement = (None if replicas is None else
+                          ReplicatedPlacement(
+                              [s.name for s in self.shards], replicas))
         self._ran = False
         self._overflow: list[Rejection] = []
         self._reroutes = 0
+        self._fault_queue: deque[FaultEvent] = deque()
+        self._retry_heap: list[tuple[float, int, Job, int]] = []
+        self._retry_seq = itertools.count()
+        self._attempts: dict[tuple, int] = {}
+        self._retries_scheduled = 0
+        self._failure: FailureReport | None = None
+
+    @property
+    def _fault_mode(self) -> bool:
+        """Whether the stepping loop interleaves fault/retry events."""
+        return self.fault_plan is not None
 
     # -- constructors ------------------------------------------------------------------
 
@@ -60,6 +107,9 @@ class FpgaCluster:
                     batching: BatchPolicy | None = None,
                     tenants: TenantSet | None = None,
                     max_backlog_seconds: float | None = None,
+                    fault_plan: FaultPlan | None = None,
+                    retry: RetryPolicy | None = None,
+                    replicas: int | None = None,
                     ) -> FpgaCluster:
         """N identical boards sharing one cached :class:`CostModel`.
 
@@ -76,7 +126,8 @@ class FpgaCluster:
                              batching, tenants, max_backlog_seconds)
             for i in range(num_shards)
         ]
-        return cls(shards, router=router)
+        return cls(shards, router=router, fault_plan=fault_plan,
+                   retry=retry, replicas=replicas)
 
     @classmethod
     def heterogeneous(cls, params: ParameterSet,
@@ -86,6 +137,9 @@ class FpgaCluster:
                       batching: BatchPolicy | None = None,
                       tenants: TenantSet | None = None,
                       max_backlog_seconds: float | None = None,
+                      fault_plan: FaultPlan | None = None,
+                      retry: RetryPolicy | None = None,
+                      replicas: int | None = None,
                       ) -> FpgaCluster:
         """One board per config — mixed design points in one cluster.
 
@@ -109,7 +163,8 @@ class FpgaCluster:
                 cls._build_shard(f"shard{i}", cost, scheduler_factory,
                                  batching, tenants, max_backlog_seconds)
             )
-        return cls(shards, router=router)
+        return cls(shards, router=router, fault_plan=fault_plan,
+                   retry=retry, replicas=replicas)
 
     @staticmethod
     def _build_shard(name: str, cost: CostModel,
@@ -140,6 +195,15 @@ class FpgaCluster:
             shard.begin()
         self._overflow: list[Rejection] = []
         self._reroutes = 0
+        self._fault_queue = deque(self.fault_plan or ())
+        self._retry_heap = []
+        self._retry_seq = itertools.count()
+        self._attempts = {}
+        self._retries_scheduled = 0
+        if self.fault_plan is not None or self.placement is not None:
+            self._failure = FailureReport(
+                plan_seed=None if self.fault_plan is None
+                else self.fault_plan.seed)
 
     def inject(self, job: Job) -> None:
         """Advance the boards to the arrival instant, route, and inject.
@@ -147,23 +211,240 @@ class FpgaCluster:
         Every board first advances to (just before) the arrival so the
         router compares load states at one instant; per-shard admission
         backpressure can then overflow the job onto the least-loaded
-        accepting sibling before the cluster rejects at its edge.
+        accepting sibling before the cluster rejects at its edge. Under
+        a fault plan, scheduled faults and due retries strictly before
+        (or at) the arrival apply first, in time order.
         """
         now = job.arrival_seconds
+        self._advance_shards(now, inclusive=False)
+        self._route_and_inject(job, now)
+
+    def advance_to(self, time_seconds: float, *,
+                   inclusive: bool = True) -> None:
+        """Advance every board's clock (stepping-protocol passthrough)."""
+        self._advance_shards(time_seconds, inclusive=inclusive)
+
+    def next_event_seconds(self) -> float | None:
+        """Due time of the earliest queued event on any board.
+
+        Includes pending fault-plan events and scheduled retries, so
+        closed-loop drivers stepping by next-event never leap over a
+        crash or a backed-off re-injection.
+        """
+        times = [t for shard in self.shards
+                 if (t := shard.next_event_seconds()) is not None]
+        if self._fault_queue:
+            times.append(self._fault_queue[0].time_seconds)
+        if self._retry_heap:
+            times.append(self._retry_heap[0][0])
+        return min(times, default=None)
+
+    def completion_feeds(self) -> list[list]:
+        """One live completion list per shard (closed-loop protocol)."""
+        return [feed for shard in self.shards
+                for feed in shard.runtime.completion_feeds()]
+
+    def rejection_feeds(self) -> list[list[Rejection]]:
+        """Per-shard live rejection lists plus the cluster-edge overflow."""
+        feeds = [feed for shard in self.shards
+                 for feed in shard.runtime.rejection_feeds()]
+        return feeds + [self._overflow]
+
+    def drain(self) -> ClusterReport:
+        """Drain every board and merge the per-shard reports.
+
+        Pending fault events and backed-off retries are applied first,
+        in time order, so a crash scheduled after the last arrival
+        still spills (and recovers) exactly as it would mid-stream.
+        """
+        while self._fault_queue or self._retry_heap:
+            due = self._next_internal_due()
+            self._advance_shards(due, inclusive=False)
+        reports = [shard.drain() for shard in self.shards]
+        if self._failure is not None:
+            self._close_downtime_windows()
+        return ClusterReport(
+            shard_names=[shard.name for shard in self.shards],
+            shard_reports=reports,
+            router_name=self.router.name,
+            overflow_rejected=self._overflow,
+            reroutes=self._reroutes,
+            registry_snapshot=current_registry().snapshot(),
+            failure=self._failure,
+        )
+
+    # -- fault interleaving ------------------------------------------------------------
+
+    def _next_internal_due(self) -> float:
+        """Earliest pending fault or retry instant (queues non-empty)."""
+        times = []
+        if self._fault_queue:
+            times.append(self._fault_queue[0].time_seconds)
+        if self._retry_heap:
+            times.append(self._retry_heap[0][0])
+        return min(times)
+
+    def _advance_shards(self, time_seconds: float, *,
+                        inclusive: bool) -> None:
+        """Advance every board to ``time_seconds``, applying any fault
+        events and due retries on the way, in time order (a fault and a
+        retry due at one instant apply fault-first: a crash at *t* must
+        not race the re-injection it may itself have caused)."""
+        while self._fault_mode or self._retry_heap:
+            fault_due = (self._fault_queue[0].time_seconds
+                         if self._fault_queue else None)
+            retry_due = (self._retry_heap[0][0]
+                         if self._retry_heap else None)
+            if fault_due is not None and fault_due <= time_seconds and (
+                    retry_due is None or fault_due <= retry_due):
+                for shard in self.shards:
+                    shard.advance_to(fault_due, inclusive=False)
+                self._apply_fault(self._fault_queue.popleft())
+                continue
+            if retry_due is not None and retry_due <= time_seconds:
+                for shard in self.shards:
+                    shard.advance_to(retry_due, inclusive=False)
+                _, _, job, origin = heapq.heappop(self._retry_heap)
+                self._inject_retry(job, origin)
+                continue
+            break
         for shard in self.shards:
-            shard.advance_to(now, inclusive=False)
-        primary = self.router.choose(job, self.shards)
-        if not 0 <= primary < len(self.shards):
+            shard.advance_to(time_seconds, inclusive=inclusive)
+
+    def _apply_fault(self, event: FaultEvent) -> None:
+        now = event.time_seconds
+        shard = self.shards[event.shard]
+        failure = self._failure
+        failure.events.append(event)
+        FAULT_EVENTS_COUNTER.inc(kind=event.kind.value)
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.add(f"fault.{event.kind.value}", "fault", now, now,
+                       clock="sim", shard=shard.name)
+        if event.kind is FaultKind.SHARD_CRASH:
+            if shard.state is ShardState.DOWN:
+                return
+            spilled = shard.crash(now)
+            failure.crashes += 1
+            failure.jobs_spilled += len(spilled)
+            if self.placement is not None:
+                self.placement.evict_shard(event.shard)
+            for job in spilled:
+                self._schedule_retry(job, event.shard, now)
+        elif event.kind is FaultKind.SHARD_RECOVER:
+            if shard.state is not ShardState.DOWN:
+                return
+            down_since = shard.down_since
+            failure.recoveries += 1
+            failure.downtime_by_shard[shard.name] = (
+                failure.downtime_by_shard.get(shard.name, 0.0)
+                + (now - down_since))
+            if tracer is not None:
+                tracer.add("shard.down", "fault", down_since, now,
+                           clock="sim", shard=shard.name)
+            if self.placement is not None:
+                failure.rebalanced_tenants += len(
+                    self.placement.primary_tenants(event.shard))
+            shard.recover()
+        elif event.kind is FaultKind.JOB_FAIL:
+            if shard.state is ShardState.DOWN:
+                return
+            job = shard.fail_one()
+            if job is not None:
+                failure.transient_failures += 1
+                self._schedule_retry(job, event.shard, now)
+        elif event.kind is FaultKind.DMA_STALL:
+            if shard.state is not ShardState.DOWN:
+                shard.set_service_scale(event.factor)
+                failure.dma_stalls += 1
+        elif event.kind is FaultKind.DMA_RESUME:
+            if shard.state is not ShardState.DOWN:
+                shard.set_service_scale(1.0)
+
+    def _schedule_retry(self, job: Job, origin: int, now: float) -> None:
+        """Queue a failed/spilled job for backed-off re-injection."""
+        retry = self.retry if self.retry is not None else RetryPolicy()
+        key = (job.tenant, job.index, job.request)
+        attempt = self._attempts.get(key, 1) + 1
+        self._attempts[key] = attempt
+        budget_spent = (retry.total_budget is not None
+                        and self._retries_scheduled >= retry.total_budget)
+        if attempt > retry.max_attempts or budget_spent:
+            self._failure.jobs_lost += 1
+            FAULT_JOBS_LOST_COUNTER.inc()
+            self._overflow.append(Rejection(
+                job=job, time_seconds=now, reason="retry-budget"))
+            return
+        self._retries_scheduled += 1
+        due = now + retry.backoff_seconds(attempt - 1, token=job.index)
+        first = (job.arrival_seconds if job.first_arrival_seconds is None
+                 else job.first_arrival_seconds)
+        deadline = job.deadline_seconds
+        if deadline is None and retry.deadline_seconds is not None:
+            deadline = first + retry.deadline_seconds
+        retried = replace(job, arrival_seconds=due,
+                          first_arrival_seconds=first,
+                          deadline_seconds=deadline)
+        heapq.heappush(self._retry_heap,
+                       (due, next(self._retry_seq), retried, origin))
+
+    def _inject_retry(self, job: Job, origin: int) -> None:
+        self._failure.jobs_retried += 1
+        FAULT_RETRIES_COUNTER.inc()
+        target = self._route_and_inject(job, job.arrival_seconds)
+        if target is not None and target != origin:
+            self._failure.jobs_relocated += 1
+
+    def _close_downtime_windows(self) -> None:
+        """Account downtime for boards still DOWN when the run ends."""
+        end = max((shard.runtime.now for shard in self.shards),
+                  default=0.0)
+        tracer = active_tracer()
+        for shard in self.shards:
+            if shard.state is not ShardState.DOWN:
+                continue
+            self._failure.downtime_by_shard[shard.name] = (
+                self._failure.downtime_by_shard.get(shard.name, 0.0)
+                + (end - shard.down_since))
+            if tracer is not None:
+                tracer.add("shard.down", "fault", shard.down_since, end,
+                           clock="sim", shard=shard.name)
+
+    # -- routing -----------------------------------------------------------------------
+
+    def _route_and_inject(self, job: Job, now: float) -> int | None:
+        """Name a target board for `job` and inject; None if rejected.
+
+        The fault-free, replication-free path is byte-for-byte the
+        pre-fault routing logic (single-shard bit-exactness and the
+        router comparison benches depend on it); health masking and
+        replica placement only engage when a board is down or a
+        :class:`ReplicatedPlacement` is configured.
+        """
+        if self.placement is not None:
+            return self._route_replicated(job, now)
+        alive = [i for i, shard in enumerate(self.shards)
+                 if shard.state is ShardState.UP]
+        if not alive:
+            self._overflow.append(Rejection(
+                job=job, time_seconds=now, reason="unavailable"))
+            return None
+        masked = len(alive) != len(self.shards)
+        view = ([self.shards[i] for i in alive] if masked
+                else self.shards)
+        chosen = self.router.choose(job, view)
+        if not 0 <= chosen < len(view):
             raise ValueError(
-                f"router {self.router.name!r} chose shard {primary} "
-                f"of {len(self.shards)}"
+                f"router {self.router.name!r} chose shard {chosen} "
+                f"of {len(view)}"
             )
+        primary = alive[chosen] if masked else chosen
         target = primary
         if not self.shards[primary].accepting(job):
             # Overflow re-routing: the least-loaded accepting
             # sibling takes the spill.
             siblings = [
-                i for i in range(len(self.shards))
+                i for i in alive
                 if i != primary and self.shards[i].accepting(job)
             ]
             if siblings:
@@ -179,45 +460,60 @@ class FpgaCluster:
                 # rather than bust the primary's cap.
                 self._overflow.append(Rejection(job=job, time_seconds=now,
                                                 reason="backpressure"))
-                return
+                return None
             # Otherwise fall through: the primary's own admission
             # control records the rejection with its precise reason.
         self.shards[target].inject(job)
+        return target
 
-    def advance_to(self, time_seconds: float, *,
-                   inclusive: bool = True) -> None:
-        """Advance every board's clock (stepping-protocol passthrough)."""
-        for shard in self.shards:
-            shard.advance_to(time_seconds, inclusive=inclusive)
+    def _route_replicated(self, job: Job, now: float) -> int | None:
+        """Tenant-pinned routing over the replica set, with failover.
 
-    def next_event_seconds(self) -> float | None:
-        """Due time of the earliest queued event on any board."""
-        times = [t for shard in self.shards
-                 if (t := shard.next_event_seconds()) is not None]
-        return min(times, default=None)
-
-    def completion_feeds(self) -> list[list]:
-        """One live completion list per shard (closed-loop protocol)."""
-        return [feed for shard in self.shards
-                for feed in shard.runtime.completion_feeds()]
-
-    def rejection_feeds(self) -> list[list[Rejection]]:
-        """Per-shard live rejection lists plus the cluster-edge overflow."""
-        feeds = [feed for shard in self.shards
-                 for feed in shard.runtime.rejection_feeds()]
-        return feeds + [self._overflow]
-
-    def drain(self) -> ClusterReport:
-        """Drain every board and merge the per-shard reports."""
-        reports = [shard.drain() for shard in self.shards]
-        return ClusterReport(
-            shard_names=[shard.name for shard in self.shards],
-            shard_reports=reports,
-            router_name=self.router.name,
-            overflow_rejected=self._overflow,
-            reroutes=self._reroutes,
-            registry_snapshot=current_registry().snapshot(),
-        )
+        Walks the tenant's full rendezvous preference order and takes
+        the first UP, accepting board. Inside the replica set that is
+        normal affinity; past it the tenant *fails over*, paying the
+        key-rehydration penalty on a board that has never staged its
+        keys (and on a replica gone cold after a crash).
+        """
+        placement = self.placement
+        order = placement.preference(job.tenant)
+        alive = [i for i in order
+                 if self.shards[i].state is ShardState.UP]
+        if not alive:
+            self._overflow.append(Rejection(
+                job=job, time_seconds=now, reason="unavailable"))
+            return None
+        target = next((i for i in alive
+                       if self.shards[i].accepting(job)), None)
+        if target is None:
+            if self.shards[alive[0]].runtime.would_admit(job):
+                self._overflow.append(Rejection(
+                    job=job, time_seconds=now, reason="backpressure"))
+                return None
+            # Let the preferred live board's admission control record
+            # the rejection with its precise reason.
+            target = alive[0]
+        if target != alive[0]:
+            self._reroutes += 1
+        primary = order[0]
+        if (target != primary
+                and self.shards[primary].state is ShardState.DOWN):
+            tenants = self._failure.failovers_by_tenant
+            tenants[job.tenant] = tenants.get(job.tenant, 0) + 1
+            FAULT_FAILOVERS_COUNTER.inc()
+        if not placement.is_warm(job.tenant, target):
+            # Cold replica: the tenant's relin/Galois key polynomials
+            # must restage over DMA before this job runs — priced as
+            # extra input transfers through the existing cost model.
+            key_polys = 2 * self.shards[target].cost.params.k_q
+            polys_in = (_DEFAULT_POLYS_IN if job.polys_in is None
+                        else job.polys_in)
+            job = replace(job, polys_in=polys_in + key_polys)
+            placement.warm(job.tenant, target)
+            self._failure.rehydrations += 1
+            FAULT_REHYDRATIONS_COUNTER.inc()
+        self.shards[target].inject(job)
+        return target
 
     def run(self, jobs: Sequence[Job]) -> ClusterReport:
         """Route `jobs` across the shards and drain every board.

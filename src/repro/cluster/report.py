@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..faults import FailureReport
 from ..serve.engine import RuntimeReport
 from ..serve.telemetry import LatencySummary, Telemetry
 from ..serve.tenants import Rejection
@@ -37,6 +38,9 @@ class ClusterReport:
     #: report carries the process-level counters — engine transforms,
     #: resident-cache events — alongside the queueing telemetry.
     registry_snapshot: dict[str, float] = field(default_factory=dict)
+    #: Fault ledger of the run — present whenever the cluster ran with
+    #: a fault plan or replicated placement, ``None`` otherwise.
+    failure: FailureReport | None = None
 
     def __post_init__(self) -> None:
         if len(self.shard_names) != len(self.shard_reports):
@@ -69,6 +73,17 @@ class ClusterReport:
     def rejection_fraction(self) -> float:
         offered = self.offered
         return len(self.rejected) / offered if offered else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Completed fraction of offered load (1.0 when nothing came).
+
+        The chaos gate's headline: under a board kill with replication
+        this must stay >= 0.99 — everything spilled either completes
+        after retry or was never accepted in the first place.
+        """
+        offered = self.offered
+        return self.completed / offered if offered else 1.0
 
     # -- time window and throughput ----------------------------------------------------
 

@@ -17,12 +17,25 @@ generations the way a real deployment accretes hardware.
 
 from __future__ import annotations
 
+from enum import Enum
+
 from ..serve.batching import BatchPolicy
 from ..serve.engine import RuntimeReport, ServingRuntime
 from ..serve.schedulers import Scheduler
 from ..serve.tenants import TenantSet
 from ..system.server import CostModel
 from ..system.workloads import Job, JobKind
+
+
+class ShardState(Enum):
+    """Board lifecycle: healthy, winding down, or dead."""
+
+    UP = "up"
+    #: Finishing queued work but refusing new arrivals (autoscaling
+    #: drain or operator-initiated maintenance).
+    DRAINING = "draining"
+    #: Crashed: queues spilled, no arrivals until :meth:`Shard.recover`.
+    DOWN = "down"
 
 
 class Shard:
@@ -43,6 +56,9 @@ class Shard:
             cost, scheduler=scheduler, batching=batching, tenants=tenants,
             num_coprocessors=num_coprocessors,
         )
+        self.state = ShardState.UP
+        #: Clock instant of the last crash; ``None`` while healthy.
+        self.down_since: float | None = None
 
     @property
     def config(self):
@@ -74,6 +90,35 @@ class Shard:
     def next_event_seconds(self) -> float | None:
         return self.runtime.next_event_seconds()
 
+    # -- failure lifecycle -------------------------------------------------------------
+
+    def crash(self, now: float) -> list[Job]:
+        """Kill the board: spill all outstanding work, go DOWN."""
+        if self.state is ShardState.DOWN:
+            return []
+        self.state = ShardState.DOWN
+        self.down_since = now
+        return self.runtime.spill()
+
+    def recover(self) -> None:
+        """Return to service: empty queues, nominal DMA, cold caches."""
+        self.state = ShardState.UP
+        self.down_since = None
+        self.runtime.service_scale = 1.0
+
+    def start_draining(self) -> None:
+        """Refuse new work but finish what is queued."""
+        if self.state is ShardState.UP:
+            self.state = ShardState.DRAINING
+
+    def set_service_scale(self, factor: float) -> None:
+        """DMA degradation: multiply service times by ``factor``."""
+        self.runtime.service_scale = factor
+
+    def fail_one(self) -> Job | None:
+        """Transiently fail the next queued job (retry-path fodder)."""
+        return self.runtime.fail_one()
+
     # -- load signals ------------------------------------------------------------------
 
     def outstanding_seconds(self) -> float:
@@ -91,8 +136,11 @@ class Shard:
         False once the queued-work backlog exceeds the shard's cap, or
         when the shard's own admission control would refuse the job —
         the signal the cluster uses to re-route overflow to a sibling
-        board before the shard has to reject.
+        board before the shard has to reject. A board that is not UP
+        never accepts, whatever its queues look like.
         """
+        if self.state is not ShardState.UP:
+            return False
         if (self.max_backlog_seconds is not None
                 and self.outstanding_seconds() > self.max_backlog_seconds):
             return False

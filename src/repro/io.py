@@ -85,14 +85,38 @@ def _write(path: Path, header: dict, payload: bytes) -> None:
 
 
 def _read(path: Path) -> tuple[dict, bytes]:
+    """Parse the magic/header/payload framing, failing *closed*.
+
+    Any way a file can be short, bit-flipped or mis-framed must raise
+    :class:`~repro.errors.EncodingError` — never a bare ``struct``,
+    ``json`` or unicode error — so callers (and operators reading the
+    stack trace) always see "corrupt wire file", not an internals leak.
+    """
     with open(path, "rb") as handle:
-        magic = handle.read(len(MAGIC))
-        if magic != MAGIC:
-            raise EncodingError(f"{path} is not a repro FV file")
-        (header_len,) = struct.unpack("<I", handle.read(4))
-        header = json.loads(handle.read(header_len))
-        payload = handle.read()
-    return header, payload
+        blob = handle.read()
+    if blob[: len(MAGIC)] != MAGIC:
+        raise EncodingError(f"{path} is not a repro FV file")
+    offset = len(MAGIC)
+    if len(blob) < offset + 4:
+        raise EncodingError(f"{path} is truncated: header length missing")
+    (header_len,) = struct.unpack_from("<I", blob, offset)
+    offset += 4
+    if header_len > len(blob) - offset:
+        raise EncodingError(
+            f"{path} is truncated: header declares {header_len} bytes "
+            f"but only {len(blob) - offset} follow"
+        )
+    try:
+        header = json.loads(blob[offset: offset + header_len])
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise EncodingError(
+            f"{path} has a corrupt header: {exc}"
+        ) from exc
+    if not isinstance(header, dict):
+        raise EncodingError(
+            f"{path} header is {type(header).__name__}, not an object"
+        )
+    return header, blob[offset + header_len:]
 
 
 # -- ciphertexts ---------------------------------------------------------------------
@@ -212,13 +236,25 @@ def load_keyset(path, params: ParameterSet) -> KeySet:
     k_q, n = params.k_q, params.n
     basis = basis_for(params.q_primes)
 
+    components = header.get("relin_components")
+    # A flipped or missing header field must not drive the payload walk
+    # into a numpy shape error (or a multi-gigabyte allocation).
+    max_components = len(payload) // (8 * n) + 1
+    if (not isinstance(components, int) or isinstance(components, bool)
+            or not 0 <= components <= max_components):
+        raise EncodingError(
+            f"key file declares an implausible relinearisation component "
+            f"count ({components!r}) — corrupted header"
+        )
+    if len(payload) < 8 * n:
+        raise EncodingError("key file truncated: secret key missing")
     offset = 0
     s_coeffs = np.frombuffer(payload[: 8 * n], dtype="<i8").astype(np.int64)
     offset = 8 * n
     p0, offset = _matrix_from(payload, offset, k_q, n)
     p1, offset = _matrix_from(payload, offset, k_q, n)
     pairs = []
-    for _ in range(header["relin_components"]):
+    for _ in range(components):
         b_ntt, offset = _matrix_from(payload, offset, k_q, n)
         a_ntt, offset = _matrix_from(payload, offset, k_q, n)
         pairs.append((b_ntt, a_ntt))

@@ -49,7 +49,8 @@ from typing import Any
 
 import numpy as np
 
-from .executors import TileTiming, _InstrumentedExecutor, _run_as_worker
+from .executors import TileTiming, _InstrumentedExecutor, _note_fallback, \
+    _run_as_worker
 
 __all__ = ["SharedArena", "SharedMemoryProcessExecutor"]
 
@@ -184,6 +185,9 @@ class SharedMemoryProcessExecutor(_InstrumentedExecutor):
         self.workers = workers
         ctx = get_context("spawn")
         self._closed = False
+        #: Set after a mid-dispatch worker death: the pool is gone and
+        #: every subsequent dispatch runs serially in-process.
+        self._fallen_back = False
         self._arena_in = SharedArena("in")
         self._arena_out = SharedArena("out")
         self._task_queues = [ctx.SimpleQueue() for _ in range(workers)]
@@ -232,9 +236,42 @@ class SharedMemoryProcessExecutor(_InstrumentedExecutor):
         only the named array-tile tasks cross the process boundary."""
         return [fn(item) for item in items]
 
+    def _serial_tiles(self, kind: str, src: Any, dst: Any,
+                      tiles: Sequence[tuple], common: tuple,
+                      ) -> list[TileTiming]:
+        """In-process rerun of a whole dispatch (degraded mode)."""
+        from .tasks import TASKS
+
+        fn = TASKS[kind]
+        timings = []
+        for tile in tiles:
+            t0 = time.perf_counter()
+            fn(src, dst, tile, common)
+            timings.append(TileTiming(tuple(tile), "main", t0,
+                                      time.perf_counter()))
+        return timings
+
+    def _degrade(self, reason: str, kind: str, src: Any, dst: Any,
+                 tiles: Sequence[tuple], common: tuple,
+                 ) -> list[TileTiming]:
+        """A worker died or hung mid-dispatch: finish serially, stay up.
+
+        Workers only ever write the *output arena*, never the caller's
+        ``dst`` (the copy-out happens after every result lands), so
+        rerunning the full tile list in-process is idempotent and
+        bit-identical. The dead pool is closed and every later
+        dispatch short-circuits to the serial path.
+        """
+        _note_fallback(self.name, self.workers, reason)
+        self._fallen_back = True
+        self.close()
+        return self._serial_tiles(kind, src, dst, tiles, common)
+
     def _run_tiles(self, kind: str, src: Any, dst: Any,
                    tiles: Sequence[tuple], common: tuple,
                    ) -> list[TileTiming]:
+        if self._fallen_back:
+            return self._serial_tiles(kind, src, dst, tiles, common)
         if self._closed:
             raise RuntimeError("executor already closed")
         src = np.ascontiguousarray(src)
@@ -261,22 +298,22 @@ class SharedMemoryProcessExecutor(_InstrumentedExecutor):
             deadline = time.monotonic() + _RESULT_TIMEOUT_SECONDS
             while True:
                 if any(not proc.is_alive() for proc in self._procs):
-                    self.close()
-                    raise RuntimeError(
-                        "process executor worker died mid-dispatch"
+                    return self._degrade(
+                        "worker process died mid-dispatch",
+                        kind, src, dst, tiles, common,
                     )
                 try:
                     worker_id, status, payload = self._results.get(
                         timeout=min(1.0, max(0.01,
                                              deadline - time.monotonic())))
                     break
-                except Exception as exc:
+                except Exception:
                     if time.monotonic() >= deadline:
-                        self.close()
-                        raise RuntimeError(
-                            "process executor worker did not respond "
-                            f"within {_RESULT_TIMEOUT_SECONDS:.0f}s"
-                        ) from exc
+                        return self._degrade(
+                            "worker did not respond within "
+                            f"{_RESULT_TIMEOUT_SECONDS:.0f}s",
+                            kind, src, dst, tiles, common,
+                        )
             if status != "ok":
                 self.close()
                 raise RuntimeError(

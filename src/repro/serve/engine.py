@@ -128,6 +128,7 @@ class ServingRuntime:
         self._pending_seconds = 0.0
         self._pending_jobs = 0
         self._in_flight_jobs = 0
+        self._service_scale = 1.0
 
     @classmethod
     def for_server(cls, server: CloudServer, **kwargs) -> ServingRuntime:
@@ -206,6 +207,65 @@ class ServingRuntime:
         for job in jobs:
             self.inject(job)
         return self.drain()
+
+    # -- failure semantics (driven by the cluster's fault loop) ------------------------
+
+    @property
+    def service_scale(self) -> float:
+        """Service-time multiplier (1.0 nominal; >1 under a DMA stall)."""
+        return self._service_scale
+
+    @service_scale.setter
+    def service_scale(self, value: float) -> None:
+        if value < 1.0:
+            raise ValueError("service scale cannot beat nominal hardware")
+        self._service_scale = float(value)
+
+    def spill(self) -> list[Job]:
+        """Crash semantics: abandon all outstanding work, return it.
+
+        Drains the event heap and the scheduler without processing
+        anything: queued arrivals, scheduled entries and in-flight
+        batches all come back as bare jobs (the cluster's retry path
+        re-prices and re-routes them); pending DISPATCH markers are
+        dropped. The runtime itself stays usable — a recovered board
+        re-enters service with empty queues on the same clock.
+        """
+        if self._heap is None:
+            raise RuntimeError("begin() must run before spill()")
+        spilled: list[Job] = []
+        while self._heap:
+            event = self._heap.pop()
+            if event.kind is EventKind.ARRIVAL:
+                spilled.append(event.payload)
+            elif event.kind is EventKind.COMPLETION:
+                spilled.extend(e.job for e in event.payload.entries)
+        while True:
+            entry = self.scheduler.next_entry(0, self._now)
+            if entry is None:
+                break
+            self._queued_per_tenant[entry.tenant] -= 1
+            spilled.append(entry.job)
+        self._pending_seconds = 0.0
+        self._pending_jobs = 0
+        self._in_flight_jobs = 0
+        self._free = [True] * self.num_coprocessors
+        self._busy_until = [self._now] * self.num_coprocessors
+        return spilled
+
+    def fail_one(self) -> Job | None:
+        """Transient-fault semantics: kill one queued job, return it.
+
+        Pops the entry the scheduler would dispatch next (determinism:
+        no sampling involved); ``None`` when nothing is queued.
+        """
+        if self._heap is None:
+            raise RuntimeError("begin() must run before fail_one()")
+        entry = self.scheduler.next_entry(0, self._now)
+        if entry is None:
+            return None
+        self._queued_per_tenant[entry.tenant] -= 1
+        return entry.job
 
     # -- live load signals (routing/backpressure hints) --------------------------------
 
@@ -328,13 +388,21 @@ class ServingRuntime:
                 entry = self.scheduler.next_entry(coproc, now)
                 if entry is None:
                     break
-                batch.append(entry)
                 self._queued_per_tenant[entry.tenant] -= 1
+                deadline = entry.job.deadline_seconds
+                if deadline is not None and now > deadline:
+                    # Expired while queued: reject instead of burning
+                    # coprocessor time on an answer nobody awaits.
+                    self._report.rejected.append(Rejection(
+                        job=entry.job, time_seconds=now, reason="timeout"))
+                    continue
+                batch.append(entry)
             if not batch:
                 continue
             self._telemetry.record_queue_depth(now, len(self.scheduler))
             self._telemetry.record_dispatch(coproc, len(batch))
-            service = self.batcher.service_seconds(batch)
+            service = self.batcher.service_seconds(batch) \
+                * self._service_scale
             self._free[coproc] = False
             self._busy_until[coproc] = now + service
             self._in_flight_jobs += len(batch)
@@ -351,7 +419,11 @@ class ServingRuntime:
                 job=entry.job, coprocessor=done.coprocessor,
                 start_seconds=done.start_seconds, finish_seconds=now,
             ))
-            latency = now - entry.arrival_seconds
+            # Retried jobs measure latency from the client's *first*
+            # submission, not the retry's re-injection instant.
+            origin = entry.job.first_arrival_seconds
+            latency = now - (entry.arrival_seconds if origin is None
+                             else origin)
             latencies.append((entry.tenant, latency))
             sla = self.tenants.get(entry.tenant).sla_seconds
             if sla is not None and latency > sla:

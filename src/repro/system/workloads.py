@@ -56,6 +56,13 @@ class Job:
     #: service time plus the longest dependent chain behind it), stamped
     #: by program-aware lowering; ``None`` for jobs outside a program.
     critical_seconds: float | None = None
+    #: Absolute sim-clock deadline: a job still queued past this instant
+    #: is rejected with reason ``"timeout"`` instead of dispatched.
+    deadline_seconds: float | None = None
+    #: Original arrival instant of a retried job — latency (and SLA
+    #: accounting) is always measured from the client's first submission,
+    #: not the retry's re-injection time. ``None`` for first attempts.
+    first_arrival_seconds: float | None = None
 
 
 def mult_stream(count: int) -> list[Job]:

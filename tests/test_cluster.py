@@ -399,6 +399,50 @@ class TestTelemetryMerging:
         assert merged.mean_queue_depth() == 0.0
         assert merged.mean_batch_size() == 0.0
 
+    def test_merged_with_zero_sample_parts(self):
+        """Idle shards contribute capacity but no samples."""
+        empty = Telemetry(num_coprocessors=2)
+        busy = Telemetry(num_coprocessors=2)
+        busy.record_completion(0, 1.0, [("t", 0.5)], 1)
+        merged = Telemetry.merged([empty, busy,
+                                   Telemetry(num_coprocessors=1)])
+        summary = merged.latency_summary()
+        assert summary.count == 1
+        assert summary.p50 == 0.5
+        assert merged.sla_violations == 1
+        assert merged.num_coprocessors == 5
+
+
+class TestRejectionOnlyAggregation:
+    """Shards that only ever rejected must aggregate cleanly."""
+
+    def test_all_timeout_cluster_aggregates(self):
+        # Deadlines strictly before the arrivals: every job expires in
+        # queue, no shard ever produces a sample.
+        jobs = [Job(index=i, kind=JobKind.MULT,
+                    arrival_seconds=0.001 * (i + 1),
+                    deadline_seconds=0.0005)
+                for i in range(10)]
+        report = FpgaCluster.homogeneous(PARAMS, 2).run(jobs)
+        check_cluster_conservation(report, jobs)
+        assert report.completed == 0
+        assert len(report.rejected) == 10
+        assert all(r.reason == "timeout" for r in report.rejected)
+        assert report.availability == 0.0
+        assert report.latency_summary().count == 0
+        assert report.throughput_per_second() == 0.0
+        for shard in report.shard_reports:
+            assert shard.latency_summary().p99 == 0.0
+            assert shard.mean_utilization() == 0.0
+
+    def test_availability_edge_values(self):
+        empty = FpgaCluster.homogeneous(PARAMS, 2).run([])
+        assert empty.availability == 1.0  # nothing offered, nothing lost
+        served = FpgaCluster.homogeneous(PARAMS, 2).run(
+            [Job(index=0, kind=JobKind.MULT)])
+        assert served.availability == 1.0
+        assert served.failure is None
+
     def test_merged_queue_depth_trace_sorted(self):
         a = Telemetry(num_coprocessors=1)
         b = Telemetry(num_coprocessors=1)

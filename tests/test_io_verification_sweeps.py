@@ -187,3 +187,123 @@ class TestSweeps:
     def test_rows_render(self, paper_params):
         for point in sweep_butterfly_cores(paper_params):
             assert "ms" in point.row()
+
+
+class TestWireCorruptionSweep:
+    """Seeded fuzz over the wire formats: corruption must fail *closed*.
+
+    Every truncation prefix and every seeded bit flip of a saved file
+    must either load back cleanly (the flip landed somewhere genuinely
+    unchecked) or raise a :class:`repro.errors.ReproError` subclass —
+    never a bare ``struct``/``json``/``unicode``/numpy internals error.
+    """
+
+    def _ciphertext_file(self, tmp_path, toy_context, toy_keys):
+        params = toy_context.params
+        ct = toy_context.encrypt(Plaintext.zero(params.n, params.t),
+                                 toy_keys.public)
+        path = tmp_path / "fuzz_ct.bin"
+        save_ciphertext(path, ct)
+        return path, params
+
+    def test_ciphertext_truncations_fail_closed(self, tmp_path,
+                                                toy_context, toy_keys):
+        from repro.errors import ReproError
+
+        path, params = self._ciphertext_file(tmp_path, toy_context,
+                                             toy_keys)
+        blob = path.read_bytes()
+        target = tmp_path / "trunc.bin"
+        # Every framing boundary plus a stride across the payload.
+        cuts = sorted(set(range(0, 16)) |
+                      set(range(16, len(blob), 97)) | {len(blob) - 1})
+        for cut in cuts:
+            target.write_bytes(blob[:cut])
+            with pytest.raises(ReproError):
+                load_ciphertext(target, params)
+
+    def test_keyset_truncations_fail_closed(self, tmp_path, toy_context,
+                                            toy_keys):
+        from repro.errors import ReproError
+
+        params = toy_context.params
+        path = tmp_path / "fuzz_keys.bin"
+        save_keyset(path, toy_keys, params)
+        blob = path.read_bytes()
+        target = tmp_path / "trunc.bin"
+        cuts = sorted(set(range(0, 16)) |
+                      set(range(16, len(blob), 211)) | {len(blob) - 1})
+        for cut in cuts:
+            target.write_bytes(blob[:cut])
+            with pytest.raises(ReproError):
+                load_keyset(target, params)
+
+    def test_seeded_bit_flips_never_leak_internals(self, tmp_path,
+                                                   toy_context, toy_keys):
+        from repro.errors import ReproError
+
+        path, params = self._ciphertext_file(tmp_path, toy_context,
+                                             toy_keys)
+        blob = bytearray(path.read_bytes())
+        target = tmp_path / "flip.bin"
+        rng = np.random.default_rng(2026)
+        for _ in range(64):
+            pos = int(rng.integers(0, len(blob)))
+            bit = 1 << int(rng.integers(0, 8))
+            flipped = bytearray(blob)
+            flipped[pos] ^= bit
+            target.write_bytes(bytes(flipped))
+            try:
+                load_ciphertext(target, params)
+            except ReproError:
+                pass  # failed closed — the contract
+            # Anything else (struct.error, JSONDecodeError, numpy
+            # shape errors) propagates and fails the test.
+
+    def test_v2_digest_catches_every_payload_flip(self, tmp_path,
+                                                  toy_context, toy_keys):
+        path, params = self._ciphertext_file(tmp_path, toy_context,
+                                             toy_keys)
+        blob = bytearray(path.read_bytes())
+        header_len = int.from_bytes(blob[8:12], "little")
+        payload_start = 12 + header_len
+        rng = np.random.default_rng(7)
+        target = tmp_path / "flip.bin"
+        for _ in range(16):
+            pos = payload_start + int(
+                rng.integers(0, len(blob) - payload_start))
+            flipped = bytearray(blob)
+            flipped[pos] ^= 1 << int(rng.integers(0, 8))
+            target.write_bytes(bytes(flipped))
+            with pytest.raises(EncodingError, match="digest"):
+                load_ciphertext(target, params)
+
+    def test_corrupt_header_length_field(self, tmp_path, toy_context,
+                                         toy_keys):
+        path, params = self._ciphertext_file(tmp_path, toy_context,
+                                             toy_keys)
+        blob = bytearray(path.read_bytes())
+        blob[8:12] = (2 ** 31).to_bytes(4, "little")
+        path.write_bytes(bytes(blob))
+        with pytest.raises(EncodingError, match="truncated"):
+            load_ciphertext(path, params)
+
+    def test_implausible_relin_component_count(self, tmp_path,
+                                               toy_context, toy_keys):
+        import json as _json
+        import struct as _struct
+
+        params = toy_context.params
+        path = tmp_path / "keys.bin"
+        save_keyset(path, toy_keys, params)
+        blob = path.read_bytes()
+        header_len = int.from_bytes(blob[8:12], "little")
+        header = _json.loads(blob[12:12 + header_len])
+        payload = blob[12 + header_len:]
+        for bad in (-1, 10 ** 6, "lots", None, True):
+            header["relin_components"] = bad
+            head = _json.dumps(header, sort_keys=True).encode()
+            path.write_bytes(b"REPROFV1" + _struct.pack("<I", len(head))
+                             + head + payload)
+            with pytest.raises(EncodingError, match="implausible"):
+                load_keyset(path, params)

@@ -194,6 +194,35 @@ class TestProcessExecutor:
         finally:
             executor.close()
 
+    def test_worker_death_mid_dispatch_degrades_serially(self, primes,
+                                                         stack):
+        """Killing the pool under a live engine must not lose the
+        answer: the dispatch reruns serially, the fallback is recorded,
+        and every later dispatch stays on the serial path."""
+        executor = build_executor(ExecutionConfig("processes", 2))
+        if executor.name != "processes":
+            reasons = [f.reason for f in executor_fallbacks()]
+            pytest.skip(f"process pool unavailable here: {reasons}")
+        try:
+            bt = basis_transformer(primes, N)
+            with use_executor("serial"):
+                want_fwd = bt.forward(stack)
+                want_inv = bt.inverse(want_fwd)
+            with use_executor(executor):
+                assert np.array_equal(bt.forward(stack), want_fwd)
+                for proc in executor._procs:
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+                got_fwd = bt.forward(stack)  # dispatch into a dead pool
+                got_inv = bt.inverse(got_fwd)  # degraded mode persists
+            assert np.array_equal(got_fwd, want_fwd)
+            assert np.array_equal(got_inv, want_inv)
+            (fallback,) = executor_fallbacks()
+            assert fallback.mode == "processes"
+            assert "died mid-dispatch" in fallback.reason
+        finally:
+            executor.close()
+
 
 class TestFallbacks:
     """Degradation must be loud, structured, and answer-preserving."""
