@@ -18,7 +18,7 @@ lint:
 
 coverage:
 	$(PYTHON) -m pytest -q --cov=repro --cov-report=term \
-		--cov-fail-under=79
+		--cov-fail-under=80
 
 # Fast-mode benches: regenerate the serving + cluster result files the
 # CI bench-smoke job uploads as artifacts (REPRO_BENCH_FAST shrinks
@@ -28,6 +28,7 @@ bench-smoke:
 		benchmarks/bench_serving_runtime.py \
 		benchmarks/bench_cluster_scaling.py \
 		benchmarks/bench_fv_throughput.py \
+		benchmarks/bench_mult_resident.py \
 		benchmarks/bench_optimizer.py
 
 bench-full:
@@ -35,6 +36,7 @@ bench-full:
 		benchmarks/bench_serving_runtime.py \
 		benchmarks/bench_cluster_scaling.py \
 		benchmarks/bench_fv_throughput.py \
+		benchmarks/bench_mult_resident.py \
 		benchmarks/bench_optimizer.py
 
 # Nightly CI job: the full-mode FV throughput run (headline block +

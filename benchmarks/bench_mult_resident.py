@@ -1,0 +1,173 @@
+"""Resident-loop Mult: NTT-domain base extension vs the per-row path.
+
+The resident-loop PR closes the last coefficient-domain excursion of
+the multiply datapath: operands arrive NTT-resident, the base
+extension runs in the evaluation domain (:func:`repro.rns.lift
+.lift_hps_ntt` folds the one INTT the HPS quotient estimate needs into
+a stacked scaled gemm plan), and the relinearisation fold emits an
+NTT-resident product. This bench measures that full resident Mult —
+resident inputs, ``resident=True`` output — against the pre-batching
+``per_row_mode`` baseline across the ring-degree support matrix, with
+three correctness gates before any timing:
+
+* the resident product converts bit-for-bit to the per-row reference;
+* both decrypt to the same plaintext;
+* the transform telemetry records **zero** coefficient round trips for
+  the resident multiply (the PR's acceptance criterion).
+
+Protocol and trajectory plumbing mirror ``bench_fv_throughput.py``:
+min/min interleaved gc-disabled rounds, one ``resident`` record
+appended per run to ``BENCH_fv_ops.json`` (``_fast`` in smoke mode).
+The full-mode gate asserts the resident Mult speedup stays above the
+PR 5 large-ring floor (>= 3.6x at n >= 16384); fast mode keeps a
+conservative floor so a busy CI runner cannot flake.
+"""
+
+import gc
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+from bench_fv_throughput import (
+    append_trajectory_record,
+    min_time,
+    run_metadata,
+)
+from conftest import RESULTS_DIR, save_result
+
+from repro.fv.encoder import Plaintext
+from repro.fv.evaluator import Evaluator
+from repro.fv.scheme import FvContext
+from repro.nttmath.batch import (
+    batched_engine_ok,
+    per_row_mode,
+    transform_counts,
+)
+from repro.params import large_ring
+
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+MODE = "fast" if FAST else "full"
+SWEEP_NS = (4096, 8192) if FAST else (4096, 8192, 16384, 32768)
+RESIDENT_REPS = 2 if FAST else 3
+PER_ROW_REPS = 1
+ROUNDS = 1 if FAST else 2
+TARGET = 3.6
+#: Full-mode regression gate at large rings — the PR 5 sweep floor the
+#: resident path must not regress below. Fast mode (CI smoke) uses a
+#: conservative floor; single-digit samples cannot gate 3.6x reliably.
+LARGE_RING_FLOOR = 2.0 if FAST else 3.6
+SMALL_RING_FLOOR = 2.0 if FAST else 2.5
+
+
+def resident_point(n: int) -> dict:
+    """Fully resident Mult vs ``per_row_mode`` at one ring degree."""
+    params = large_ring(n)
+    assert batched_engine_ok(params.q_primes + params.p_primes, n), (
+        f"gemm engine must serve the full tensor basis at n={n}"
+    )
+    context = FvContext(params, seed=2019)
+    keys = context.keygen()
+    evaluator = Evaluator(context)
+    assert evaluator.resident_tensor_ok, (
+        f"evaluation-domain tensor path must serve n={n}"
+    )
+    m1 = Plaintext.from_list([1, 1, 0, 1], params.n, params.t)
+    m2 = Plaintext.from_list([1, 0, 1], params.n, params.t)
+    ct1 = context.encrypt(m1, keys.public)
+    ct2 = context.encrypt(m2, keys.public)
+    r1 = context.to_ntt_ct(ct1)
+    r2 = context.to_ntt_ct(ct2)
+
+    def resident_mult():
+        return evaluator.multiply(r1, r2, keys.relin, resident=True)
+
+    # Correctness gates: bit-exact conversion to the per-row
+    # reference, decrypt equality, zero coefficient round trips.
+    before = transform_counts()
+    resident_out = resident_mult()
+    delta = {k: v - before[k] for k, v in transform_counts().items()}
+    assert delta["roundtrip_rows"] == 0 and delta["roundtrip_calls"] == 0, (
+        f"resident Mult at n={n} performed coefficient round trips: "
+        f"{delta}"
+    )
+    assert resident_out.ntt_resident
+    converted = context.to_coeff_ct(resident_out)
+    with per_row_mode():
+        per_row_out = evaluator.multiply(ct1, ct2, keys.relin)
+    assert np.array_equal(converted.c0.residues, per_row_out.c0.residues)
+    assert np.array_equal(converted.c1.residues, per_row_out.c1.residues)
+    got = context.decrypt(converted, keys.secret)
+    want = context.decrypt(per_row_out, keys.secret)
+    assert np.array_equal(got.coeffs, want.coeffs)
+
+    best_resident = float("inf")
+    best_per_row = float("inf")
+    for _ in range(ROUNDS):
+        gc.disable()
+        try:
+            best_resident = min(best_resident,
+                                min_time(resident_mult, RESIDENT_REPS))
+            with per_row_mode():
+                best_per_row = min(best_per_row, min_time(
+                    lambda: evaluator.multiply(ct1, ct2, keys.relin),
+                    PER_ROW_REPS,
+                ))
+        finally:
+            gc.enable()
+        if best_per_row / best_resident >= TARGET * 1.02:
+            break
+    return {
+        "n": n,
+        "params": params.name,
+        "k_q": params.k_q,
+        "k_p": params.k_p,
+        "log2_q": params.log2_q,
+        "mult_resident_ms": round(best_resident * 1e3, 3),
+        "mult_per_row_ms": round(best_per_row * 1e3, 3),
+        "mult_resident_ops_per_s": round(1.0 / best_resident, 2),
+        "mult_speedup": round(best_per_row / best_resident, 2),
+        "roundtrip_rows": delta["roundtrip_rows"],
+    }
+
+
+def test_mult_resident():
+    start = time.perf_counter()
+    points = [resident_point(n) for n in SWEEP_NS]
+    record = {
+        "bench": "mult_resident",
+        "mode": MODE,
+        "meta": run_metadata(),
+        "resident": points,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    json_name = "BENCH_fv_ops_fast.json" if FAST else "BENCH_fv_ops.json"
+    append_trajectory_record(Path(RESULTS_DIR) / json_name, record)
+
+    lines = [
+        f"RESIDENT MULT — evaluation-domain base extension vs "
+        f"per_row_mode ({MODE} mode, "
+        f"measured in {time.perf_counter() - start:.0f}s)",
+        f"{'n':>7}{'params':>14}{'log2 q':>8}{'resident':>11}"
+        f"{'per-row':>11}{'speedup':>9}{'roundtrips':>12}",
+    ]
+    for p in points:
+        lines.append(
+            f"{p['n']:>7}{p['params']:>14}{p['log2_q']:>8}"
+            f"{p['mult_resident_ms']:>9.1f}ms"
+            f"{p['mult_per_row_ms']:>9.0f}ms"
+            f"{p['mult_speedup']:>8.2f}x"
+            f"{p['roundtrip_rows']:>12}"
+        )
+    lines.append(
+        "(resident = NTT-resident operands in, resident product out, "
+        "zero coefficient round trips; per-row = pre-batching hot path)"
+    )
+    save_result("mult_resident", "\n".join(lines))
+
+    for p in points:
+        floor = LARGE_RING_FLOOR if p["n"] >= 16384 else SMALL_RING_FLOOR
+        assert p["mult_speedup"] >= floor, (
+            f"n={p['n']}: resident Mult speedup {p['mult_speedup']:.2f}x "
+            f"below the {floor}x floor"
+        )

@@ -92,9 +92,11 @@ class LocalBackend:
     chains, exactly as HEAX/Medha keep operands on-chip in NTT form:
     rotations become slot permutations plus a key switch that never
     leaves the NTT domain, plaintext multiplies are pointwise products
-    against the session's plaintext-constant NTT pool, and conversions
-    back to the coefficient domain happen only at MULTIPLY inputs and
-    at the program's output boundary. ``ntt_resident=False`` replays
+    against the session's plaintext-constant NTT pool, and — with the
+    evaluation-domain base extension — MULTIPLY consumes resident
+    operands directly and can emit a resident product, so conversions
+    back to the coefficient domain happen only at the program's output
+    boundary. ``ntt_resident=False`` replays
     the eager coefficient-domain schedule; :attr:`telemetry` reports
     the forward/inverse transform counts of the last run so the saving
     is measurable (the property tests assert it).
@@ -329,8 +331,16 @@ class LocalBackend:
 
     #: Ops that compute naturally in the evaluation domain — a node
     #: feeding one of these benefits from arriving NTT-resident.
+    #: MULTIPLY joined the set with the evaluation-domain base
+    #: extension (:func:`~repro.rns.lift.lift_hps_ntt`): resident
+    #: operands now feed the tensor step directly, so a producer
+    #: upstream of a Mult should stay resident rather than pay the
+    #: boundary inverse transform. RELINEARIZE is deliberately *not* a
+    #: sink: its c2 digits decompose raw coefficient residues, so its
+    #: three-part input must stay coefficient-domain.
     _RESIDENT_SINKS = frozenset(
-        {OpKind.ROTATE, OpKind.MUL_PLAIN, OpKind.SUM_SLOTS}
+        {OpKind.ROTATE, OpKind.MUL_PLAIN, OpKind.SUM_SLOTS,
+         OpKind.MULTIPLY, OpKind.MULTIPLY_RAW}
     )
     #: Domain-agnostic ops: they propagate their consumers' preference.
     _LINEAR_OPS = frozenset(
@@ -342,21 +352,32 @@ class LocalBackend:
         results?
 
         Greedy residency wastes transforms when a rotation or plaintext
-        multiply feeds straight into the coefficient-domain boundary
-        (MULTIPLY or a program output): the forward transforms it saves
-        come back as inverse transforms one node later. Walking the
-        graph in reverse, a node wants to be resident exactly when some
-        consumer computes in the evaluation domain — directly, or
-        through a chain of domain-agnostic linear ops.
+        multiply feeds straight into a coefficient-domain boundary (a
+        program output, or MULTIPLY on a parameter set the resident
+        tensor path cannot serve): the forward transforms it saves come
+        back as inverse transforms one node later. Walking the graph in
+        reverse, a node wants to be resident exactly when some consumer
+        computes in the evaluation domain — directly, or through a
+        chain of domain-agnostic linear ops.
         """
+        sinks = self._RESIDENT_SINKS
+        if not self.session.evaluator.resident_tensor_ok:
+            # MULTIPLY consumes coefficients here, so feeding it a
+            # resident operand would just be a counted round trip.
+            sinks = sinks - {OpKind.MULTIPLY, OpKind.MULTIPLY_RAW}
         consumers: dict[int, list[ExprNode]] = {}
         for node in program.nodes:
             for arg in node.args:
                 consumers.setdefault(id(arg), []).append(node)
+        # With resident outputs the boundary conversion is skipped, so
+        # the output nodes themselves want to be born resident — a
+        # Mult-heavy chain then never materialises coefficients at all.
+        out_ids = ({id(node) for node in program.outputs.values()}
+                   if self.resident_outputs else set())
         wants: dict[int, bool] = {}
         for node in reversed(program.nodes):
-            wants[id(node)] = any(
-                user.op in self._RESIDENT_SINKS
+            wants[id(node)] = id(node) in out_ids or any(
+                user.op in sinks
                 or (user.op in self._LINEAR_OPS and wants[id(user)])
                 for user in consumers.get(id(node), ())
             )
@@ -432,26 +453,45 @@ class LocalBackend:
                 )
             return context.mul_plain(args[0], node.payload)
         if node.op in (OpKind.MULTIPLY, OpKind.MULTIPLY_RAW):
-            # MULTIPLY is a coefficient-domain boundary: the base
-            # extension needs coefficient residues. Convert with
-            # write-back so shared resident operands convert once.
-            for arg_node, ct in zip(node.args, args, strict=True):
-                if ct.c0.ntt_domain:
-                    arg_node.cached = context.to_coeff_ct(ct)
+            evaluator = session.evaluator
+            if (self.ntt_resident and evaluator.resident_tensor_ok
+                    and any(ct.ntt_resident for ct in args)):
+                # Evaluation-domain base extension: resident operands
+                # feed the tensor step as-is. Align any mixed operand
+                # fully onto the NTT domain with write-back so a shared
+                # subexpression transforms forward only once.
+                for arg_node, ct in zip(node.args, args, strict=True):
+                    if not all(part.ntt_domain for part in ct.parts):
+                        arg_node.cached = context.to_ntt_ct(ct)
+            else:
+                # Legacy coefficient-domain boundary: the in-place lift
+                # needs coefficient residues. Convert with write-back
+                # so shared resident operands convert once.
+                for arg_node, ct in zip(node.args, args, strict=True):
+                    if ct.c0.ntt_domain:
+                        arg_node.cached = context.to_coeff_ct(ct)
             args = [arg.cached for arg in node.args]
             if node.op is OpKind.MULTIPLY_RAW:
                 # Lazy-relin placement: the three-part tensor result
                 # flows into an ADD tree; the deferred RELINEARIZE at
-                # its root folds back to two parts.
-                return session.evaluator.multiply_raw(args[0], args[1])
-            return session.evaluator.multiply(args[0], args[1],
-                                              session.keys.relin)
+                # its root folds back to two parts (always
+                # coefficient-domain — c2 feeds WordDecomp).
+                return evaluator.multiply_raw(args[0], args[1])
+            return evaluator.multiply(args[0], args[1],
+                                      session.keys.relin,
+                                      resident=resident_out)
         if node.op is OpKind.RELINEARIZE:
             ct = args[0]
-            if ct.c0.ntt_domain:
+            if ct.ntt_resident and (not resident_out
+                                    or ct.parts[-1].ntt_domain):
+                # The digit decomposition reads raw coefficient
+                # residues, and the coefficient-domain fold needs
+                # coefficient (c0, c1) — only a resident-output fold
+                # with coefficient c2 can keep resident parts.
                 node.args[0].cached = context.to_coeff_ct(ct)
                 ct = node.args[0].cached
-            return session.evaluator.relinearize(ct, session.keys.relin)
+            return session.evaluator.relinearize(ct, session.keys.relin,
+                                                 resident=resident_out)
         if node.op is OpKind.ROTATE:
             key = session.rotation_key(node.payload)
             if self.ntt_resident and (args[0].c0.ntt_domain

@@ -171,12 +171,10 @@ class Session:
 
     def decode(self, plain: Plaintext, size: int | None = None):
         """Invert :meth:`encode`; ``size`` truncates vector results."""
-        if self.encoder_kind == "batch":
-            decoded = self.encoder.decode(plain)
-        elif self.encoder_kind == "integer":
+        if self.encoder_kind == "integer":
             return self.encoder.decode(plain)
-        else:
-            decoded = plain.coeffs
+        decoded = (self.encoder.decode(plain)
+                   if self.encoder_kind == "batch" else plain.coeffs)
         return decoded if size is None else decoded[:size]
 
     # -- encrypt / decrypt -------------------------------------------------------------

@@ -63,9 +63,32 @@ class LoweredProgram:
         """Lowered ops that pay a keyswitch on the coprocessor."""
         return sum(op.kind in _KEYSWITCH_JOB_KINDS for op in self.ops)
 
+    def op_seconds(self, op: LoweredOp) -> float:
+        """Modelled service seconds for one lowered op.
+
+        MULT-family ops consuming NTT-resident operands skip the
+        coefficient-boundary inverse transforms the pre-resident
+        datapath paid (two polynomial INTTs per resident ciphertext
+        operand — the evaluation-domain base extension consumes the
+        operand rows as they sit on chip), so program-aware pricing
+        discounts exactly that work.
+        """
+        seconds = self.cost.compute_seconds(op.kind)
+        if op.resident_operands:
+            seconds -= op.resident_operands * self._resident_discount()
+        return max(seconds, 0.0)
+
+    def _resident_discount(self) -> float:
+        """Seconds one resident ciphertext operand saves at a MULT."""
+        from ..hw.compiler import Opcode
+
+        model = self.cost.instruction_cycle_model()
+        return (2 * model[Opcode.INTT]
+                / self.cost.config.fpga_clock_hz)
+
     def compute_seconds(self) -> float:
         """Pure FPGA compute across the stream, no transfers."""
-        return sum(self.cost.compute_seconds(op.kind) for op in self.ops)
+        return sum(self.op_seconds(op) for op in self.ops)
 
     def train_seconds(self) -> float:
         """One request as a single batched DMA train.
@@ -117,7 +140,7 @@ class LoweredProgram:
         """Per-op remaining critical path (own compute plus the longest
         dependent chain), the stamp :class:`CriticalPathScheduler`
         dispatches on."""
-        compute = [self.cost.compute_seconds(op.kind) for op in self.ops]
+        compute = [self.op_seconds(op) for op in self.ops]
         remaining = list(compute)
         # Ops are topologically ordered (deps point backwards), so one
         # reverse sweep propagates the longest downstream chain.
@@ -131,7 +154,7 @@ class LoweredProgram:
         finish: list[float] = []
         for op in self.ops:
             ready = max((finish[d] for d in op.deps), default=0.0)
-            finish.append(ready + self.cost.compute_seconds(op.kind))
+            finish.append(ready + self.op_seconds(op))
         return finish
 
 

@@ -21,8 +21,8 @@ from ..nttmath import batch
 from ..nttmath.batch import intt_rows, ntt_rows
 from ..parallel import inproc_executor, split_range
 from ..poly.rns_poly import RnsPoly
-from ..rns.lift import lift_hps, lift_traditional
-from ..rns.scale import scale_hps, scale_traditional
+from ..rns.lift import lift_hps, lift_hps_ntt, lift_traditional
+from ..rns.scale import scale_hps, scale_hps_ntt, scale_traditional
 from .ciphertext import Ciphertext
 from .keys import RelinKey
 from .scheme import FvContext
@@ -105,49 +105,92 @@ class Evaluator:
         """
         return self._tensor_parts(a, b, prescaled=False)
 
-    def _tensor_parts(self, a: Ciphertext, b: Ciphertext,
-                      prescaled: bool) -> tuple[np.ndarray, ...]:
-        """Tensor core; ``prescaled=True`` folds Scale's Q~_k constants
-        into the inverse transforms (the outputs then feed
-        ``scale_hps(..., prescaled=True)``)."""
+    @property
+    def resident_tensor_ok(self) -> bool:
+        """Can the evaluation-domain tensor path serve this context?
+
+        Public form of :meth:`_resident_tensor_ok`, used by the domain
+        planner in :class:`~repro.api.backends.LocalBackend` to decide
+        whether MULTIPLY inputs may stay NTT-resident.
+        """
+        return self._resident_tensor_ok()
+
+    def _resident_tensor_ok(self) -> bool:
+        """Can the evaluation-domain tensor path serve this context?
+
+        The resident lift needs the target basis to start with the
+        source primes (Lift q->Q always does), 60-bit-safe reciprocal
+        tables, and the batched engine on every basis involved.
+        """
+        params = self.context.params
+        lift_ctx = self.context.lift_ctx
+        n = params.n
+        return (self.use_hps and not batch._PER_ROW_MODE
+                and lift_ctx.gemm_safe
+                and lift_ctx.source_prefix == params.k_q
+                and batch.batched_engine_ok(params.q_primes, n)
+                and batch.batched_engine_ok(params.p_primes, n)
+                and batch.batched_engine_ok(self._full_primes, n))
+
+    def _tensor_ntt(self, a: Ciphertext,
+                    b: Ciphertext) -> np.ndarray:
+        """NTT-domain tensor products over the full basis.
+
+        Returns the canonical ``(3, k_total, n)`` stack of
+        ``(c~0, c~1, c~2)`` in the evaluation domain — the shared core
+        of :meth:`tensor` and :meth:`multiply_raw`. Resident operands
+        take the evaluation-domain lift (:func:`lift_hps_ntt`): their
+        q-channel rows pass straight through as the leading channels of
+        the full-basis operands (zero coefficient round trips), and
+        only the Fig. 6 quotient estimate visits coefficients, via one
+        stacked scaled inverse transform of all four operands.
+        Coefficient operands keep the legacy in-place lift + stacked
+        lazy forward. Both routes produce bit-identical products: the
+        Block-1 ``x'`` values agree exactly, the lazy/canonical input
+        bounds both stay inside the point-wise reductions' headroom,
+        and the products are reduced canonically before returning.
+        """
         if a.size != 2 or b.size != 2:
             raise ParameterError("tensor expects two-part ciphertexts")
-        a = self.context.to_coeff_ct(a)
-        b = self.context.to_coeff_ct(b)
         full_col = np.array(self._full_primes, dtype=np.int64)[:, None]
         k_total = len(self._full_primes)
         n = self.context.params.n
-        if batch._PER_ROW_MODE:
-            a0, a1, b0, b1 = self._full_ntt(np.stack([
-                self._lift(a.c0), self._lift(a.c1),
-                self._lift(b.c0), self._lift(b.c1),
-            ]))
-            # Pre-batching cross term: both products reduced separately.
-            cross = ((a0 * b1) % full_col + (a1 * b0) % full_col) % full_col
-            t0, t1, t2 = self._full_intt(np.stack([
-                (a0 * b0) % full_col,
-                cross,
-                (a1 * b1) % full_col,
-            ]))
-            return t0, t1, t2
-        lifted = np.empty((4, k_total, n), dtype=np.int64)
-        parts = (a.c0, a.c1, b.c0, b.c1)
-        executor = inproc_executor()
-        if executor is not None and self.use_hps:
-            # The four lifts are independent gemms over shared
-            # read-only tables; materialise the tables once here so
-            # worker threads only ever read them.
-            self.context.lift_ctx.gemm_tables()
-            executor.map(lambda idx: self._lift(parts[idx], lifted[idx]),
-                         range(4))
+        resident = ((a.ntt_resident or b.ntt_resident)
+                    and self._resident_tensor_ok())
+        if resident:
+            # Align both operands on the evaluation domain (forward
+            # transforms only — never a round trip) and lift the four
+            # resident q-row matrices in one stacked call.
+            a = self.context.to_ntt_ct(a)
+            b = self.context.to_ntt_ct(b)
+            stack = np.stack([a.c0.residues, a.c1.residues,
+                              b.c0.residues, b.c1.residues])
+            ops = lift_hps_ntt(self.context.lift_ctx, stack, lazy=True)
+            a0, a1, b0, b1 = ops
+            prods = np.empty_like(ops)
         else:
-            for idx, part in enumerate(parts):
-                self._lift(part, lifted[idx])
-        # Lazy forward transforms: entries land in [0, 2q), which the
-        # point-wise reductions below absorb (products stay under 2^62
-        # and the cross pair under 2^63).
-        a0, a1, b0, b1 = self._full_ntt_lazy(lifted)
-        prods = lifted  # reuse: the forwards no longer need it
+            a = self.context.to_coeff_ct(a)
+            b = self.context.to_coeff_ct(b)
+            lifted = np.empty((4, k_total, n), dtype=np.int64)
+            parts = (a.c0, a.c1, b.c0, b.c1)
+            executor = inproc_executor()
+            if executor is not None and self.use_hps:
+                # The four lifts are independent gemms over shared
+                # read-only tables; materialise the tables once here so
+                # worker threads only ever read them.
+                self.context.lift_ctx.gemm_tables()
+                executor.map(
+                    lambda idx: self._lift(parts[idx], lifted[idx]),
+                    range(4),
+                )
+            else:
+                for idx, part in enumerate(parts):
+                    self._lift(part, lifted[idx])
+            # Lazy forward transforms: entries land in [0, 2q), which
+            # the point-wise reductions below absorb (products stay
+            # under 2^62 and the cross pair under 2^63).
+            a0, a1, b0, b1 = self._full_ntt_lazy(lifted)
+            prods = lifted  # reuse: the forwards no longer need it
 
         def products(c0: int, c1: int) -> None:
             # Pure element-wise passes on one channel band; any tile
@@ -161,40 +204,70 @@ class Evaluator:
             np.multiply(a1[c0:c1], b1[c0:c1], out=prods[2][c0:c1])
             prods[2][c0:c1] %= full_col[c0:c1]
 
+        executor = inproc_executor()
         if executor is None:
             products(0, k_total)
         else:
             executor.map(lambda band: products(*band),
                          split_range(k_total, 2 * executor.workers))
+        return prods[:3]
+
+    def _tensor_parts(self, a: Ciphertext, b: Ciphertext,
+                      prescaled: bool) -> tuple[np.ndarray, ...]:
+        """Tensor core; ``prescaled=True`` folds Scale's Q~_k constants
+        into the inverse transforms (the outputs then feed
+        ``scale_hps(..., prescaled=True)``)."""
+        if batch._PER_ROW_MODE:
+            if a.size != 2 or b.size != 2:
+                raise ParameterError(
+                    "tensor expects two-part ciphertexts"
+                )
+            a = self.context.to_coeff_ct(a)
+            b = self.context.to_coeff_ct(b)
+            full_col = np.array(self._full_primes,
+                                dtype=np.int64)[:, None]
+            a0, a1, b0, b1 = self._full_ntt(np.stack([
+                self._lift(a.c0), self._lift(a.c1),
+                self._lift(b.c0), self._lift(b.c1),
+            ]))
+            # Pre-batching cross term: both products reduced separately.
+            cross = ((a0 * b1) % full_col + (a1 * b0) % full_col) % full_col
+            t0, t1, t2 = self._full_intt(np.stack([
+                (a0 * b0) % full_col,
+                cross,
+                (a1 * b1) % full_col,
+            ]))
+            return t0, t1, t2
+        prods = self._tensor_ntt(a, b)
         t0, t1, t2 = (
-            batch.intt_rows_scaled(self._full_primes, prods[:3],
+            batch.intt_rows_scaled(self._full_primes, prods,
                                    self.context.scale_ctx.full_q_tilde)
-            if prescaled else self._full_intt(prods[:3])
+            if prescaled else self._full_intt(prods)
         )
         return t0, t1, t2
 
     def multiply_raw(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
         """FV.Mult without relinearisation: a three-part ciphertext.
 
-        Scale Q->q is column-wise throughout (Blocks 1-5 of Fig. 9 act
-        per coefficient), so the three tensor parts go through *one*
-        column-stacked call — one gemm at triple width and one fixed
-        overhead instead of three. ``per_row_mode`` keeps the
-        pre-batching one-call-per-part schedule.
+        The tensor products stay in the evaluation domain until
+        :func:`~repro.rns.scale.scale_hps_ntt` consumes them: one
+        stacked scaled inverse transform recovers the prescaled
+        coefficient values Fig. 9 needs (Scale is column-wise, so the
+        three parts share a single triple-width gemm). The output is
+        coefficient-domain — c2's raw residue rows are what WordDecomp
+        broadcasts — and bit-identical whichever domain the inputs
+        arrived in. ``per_row_mode`` keeps the pre-batching
+        one-call-per-part schedule.
         """
         if batch._PER_ROW_MODE or not self.use_hps:
             t0, t1, t2 = self.tensor(a, b)
             parts = (self._scale(t0), self._scale(t1), self._scale(t2))
             return Ciphertext(parts, self.context.params)
-        t0, t1, t2 = self._tensor_parts(a, b, prescaled=True)
-        n = self.context.params.n
-        stacked = scale_hps(self.context.scale_ctx,
-                            np.concatenate([t0, t1, t2], axis=1),
-                            prescaled=True)
+        scaled = scale_hps_ntt(self.context.scale_ctx,
+                               self._tensor_ntt(a, b))
         parts = tuple(
             RnsPoly.trusted(self.context.q_basis,
-                            np.ascontiguousarray(
-                                stacked[:, i * n: (i + 1) * n]))
+                            np.ascontiguousarray(scaled[i]))
             for i in range(3)
         )
         return Ciphertext(parts, self.context.params)
@@ -211,7 +284,8 @@ class Evaluator:
         return broadcast_digit_rows(residues, self.context.q_basis)
 
     def _fold_keyswitch(self, ct: Ciphertext, d_ntt: np.ndarray,
-                        pairs, lazy_digits: bool = False) -> Ciphertext:
+                        pairs, lazy_digits: bool = False,
+                        resident: bool = False) -> Ciphertext:
         """Fold the NTT-domain digit/key sum of products back into (c0, c1).
 
         ``d_ntt`` holds the already-transformed digits (one stacked
@@ -219,6 +293,16 @@ class Evaluator:
         flight at once" schedule). Products of 30-bit residues are
         below 2^60, so up to eight accumulate lazily in int64 before a
         reduction; both accumulators share one stacked inverse call.
+
+        With ``resident=True`` (batched engine only) the accumulators
+        never leave the evaluation domain: instead of inverse-
+        transforming them, (c0, c1) are forward-transformed (one
+        stacked call, or reused as-is when already resident) and the
+        sums are formed in the NTT domain — the transform count is the
+        same, but the result is born NTT-resident, which is what keeps
+        a Mult-heavy resident chain free of coefficient round trips.
+        The NTT being linear and every row canonical, the resident
+        result is exactly the forward transform of the legacy one.
         """
         context = self.context
         primes_col = context.q_basis.primes_col
@@ -262,6 +346,35 @@ class Evaluator:
                 executor.map(lambda band: fold(*band),
                              split_range(acc0.shape[0],
                                          2 * executor.workers))
+        if resident and not batch._PER_ROW_MODE:
+            # Evaluation-domain fold: bring (c0, c1) to the NTT domain
+            # (free when the chain already is) and add the accumulators
+            # where they live.
+            if ct.c0.ntt_domain and ct.c1.ntt_domain:
+                c0_ntt, c1_ntt = ct.c0.residues, ct.c1.residues
+            elif ct.c0.ntt_domain or ct.c1.ntt_domain:
+                aligned = context.to_ntt_ct(
+                    Ciphertext((ct.c0, ct.c1), context.params)
+                )
+                c0_ntt = aligned.c0.residues
+                c1_ntt = aligned.c1.residues
+            else:
+                c0_ntt, c1_ntt = context._ntt_rows(np.stack(
+                    [ct.c0.residues, ct.c1.residues]
+                ))
+            c0_rows = c0_ntt + acc0
+            c1_rows = c1_ntt + acc1
+            for rows in (c0_rows, c1_rows):
+                over = rows - primes_col
+                np.minimum(rows.view(np.uint64), over.view(np.uint64),
+                           out=rows.view(np.uint64))
+            return Ciphertext(
+                (RnsPoly.trusted(context.q_basis, c0_rows,
+                                 ntt_domain=True),
+                 RnsPoly.trusted(context.q_basis, c1_rows,
+                                 ntt_domain=True)),
+                context.params,
+            )
         delta0, delta1 = context._intt_rows(np.stack([acc0, acc1]))
         if batch._PER_ROW_MODE:
             c0_rows = (ct.c0.residues + delta0) % primes_col
@@ -279,17 +392,32 @@ class Evaluator:
         c1 = RnsPoly.trusted(context.q_basis, c1_rows)
         return Ciphertext((c0, c1), context.params)
 
-    def relinearize(self, ct: Ciphertext, relin: RelinKey) -> Ciphertext:
+    def relinearize(self, ct: Ciphertext, relin: RelinKey,
+                    resident: bool = False) -> Ciphertext:
         """ReLin: fold c2 back into (c0, c1) using the RNS key.
 
-        The sum of products runs in the NTT domain; its two accumulator
-        polynomials are inverse-transformed once and added to c~0/c~1 in
-        the coefficient domain — the ordering that yields the paper's
-        14 NTT + 8 INTT instruction counts.
+        The sum of products runs in the NTT domain. By default its two
+        accumulator polynomials are inverse-transformed once and added
+        to c~0/c~1 in the coefficient domain — the ordering that
+        yields the paper's 14 NTT + 8 INTT instruction counts. With
+        ``resident=True`` the fold happens in the evaluation domain
+        instead and the result is born NTT-resident (see
+        :meth:`_fold_keyswitch`); the flag is ignored inside
+        ``per_row_mode``, whose baseline schedule has no resident
+        notion.
         """
         if ct.size != 3:
             raise ParameterError("relinearize expects a three-part ciphertext")
         context = self.context
+        if ct.c2.ntt_domain:
+            # WordDecomp broadcasts raw coefficient residues; a
+            # resident c2 must round-trip. The multiply pipeline never
+            # produces one (multiply_raw emits coefficient parts), so
+            # this conversion is visible in the round-trip telemetry if
+            # it ever happens.
+            batch.count_roundtrip(ct.c2.residues.shape[0])
+            ct = Ciphertext((ct.c0, ct.c1, ct.c2.to_coeff()),
+                            context.params)
         if len(relin.pairs) != ct.c2.residues.shape[0]:
             raise ParameterError(
                 "relinearisation key does not match the RNS decomposition"
@@ -298,12 +426,15 @@ class Evaluator:
             d_ntt = context._ntt_rows(self.rns_digits(ct.c2.residues))
             return self._fold_keyswitch(ct, d_ntt, relin.pairs)
         # Fused WordDecomp + NTT: each raw-residue digit row is
-        # transformed under every channel directly, left lazy in
-        # [0, 2q) (the narrower accumulation window below absorbs it).
+        # transformed under every channel directly — one shared stage-0
+        # dgemm across all digits (see apply_broadcast_many) — left
+        # lazy in [0, 2q) (the narrower accumulation window below
+        # absorbs it).
         d_ntt = batch.ntt_broadcast_rows(context.params.q_primes,
                                          ct.c2.residues, lazy=True)
         return self._fold_keyswitch(ct, d_ntt, relin.pairs,
-                                    lazy_digits=True)
+                                    lazy_digits=True,
+                                    resident=resident)
 
     def relinearize_grouped(self, ct: Ciphertext, relin) -> Ciphertext:
         """ReLin with grouped RNS digits (60-bit group residues).
@@ -356,6 +487,14 @@ class Evaluator:
         return self._fold_keyswitch(ct, d_ntt, relin.pairs)
 
     def multiply(self, a: Ciphertext, b: Ciphertext,
-                 relin: RelinKey) -> Ciphertext:
-        """Full FV.Mult as in paper Fig. 2 (tensor, scale, relinearise)."""
-        return self.relinearize(self.multiply_raw(a, b), relin)
+                 relin: RelinKey, resident: bool = False) -> Ciphertext:
+        """Full FV.Mult as in paper Fig. 2 (tensor, scale, relinearise).
+
+        ``resident=True`` asks for an NTT-resident product (the
+        relinearisation fold stays in the evaluation domain); the
+        inputs may arrive in either domain — resident inputs take the
+        evaluation-domain base extension and never round-trip through
+        coefficients.
+        """
+        return self.relinearize(self.multiply_raw(a, b), relin,
+                                resident=resident)

@@ -183,8 +183,13 @@ class GaloisEngine:
             return context._ntt_rows(
                 broadcast_digit_rows(c1_rows, context.q_basis)
             )
-        # Fused WordDecomp + NTT on the raw coefficient rows.
-        return batch.ntt_broadcast_rows(context.params.q_primes, c1_rows)
+        # Fused WordDecomp + NTT on the raw coefficient rows: all
+        # digits share one stage-0 dgemm (apply_broadcast_many), and
+        # the outputs stay lazy in [0, 2q) — the halved accumulation
+        # window in :meth:`_fold_digit_pairs` absorbs the slack, so
+        # the final conditional-subtract pass is skipped entirely.
+        return batch.ntt_broadcast_rows(context.params.q_primes, c1_rows,
+                                        lazy=True)
 
     def _key_switch_accumulators(self, tau_c1: np.ndarray,
                                  key: GaloisKey) -> tuple[np.ndarray,
@@ -223,7 +228,9 @@ class GaloisEngine:
                 acc0[c0:c1] += d_ntt[i][c0:c1] * b_ntt[c0:c1]
                 acc1[c0:c1] += d_ntt[i][c0:c1] * a_ntt[c0:c1]
                 pending += 1
-                if pending == 8:
+                # Lazy [0, 2q) digits double each summand, so the
+                # window halves: q + 4 * 2q * q stays below 2^63.
+                if pending == 4:
                     acc0[c0:c1] %= primes_col[c0:c1]
                     acc1[c0:c1] %= primes_col[c0:c1]
                     pending = 0

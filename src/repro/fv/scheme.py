@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ParameterError
-from ..nttmath.batch import intt_rows, ntt_rows
+from ..nttmath.batch import count_roundtrip, intt_rows, ntt_rows
 from ..params import ParameterSet
 from ..poly.rns_poly import RnsPoly
 from ..rns.basis import basis_for, lift_context, scale_context
@@ -68,9 +68,19 @@ class FvContext:
         return Ciphertext(parts, ct.params)
 
     def to_coeff_ct(self, ct: Ciphertext) -> Ciphertext:
-        """Coefficient-domain copy of a ciphertext (per-part inverse NTT)."""
-        if not any(part.ntt_domain for part in ct.parts):
+        """Coefficient-domain copy of a ciphertext (per-part inverse NTT).
+
+        Every conversion is recorded as a *round trip* on the
+        transform instrument (:func:`~repro.nttmath.batch.count_roundtrip`):
+        an NTT-resident operand forced back to coefficients is exactly
+        the waste the resident executor exists to avoid, so a zero
+        ``roundtrip_calls`` reading over a program run is the telemetry
+        proof that the resident loop stayed closed.
+        """
+        resident = [part for part in ct.parts if part.ntt_domain]
+        if not resident:
             return ct
+        count_roundtrip(sum(part.residues.shape[0] for part in resident))
         parts = tuple(
             part.to_coeff() if part.ntt_domain else part
             for part in ct.parts

@@ -38,6 +38,13 @@ MAGIC = b"REPROFV1"
 #: Current ciphertext header version (2 = domain-tagged wire format).
 CIPHERTEXT_WIRE_VERSION = 2
 
+#: Current key-material header version. Version 2 persists the secret
+#: and public key NTT caches and tags every relinearisation /
+#: Galois-key digit with an ``"ntt"``-domain payload digest, so loading
+#: a key file performs **zero** key-material transforms — version-1
+#: files (no ``version`` field) re-derive the caches as before.
+KEYSET_WIRE_VERSION = 2
+
 _WIRE_DOMAINS = ("coeff", "ntt")
 
 
@@ -205,34 +212,80 @@ def _matrix_from(payload: bytes, offset: int, rows: int,
     return matrix, end
 
 
+def _pair_digest(b_ntt: np.ndarray, a_ntt: np.ndarray) -> str:
+    return _payload_digest("ntt", _matrix_bytes(b_ntt) + _matrix_bytes(a_ntt))
+
+
 def save_keyset(path, keys: KeySet, params: ParameterSet) -> None:
     """Persist secret, public, and relinearisation keys in one file.
 
     The secret key is included — this is a client-side credential file;
     treat it like one.
+
+    Version 2 additionally persists the NTT caches (``s_ntt``,
+    ``p0_ntt``, ``p1_ntt``) and tags every relinearisation digit with
+    an NTT-domain payload digest, so :func:`load_keyset` rebuilds the
+    key set without a single forward transform. Key material missing
+    its NTT cache (hand-built test fixtures) is transformed here, at
+    save time, once.
     """
     k_q, n = params.k_q, params.n
+    secret, public = keys.secret, keys.public
+    if (secret.ntt_rows is None or public.p0_ntt is None
+            or public.p1_ntt is None):
+        from .fv.scheme import FvContext
+
+        context = FvContext(params, seed=0)
+        if secret.ntt_rows is None:
+            secret.ntt_rows = context._ntt_rows(secret.rns.residues)
+        if public.p0_ntt is None:
+            public.p0_ntt = context._ntt_rows(public.p0.residues)
+        if public.p1_ntt is None:
+            public.p1_ntt = context._ntt_rows(public.p1.residues)
+    ntt_blob = (_matrix_bytes(secret.ntt_rows)
+                + _matrix_bytes(public.p0_ntt)
+                + _matrix_bytes(public.p1_ntt))
     blobs = [
-        keys.secret.coeffs.astype("<i8").tobytes(),
-        _matrix_bytes(keys.public.p0.residues),
-        _matrix_bytes(keys.public.p1.residues),
+        secret.coeffs.astype("<i8").tobytes(),
+        _matrix_bytes(public.p0.residues),
+        _matrix_bytes(public.p1.residues),
+        ntt_blob,
     ]
+    digests = []
     for b_ntt, a_ntt in keys.relin.pairs:
         blobs.append(_matrix_bytes(b_ntt))
         blobs.append(_matrix_bytes(a_ntt))
+        digests.append(_pair_digest(b_ntt, a_ntt))
     header = {
         "kind": "keyset",
+        "version": KEYSET_WIRE_VERSION,
         "relin_components": keys.relin.num_components,
+        "ntt_digest": _payload_digest("ntt", ntt_blob),
+        "relin_digests": digests,
         "params": _params_fingerprint(params),
     }
     _write(Path(path), header, b"".join(blobs))
 
 
 def load_keyset(path, params: ParameterSet) -> KeySet:
+    """Rebuild a :class:`~repro.fv.keys.KeySet` from a key file.
+
+    Version-2 files reload every NTT cache straight from the payload —
+    zero key-material transforms, verified by the per-digit digests.
+    Version-1 files (no ``version`` field) predate the caches and
+    re-derive them here, paying the full key transforms they always
+    did.
+    """
     header, payload = _read(Path(path))
     if header.get("kind") != "keyset":
         raise EncodingError("file does not hold a key set")
     _check_fingerprint(header, params)
+    version = header.get("version", 1)
+    if version > KEYSET_WIRE_VERSION:
+        raise EncodingError(
+            f"keyset wire version {version} is newer than this library "
+            f"understands (<= {KEYSET_WIRE_VERSION})"
+        )
     k_q, n = params.k_q, params.n
     basis = basis_for(params.q_primes)
 
@@ -253,28 +306,169 @@ def load_keyset(path, params: ParameterSet) -> KeySet:
     offset = 8 * n
     p0, offset = _matrix_from(payload, offset, k_q, n)
     p1, offset = _matrix_from(payload, offset, k_q, n)
+    s_ntt = p0_ntt = p1_ntt = None
+    if version >= 2:
+        ntt_start = offset
+        s_ntt, offset = _matrix_from(payload, offset, k_q, n)
+        p0_ntt, offset = _matrix_from(payload, offset, k_q, n)
+        p1_ntt, offset = _matrix_from(payload, offset, k_q, n)
+        if (header.get("ntt_digest")
+                != _payload_digest("ntt", payload[ntt_start:offset])):
+            raise EncodingError(
+                "key NTT caches do not match their declared digest — "
+                "corrupted file"
+            )
+    digests = header.get("relin_digests", [])
+    if version >= 2 and (not isinstance(digests, list)
+                         or len(digests) != components):
+        raise EncodingError(
+            "key file declares a relinearisation digest list that does "
+            "not match its component count — corrupted header"
+        )
     pairs = []
-    for _ in range(components):
+    for i in range(components):
         b_ntt, offset = _matrix_from(payload, offset, k_q, n)
         a_ntt, offset = _matrix_from(payload, offset, k_q, n)
+        if version >= 2 and digests[i] != _pair_digest(b_ntt, a_ntt):
+            raise EncodingError(
+                f"relinearisation digit {i} does not match its declared "
+                "NTT-domain digest — corrupted file"
+            )
         pairs.append((b_ntt, a_ntt))
     if offset != len(payload):
         raise EncodingError("key file has trailing or missing bytes")
 
-    from .fv.scheme import FvContext
-
-    context = FvContext(params, seed=0)
     s_rows = s_coeffs[None, :] % basis.primes_col
+    if version < 2:
+        # Version-1 files predate the persisted caches: re-derive them,
+        # paying the full key transforms of the old format.
+        from .fv.scheme import FvContext
+
+        context = FvContext(params, seed=0)
+        s_ntt = context._ntt_rows(s_rows)
+        p0_ntt = context._ntt_rows(p0)
+        p1_ntt = context._ntt_rows(p1)
     secret = SecretKey(
         coeffs=s_coeffs,
         rns=RnsPoly(basis, s_rows),
-        ntt_rows=context._ntt_rows(s_rows),
+        ntt_rows=s_ntt,
     )
     public = PublicKey(
         p0=RnsPoly(basis, p0),
         p1=RnsPoly(basis, p1),
-        p0_ntt=context._ntt_rows(p0),
-        p1_ntt=context._ntt_rows(p1),
+        p0_ntt=p0_ntt,
+        p1_ntt=p1_ntt,
     )
     return KeySet(secret=secret, public=public,
                   relin=RelinKey(pairs=pairs), basis=basis)
+
+
+def save_galois_keys(path, keys: dict, params: ParameterSet) -> None:
+    """Persist a labelled Galois key bundle NTT-domain (version 2).
+
+    ``keys`` maps labels — rotation step counts or ``"conjugate"``, as
+    produced by :meth:`~repro.fv.galois.GaloisEngine.rotation_keygen`
+    and ``summation_keygen`` — to :class:`~repro.fv.galois.GaloisKey`
+    objects. The (b, a) digit pairs are written exactly as the engine
+    holds them (NTT domain), each tagged with a payload digest, so a
+    reload performs zero key transforms.
+    """
+    entries = []
+    blobs = []
+    for label, key in keys.items():
+        digests = []
+        for b_ntt, a_ntt in key.pairs:
+            pair_bytes = _matrix_bytes(b_ntt) + _matrix_bytes(a_ntt)
+            blobs.append(pair_bytes)
+            digests.append(_payload_digest("ntt", pair_bytes))
+        entries.append({
+            "label": str(label),
+            "element": key.element,
+            "components": len(key.pairs),
+            "digests": digests,
+        })
+    header = {
+        "kind": "galois_keys",
+        "version": KEYSET_WIRE_VERSION,
+        "entries": entries,
+        "params": _params_fingerprint(params),
+    }
+    _write(Path(path), header, b"".join(blobs))
+
+
+def load_galois_keys(path, params: ParameterSet) -> dict:
+    """Rebuild a labelled Galois key bundle saved by
+    :func:`save_galois_keys`.
+
+    Integer labels come back as ``int`` (rotation steps); the
+    ``"conjugate"`` label stays a string — the mapping plugs straight
+    into ``GaloisEngine.rotate`` / ``sum_all_slots``. Every digit is
+    checked against its NTT-domain digest and no transform runs.
+    """
+    from .fv.galois import GaloisKey
+
+    header, payload = _read(Path(path))
+    if header.get("kind") != "galois_keys":
+        raise EncodingError("file does not hold Galois keys")
+    _check_fingerprint(header, params)
+    version = header.get("version", 1)
+    if version > KEYSET_WIRE_VERSION:
+        raise EncodingError(
+            f"Galois key wire version {version} is newer than this "
+            f"library understands (<= {KEYSET_WIRE_VERSION})"
+        )
+    entries = header.get("entries")
+    if not isinstance(entries, list):
+        raise EncodingError(
+            "Galois key file declares no entry table — corrupted header"
+        )
+    k_q, n = params.k_q, params.n
+    max_components = len(payload) // (8 * n) + 1
+    keys: dict = {}
+    offset = 0
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise EncodingError("Galois key entry is not an object")
+        components = entry.get("components")
+        if (not isinstance(components, int) or isinstance(components, bool)
+                or not 0 <= components <= max_components):
+            raise EncodingError(
+                f"Galois key entry declares an implausible component "
+                f"count ({components!r}) — corrupted header"
+            )
+        digests = entry.get("digests")
+        if not isinstance(digests, list) or len(digests) != components:
+            raise EncodingError(
+                "Galois key entry digest list does not match its "
+                "component count — corrupted header"
+            )
+        label = entry.get("label")
+        element = entry.get("element")
+        if not isinstance(label, str) or not isinstance(element, int):
+            raise EncodingError(
+                "Galois key entry is missing its label or element"
+            )
+        pairs = []
+        for i in range(components):
+            b_ntt, offset = _matrix_from(payload, offset, k_q, n)
+            a_ntt, offset = _matrix_from(payload, offset, k_q, n)
+            if digests[i] != _pair_digest(b_ntt, a_ntt):
+                raise EncodingError(
+                    f"Galois key {label!r} digit {i} does not match its "
+                    "declared NTT-domain digest — corrupted file"
+                )
+            pairs.append((b_ntt, a_ntt))
+        if label == "conjugate":
+            resolved: object = label
+        else:
+            try:
+                resolved = int(label)
+            except ValueError as exc:
+                raise EncodingError(
+                    f"Galois key label {label!r} is neither a step count "
+                    "nor 'conjugate' — corrupted header"
+                ) from exc
+        keys[resolved] = GaloisKey(element=element, pairs=pairs)
+    if offset != len(payload):
+        raise EncodingError("Galois key file has trailing or missing bytes")
+    return keys

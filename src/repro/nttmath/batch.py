@@ -110,12 +110,32 @@ eliminate redundant transforms.
 """
 
 _TRANSFORM_KEYS = ("forward_rows", "inverse_rows", "forward_calls",
-                   "inverse_calls", "fallback_calls")
+                   "inverse_calls", "fallback_calls", "roundtrip_rows",
+                   "roundtrip_calls")
 
 
 def _count_transform(direction: str, rows: int) -> None:
     TRANSFORM_COUNTER.inc(rows, kind=f"{direction}_rows")
     TRANSFORM_COUNTER.inc(1, kind=f"{direction}_calls")
+
+
+def count_roundtrip(rows: int) -> None:
+    """Record a resident -> coefficient round trip (``rows`` rows).
+
+    A *round trip* is the specific waste the resident executor exists
+    to eliminate: an NTT-resident operand forced back to coefficient
+    representation (whose coefficients will then have to be transformed
+    forward again by any evaluation-domain consumer). The evaluator's
+    *internal* inverse transforms — the stacked INTT folded into the
+    lift, the keyswitch accumulator INTT on a coefficient-domain
+    output — are part of the algorithms themselves and are **not**
+    round trips. :meth:`FvContext.to_coeff_ct` reports here, so a
+    zero ``roundtrip_calls`` reading across a program run is the
+    telemetry proof that no resident operand ever left the evaluation
+    domain.
+    """
+    TRANSFORM_COUNTER.inc(rows, kind="roundtrip_rows")
+    TRANSFORM_COUNTER.inc(1, kind="roundtrip_calls")
 
 
 def transform_counts() -> dict[str, int]:
@@ -616,12 +636,17 @@ class BasisTransformer:
                 and j * self.k * self.n >= PARALLEL_MIN_WORK):
             tiles = self._tile_plan(j, 2 * executor.workers)
         if len(tiles) < 2:
-            broadcast = op == "forward_broadcast"
-            for idx in range(j):
-                if broadcast:
-                    plan.apply_broadcast(self, arr[idx], out[idx],
-                                         lazy=lazy)
+            if op == "forward_broadcast":
+                if j > 1:
+                    # Digit stacks share one tall stage-0 dgemm (the
+                    # broadcast fast path across relinearisation
+                    # digits); a single row keeps the per-digit entry.
+                    plan.apply_broadcast_many(self, arr, out, lazy=lazy)
                 else:
+                    plan.apply_broadcast(self, arr[0], out[0],
+                                         lazy=lazy)
+            else:
+                for idx in range(j):
                     plan.apply(self, arr[idx], out[idx], lazy=lazy)
             return
         # Prebuild everything worker threads would otherwise race to
@@ -980,12 +1005,63 @@ class _GemmPlan:
         self._run(bt, row.reshape(1, f0, bt.n // f0), out, lazy,
                   broadcast=True)
 
-    def _run(self, bt: BasisTransformer, x: np.ndarray,
-             out: np.ndarray, lazy: bool, broadcast: bool) -> None:
+    def apply_broadcast_many(self, bt: BasisTransformer,
+                             rows: np.ndarray, out: np.ndarray,
+                             lazy: bool = False) -> None:
+        """Broadcast-transform a whole digit stack with one shared
+        stage-0 dgemm.
+
+        ``rows`` is a ``(j, n)`` stack of raw digit rows, ``out`` the
+        ``(j, k, n)`` result. Where :meth:`apply_broadcast` shares one
+        limb split across the ``k`` channels of a *single* digit, this
+        fast path additionally batches stage 0 across all ``j``
+        digits: digit ``idx`` occupies column block ``idx`` of one
+        shared ``(c0*f0, j*rest)`` limb matrix, so a single tall dgemm
+        computes the first sub-DFT of every (digit, channel) pair —
+        relinearisation's ``k`` digit transforms collapse from ``k``
+        stage-0 gemm calls to one. Gemm columns are independent and
+        every partial sum is an exact integer at or below 2^53, so the
+        result is bit-identical to ``j`` separate
+        :meth:`apply_broadcast` calls; the remaining stages re-enter
+        the shared stage loop per digit via its ``stage0`` seed.
+        """
+        k, n = bt.k, bt.n
+        stage = bt.geometry.stages[0]
+        f0 = stage.length
+        rest = n // f0
+        j = rows.shape[0]
+        c0 = stage.split.count
+        cols = j * rest
+        # Interleave digits along the column axis: column block idx of
+        # (f0, j*rest) holds digit idx's (f0, rest) coefficient matrix.
+        values = np.ascontiguousarray(
+            rows.reshape(j, f0, rest).transpose(1, 0, 2)
+        ).reshape(1, f0, cols)
+        limbs = np.empty((1, c0 * f0, cols), dtype=np.float64)
+        scratch = np.empty((1, f0, cols), dtype=np.int64)
+        self._split_into(values, limbs, stage.split, scratch)
+        g = np.empty((k * f0, cols), dtype=np.float64)
+        np.matmul(self.steps[0].reshape(k * f0, c0 * f0), limbs[0],
+                  out=g)
+        p_col = np.repeat(bt.primes_col, f0, axis=0).astype(np.float64)
+        q_f = np.empty_like(g)
+        state = np.empty((k * f0, cols), dtype=np.int64)
+        self._reduce_lazy(g, p_col, 1.0 / p_col, q_f, state)
+        stacked = state.reshape(k, f0, j, rest)
+        for idx in range(j):
+            self._run(bt, None, out[idx], lazy, broadcast=False,
+                      stage0=stacked[:, :, idx, :])
+
+    def _run(self, bt: BasisTransformer, x: np.ndarray | None,
+             out: np.ndarray, lazy: bool, broadcast: bool,
+             stage0: np.ndarray | None = None) -> None:
         """The stage loop shared by :meth:`apply` and
         :meth:`apply_broadcast`: per stage — optional canonicalise,
         limb split, one dgemm, float reduction — with a Shoup twiddle
-        multiply and an axis rotation between stages."""
+        multiply and an axis rotation between stages. A ``stage0``
+        seed (the lazy ``(k, f0, rest)`` output of a stage-0 gemm
+        computed elsewhere, see :meth:`apply_broadcast_many`) skips
+        the first gemm and enters the loop at its twiddle."""
         k, n = bt.k, bt.n
         stages = bt.geometry.stages
         num = len(stages)
@@ -995,31 +1071,35 @@ class _GemmPlan:
         for t, stage in enumerate(stages):
             f = stage.length
             rest = n // f
-            source = x if t == 0 else cur.reshape(k, f, rest)
             g = gemm_out[t]
-            if t == 0 and broadcast:
-                c0 = stage.split.count
-                shared = limbs[0].reshape(k * c0 * f, rest)[: c0 * f]
-                self._split_into(x, shared.reshape(1, c0 * f, rest),
-                                 stage.split,
-                                 alt.reshape(k, f, rest)[:1])
-                np.matmul(self.steps[t].reshape(k * f, c0 * f), shared,
-                          out=g.reshape(k * f, rest))
+            if t == 0 and stage0 is not None:
+                np.copyto(cur.reshape(k, f, rest), stage0)
             else:
-                if stage.canonical_in:
-                    # The lazy [0, 2q) bound would force a wider limb
-                    # split; one conditional subtract restores
-                    # canonical inputs (unsigned-minimum trick).
-                    np.subtract(cur, p_int, out=alt)
-                    np.minimum(cur.view(np.uint64), alt.view(np.uint64),
-                               out=cur.view(np.uint64))
-                self._split_into(source, limbs[t], stage.split,
-                                 alt.reshape(k, f, rest))
-                np.matmul(self.steps[t], limbs[t], out=g)
-            self._reduce_lazy(g, p_f.reshape(g.shape),
-                              inv_p.reshape(g.shape),
-                              f_tmp.reshape(g.shape),
-                              cur.reshape(g.shape))
+                source = x if t == 0 else cur.reshape(k, f, rest)
+                if t == 0 and broadcast:
+                    c0 = stage.split.count
+                    shared = limbs[0].reshape(k * c0 * f, rest)[: c0 * f]
+                    self._split_into(x, shared.reshape(1, c0 * f, rest),
+                                     stage.split,
+                                     alt.reshape(k, f, rest)[:1])
+                    np.matmul(self.steps[t].reshape(k * f, c0 * f),
+                              shared, out=g.reshape(k * f, rest))
+                else:
+                    if stage.canonical_in:
+                        # The lazy [0, 2q) bound would force a wider
+                        # limb split; one conditional subtract restores
+                        # canonical inputs (unsigned-minimum trick).
+                        np.subtract(cur, p_int, out=alt)
+                        np.minimum(cur.view(np.uint64),
+                                   alt.view(np.uint64),
+                                   out=cur.view(np.uint64))
+                    self._split_into(source, limbs[t], stage.split,
+                                     alt.reshape(k, f, rest))
+                    np.matmul(self.steps[t], limbs[t], out=g)
+                self._reduce_lazy(g, p_f.reshape(g.shape),
+                                  inv_p.reshape(g.shape),
+                                  f_tmp.reshape(g.shape),
+                                  cur.reshape(g.shape))
             if t < num - 1:
                 tw, tw_sh = twiddle_tables[t]
                 _shoup_mul(cur, tw, tw_sh, p_int, alt)

@@ -129,10 +129,28 @@ def _lift_block2_gemm(context: LiftContext, matrix: np.ndarray,
     output rows equal the input rows exactly.
     """
     n = x_prime.shape[1]
+    skip = context.source_prefix
+    if out is None:
+        out = np.empty((len(context.target_primes), n), dtype=np.int64)
+    if skip:
+        out[:skip] = matrix
+    _lift_tail_gemm(context, x_prime, out[skip:])
+    return out
+
+
+def _lift_tail_gemm(context: LiftContext, x_prime: np.ndarray,
+                    out_tail: np.ndarray) -> np.ndarray:
+    """The Fig. 6 Blocks 2-5 gemm for the *non-prefix* target channels.
+
+    Separated from :func:`_lift_block2_gemm` so the evaluation-domain
+    entry point (:func:`lift_hps_ntt`) can run exactly this arithmetic
+    — the only part of the lift that genuinely needs coefficient
+    values — while the prefix channels stay resident in the NTT domain.
+    """
     k_s = x_prime.shape[0]
     skip = context.source_prefix
     star_cat, t_col_f, inv_t_col, q_mod_f = context.gemm_tables()
-    limbs = np.empty((2 * k_s, n), dtype=np.float64)
+    limbs = np.empty((2 * k_s, x_prime.shape[1]), dtype=np.float64)
     np.right_shift(x_prime, 15, out=limbs[:k_s], casting="unsafe")
     np.bitwise_and(x_prime, (1 << 15) - 1, out=limbs[k_s:],
                    casting="unsafe")
@@ -147,16 +165,74 @@ def _lift_block2_gemm(context: LiftContext, matrix: np.ndarray,
     q = np.rint(total * inv_t_col)
     total -= q * t_col_f
     total += t_col_f
-    if out is None:
-        out = np.empty((len(context.target_primes), n), dtype=np.int64)
-    if skip:
-        out[:skip] = matrix
-    np.copyto(out[skip:], total, casting="unsafe")
-    tail = out[skip:]
-    reduced = tail - context.target_col[skip:]
-    np.minimum(tail.view(np.uint64), reduced.view(np.uint64),
-               out=tail.view(np.uint64))
-    return out
+    np.copyto(out_tail, total, casting="unsafe")
+    reduced = out_tail - context.target_col[skip:]
+    np.minimum(out_tail.view(np.uint64), reduced.view(np.uint64),
+               out=out_tail.view(np.uint64))
+    return out_tail
+
+
+def lift_hps_ntt(context: LiftContext, ntt_rows: np.ndarray,
+                 lazy: bool = True) -> np.ndarray:
+    """Evaluation-domain HPS base extension: NTT rows in, NTT rows out.
+
+    ``ntt_rows`` is a ``(k_s, n)`` matrix (or ``(j, k_s, n)`` stack) of
+    *NTT-domain* residues over the source basis; the result holds the
+    NTT-domain residues of the lifted representative over every target
+    prime. Two facts make this resident:
+
+    * the HPS quotient estimate is the only part of Fig. 6 that needs
+      coefficient values, and its Block-1 input ``x'_i = x_i q~_i mod
+      q_i`` comes out of ONE stacked inverse transform with the
+      ``q~_i`` constants folded into the inverse gemm plan's twiddle
+      tables (:func:`~repro.nttmath.batch.intt_rows_scaled`) — no
+      per-limb round trip ever materialises the raw coefficients;
+    * the lifted representative is congruent to x modulo every source
+      prime, so when the target basis starts with the source primes
+      (Lift q->Q always does) the resident input rows *are* the
+      target's leading channels — the row-copy fast path stays in the
+      evaluation domain, untouched.
+
+    Only the gemm tail (the genuinely new target channels) is
+    forward-transformed, ``lazy`` controlling its output bound the way
+    :meth:`BasisTransformer.forward` does; the prefix rows pass through
+    with the input's (canonical) bound. Falls back to the coefficient
+    lift + full forward when the batched engine cannot serve either
+    basis — exact, but paying the round trip this entry exists to
+    avoid.
+    """
+    basis = context.source
+    arr = np.asarray(ntt_rows, dtype=np.int64)
+    stacked = arr.ndim == 3
+    stack = arr if stacked else arr[None]
+    if stack.shape[1] != basis.size:
+        raise ParameterError(
+            f"expected ({basis.size} x n) NTT rows over the source "
+            f"basis, got shape {arr.shape}"
+        )
+    j, k_s, n = stack.shape
+    skip = context.source_prefix
+    tail_primes = tuple(context.target_primes[skip:])
+    fast = (skip == k_s and context.gemm_safe
+            and not batch._PER_ROW_MODE
+            and batch.batched_engine_ok(basis.primes, n)
+            and batch.batched_engine_ok(tail_primes, n))
+    if not fast:
+        coeff = batch.intt_rows(basis.primes, stack)
+        lifted = np.stack([lift_hps(context, m) for m in coeff])
+        full = batch.ntt_rows(tuple(context.target_primes), lifted)
+        return full if stacked else full[0]
+    x_prime = batch.intt_rows_scaled(basis.primes, stack,
+                                     basis.q_tilde)
+    tails = np.empty((j, len(tail_primes), n), dtype=np.int64)
+    for idx in range(j):
+        _lift_tail_gemm(context, x_prime[idx], tails[idx])
+    out = np.empty((j, len(context.target_primes), n), dtype=np.int64)
+    out[:, :skip] = stack
+    out[:, skip:] = batch.basis_transformer(tail_primes, n).forward(
+        tails, lazy=lazy
+    )
+    return out if stacked else out[0]
 
 
 def _quotient_from_limbs(limb_sums: np.ndarray) -> np.ndarray:

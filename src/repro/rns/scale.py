@@ -76,6 +76,44 @@ def scale_hps(context: ScaleContext, residues: np.ndarray,
     return lift_hps(context.final_lift, y_p)
 
 
+def scale_hps_ntt(context: ScaleContext,
+                  ntt_residues: np.ndarray) -> np.ndarray:
+    """Evaluation-domain Scale Q->q: NTT rows over Q in, coefficient
+    q-basis rows out.
+
+    ``ntt_residues`` is a ``(k_Q, n)`` NTT-domain matrix over the full
+    basis (q rows first, then p rows) or a ``(j, k_Q, n)`` stack — the
+    tensor step's point-wise products live here. The Fig. 9 datapath
+    needs coefficient values, but the Block-1/2 ``Q~_i`` multiplies
+    ride along for free inside ONE stacked inverse transform whose
+    gemm plan folds the constants into its twiddle tables
+    (:func:`~repro.nttmath.batch.intt_rows_scaled`), so the rows reach
+    :func:`scale_hps` already prescaled — the single INTT the HPS
+    quotient estimate genuinely requires, and the only
+    coefficient-domain excursion of a fully resident multiply. A
+    stack is scaled in one :func:`scale_hps` call by treating the
+    polynomials as column blocks of a single wide matrix (exact: every
+    channel's arithmetic is element-wise in the column dimension).
+    """
+    arr = np.asarray(ntt_residues, dtype=np.int64)
+    stacked = arr.ndim == 3
+    stack = arr if stacked else arr[None]
+    expected = context.q_basis.size + context.p_basis.size
+    if stack.shape[1] != expected:
+        raise ParameterError(
+            f"expected ({expected} x n) NTT rows over Q, got shape "
+            f"{arr.shape}"
+        )
+    j, k, n = stack.shape
+    full_primes = context.q_basis.primes + context.p_basis.primes
+    prescaled = batch.intt_rows_scaled(full_primes, stack,
+                                       context.full_q_tilde)
+    wide = prescaled.transpose(1, 0, 2).reshape(k, j * n)
+    scaled = scale_hps(context, wide, prescaled=True)
+    out = scaled.reshape(context.q_basis.size, j, n).transpose(1, 0, 2)
+    return out if stacked else out[0]
+
+
 def _scale_sop_loop(context: ScaleContext, x_prime_q: np.ndarray,
                     p_rows: np.ndarray,
                     rounded: np.ndarray) -> np.ndarray:

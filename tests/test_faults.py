@@ -460,8 +460,7 @@ class TestDeterminism:
                 PARAMS, 4, router=TenantAffinityRouter(),
                 fault_plan=plan, replicas=2,
                 retry=RetryPolicy(seed=seed))
-            report = cluster.run(jobs)
-            return report
+            return cluster.run(jobs)
 
         first, second = run(), run()
         assert isinstance(first.failure, FailureReport)

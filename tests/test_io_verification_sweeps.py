@@ -307,3 +307,138 @@ class TestWireCorruptionSweep:
                              + head + payload)
             with pytest.raises(EncodingError, match="implausible"):
                 load_keyset(path, params)
+
+
+class TestKeyMaterialWireV2:
+    """Key wire format v2: NTT-domain persistence with per-digit digests.
+
+    The acceptance contract is *zero* key-material transforms on load —
+    the per-digit NTTs every load used to re-derive are paid once at
+    save time — with version-1 files still loading through the old
+    re-derive path.
+    """
+
+    @staticmethod
+    def _transform_delta(fn):
+        from repro.nttmath.batch import transform_counts
+
+        before = transform_counts()
+        result = fn()
+        delta = {k: v - before[k] for k, v in transform_counts().items()}
+        return result, delta
+
+    def test_v2_load_performs_zero_key_transforms(self, tmp_path,
+                                                  toy_context, toy_keys):
+        params = toy_context.params
+        path = tmp_path / "keys.bin"
+        save_keyset(path, toy_keys, params)
+        loaded, delta = self._transform_delta(
+            lambda: load_keyset(path, params))
+        assert all(v == 0 for v in delta.values()), delta
+        assert np.array_equal(loaded.secret.ntt_rows,
+                              toy_keys.secret.ntt_rows)
+        assert np.array_equal(loaded.public.p0_ntt, toy_keys.public.p0_ntt)
+        assert np.array_equal(loaded.public.p1_ntt, toy_keys.public.p1_ntt)
+        for (b, a), (rb, ra) in zip(loaded.relin.pairs,
+                                    toy_keys.relin.pairs, strict=True):
+            assert np.array_equal(b, rb) and np.array_equal(a, ra)
+
+    def _synthesize_v1(self, v2_path, target, params):
+        """Strip the version-2 header fields and NTT payload block."""
+        import json as _json
+        import struct as _struct
+
+        blob = v2_path.read_bytes()
+        header_len = int.from_bytes(blob[8:12], "little")
+        header = _json.loads(blob[12:12 + header_len])
+        payload = blob[12 + header_len:]
+        for field in ("version", "ntt_digest", "relin_digests"):
+            del header[field]
+        k_q, n = params.k_q, params.n
+        ntt_start = 8 * n + 2 * 8 * k_q * n
+        ntt_len = 3 * 8 * k_q * n
+        payload = payload[:ntt_start] + payload[ntt_start + ntt_len:]
+        head = _json.dumps(header, sort_keys=True).encode()
+        target.write_bytes(b"REPROFV1" + _struct.pack("<I", len(head))
+                           + head + payload)
+
+    def test_v1_file_loads_and_rederives_caches(self, tmp_path,
+                                                toy_context, toy_keys):
+        params = toy_context.params
+        v2_path = tmp_path / "keys_v2.bin"
+        save_keyset(v2_path, toy_keys, params)
+        v1_path = tmp_path / "keys_v1.bin"
+        self._synthesize_v1(v2_path, v1_path, params)
+        loaded, delta = self._transform_delta(
+            lambda: load_keyset(v1_path, params))
+        # The old cost: forward key transforms happen on load...
+        assert delta["forward_calls"] > 0
+        # ...but the caches come out identical to the persisted ones.
+        assert np.array_equal(loaded.secret.ntt_rows,
+                              toy_keys.secret.ntt_rows)
+        assert np.array_equal(loaded.public.p0_ntt, toy_keys.public.p0_ntt)
+        assert np.array_equal(loaded.public.p1_ntt, toy_keys.public.p1_ntt)
+
+    def test_relin_digest_corruption_rejected(self, tmp_path, toy_context,
+                                              toy_keys):
+        params = toy_context.params
+        path = tmp_path / "keys.bin"
+        save_keyset(path, toy_keys, params)
+        blob = bytearray(path.read_bytes())
+        header_len = int.from_bytes(blob[8:12], "little")
+        k_q, n = params.k_q, params.n
+        # First byte of the first relin pair: past secret + public +
+        # the three persisted NTT caches.
+        pos = 12 + header_len + 8 * n + 5 * 8 * k_q * n
+        blob[pos] ^= 0x40
+        path.write_bytes(bytes(blob))
+        with pytest.raises(EncodingError, match="digest"):
+            load_keyset(path, params)
+
+    def test_galois_bundle_roundtrip_zero_transforms(self, tmp_path,
+                                                     toy_context,
+                                                     toy_keys, rng):
+        from repro.fv.galois import GaloisEngine
+        from repro.io import load_galois_keys, save_galois_keys
+
+        params = toy_context.params
+        engine = GaloisEngine(toy_context)
+        keys = engine.summation_keygen(toy_keys.secret)
+        path = tmp_path / "galois.bin"
+        save_galois_keys(path, keys, params)
+        loaded, delta = self._transform_delta(
+            lambda: load_galois_keys(path, params))
+        assert all(v == 0 for v in delta.values()), delta
+        assert set(loaded) == set(keys)
+        for label, key in keys.items():
+            assert loaded[label].element == key.element
+
+        plain = Plaintext(rng.integers(0, params.t, params.n), params.t)
+        ct = toy_context.encrypt(plain, toy_keys.public)
+        got = engine.rotate(ct, 1, loaded)
+        want = engine.rotate(ct, 1, keys)
+        assert toy_context.decrypt(got, toy_keys.secret) == \
+            toy_context.decrypt(want, toy_keys.secret)
+
+    def test_galois_bad_label_rejected(self, tmp_path, toy_context,
+                                       toy_keys):
+        import json as _json
+        import struct as _struct
+
+        from repro.fv.galois import GaloisEngine
+        from repro.io import load_galois_keys, save_galois_keys
+
+        params = toy_context.params
+        engine = GaloisEngine(toy_context)
+        keys = engine.rotation_keygen(toy_keys.secret, [1])
+        path = tmp_path / "galois.bin"
+        save_galois_keys(path, keys, params)
+        blob = path.read_bytes()
+        header_len = int.from_bytes(blob[8:12], "little")
+        header = _json.loads(blob[12:12 + header_len])
+        header["entries"][0]["label"] = "sideways"
+        head = _json.dumps(header, sort_keys=True).encode()
+        path.write_bytes(b"REPROFV1" + _struct.pack("<I", len(head))
+                         + head + blob[12 + header_len:])
+        with pytest.raises(EncodingError, match="label"):
+            load_galois_keys(path, params)
